@@ -1,0 +1,30 @@
+# Convenience targets for the reproduction workflow.
+
+.PHONY: install test bench figures csv examples all clean
+
+install:
+	pip install -e . --no-build-isolation || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+figures:
+	python -m repro.cli figure fig4 fig5 fig6 fig7 fig8 fig9 fig10
+
+csv:
+	python -m repro.cli export results/
+
+scoreboard:
+	python -c "from repro.analysis import verify_paper_claims, format_scoreboard; print(format_scoreboard(verify_paper_claims()))"
+
+examples:
+	for script in examples/*.py; do echo "== $$script"; python $$script || exit 1; done
+
+all: test bench
+
+clean:
+	rm -rf results/ .pytest_cache .hypothesis build *.egg-info src/*.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

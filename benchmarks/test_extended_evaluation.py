@@ -1,0 +1,79 @@
+"""Extended evaluation: do the paper's conclusions survive harder clusters?
+
+Re-runs the Figure 6 sweeps on a *stressed* testbed — strong node
+heterogeneity (0.25), speculative execution enabled, partition skew on
+the aggregation workload — and checks that every qualitative conclusion
+of §6 still holds.  This is the robustness check the paper's §8 calls
+for ("Exploring heterogeneity in systems ... is another important line
+of investigation").
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from benchmarks.conftest import emit
+from repro.analysis import figure7_samples, render_table
+from repro.core.types import ExecutionMode
+from repro.sim import (
+    ClusterSpec,
+    HadoopSimulator,
+    improvement_percent,
+    wordcount_profile,
+)
+
+STRESSED = ClusterSpec(
+    heterogeneity=0.25,
+    speculative_execution=True,
+    oversubscription=3.0,
+    seed=99,
+)
+
+
+def test_conclusions_hold_on_stressed_cluster(benchmark):
+    samples = benchmark(lambda: figure7_samples(cluster=STRESSED))
+    rows = [
+        (app, f"{min(vals):6.1f}%", f"{statistics.mean(vals):6.1f}%",
+         f"{max(vals):6.1f}%")
+        for app, vals in samples.items()
+    ]
+    flat = [x for vals in samples.values() for x in vals]
+    emit(
+        "EXTENDED EVALUATION — Figure 6 sweeps on a stressed cluster\n"
+        "(heterogeneity 0.25, speculation on, oversubscription 3x)\n"
+        + render_table(("App", "Min", "Mean", "Max"), rows)
+        + f"\noverall mean {statistics.mean(flat):.1f}%"
+    )
+
+    # Every §6 conclusion, re-checked:
+    assert statistics.mean(samples["sort"]) < 0.0          # sort still loses
+    for app in ("wc", "knn", "pp", "ga"):                   # others still win
+        assert statistics.mean(samples[app]) > 8.0, app
+    assert statistics.mean(samples["bs"]) > 40.0            # bs still best
+    assert max(samples["bs"]) == max(flat)
+    assert 15.0 <= statistics.mean(flat) <= 40.0            # ~25% overall
+
+
+def test_skewed_aggregation_on_stressed_cluster(benchmark):
+    def run():
+        sim = HadoopSimulator(STRESSED)
+        profile = wordcount_profile(8.0)
+        profile.partition_skew = 0.6
+        barrier = sim.run(profile, 40, ExecutionMode.BARRIER)
+        barrierless = sim.run(profile, 40, ExecutionMode.BARRIERLESS)
+        return barrier, barrierless
+
+    barrier, barrierless = benchmark(run)
+    improvement = improvement_percent(
+        barrier.completion_time, barrierless.completion_time
+    )
+    emit(
+        "EXTENDED — skewed WordCount on the stressed cluster: "
+        f"barrier {barrier.completion_time:.1f}s, "
+        f"barrier-less {barrierless.completion_time:.1f}s "
+        f"({improvement:.1f}% improvement)"
+    )
+    # Heterogeneity + skew compound: the advantage exceeds the clean-cluster
+    # WordCount figure.
+    assert improvement > 20.0
+    assert not barrier.failed and not barrierless.failed

@@ -1,0 +1,39 @@
+"""Figure 10 — WordCount memory-management techniques vs dataset size.
+
+Sweeps input size 2..25 GB at 40 reducers under the four configurations
+and checks §6.3: both barrier-less variants (in-memory, spill-and-merge)
+outperform the original as data grows, while the KV store falls further
+behind ("can not keep up with the high frequency of record accesses").
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.analysis import figure10_series, render_memory_sweep
+
+
+def test_fig10_memory_vs_size(benchmark, testbed):
+    points = benchmark(lambda: figure10_series(cluster=testbed))
+    emit(
+        render_memory_sweep(
+            "FIGURE 10 — WordCount, 40 reducers: memory techniques vs size",
+            "Input (GB)",
+            points,
+        )
+    )
+
+    for point in points:
+        if point.x >= 4.0:
+            assert point.spillmerge_s < point.barrier_s, point.x
+            if point.inmemory_s is not None:
+                assert point.inmemory_s < point.barrier_s, point.x
+        assert point.kvstore_s > point.barrier_s, point.x
+
+    # All curves grow with data size.
+    for attr in ("barrier_s", "spillmerge_s", "kvstore_s"):
+        series = [getattr(p, attr) for p in points]
+        assert series == sorted(series), attr
+
+    # The KV store's deficit widens with size (absolute gap).
+    gaps = [p.kvstore_s - p.barrier_s for p in points]
+    assert gaps[-1] > gaps[0]

@@ -1,0 +1,65 @@
+"""Figure 5 — reducer heap usage, WordCount 16 GB with 10 reducers.
+
+Panel (a): the whole partial-result TreeMap in memory grows monotonically
+until it exceeds the max heap and the job is killed.  Panel (b): disk
+spill and merge (240 MB threshold) sawtooths far below the limit and the
+job completes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis import ascii_heap_plot, heap_trace
+from repro.core.types import ExecutionMode
+from repro.sim import HadoopSimulator, MemoryTechnique, wordcount_profile
+
+
+def test_fig5_heap_traces(benchmark, testbed):
+    sim = HadoopSimulator(testbed)
+    profile = wordcount_profile(16.0)
+
+    def run_both():
+        inmemory = sim.run(
+            profile, 10, ExecutionMode.BARRIERLESS, MemoryTechnique("inmemory")
+        )
+        spill = sim.run(
+            profile,
+            10,
+            ExecutionMode.BARRIERLESS,
+            MemoryTechnique("spillmerge", spill_threshold_mb=240.0),
+        )
+        return inmemory, spill
+
+    inmemory, spill = benchmark(run_both)
+
+    limit = testbed.heap_limit_mb
+    trace_a = heap_trace(inmemory, reducer_id=0, limit_mb=limit)
+    trace_b = heap_trace(spill, reducer_id=0, limit_mb=limit)
+    emit(
+        "FIGURE 5(a) — complete TreeMap in memory (job killed)\n"
+        + ascii_heap_plot(trace_a)
+    )
+    emit(
+        "FIGURE 5(b) — disk spill and merge, 240 MB threshold\n"
+        + ascii_heap_plot(trace_b)
+    )
+    emit(
+        f"in-memory: failed={inmemory.failed} at {inmemory.failure_time:.0f}s "
+        f"({inmemory.failure_reason})\n"
+        f"spill+merge: completed in {spill.completion_time:.0f}s with "
+        f"{spill.reducers[0].spills} spills/reducer, peak "
+        f"{trace_b.peak_mb():.0f} MB"
+    )
+
+    # Panel (a) claims.
+    assert inmemory.failed
+    assert trace_a.peak_mb() > 0.8 * limit
+    assert list(trace_a.used_mb) == sorted(trace_a.used_mb)
+    # Panel (b) claims: bounded sawtooth, successful completion.
+    assert not spill.failed
+    assert trace_b.peak_mb() < limit / 2
+    assert spill.reducers[0].spills >= 3
+    # The failure happens mid-job, not at the very start or end.
+    assert 0 < inmemory.failure_time < spill.completion_time

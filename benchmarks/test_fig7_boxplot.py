@@ -1,0 +1,50 @@
+"""Figure 7 — box plot of relative % improvements across applications.
+
+Aggregates the Figure 6 sweeps into per-app five-number summaries and the
+headline abstract numbers: ~25% average improvement, ~87% best case, with
+Black-Scholes the best application and Sort the (slightly negative)
+worst case.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from benchmarks.conftest import emit
+from repro.analysis import (
+    ascii_boxplot,
+    best_case,
+    figure7_samples,
+    five_number_summary,
+    overall_average,
+    render_table,
+)
+
+
+def test_fig7_boxplot(benchmark, testbed):
+    samples = benchmark(lambda: figure7_samples(cluster=testbed))
+    order = ["sort", "wc", "knn", "pp", "ga", "bs"]
+    stats = [five_number_summary(app, samples[app]) for app in order]
+
+    rows = [s.as_row() for s in stats]
+    emit(
+        "FIGURE 7 — Relative % improvements\n"
+        + render_table(("App", "Min", "Q1", "Median", "Q3", "Max"), rows)
+        + "\n\n"
+        + ascii_boxplot(stats)
+    )
+    average = overall_average(samples)
+    best = best_case(samples)
+    emit(
+        f"Overall average improvement: {average:.1f}%   (paper: 25%)\n"
+        f"Best-case improvement:       {best:.1f}%   (paper: 87%)"
+    )
+
+    # Abstract claims.
+    assert 18.0 <= average <= 35.0
+    assert best > 75.0
+    # Black-Scholes dominates; Sort is the only net-negative app.
+    assert max(samples["bs"]) == best
+    assert statistics.mean(samples["sort"]) < 0.0
+    for app in ("wc", "knn", "pp", "ga"):
+        assert statistics.mean(samples[app]) > 0.0

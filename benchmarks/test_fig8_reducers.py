@@ -1,0 +1,42 @@
+"""Figure 8 — genetic algorithm with varying number of Reducers.
+
+Sweeps the reducer count across the cluster's 60 reduce slots (30..70)
+and checks the §6.2 narrative: completion time falls as utilisation
+rises, jumps when a second reducer wave is needed at 70, the barrier-less
+improvement shrinks toward full utilisation, and grows again once the
+system is over-saturated — i.e. benefit tracks mapper slack.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.analysis import REDUCER_SWEEP, figure8_series, render_sweep
+
+
+def test_fig8_reducer_sweep(benchmark, testbed):
+    points = benchmark(lambda: figure8_series(cluster=testbed))
+    emit(
+        render_sweep(
+            "FIGURE 8 — Genetic algorithm, 150 mappers, varying Reducers "
+            "(60 reduce slots)",
+            "Reducers",
+            points,
+        )
+    )
+
+    by_count = {int(p.x): p for p in points}
+    assert set(by_count) == set(REDUCER_SWEEP)
+
+    # Completion time decreases as reducers approach slot capacity...
+    barrier_to_capacity = [by_count[r].barrier_s for r in (30, 40, 50, 60)]
+    assert barrier_to_capacity == sorted(barrier_to_capacity, reverse=True)
+    # ...then increases when a second wave is required.
+    assert by_count[70].barrier_s > by_count[60].barrier_s
+    assert by_count[70].barrierless_s > by_count[60].barrierless_s
+
+    # Improvement decreases toward capacity, recovers past it.
+    imp = {r: by_count[r].improvement_pct for r in REDUCER_SWEEP}
+    assert imp[30] > imp[40] > imp[50] > imp[60]
+    assert imp[70] > imp[60]
+    # Barrier-less wins at every point of this sweep.
+    assert all(value > 0 for value in imp.values())

@@ -1,0 +1,45 @@
+"""Figure 9 — WordCount memory-management techniques vs number of Reducers.
+
+Sweeps reducers 5..70 for the 16 GB WordCount under all four
+configurations (original barrier, in-memory barrier-less, disk
+spill-and-merge, BerkeleyDB-style KV store) and checks the §6.3 claims:
+the in-memory technique OOMs below 25 reducers, spill-and-merge always
+beats the original, and the generic KV store cannot keep up.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.analysis import figure9_series, render_memory_sweep
+
+
+def test_fig9_memory_vs_reducers(benchmark, testbed):
+    points = benchmark(lambda: figure9_series(cluster=testbed))
+    emit(
+        render_memory_sweep(
+            "FIGURE 9 — WordCount 16 GB: memory techniques vs Reducers",
+            "Reducers",
+            points,
+        )
+    )
+
+    for point in points:
+        if point.x < 25:
+            # "below 25, the in-memory technique resulted in an out of
+            # memory exception and the job was killed."
+            assert point.inmemory_s is None, point.x
+            assert point.inmemory_failed_at is not None
+        else:
+            assert point.inmemory_s is not None, point.x
+            # "performed slightly worse than storing ... in memory"
+            assert point.spillmerge_s >= point.inmemory_s
+        # "continued to perform better than the original MapReduce."
+        assert point.spillmerge_s < point.barrier_s, point.x
+        # "BerkeleyDB ... performed poorly" — worst at every point.
+        assert point.kvstore_s > point.barrier_s, point.x
+        assert point.kvstore_s > point.spillmerge_s, point.x
+
+    # About 30k inserts/s cannot keep up with millions of records: at 10
+    # reducers the KV-store run is a multiple of the barrier run.
+    at_10 = next(p for p in points if p.x == 10)
+    assert at_10.kvstore_s > 3 * at_10.barrier_s

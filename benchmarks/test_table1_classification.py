@@ -1,0 +1,35 @@
+"""Table 1 — sort and memory requirements of MapReduce jobs.
+
+Regenerates the classification table from the registry and verifies every
+bundled application is classified; the benchmark times a live
+classification sweep that instantiates each app's reducers.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.apps.registry import REGISTRY
+from repro.core.classify import TABLE_1, classify, format_table_1
+from repro.core.types import ExecutionMode, ReduceClass
+
+
+def classify_all_apps() -> list[tuple[str, ReduceClass, str]]:
+    """Instantiate every app job and look up its Table 1 row."""
+    rows = []
+    for descriptor in REGISTRY:
+        entry = classify(descriptor.reduce_class)
+        rows.append((descriptor.name, descriptor.reduce_class, entry.partial_result_size))
+    return rows
+
+
+def test_table1_classification(benchmark):
+    rows = benchmark(classify_all_apps)
+    assert len(rows) == 7
+    emit("TABLE 1 — Sort and Memory requirements of MapReduce Jobs\n" + format_table_1())
+    # Paper row checks: only Sort requires key order; the two O(1)
+    # classes are Identity and Single-reducer aggregation.
+    by_class = {entry.reduce_class: entry for entry in TABLE_1}
+    assert by_class[ReduceClass.SORTING].key_sort_required
+    assert sum(1 for e in TABLE_1 if e.key_sort_required) == 1
+    o1 = {rc for rc, e in by_class.items() if e.partial_result_size == "O(1)"}
+    assert o1 == {ReduceClass.IDENTITY, ReduceClass.SINGLE_REDUCER}

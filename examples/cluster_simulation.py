@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Reproduce the paper's headline cluster results on the simulated testbed.
+
+Simulates the §6 Cloud Computing Testbed (15 slaves, 4 map + 4 reduce
+slots each, GigE, 64 MB chunks) and re-creates:
+
+- Figure 4: the WordCount stage-concurrency timeline with and without
+  the barrier, including the mapper-slack annotation;
+- a Figure 6(b)-style size sweep with per-size improvement;
+- Figure 5: the reducer heap trace — OOM in-memory vs spill-and-merge.
+
+Run:  python examples/cluster_simulation.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    ascii_heap_plot,
+    ascii_timeline,
+    heap_trace,
+    render_sweep,
+    size_sweep,
+    stage_summary,
+    timeline,
+)
+from repro.core import ExecutionMode
+from repro.sim import (
+    HadoopSimulator,
+    MemoryTechnique,
+    paper_testbed,
+    wordcount_profile,
+)
+
+
+def main() -> None:
+    cluster = paper_testbed()
+    sim = HadoopSimulator(cluster)
+    profile = wordcount_profile(3.0)  # Figure 4's 3 GB Wikipedia run
+
+    print("=" * 72)
+    print("Figure 4 — WordCount (3 GB), WITH barrier")
+    print("=" * 72)
+    barrier = sim.run(profile, 40, ExecutionMode.BARRIER)
+    print(ascii_timeline(timeline(barrier)))
+    summary = stage_summary(barrier)
+    print(
+        f"\n  maps done: first {summary['first_map_done']:.0f}s / "
+        f"last {summary['last_map_done']:.0f}s;  "
+        f"mapper slack {summary['mapper_slack']:.1f}s;  "
+        f"job done {summary['job_done']:.0f}s"
+    )
+
+    print()
+    print("=" * 72)
+    print("Figure 4 — WordCount (3 GB), WITHOUT barrier")
+    print("=" * 72)
+    barrierless = sim.run(profile, 40, ExecutionMode.BARRIERLESS)
+    print(ascii_timeline(timeline(barrierless)))
+    bl_summary = stage_summary(barrierless)
+    tail = bl_summary["job_done"] - bl_summary["last_map_done"]
+    improvement = 100.0 * (
+        barrier.completion_time - barrierless.completion_time
+    ) / barrier.completion_time
+    print(
+        f"\n  job done {bl_summary['job_done']:.0f}s — only {tail:.1f}s "
+        f"after the final map task ({improvement:.0f}% faster than the "
+        f"barrier version; paper reports 30% for this scenario)"
+    )
+
+    print()
+    print("=" * 72)
+    print("Figure 6(b) — WordCount completion time vs input size")
+    print("=" * 72)
+    print(render_sweep("", "Input (GB)", size_sweep(wordcount_profile)))
+
+    print()
+    print("=" * 72)
+    print("Figure 5 — reducer heap, WordCount 16 GB, 10 reducers")
+    print("=" * 72)
+    oom = sim.run(
+        wordcount_profile(16.0), 10, ExecutionMode.BARRIERLESS,
+        MemoryTechnique("inmemory"),
+    )
+    print("(a) whole TreeMap in memory:")
+    print(ascii_heap_plot(heap_trace(oom, reducer_id=0, limit_mb=cluster.heap_limit_mb)))
+    spill = sim.run(
+        wordcount_profile(16.0), 10, ExecutionMode.BARRIERLESS,
+        MemoryTechnique("spillmerge", spill_threshold_mb=240.0),
+    )
+    print("\n(b) disk spill and merge (threshold 240 MB):")
+    print(ascii_heap_plot(heap_trace(spill, reducer_id=0, limit_mb=cluster.heap_limit_mb)))
+
+
+if __name__ == "__main__":
+    main()

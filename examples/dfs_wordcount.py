@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""File-backed WordCount over the on-disk mini-DFS, surviving node loss.
+
+The full Hadoop-shaped lifecycle on real storage: text is written to a
+chunked, replicated distributed filesystem; one map task runs per chunk
+(with chunk-boundary lines handled exactly like Hadoop's
+LineRecordReader); the barrier-less job runs; output is committed back
+as SequenceFile parts — and the whole thing still works after a storage
+node is wiped, because replication covers every chunk.
+
+Run:  python examples/dfs_wordcount.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from repro.apps import wordcount
+from repro.core import ExecutionMode
+from repro.dfs import LocalDFS, read_output, run_text_job, write_lines
+from repro.engine import LocalEngine
+from repro.workloads import generate_documents
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="repro-dfs-") as root:
+        dfs = LocalDFS(root, num_nodes=5, replication=3, chunk_size=4096)
+
+        corpus = generate_documents(80, words_per_doc=50, vocab_size=300, seed=23)
+        lines = [text for _doc_id, text in corpus]
+        write_lines(dfs, "corpus.txt", lines)
+        manifest = dfs.manifest("corpus.txt")
+        print(
+            f"stored corpus.txt: {manifest.total_size:,} bytes in "
+            f"{len(manifest.chunks)} chunks x 3 replicas on 5 nodes"
+        )
+
+        # Lose a storage node before the job even starts.
+        lost = dfs.kill_node(2)
+        print(f"killed node 2 ({lost} chunk replicas destroyed)")
+
+        result = run_text_job(
+            LocalEngine(),
+            dfs,
+            wordcount.make_job(ExecutionMode.BARRIERLESS, num_reducers=3),
+            "corpus.txt",
+            output_file="counts",
+        )
+        print(
+            f"job ran {result.counters.get('map.tasks')} map tasks "
+            f"(one per chunk) and {result.counters.get('reduce.tasks')} reducers"
+        )
+
+        counts = read_output(dfs, "counts")
+        expected = wordcount.reference_output(
+            [(i, line) for i, line in enumerate(lines)]
+        )
+        assert counts == expected
+        top = sorted(counts.items(), key=lambda item: -item[1])[:5]
+        print("top words (read back from SequenceFile parts):")
+        for word, count in top:
+            print(f"  {word:10s} {count:5d}")
+        print("\noutput verified against an in-memory recount ✔")
+
+
+if __name__ == "__main__":
+    main()

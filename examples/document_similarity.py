@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Pairwise document similarity over a synthetic corpus (paper ref [12]).
+
+The Elsayed–Lin–Oard two-job algorithm on this framework: an inverted-
+index job feeds a pair-generation job, and the resulting dot products
+identify the most similar document pairs.  Both jobs run barrier-less;
+the result is verified against a direct computation.
+
+Run:  python examples/document_similarity.py
+"""
+
+from __future__ import annotations
+
+from repro.apps.similarity import pairwise_similarity, reference_similarity
+from repro.core import ExecutionMode
+from repro.engine import LocalEngine
+from repro.workloads import generate_documents
+
+
+def main() -> None:
+    # Zipf text gives documents real overlap in the hot words.
+    docs = generate_documents(
+        num_docs=40, words_per_doc=60, vocab_size=120, seed=17
+    )
+    similarities = pairwise_similarity(
+        docs, LocalEngine(), ExecutionMode.BARRIERLESS, num_reducers=4
+    )
+    assert similarities == reference_similarity(docs)
+
+    pairs = len(docs) * (len(docs) - 1) // 2
+    print(
+        f"{len(docs)} documents → {pairs} candidate pairs, "
+        f"{len(similarities)} with non-zero similarity\n"
+    )
+    top = sorted(similarities.items(), key=lambda item: -item[1])[:8]
+    print(f"{'pair':>22s}  {'dot product':>11s}")
+    for (doc_a, doc_b), score in top:
+        print(f"{doc_a} ~ {doc_b:>10s}  {score:11d}")
+    print(
+        "\nBoth jobs are Aggregation-class reduces, so the barrier-less "
+        "conversion is the standard running-fold scaffold; output verified "
+        "equal to the direct TF-vector dot products."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Iterated genetic algorithm as barrier-less MapReduce generations (§4.6).
+
+Each MapReduce job is one GA generation: mappers evaluate OneMax fitness,
+reducers perform windowed selection + crossover (the cross-key operation
+class).  The job runs with ``ExecutionMode.BARRIERLESS`` — as Table 2
+notes, the GA needs *zero* code changes to drop the barrier because its
+reducer only ever holds a fixed-size window.
+
+Run:  python examples/genetic_search.py
+"""
+
+from __future__ import annotations
+
+from repro.apps import genetic
+from repro.core import ExecutionMode
+from repro.engine import LocalEngine
+from repro.workloads import generate_population, mean_fitness, onemax_fitness
+
+GENOME_BITS = 32
+POPULATION = 256
+GENERATIONS = 8
+
+
+def main() -> None:
+    population = generate_population(POPULATION, GENOME_BITS, seed=11)
+    engine = LocalEngine()
+
+    print(f"OneMax, {POPULATION} individuals, {GENOME_BITS}-bit genomes")
+    print(f"{'gen':>4s}  {'mean fitness':>12s}  {'best':>4s}")
+    print(f"{0:4d}  {mean_fitness(population):12.3f}  "
+          f"{max(onemax_fitness(g) for _, g in population):4d}")
+
+    current = population
+    for generation in range(1, GENERATIONS + 1):
+        job = genetic.make_job(
+            ExecutionMode.BARRIERLESS,
+            window_size=16,
+            genome_bits=GENOME_BITS,
+            num_reducers=4,
+        )
+        result = engine.run(job, current, num_maps=8)
+        current = [(i, record.key) for i, record in enumerate(result.all_output())]
+        assert len(current) == POPULATION, "population size must be conserved"
+        best = max(onemax_fitness(g) for _, g in current)
+        print(f"{generation:4d}  {mean_fitness(current):12.3f}  {best:4d}")
+
+    assert mean_fitness(current) > mean_fitness(population)
+    print("\nSelection pressure drove mean fitness up across generations,")
+    print("with reducer memory fixed at O(window_size) throughout.")
+
+
+if __name__ == "__main__":
+    main()

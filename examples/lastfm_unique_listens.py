@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Last.fm unique-listens analytics with bounded reducer memory.
+
+The paper's post-reduction-processing case study (§4.5, §6.1.4): count
+how many distinct users listened to each music track.  This example runs
+the barrier-less job three times, once per §5 memory-management
+technique — in-memory TreeMap, disk spill-and-merge, and the
+BerkeleyDB-style spilling key/value store — and shows that all three
+agree with each other and with ground truth, while the spill-based
+stores keep the reducer heap bounded.
+
+Run:  python examples/lastfm_unique_listens.py
+"""
+
+from __future__ import annotations
+
+from repro.apps import lastfm
+from repro.core import ExecutionMode, MemoryConfig
+from repro.engine import LocalEngine
+from repro.workloads import generate_listens, unique_listens_reference
+
+
+def main() -> None:
+    # The paper's generator: listens uniform over 50 users x 5000 tracks.
+    listens = generate_listens(
+        num_listens=20_000, num_users=50, num_tracks=500, seed=7
+    )
+    reference = unique_listens_reference(listens)
+
+    configs = {
+        "in-memory TreeMap": MemoryConfig(store="inmemory"),
+        "disk spill-and-merge": MemoryConfig(
+            store="spillmerge", spill_threshold_bytes=64 * 1024
+        ),
+        "spilling KV store": MemoryConfig(store="kvstore", kv_cache_bytes=64 * 1024),
+    }
+
+    peak_bytes: dict[str, int] = {}
+
+    for label, memory in configs.items():
+        peaks: list[int] = []
+        engine = LocalEngine(
+            heap_sample_hook=lambda _reducer, used: peaks.append(used)
+        )
+        job = lastfm.make_job(
+            ExecutionMode.BARRIERLESS, num_reducers=4, memory=memory
+        )
+        result = engine.run(job, listens, num_maps=8)
+        assert result.output_as_dict() == reference, label
+        peak_bytes[label] = max(peaks, default=0)
+
+    print(f"{len(listens)} listens over 50 users x 500 tracks")
+    print(f"{len(reference)} tracks with at least one listen\n")
+    busiest = sorted(reference.items(), key=lambda item: -item[1])[:5]
+    print("Most widely heard tracks (distinct listeners):")
+    for track, unique_users in busiest:
+        print(f"  {track}  {unique_users}")
+
+    print("\nAll three memory techniques produced identical output.")
+    print("Peak partial-result footprint per technique:")
+    for label, peak in peak_bytes.items():
+        print(f"  {label:22s} {peak / 1024:8.1f} KiB")
+    print(
+        "\nThe spill-based stores stay near their thresholds while the "
+        "in-memory store grows with the number of distinct (track, user) "
+        "pairs — the §5 trade-off in miniature."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Quickstart: WordCount with and without the stage barrier.
+
+Runs the paper's running example (§3.2) on the threaded engine: the same
+corpus is counted under original-Hadoop semantics (barrier: shuffle →
+sort → reduce) and under barrier-less semantics (reduce pipelined with
+the shuffle, partial results in a red-black TreeMap), then verifies both
+produce identical output.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.apps import wordcount
+from repro.core import ExecutionMode
+from repro.engine import ThreadedEngine
+from repro.workloads import generate_documents
+
+
+def main() -> None:
+    # A deterministic ~200 KB synthetic corpus with Zipf word frequencies.
+    corpus = generate_documents(
+        num_docs=100, words_per_doc=300, vocab_size=2000, seed=42
+    )
+
+    results = {}
+    for mode in ExecutionMode:
+        engine = ThreadedEngine(map_slots=4)
+        job = wordcount.make_job(mode, num_reducers=4)
+        results[mode] = engine.run(job, corpus, num_maps=8)
+
+    barrier = results[ExecutionMode.BARRIER]
+    barrierless = results[ExecutionMode.BARRIERLESS]
+
+    # The paper's correctness claim: breaking the barrier changes nothing
+    # about the answer.
+    assert barrier.output_as_dict() == barrierless.output_as_dict()
+    assert barrier.output_as_dict() == wordcount.reference_output(corpus)
+
+    top = sorted(
+        barrier.output_as_dict().items(), key=lambda item: -item[1]
+    )[:8]
+    print("Top words (identical in both modes):")
+    for word, count in top:
+        print(f"  {word:10s} {count:6d}")
+
+    print("\nPer-mode execution summary:")
+    for mode, result in results.items():
+        counters = result.counters
+        print(
+            f"  {mode.value:12s}  map tasks={counters.get('map.tasks')}  "
+            f"reduce tasks={counters.get('reduce.tasks')}  "
+            f"intermediate records={counters.get('map.output_records')}  "
+            f"wall={result.stage_times.job_done:.3f}s"
+        )
+    print(
+        "\nNote: wall-clock parity is expected here — real speedups come "
+        "from cluster-level mapper slack, which examples/cluster_simulation.py "
+        "demonstrates on the simulated 16-node testbed."
+    )
+
+
+if __name__ == "__main__":
+    main()

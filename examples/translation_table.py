@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Build a statistical MT lexical table with chained MapReduce jobs.
+
+Implements the Dyer et al. pipeline the paper cites ([11]): a pair-count
+job (Aggregation class) feeds a normalisation job (Post-reduction
+processing class) through ``run_pipeline``, estimating P(target | source)
+from a synthetic word-aligned bilingual corpus.  Both stages run
+barrier-less with the spill-and-merge store to show chained jobs under
+bounded reducer memory.
+
+Run:  python examples/translation_table.py
+"""
+
+from __future__ import annotations
+
+from repro.apps.translation import (
+    make_normalise_job,
+    make_pair_count_job,
+    reference_table,
+)
+from repro.core import ExecutionMode, MemoryConfig, PipelineStage, run_pipeline
+from repro.engine import LocalEngine
+from repro.workloads import dominant_translation, generate_bitext
+
+
+def main() -> None:
+    corpus = generate_bitext(
+        num_sentences=400, sentence_length=10, vocab_size=30, noise=0.25, seed=5
+    )
+    memory = MemoryConfig(store="spillmerge", spill_threshold_bytes=32 << 10)
+
+    result = run_pipeline(
+        LocalEngine(),
+        [
+            PipelineStage(
+                make_pair_count_job(ExecutionMode.BARRIERLESS, memory=memory), 6
+            ),
+            PipelineStage(
+                make_normalise_job(ExecutionMode.BARRIERLESS, memory=memory), 6
+            ),
+        ],
+        corpus,
+    )
+    table = result.final.output_as_dict()
+    assert table == reference_table(corpus)
+
+    aligned_pairs = result.total_counter("map.output_records")
+    print(
+        f"{len(corpus)} aligned sentences → {aligned_pairs} records across "
+        f"two jobs → {len(table)} source-word distributions\n"
+    )
+    print(f"{'source':>8s}  {'top translation':>16s}  {'P(t|s)':>7s}  correct?")
+    correct = 0
+    for src in sorted(table)[:10]:
+        top_target, probability = table[src][0]
+        is_dominant = top_target == dominant_translation(src)
+        correct += is_dominant
+        print(f"{src:>8s}  {top_target:>16s}  {probability:7.3f}  "
+              f"{'✔' if is_dominant else '✘'}")
+    total_correct = sum(
+        1 for src, dist in table.items() if dist[0][0] == dominant_translation(src)
+    )
+    print(
+        f"\nDesigned-in translation recovered for {total_correct}/{len(table)} "
+        f"source words despite 25% alignment noise."
+    )
+    assert total_correct / len(table) > 0.9
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+"""Analysis layer: sweeps, timelines, heap traces, statistics, LoC.
+
+Every table and figure of the paper's evaluation maps to a function here;
+the benchmark suite is a thin printing wrapper around this module (see the
+per-experiment index in DESIGN.md).
+"""
+
+from repro.analysis.claims import ClaimCheck, format_scoreboard, verify_paper_claims
+from repro.analysis.export import (
+    export_all,
+    write_boxplot_csv,
+    write_memory_sweep_csv,
+    write_sweep_csv,
+    write_table2_csv,
+    write_timeline_csv,
+)
+from repro.analysis.heap import HeapTrace, ascii_heap_plot, heap_trace
+from repro.analysis.loc import (
+    EffortRow,
+    class_loc,
+    effort_row,
+    format_table_2,
+    logical_lines,
+    table_2,
+)
+from repro.analysis.report import render_memory_sweep, render_sweep, render_table
+from repro.analysis.stats import (
+    BoxStats,
+    ascii_boxplot,
+    best_case,
+    five_number_summary,
+    overall_average,
+)
+from repro.analysis.sweeps import (
+    BS_MAPPER_SWEEP,
+    GA_MAPPER_SWEEP,
+    MEMORY_REDUCER_SWEEP,
+    MEMORY_SIZE_SWEEP_GB,
+    REDUCER_SWEEP,
+    SIZE_SWEEP_GB,
+    MemorySweepPoint,
+    SweepPoint,
+    figure6_series,
+    figure7_samples,
+    figure8_series,
+    figure9_series,
+    figure10_series,
+    mapper_sweep,
+    size_sweep,
+)
+from repro.analysis.timeline import (
+    BARRIER_STAGES,
+    BARRIERLESS_STAGES,
+    TimelineSeries,
+    ascii_timeline,
+    stage_summary,
+    timeline,
+)
+
+__all__ = [
+    "BARRIERLESS_STAGES",
+    "BARRIER_STAGES",
+    "BS_MAPPER_SWEEP",
+    "BoxStats",
+    "ClaimCheck",
+    "EffortRow",
+    "GA_MAPPER_SWEEP",
+    "HeapTrace",
+    "MEMORY_REDUCER_SWEEP",
+    "MEMORY_SIZE_SWEEP_GB",
+    "MemorySweepPoint",
+    "REDUCER_SWEEP",
+    "SIZE_SWEEP_GB",
+    "SweepPoint",
+    "TimelineSeries",
+    "ascii_boxplot",
+    "ascii_heap_plot",
+    "ascii_timeline",
+    "best_case",
+    "class_loc",
+    "effort_row",
+    "export_all",
+    "figure10_series",
+    "figure6_series",
+    "figure7_samples",
+    "figure8_series",
+    "figure9_series",
+    "five_number_summary",
+    "format_scoreboard",
+    "format_table_2",
+    "heap_trace",
+    "logical_lines",
+    "mapper_sweep",
+    "overall_average",
+    "render_memory_sweep",
+    "render_sweep",
+    "render_table",
+    "size_sweep",
+    "stage_summary",
+    "table_2",
+    "timeline",
+    "verify_paper_claims",
+    "write_boxplot_csv",
+    "write_memory_sweep_csv",
+    "write_sweep_csv",
+    "write_table2_csv",
+    "write_timeline_csv",
+]

@@ -1,0 +1,70 @@
+"""Figure 5 reproduction: reducer heap-usage traces.
+
+Extracts per-reducer heap samples from a simulated (or real) execution and
+renders the "Heap space used" vs time curve with the "Maximum heap space"
+line — the two series of Figure 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.cluster import MB
+from repro.sim.hadoop import SimJobResult
+
+
+@dataclass(frozen=True, slots=True)
+class HeapTrace:
+    """One reducer's heap usage over time."""
+
+    reducer_id: int
+    times: tuple[float, ...]
+    used_mb: tuple[float, ...]
+    limit_mb: float
+    failed: bool
+
+    def peak_mb(self) -> float:
+        """High-water mark of the trace."""
+        return max(self.used_mb, default=0.0)
+
+
+def heap_trace(result: SimJobResult, reducer_id: int = 0, limit_mb: float = 1280.0) -> HeapTrace:
+    """Extract one reducer's heap trace from a simulation result."""
+    for trace in result.reducers:
+        if trace.reducer_id == reducer_id:
+            times = tuple(t for t, _ in trace.heap_samples)
+            used = tuple(b / MB for _, b in trace.heap_samples)
+            return HeapTrace(
+                reducer_id=reducer_id,
+                times=times,
+                used_mb=used,
+                limit_mb=limit_mb,
+                failed=result.failed,
+            )
+    raise KeyError(f"no reducer {reducer_id} in result")
+
+
+def ascii_heap_plot(trace: HeapTrace, height: int = 12, width: int = 72) -> str:
+    """ASCII rendering of one heap trace with the heap-limit line."""
+    if not trace.times:
+        raise ValueError("empty trace")
+    max_mb = max(trace.limit_mb, trace.peak_mb()) * 1.05
+    max_t = trace.times[-1] or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    limit_row = height - 1 - min(height - 1, int(trace.limit_mb / max_mb * (height - 1)))
+    for col in range(width):
+        grid[limit_row][col] = "-"
+    for t, used in zip(trace.times, trace.used_mb):
+        col = min(width - 1, int(t / max_t * (width - 1)))
+        row = height - 1 - min(height - 1, int(used / max_mb * (height - 1)))
+        grid[row][col] = "#"
+    lines = [f"{max_mb:6.0f}MB |" + "".join(grid[0])]
+    for row in grid[1:]:
+        lines.append("         |" + "".join(row))
+    lines.append("         +" + "-" * width)
+    lines.append(f"         0{'':{width - 12}}{max_t:8.1f}s")
+    status = "JOB KILLED (OutOfMemory)" if trace.failed else "job completed"
+    lines.append(
+        f"         #=heap used   -=max heap ({trace.limit_mb:.0f} MB)   [{status}]"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""Shared text-table rendering for the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.sweeps import MemorySweepPoint, SweepPoint
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Render an aligned, dash-ruled text table."""
+    widths = [
+        max(len(str(headers[col])), *(len(str(row[col])) for row in rows))
+        if rows
+        else len(str(headers[col]))
+        for col in range(len(headers))
+    ]
+    lines = [
+        "  ".join(str(h).ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_sweep(
+    title: str, x_label: str, points: Sequence[SweepPoint]
+) -> str:
+    """Render a with/without-barrier sweep (Figure 6/8 panels)."""
+    rows = [
+        (
+            f"{p.x:g}",
+            f"{p.barrier_s:8.1f}",
+            f"{p.barrierless_s:8.1f}",
+            f"{p.improvement_pct:6.1f}%",
+        )
+        for p in points
+    ]
+    table = render_table(
+        (x_label, "With barrier (s)", "Without barrier (s)", "Improvement"),
+        rows,
+    )
+    return f"{title}\n{table}"
+
+
+def render_memory_sweep(
+    title: str, x_label: str, points: Sequence[MemorySweepPoint]
+) -> str:
+    """Render a Figure 9/10 memory-technique comparison."""
+    rows = []
+    for p in points:
+        inmem = (
+            f"OOM@{p.inmemory_failed_at:5.0f}s"
+            if p.inmemory_s is None
+            else f"{p.inmemory_s:8.1f}"
+        )
+        rows.append(
+            (
+                f"{p.x:g}",
+                f"{p.barrier_s:8.1f}",
+                inmem,
+                f"{p.spillmerge_s:8.1f}",
+                f"{p.kvstore_s:8.1f}",
+            )
+        )
+    table = render_table(
+        (x_label, "With barrier", "In-memory", "Spill+merge", "KV store (BDB)"),
+        rows,
+    )
+    return f"{title}\n{table}"

@@ -1,0 +1,104 @@
+"""Improvement statistics and box-plot summaries (Figure 7).
+
+Figure 7 is a box plot of the per-run relative improvements of each
+application: whiskers at min/max, box at the 25%/75% quartiles, dotted
+line at the median.  ``five_number_summary`` computes those statistics
+(with the same linear-interpolation quantiles NumPy uses by default).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True, slots=True)
+class BoxStats:
+    """Five-number summary of one application's improvement samples."""
+
+    label: str
+    minimum: float
+    q25: float
+    median: float
+    q75: float
+    maximum: float
+    mean: float
+    n: int
+
+    def as_row(self) -> tuple[str, str, str, str, str, str]:
+        return (
+            self.label,
+            f"{self.minimum:7.1f}",
+            f"{self.q25:7.1f}",
+            f"{self.median:7.1f}",
+            f"{self.q75:7.1f}",
+            f"{self.maximum:7.1f}",
+        )
+
+
+def five_number_summary(label: str, samples: Sequence[float]) -> BoxStats:
+    """Min / Q1 / median / Q3 / max (plus mean) of improvement samples."""
+    if len(samples) == 0:
+        raise ValueError("need at least one sample")
+    arr = np.asarray(samples, dtype=np.float64)
+    return BoxStats(
+        label=label,
+        minimum=float(arr.min()),
+        q25=float(np.quantile(arr, 0.25)),
+        median=float(np.quantile(arr, 0.50)),
+        q75=float(np.quantile(arr, 0.75)),
+        maximum=float(arr.max()),
+        mean=float(arr.mean()),
+        n=int(arr.size),
+    )
+
+
+def overall_average(per_app_samples: dict[str, Sequence[float]]) -> float:
+    """Grand mean across all apps' samples — the paper's "25% on average"."""
+    flat = [x for samples in per_app_samples.values() for x in samples]
+    if not flat:
+        raise ValueError("no samples")
+    return float(np.mean(flat))
+
+
+def best_case(per_app_samples: dict[str, Sequence[float]]) -> float:
+    """Largest single improvement — the paper's "87% in the best case"."""
+    flat = [x for samples in per_app_samples.values() for x in samples]
+    if not flat:
+        raise ValueError("no samples")
+    return float(np.max(flat))
+
+
+def ascii_boxplot(stats: Sequence[BoxStats], width: int = 60) -> str:
+    """Render box plots as ASCII art, one row per application.
+
+    Shared scale across rows; ``|`` marks whiskers, ``[``/``]`` the
+    quartile box and ``:`` the median, mirroring Figure 7's geometry.
+    """
+    if not stats:
+        raise ValueError("no stats to plot")
+    lo = min(s.minimum for s in stats)
+    hi = max(s.maximum for s in stats)
+    span = max(hi - lo, 1e-9)
+
+    def col(value: float) -> int:
+        return int(round((value - lo) / span * (width - 1)))
+
+    lines = [f"scale: {lo:.1f}% .. {hi:.1f}%  (width {width})"]
+    for s in stats:
+        row = [" "] * width
+        for lo_w, hi_w, char in (
+            (col(s.minimum), col(s.q25), "-"),
+            (col(s.q75), col(s.maximum), "-"),
+        ):
+            for i in range(min(lo_w, hi_w), max(lo_w, hi_w) + 1):
+                row[i] = char
+        for i in range(col(s.q25), col(s.q75) + 1):
+            row[i] = "="
+        row[col(s.minimum)] = "|"
+        row[col(s.maximum)] = "|"
+        row[col(s.median)] = ":"
+        lines.append(f"{s.label:>5s} {''.join(row)}")
+    return "\n".join(lines)

@@ -1,0 +1,94 @@
+"""Figure 4 reproduction: stage-concurrency timelines.
+
+Converts a job's :class:`~repro.engine.instrument.TaskLog` into "number of
+tasks active at time t" series per stage — the panels of Figure 4 — and
+renders them as ASCII line charts for the bench output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.instrument import concurrency_series
+from repro.sim.hadoop import SimJobResult
+
+#: Stage kinds of the barrier panel (Figure 4(a)).
+BARRIER_STAGES: tuple[str, ...] = ("map", "shuffle", "sort", "reduce")
+#: Stage kinds of the barrier-less panel (Figure 4(b)).
+BARRIERLESS_STAGES: tuple[str, ...] = ("map", "shuffle+reduce", "output")
+
+
+@dataclass(frozen=True, slots=True)
+class TimelineSeries:
+    """One stage's activity curve."""
+
+    stage: str
+    times: tuple[float, ...]
+    counts: tuple[int, ...]
+
+    def peak(self) -> int:
+        """Maximum simultaneous tasks of this stage."""
+        return max(self.counts, default=0)
+
+
+def timeline(result: SimJobResult, step: float = 2.0) -> list[TimelineSeries]:
+    """Stage activity series for one simulated job (Figure 4 panel)."""
+    stages = (
+        BARRIER_STAGES
+        if result.mode.value == "barrier"
+        else BARRIERLESS_STAGES
+    )
+    horizon = result.completion_time
+    series = []
+    for stage in stages:
+        events = result.task_log.events(stage)
+        times, counts = concurrency_series(events, step=step, until=horizon)
+        series.append(TimelineSeries(stage, tuple(times), tuple(counts)))
+    return series
+
+
+def ascii_timeline(
+    series: list[TimelineSeries], height: int = 12, width: int = 72
+) -> str:
+    """Render stage curves as one overlaid ASCII chart.
+
+    Each stage gets a marker character; the y-axis is task count, x-axis
+    is job-relative seconds — the same axes as Figure 4.
+    """
+    if not series:
+        raise ValueError("no series")
+    markers = "M#SR+O*"
+    max_count = max((s.peak() for s in series), default=1) or 1
+    max_time = max((s.times[-1] for s in series if s.times), default=1.0) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for index, s in enumerate(series):
+        marker = markers[index % len(markers)]
+        for t, c in zip(s.times, s.counts):
+            if c <= 0:
+                continue
+            col = min(width - 1, int(t / max_time * (width - 1)))
+            row = height - 1 - min(height - 1, int(c / max_count * (height - 1)))
+            grid[row][col] = marker
+    lines = [f"{max_count:4d} |" + "".join(grid[0])]
+    for row in grid[1:]:
+        lines.append("     |" + "".join(row))
+    lines.append("     +" + "-" * width)
+    lines.append(f"     0{'':{width - 12}}{max_time:8.1f}s")
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={s.stage}" for i, s in enumerate(series)
+    )
+    lines.append("     " + legend)
+    return "\n".join(lines)
+
+
+def stage_summary(result: SimJobResult) -> dict[str, float]:
+    """Key Figure 4 annotations: stage boundaries and mapper slack."""
+    st = result.stage_times
+    return {
+        "first_map_done": st.first_map_done,
+        "last_map_done": st.last_map_done,
+        "shuffle_done": st.shuffle_done,
+        "sort_done": st.sort_done,
+        "job_done": st.job_done,
+        "mapper_slack": st.mapper_slack,
+    }

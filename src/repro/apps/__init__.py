@@ -1,0 +1,33 @@
+"""The seven application classes of §4, each in both execution modes.
+
+Modules: :mod:`grep` (Identity), :mod:`sortapp` (Sorting),
+:mod:`wordcount` (Aggregation), :mod:`knn` (Selection), :mod:`lastfm`
+(Post-reduction processing), :mod:`genetic` (Cross-key operations),
+:mod:`blackscholes` (Single reducer aggregation).  Each module exposes
+``make_job(mode, ...)`` plus its mapper/reducer classes; the registry in
+:mod:`repro.apps.registry` indexes them for the benches.
+"""
+
+from repro.apps import (
+    blackscholes,
+    genetic,
+    grep,
+    knn,
+    lastfm,
+    similarity,
+    sortapp,
+    translation,
+    wordcount,
+)
+
+__all__ = [
+    "blackscholes",
+    "genetic",
+    "grep",
+    "knn",
+    "lastfm",
+    "similarity",
+    "sortapp",
+    "translation",
+    "wordcount",
+]

@@ -1,0 +1,97 @@
+"""Black-Scholes Monte Carlo — Single reducer aggregation (§4.7, §6.1.6).
+
+Each mapper runs a batch of Monte-Carlo iterations of the Black-Scholes
+model ("complex floating point operations like exponentiation") and emits,
+per simulated value, the value together with its square; a single reducer
+maintains running sums of values, squares and a count, then computes the
+mean and standard deviation with the paper's algebraic identity
+
+    sigma = sqrt( (1/N) * sum(x_i^2) - xbar^2 )
+
+so only O(1) state is ever held.  As with the GA, the identical reducer
+code serves both modes (Table 2: 0% code increase).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.api import MapContext, Mapper
+from repro.core.job import JobSpec, MemoryConfig
+from repro.core.patterns import RunningAggregateReducer
+from repro.core.types import ExecutionMode, Key, ReduceClass, Value
+from repro.workloads.options import OptionParams, simulate_option_values
+
+
+class MonteCarloMapper(Mapper):
+    """Simulate one batch; emit ``(0, (value, value^2))`` per iteration.
+
+    The payoff simulation itself is vectorised with NumPy; emission remains
+    per-record because the single-record stream is precisely what the
+    barrier-less reducer consumes.
+    """
+
+    def map(self, key: Key, value: Value, context: MapContext) -> None:
+        params, iterations, seed = value
+        values = simulate_option_values(params, iterations, seed)
+        for simulated in values:
+            v = float(simulated)
+            context.emit(0, (v, v * v))
+
+
+class MeanStdReducer(RunningAggregateReducer):
+    """Running (count, sum, sum-of-squares) → mean and standard deviation.
+
+    State is three floats regardless of input size; the same class is used
+    with and without the barrier.
+    """
+
+    reduce_class = ReduceClass.SINGLE_REDUCER
+
+    def initial_state(self):
+        return (0, 0.0, 0.0)
+
+    def update(self, state, key: Key, value: Value):
+        count, total, total_sq = state
+        v, v_sq = value
+        return (count + 1, total + v, total_sq + v_sq)
+
+    def finish(self, state):
+        count, total, total_sq = state
+        if count == 0:
+            return
+        mean = total / count
+        variance = max(0.0, total_sq / count - mean * mean)
+        yield "mean", mean
+        yield "stddev", math.sqrt(variance)
+        yield "count", count
+
+
+def make_job(
+    mode: ExecutionMode,
+    memory: MemoryConfig | None = None,
+) -> JobSpec:
+    """Build the Black-Scholes job (always a single reducer)."""
+    return JobSpec(
+        name="black-scholes",
+        mapper_factory=MonteCarloMapper,
+        reducer_factory=MeanStdReducer,
+        num_reducers=1,
+        mode=mode,
+        reduce_class=ReduceClass.SINGLE_REDUCER,
+        memory=memory if memory is not None else MemoryConfig(),
+    )
+
+
+def reference_statistics(
+    params: OptionParams, batches: list[tuple[Key, Value]]
+) -> tuple[float, float, int]:
+    """Ground truth (mean, stddev, count) over all batches' simulations."""
+    import numpy as np
+
+    all_values = np.concatenate(
+        [simulate_option_values(p, n, s) for _, (p, n, s) in batches]
+    )
+    mean = float(all_values.mean())
+    variance = float((all_values**2).mean() - mean * mean)
+    return mean, math.sqrt(max(0.0, variance)), int(all_values.size)

@@ -1,0 +1,103 @@
+"""Genetic algorithm — the Cross-key operations exemplar (§4.6, §6.1.5).
+
+Each individual is a key; the mapper computes its fitness (OneMax) and
+emits ``(individual, fitness)``.  The reducer keeps a window of the last
+``window_size`` individuals and, when the window fills, performs selection
+and crossover over it and emits the next generation.  Because only the
+window is retained, partial-result memory is O(window_size) in *both*
+modes — the paper reports a zero-line conversion (Table 2): the identical
+reducer runs with and without the barrier.
+"""
+
+from __future__ import annotations
+
+from repro.core.api import MapContext, Mapper
+from repro.core.job import JobSpec, MemoryConfig
+from repro.core.patterns import CrossKeyWindowReducer
+from repro.core.types import ExecutionMode, Key, ReduceClass, Value
+from repro.workloads.population import crossover, onemax_fitness
+
+DEFAULT_WINDOW = 16
+DEFAULT_GENOME_BITS = 32
+
+
+class FitnessMapper(Mapper):
+    """Evaluate each individual's fitness; emit ``(genome, fitness)``."""
+
+    def __init__(self, genome_bits: int = DEFAULT_GENOME_BITS):
+        self.genome_bits = genome_bits
+
+    def map(self, key: Key, value: Value, context: MapContext) -> None:
+        genome = int(value)
+        context.emit(genome, onemax_fitness(genome))
+
+
+class SelectionCrossoverReducer(CrossKeyWindowReducer):
+    """Windowed selection + crossover, used unchanged in both modes.
+
+    When the window fills: individuals are ranked by fitness, the top half
+    survive as parents, and adjacent parent pairs produce two children each
+    via one-point crossover — emitting exactly ``len(window)`` individuals,
+    so population size is conserved across generations (a tested
+    invariant).  All choices are deterministic given the window contents.
+    """
+
+    reduce_class = ReduceClass.CROSS_KEY
+
+    def __init__(
+        self,
+        window_size: int = DEFAULT_WINDOW,
+        genome_bits: int = DEFAULT_GENOME_BITS,
+    ):
+        super().__init__(window_size)
+        self.genome_bits = genome_bits
+
+    def process_window(self, window):
+        ranked = sorted(window, key=lambda item: item[1], reverse=True)
+        half = max(1, len(ranked) // 2)
+        parents = [genome for genome, _fitness in ranked[:half]]
+        offspring: list[int] = []
+        point = max(1, self.genome_bits // 2)
+        for i in range(0, len(parents) - 1, 2):
+            child_a, child_b = crossover(
+                parents[i], parents[i + 1], point, self.genome_bits
+            )
+            offspring.append(child_a)
+            offspring.append(child_b)
+        # Conserve population size: survivors first, then offspring, then
+        # (if the window was odd-sized) clones of the best parent.
+        next_generation = parents + offspring
+        while len(next_generation) < len(window):
+            next_generation.append(parents[0])
+        for genome in next_generation[: len(window)]:
+            yield genome, onemax_fitness(genome)
+
+
+def next_generation_pairs(result) -> list[tuple[Key, Value]]:
+    """Pipeline adapter: the emitted individuals become the next round's
+    population (keys are fresh indices; values are the genomes)."""
+    return [(index, record.key) for index, record in enumerate(result.all_output())]
+
+
+def make_job(
+    mode: ExecutionMode,
+    window_size: int = DEFAULT_WINDOW,
+    genome_bits: int = DEFAULT_GENOME_BITS,
+    num_reducers: int = 4,
+    memory: MemoryConfig | None = None,
+) -> JobSpec:
+    """Build the GA generation job.
+
+    The only difference between modes is the framework flag — the paper's
+    "the only change required was that a flag for barrier-less execution be
+    turned on".
+    """
+    return JobSpec(
+        name=f"genetic[w={window_size}]",
+        mapper_factory=lambda: FitnessMapper(genome_bits),
+        reducer_factory=lambda: SelectionCrossoverReducer(window_size, genome_bits),
+        num_reducers=num_reducers,
+        mode=mode,
+        reduce_class=ReduceClass.CROSS_KEY,
+        memory=memory if memory is not None else MemoryConfig(),
+    )

@@ -1,0 +1,73 @@
+"""Distributed Grep — the Identity class exemplar (§4.1).
+
+The Map function emits a line when it matches a pattern; the Reduce
+function "is merely used to write the final output".  Identity operations
+need neither key sorting nor partial results, so the *same* reducer code
+runs with and without the barrier — the zero-effort row of Table 1.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.api import MapContext, Mapper, Reducer
+from repro.core.job import JobSpec
+from repro.core.patterns import IdentityBarrierlessReducer
+from repro.core.types import ExecutionMode, Key, ReduceClass, Value
+
+
+class GrepMapper(Mapper):
+    """Emit ``(doc_id:line_no, line)`` for every line matching ``pattern``."""
+
+    def __init__(self, pattern: str = "w0000"):
+        self.pattern = re.compile(pattern)
+
+    def map(self, key: Key, value: Value, context: MapContext) -> None:
+        for line_no, line in enumerate(str(value).splitlines() or [str(value)]):
+            if self.pattern.search(line):
+                context.emit(f"{key}:{line_no}", line)
+
+
+class GrepReducer(Reducer):
+    """Identity reduce: write each matching line straight through.
+
+    Used unchanged in both modes — grep's run() never touches partial
+    results, so barrier-less conversion is a no-op.
+    """
+
+    def reduce(self, key, values, context) -> None:
+        for value in values:
+            context.write(key, value)
+
+
+def make_job(
+    mode: ExecutionMode,
+    pattern: str = "w0000",
+    num_reducers: int = 4,
+) -> JobSpec:
+    """Build the Distributed Grep job for either execution mode."""
+    if mode is ExecutionMode.BARRIER:
+        reducer_factory = GrepReducer
+    else:
+        reducer_factory = IdentityBarrierlessReducer
+    return JobSpec(
+        name=f"grep[{pattern}]",
+        mapper_factory=lambda: GrepMapper(pattern),
+        reducer_factory=reducer_factory,
+        num_reducers=num_reducers,
+        mode=mode,
+        reduce_class=ReduceClass.IDENTITY,
+    )
+
+
+def reference_output(
+    pairs: list[tuple[Key, Value]], pattern: str = "w0000"
+) -> dict[str, str]:
+    """Ground truth: every matching line keyed by ``doc:line``."""
+    compiled = re.compile(pattern)
+    expected: dict[str, str] = {}
+    for key, value in pairs:
+        for line_no, line in enumerate(str(value).splitlines() or [str(value)]):
+            if compiled.search(line):
+                expected[f"{key}:{line_no}"] = line
+    return expected

@@ -1,0 +1,82 @@
+"""Last.fm unique listens — Post-reduction processing exemplar (§4.5, §6.1.4).
+
+Counting distinct listeners per track is a two-step reduce: values for a
+key accumulate into a duplicate-free structure (a set of user ids), then a
+post-processing step collapses the structure to its size.  Without the
+barrier the per-key sets must be kept as partial results until all input
+has been seen — the O(records) worst case of Table 1.
+"""
+
+from __future__ import annotations
+
+from repro.core.api import MapContext, Mapper, Reducer
+from repro.core.job import JobSpec, MemoryConfig
+from repro.core.patterns import PostReductionReducer
+from repro.core.types import ExecutionMode, Key, ReduceClass, Value
+
+
+class ListenMapper(Mapper):
+    """Emit ``(track_id, user_id)`` for each listen log entry."""
+
+    def map(self, key: Key, value: Value, context: MapContext) -> None:
+        track_id, user_id = value
+        context.emit(track_id, user_id)
+
+
+class UniqueListensReducer(Reducer):
+    """Barrier reduce: all of a track's listens at once — set then count."""
+
+    def reduce(self, key, values, context) -> None:
+        unique_users = set()
+        for user_id in values:
+            unique_users.add(user_id)
+        context.write(key, len(unique_users))
+
+
+class BarrierlessUniqueListensReducer(PostReductionReducer):
+    """Barrier-less reduce: per-track user sets as partial results.
+
+    ``accumulate`` adds each arriving user id into the track's set;
+    ``post_process`` counts the completed set — the paper's two steps, with
+    the temporary structure now living in the partial-result store.
+    """
+
+    reduce_class = ReduceClass.POST_REDUCTION
+
+    def make_structure(self, key: Key) -> frozenset:
+        return frozenset()
+
+    def accumulate(self, structure: frozenset, value: Value) -> frozenset:
+        # Immutable sets keep the store's read-modify-update contract
+        # honest (stores may serialise partials to disk between folds).
+        return structure | {value}
+
+    def post_process(self, key: Key, structure: frozenset) -> int:
+        return len(structure)
+
+
+def merge_user_sets(a: frozenset, b: frozenset) -> frozenset:
+    """Spill-merge function: union of the per-track user sets."""
+    return a | b
+
+
+def make_job(
+    mode: ExecutionMode,
+    num_reducers: int = 4,
+    memory: MemoryConfig | None = None,
+) -> JobSpec:
+    """Build the unique-listens job for either execution mode."""
+    return JobSpec(
+        name="lastfm-unique-listens",
+        mapper_factory=ListenMapper,
+        reducer_factory=(
+            UniqueListensReducer
+            if mode is ExecutionMode.BARRIER
+            else BarrierlessUniqueListensReducer
+        ),
+        num_reducers=num_reducers,
+        mode=mode,
+        reduce_class=ReduceClass.POST_REDUCTION,
+        memory=memory if memory is not None else MemoryConfig(),
+        merge_fn=merge_user_sets,
+    )

@@ -1,0 +1,106 @@
+"""Application registry: one descriptor per paper application.
+
+The registry is consumed by the Table 1 / Table 2 benches, the simulator's
+workload profiles and the sweep harness, so every app is described in one
+place.  ``original`` and ``barrierless`` list the classes whose source
+constitutes the programmer-written code in each mode — the quantity
+Table 2 measures in lines of code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.apps import blackscholes, genetic, grep, knn, lastfm, sortapp, wordcount
+from repro.core.types import ReduceClass
+
+
+@dataclass(frozen=True)
+class AppDescriptor:
+    """Static description of one application."""
+
+    name: str
+    short_name: str
+    reduce_class: ReduceClass
+    module: object
+    original: tuple[type, ...]
+    barrierless: tuple[type, ...]
+    #: True when the same reducer code serves both modes (flag-only change).
+    flag_only_conversion: bool = False
+
+
+REGISTRY: tuple[AppDescriptor, ...] = (
+    AppDescriptor(
+        name="Distributed Grep",
+        short_name="grep",
+        reduce_class=ReduceClass.IDENTITY,
+        module=grep,
+        original=(grep.GrepMapper, grep.GrepReducer),
+        barrierless=(grep.GrepMapper, grep.GrepReducer),
+        flag_only_conversion=True,
+    ),
+    AppDescriptor(
+        name="Sort",
+        short_name="sort",
+        reduce_class=ReduceClass.SORTING,
+        module=sortapp,
+        original=(sortapp.IdentityMapper, sortapp.IdentitySortReducer),
+        barrierless=(sortapp.IdentityMapper, sortapp.BarrierlessSortReducer),
+    ),
+    AppDescriptor(
+        name="WordCount",
+        short_name="wc",
+        reduce_class=ReduceClass.AGGREGATION,
+        module=wordcount,
+        original=(wordcount.TokenizerMapper, wordcount.IntSumReducer),
+        barrierless=(wordcount.TokenizerMapper, wordcount.BarrierlessIntSumReducer),
+    ),
+    AppDescriptor(
+        name="k-Nearest Neighbors",
+        short_name="knn",
+        reduce_class=ReduceClass.SELECTION,
+        module=knn,
+        original=(knn.KnnMapper, knn.KnnBarrierReducer),
+        barrierless=(knn.KnnMapper, knn.KnnBarrierlessReducer),
+    ),
+    AppDescriptor(
+        name="Last.fm Post Processing",
+        short_name="pp",
+        reduce_class=ReduceClass.POST_REDUCTION,
+        module=lastfm,
+        original=(lastfm.ListenMapper, lastfm.UniqueListensReducer),
+        barrierless=(lastfm.ListenMapper, lastfm.BarrierlessUniqueListensReducer),
+    ),
+    AppDescriptor(
+        name="Genetic Algorithm",
+        short_name="ga",
+        reduce_class=ReduceClass.CROSS_KEY,
+        module=genetic,
+        original=(genetic.FitnessMapper, genetic.SelectionCrossoverReducer),
+        barrierless=(genetic.FitnessMapper, genetic.SelectionCrossoverReducer),
+        flag_only_conversion=True,
+    ),
+    AppDescriptor(
+        name="Black-Scholes",
+        short_name="bs",
+        reduce_class=ReduceClass.SINGLE_REDUCER,
+        module=blackscholes,
+        original=(blackscholes.MonteCarloMapper, blackscholes.MeanStdReducer),
+        barrierless=(blackscholes.MonteCarloMapper, blackscholes.MeanStdReducer),
+        flag_only_conversion=True,
+    ),
+)
+
+
+def by_short_name(short_name: str) -> AppDescriptor:
+    """Look up a descriptor by its Figure 7 abbreviation (wc, knn, …)."""
+    for descriptor in REGISTRY:
+        if descriptor.short_name == short_name:
+            return descriptor
+    raise KeyError(short_name)
+
+
+def evaluated_apps() -> Sequence[AppDescriptor]:
+    """The six apps the paper evaluates (Identity/grep is omitted in §6)."""
+    return tuple(d for d in REGISTRY if d.reduce_class is not ReduceClass.IDENTITY)

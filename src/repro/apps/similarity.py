@@ -1,0 +1,162 @@
+"""Pairwise document similarity — an eighth application (paper ref [12]).
+
+The paper's §4 case study draws on "similarity scoring [12]" (Elsayed,
+Lin, Oard: *Pairwise document similarity in large collections with
+MapReduce*).  We implement that two-job algorithm on this framework as a
+demonstration that the barrier-less model generalises beyond the seven
+Table 1 exemplars:
+
+1. **Indexing job** (Aggregation class): map emits ``(term, (doc, tf))``
+   per posting; reduce assembles each term's posting list.
+2. **Similarity job** (Aggregation class): map takes a term's posting
+   list and emits partial products ``((doc_a, doc_b), tf_a * tf_b)`` for
+   every document pair sharing the term; reduce sums the partials into
+   the dot-product similarity of each pair.
+
+Both reduces are commutative aggregations, so the barrier-less versions
+use the standard scaffold with O(keys) partial results, and the spill-
+and-merge function is addition/concatenation respectively.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as TallyCounter
+
+from repro.core.api import MapContext, Mapper, Reducer
+from repro.core.job import JobSpec, MemoryConfig
+from repro.core.patterns import AggregationReducer
+from repro.core.types import ExecutionMode, Key, ReduceClass, Value
+
+
+class PostingsMapper(Mapper):
+    """Emit ``(term, (doc_id, term_frequency))`` per distinct doc term."""
+
+    def map(self, key: Key, value: Value, context: MapContext) -> None:
+        frequencies = TallyCounter(str(value).split())
+        for term, tf in frequencies.items():
+            context.emit(term, (key, tf))
+
+
+class PostingsReducer(Reducer):
+    """Barrier reduce: collect each term's full posting list."""
+
+    def reduce(self, key, values, context) -> None:
+        postings = sorted(values)
+        context.write(key, tuple(postings))
+
+
+def merge_postings(a: tuple, b: tuple) -> tuple:
+    """Spill-merge for the indexing job: combine two partial posting lists."""
+    return tuple(sorted(tuple(a) + tuple(b)))
+
+
+def fold_posting(partial: tuple, posting: tuple) -> tuple:
+    """Barrier-less fold: insert one ``(doc, tf)`` posting into the list."""
+    return tuple(sorted(partial + (posting,)))
+
+
+def make_index_job(
+    mode: ExecutionMode,
+    num_reducers: int = 4,
+    memory: MemoryConfig | None = None,
+) -> JobSpec:
+    """Job 1: documents → per-term posting lists."""
+    return JobSpec(
+        name="similarity-index",
+        mapper_factory=PostingsMapper,
+        reducer_factory=(
+            PostingsReducer
+            if mode is ExecutionMode.BARRIER
+            else (lambda: AggregationReducer(fold_posting, ()))
+        ),
+        num_reducers=num_reducers,
+        mode=mode,
+        reduce_class=ReduceClass.AGGREGATION,
+        memory=memory if memory is not None else MemoryConfig(),
+        merge_fn=merge_postings,
+    )
+
+
+class PairGeneratorMapper(Mapper):
+    """Emit ``((doc_a, doc_b), tf_a * tf_b)`` for co-occurring doc pairs.
+
+    Input records are the indexing job's output: ``(term, postings)``.
+    Pairs are ordered (``doc_a < doc_b``) so each unordered pair maps to
+    one key.
+    """
+
+    def map(self, key: Key, value: Value, context: MapContext) -> None:
+        postings = list(value)
+        for i in range(len(postings)):
+            doc_a, tf_a = postings[i]
+            for j in range(i + 1, len(postings)):
+                doc_b, tf_b = postings[j]
+                pair = (doc_a, doc_b) if doc_a < doc_b else (doc_b, doc_a)
+                context.emit(pair, tf_a * tf_b)
+
+
+class SimilaritySumReducer(Reducer):
+    """Barrier reduce: sum partial products into the pair's similarity."""
+
+    def reduce(self, key, values, context) -> None:
+        context.write(key, sum(values))
+
+
+def make_similarity_job(
+    mode: ExecutionMode,
+    num_reducers: int = 4,
+    memory: MemoryConfig | None = None,
+) -> JobSpec:
+    """Job 2: posting lists → pairwise dot-product similarities."""
+    return JobSpec(
+        name="similarity-pairs",
+        mapper_factory=PairGeneratorMapper,
+        reducer_factory=(
+            SimilaritySumReducer
+            if mode is ExecutionMode.BARRIER
+            else (lambda: AggregationReducer(lambda a, b: a + b, 0))
+        ),
+        num_reducers=num_reducers,
+        mode=mode,
+        reduce_class=ReduceClass.AGGREGATION,
+        memory=memory if memory is not None else MemoryConfig(),
+        merge_fn=lambda a, b: a + b,
+    )
+
+
+def pairwise_similarity(
+    documents: list[tuple[Key, Value]],
+    engine,
+    mode: ExecutionMode,
+    num_reducers: int = 4,
+    num_maps: int = 4,
+) -> dict[tuple, int]:
+    """Run the full two-job pipeline and return pair → similarity."""
+    index_result = engine.run(
+        make_index_job(mode, num_reducers), documents, num_maps=num_maps
+    )
+    postings_pairs = [
+        (record.key, record.value) for record in index_result.all_output()
+    ]
+    similarity_result = engine.run(
+        make_similarity_job(mode, num_reducers), postings_pairs, num_maps=num_maps
+    )
+    return similarity_result.output_as_dict()
+
+
+def reference_similarity(documents: list[tuple[Key, Value]]) -> dict[tuple, int]:
+    """Ground truth: dot products of term-frequency vectors per doc pair."""
+    vectors = {
+        doc_id: TallyCounter(str(text).split()) for doc_id, text in documents
+    }
+    doc_ids = sorted(vectors)
+    similarities: dict[tuple, int] = {}
+    for i in range(len(doc_ids)):
+        for j in range(i + 1, len(doc_ids)):
+            a, b = doc_ids[i], doc_ids[j]
+            dot = sum(
+                tf * vectors[b][term] for term, tf in vectors[a].items()
+            )
+            if dot > 0:
+                similarities[(a, b)] = dot
+    return similarities

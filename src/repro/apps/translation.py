@@ -1,0 +1,195 @@
+"""Statistical machine translation model construction (paper refs [6, 11]).
+
+The paper's application survey includes "statistical machine translation
+[6, 11]" (Brants et al.; Dyer et al., *Fast, easy, and cheap:
+construction of statistical machine translation models with MapReduce*).
+This module implements the core of that pipeline on our framework: from
+a word-aligned bilingual corpus, estimate the lexical translation table
+P(target | source) in two MapReduce jobs.
+
+1. **Pair-count job** (Aggregation): map emits ``((src, tgt), 1)`` per
+   aligned word pair; reduce sums — identical in shape to WordCount over
+   composite keys.
+2. **Normalisation job** (Post-reduction processing): map re-keys each
+   pair count by its source word; reduce accumulates the per-source
+   target histogram, and the post-processing step divides by the source
+   marginal, emitting ``(src, ((tgt, P(tgt|src)), ...))``.
+
+Both jobs are barrier-less-convertible with the standard scaffolds —
+exactly the claim of §4 that real multi-stage applications decompose
+into the seven classes.
+"""
+
+from __future__ import annotations
+
+from repro.core.api import MapContext, Mapper, Reducer
+from repro.core.job import JobSpec, MemoryConfig
+from repro.core.patterns import AggregationReducer, PostReductionReducer
+from repro.core.pipeline import PipelineStage, run_pipeline
+from repro.core.types import ExecutionMode, Key, ReduceClass, Value
+
+
+class AlignedPairMapper(Mapper):
+    """Emit ``((src, tgt), 1)`` for each aligned word pair of a sentence.
+
+    Input values are ``(source_tokens, target_tokens, alignment)`` where
+    ``alignment`` is a sequence of ``(i, j)`` index pairs.
+    """
+
+    def map(self, key: Key, value: Value, context: MapContext) -> None:
+        source_tokens, target_tokens, alignment = value
+        for i, j in alignment:
+            context.emit((source_tokens[i], target_tokens[j]), 1)
+
+
+class PairCountReducer(Reducer):
+    """Barrier reduce: sum a pair's occurrence counts."""
+
+    def reduce(self, key, values, context) -> None:
+        context.write(key, sum(values))
+
+
+def make_pair_count_job(
+    mode: ExecutionMode,
+    num_reducers: int = 4,
+    memory: MemoryConfig | None = None,
+) -> JobSpec:
+    """Job 1: aligned sentences → pair counts."""
+    return JobSpec(
+        name="smt-pair-counts",
+        mapper_factory=AlignedPairMapper,
+        reducer_factory=(
+            PairCountReducer
+            if mode is ExecutionMode.BARRIER
+            else (lambda: AggregationReducer(lambda a, b: a + b, 0))
+        ),
+        num_reducers=num_reducers,
+        mode=mode,
+        reduce_class=ReduceClass.AGGREGATION,
+        memory=memory if memory is not None else MemoryConfig(),
+        merge_fn=lambda a, b: a + b,
+    )
+
+
+class SourceKeyMapper(Mapper):
+    """Re-key pair counts by source word: ``(src, (tgt, count))``."""
+
+    def map(self, key: Key, value: Value, context: MapContext) -> None:
+        src, tgt = key
+        context.emit(src, (tgt, value))
+
+
+class TranslationTableReducer(Reducer):
+    """Barrier reduce: full histogram at once → normalised distribution."""
+
+    def reduce(self, key, values, context) -> None:
+        histogram: dict = {}
+        for tgt, count in values:
+            histogram[tgt] = histogram.get(tgt, 0) + count
+        total = sum(histogram.values())
+        table = tuple(
+            sorted(
+                ((tgt, count / total) for tgt, count in histogram.items()),
+                key=lambda item: (-item[1], item[0]),
+            )
+        )
+        context.write(key, table)
+
+
+class BarrierlessTranslationTableReducer(PostReductionReducer):
+    """Barrier-less: per-source histograms as partial results.
+
+    ``accumulate`` folds each ``(tgt, count)`` into the source's
+    histogram (an immutable tuple-dict, honouring the store's
+    read-modify-update contract); ``post_process`` normalises into the
+    probability table once all input has been seen.
+    """
+
+    reduce_class = ReduceClass.POST_REDUCTION
+
+    def make_structure(self, key: Key):
+        return ()
+
+    def accumulate(self, structure, value: Value):
+        tgt, count = value
+        histogram = dict(structure)
+        histogram[tgt] = histogram.get(tgt, 0) + count
+        return tuple(sorted(histogram.items()))
+
+    def post_process(self, key: Key, structure):
+        histogram = dict(structure)
+        total = sum(histogram.values())
+        return tuple(
+            sorted(
+                ((tgt, count / total) for tgt, count in histogram.items()),
+                key=lambda item: (-item[1], item[0]),
+            )
+        )
+
+
+def merge_histograms(a: tuple, b: tuple) -> tuple:
+    """Spill-merge: add two per-source target histograms."""
+    histogram = dict(a)
+    for tgt, count in b:
+        histogram[tgt] = histogram.get(tgt, 0) + count
+    return tuple(sorted(histogram.items()))
+
+
+def make_normalise_job(
+    mode: ExecutionMode,
+    num_reducers: int = 4,
+    memory: MemoryConfig | None = None,
+) -> JobSpec:
+    """Job 2: pair counts → P(target | source) tables."""
+    return JobSpec(
+        name="smt-normalise",
+        mapper_factory=SourceKeyMapper,
+        reducer_factory=(
+            TranslationTableReducer
+            if mode is ExecutionMode.BARRIER
+            else BarrierlessTranslationTableReducer
+        ),
+        num_reducers=num_reducers,
+        mode=mode,
+        reduce_class=ReduceClass.POST_REDUCTION,
+        memory=memory if memory is not None else MemoryConfig(),
+        merge_fn=merge_histograms,
+    )
+
+
+def build_translation_table(
+    corpus: list[tuple[Key, Value]],
+    engine,
+    mode: ExecutionMode,
+    num_reducers: int = 4,
+    num_maps: int = 4,
+) -> dict[str, tuple]:
+    """Run the two-job pipeline; returns source → ((tgt, prob), ...)."""
+    result = run_pipeline(
+        engine,
+        [
+            PipelineStage(make_pair_count_job(mode, num_reducers), num_maps),
+            PipelineStage(make_normalise_job(mode, num_reducers), num_maps),
+        ],
+        corpus,
+    )
+    return result.final.output_as_dict()
+
+
+def reference_table(corpus: list[tuple[Key, Value]]) -> dict[str, tuple]:
+    """Ground truth translation table computed directly."""
+    counts: dict[str, dict[str, int]] = {}
+    for _, (source_tokens, target_tokens, alignment) in corpus:
+        for i, j in alignment:
+            src, tgt = source_tokens[i], target_tokens[j]
+            counts.setdefault(src, {})[tgt] = counts.setdefault(src, {}).get(tgt, 0) + 1
+    table: dict[str, tuple] = {}
+    for src, histogram in counts.items():
+        total = sum(histogram.values())
+        table[src] = tuple(
+            sorted(
+                ((tgt, count / total) for tgt, count in histogram.items()),
+                key=lambda item: (-item[1], item[0]),
+            )
+        )
+    return table

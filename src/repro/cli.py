@@ -1,0 +1,355 @@
+"""Command-line interface: run apps, regenerate figures, inspect tables.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro.cli classify                    # Table 1
+    python -m repro.cli effort                      # Table 2
+    python -m repro.cli run wc --mode barrierless --records 5000
+    python -m repro.cli compare wc --size-gb 8      # simulated A/B
+    python -m repro.cli figure fig6 fig7            # regenerate figures
+
+Every command prints to stdout and exits non-zero on failure, so the CLI
+can drive scripts and CI checks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.types import ExecutionMode
+
+
+def _mode(value: str) -> ExecutionMode:
+    try:
+        return ExecutionMode(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"mode must be 'barrier' or 'barrierless', got {value!r}"
+        )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Barrier-less MapReduce (CLUSTER 2010 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("classify", help="print Table 1 (Reduce classification)")
+    sub.add_parser("effort", help="print Table 2 (programmer effort, LoC)")
+
+    run = sub.add_parser("run", help="execute one application locally")
+    run.add_argument("app", choices=["grep", "sort", "wc", "knn", "pp", "ga", "bs"])
+    run.add_argument("--mode", type=_mode, default=ExecutionMode.BARRIERLESS)
+    run.add_argument("--records", type=int, default=2000,
+                     help="synthetic input size (records/documents/listens)")
+    run.add_argument("--reducers", type=int, default=4)
+    run.add_argument("--maps", type=int, default=4)
+    run.add_argument("--engine", choices=["local", "threaded"], default="local")
+    run.add_argument("--store", choices=["inmemory", "spillmerge", "kvstore"],
+                     default="inmemory")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--top", type=int, default=10,
+                     help="print at most this many output records")
+
+    compare = sub.add_parser(
+        "compare", help="simulate barrier vs barrier-less for one app"
+    )
+    compare.add_argument("app", choices=["sort", "wc", "knn", "pp", "ga", "bs"])
+    compare.add_argument("--size-gb", type=float, default=8.0)
+    compare.add_argument("--mappers", type=int, default=100,
+                         help="mapper count for ga/bs profiles")
+    compare.add_argument("--reducers", type=int, default=40)
+
+    figure = sub.add_parser("figure", help="regenerate paper figures")
+    figure.add_argument(
+        "names",
+        nargs="+",
+        choices=["fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10"],
+    )
+    figure.add_argument(
+        "--csv",
+        metavar="DIR",
+        help="also export every experiment's raw series as CSV into DIR",
+    )
+
+    export = sub.add_parser(
+        "export", help="write all experiment series as CSV files"
+    )
+    export.add_argument("directory")
+
+    pipeline = sub.add_parser(
+        "pipeline", help="run a multi-job application pipeline"
+    )
+    pipeline.add_argument("app", choices=["similarity", "smt"])
+    pipeline.add_argument("--mode", type=_mode, default=ExecutionMode.BARRIERLESS)
+    pipeline.add_argument("--size", type=int, default=200,
+                          help="documents (similarity) or sentences (smt)")
+    pipeline.add_argument("--seed", type=int, default=0)
+    pipeline.add_argument("--top", type=int, default=10)
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# command implementations
+# ---------------------------------------------------------------------------
+
+
+def _cmd_classify() -> int:
+    from repro.core.classify import format_table_1
+
+    print(format_table_1())
+    return 0
+
+
+def _cmd_effort() -> int:
+    from repro.analysis.loc import format_table_2
+
+    print(format_table_2())
+    return 0
+
+
+def _make_app_job_and_input(args):
+    """Build (job, input pairs) for the `run` command."""
+    from repro.apps import blackscholes, genetic, grep, knn, lastfm, sortapp, wordcount
+    from repro.core.job import MemoryConfig
+    from repro.workloads import (
+        generate_documents,
+        generate_knn_dataset,
+        generate_listens,
+        generate_mc_batches,
+        generate_population,
+        generate_sort_records,
+    )
+
+    memory = MemoryConfig(store=args.store)
+    if args.store == "spillmerge":
+        memory.spill_threshold_bytes = 256 << 10
+    if args.store == "kvstore":
+        memory.kv_cache_bytes = 256 << 10
+
+    if args.app == "grep":
+        pairs = generate_documents(
+            max(1, args.records // 50), 50, 500, seed=args.seed
+        )
+        return grep.make_job(args.mode, "w00001", num_reducers=args.reducers), pairs
+    if args.app == "sort":
+        pairs = generate_sort_records(args.records, seed=args.seed)
+        return sortapp.make_job(args.mode, args.reducers, memory), pairs
+    if args.app == "wc":
+        pairs = generate_documents(
+            max(1, args.records // 50), 50, 500, seed=args.seed
+        )
+        return wordcount.make_job(args.mode, args.reducers, memory), pairs
+    if args.app == "knn":
+        experimental, training = generate_knn_dataset(
+            10, args.records, seed=args.seed
+        )
+        job = knn.make_job(args.mode, experimental, 10, args.reducers, memory)
+        return job, knn.training_pairs(training)
+    if args.app == "pp":
+        pairs = generate_listens(args.records, seed=args.seed)
+        return lastfm.make_job(args.mode, args.reducers, memory), pairs
+    if args.app == "ga":
+        pairs = generate_population(args.records, seed=args.seed)
+        return genetic.make_job(args.mode, num_reducers=args.reducers), pairs
+    if args.app == "bs":
+        pairs = generate_mc_batches(
+            args.maps, max(1, args.records // args.maps), seed=args.seed
+        )
+        return blackscholes.make_job(args.mode), pairs
+    raise AssertionError(args.app)
+
+
+def _cmd_run(args) -> int:
+    from repro.engine import LocalEngine, ThreadedEngine
+
+    job, pairs = _make_app_job_and_input(args)
+    engine = LocalEngine() if args.engine == "local" else ThreadedEngine()
+    result = engine.run(job, pairs, num_maps=args.maps)
+    print(
+        f"{job.name}: mode={args.mode.value} engine={args.engine} "
+        f"store={args.store} input={len(pairs)} pairs"
+    )
+    counters = result.counters
+    print(
+        f"  map tasks={counters.get('map.tasks')}  "
+        f"reduce tasks={counters.get('reduce.tasks')}  "
+        f"intermediate records={counters.get('map.output_records')}  "
+        f"output records={counters.get('reduce.output_records')}"
+    )
+    for record in result.all_output()[: args.top]:
+        print(f"  {record.key!r}\t{record.value!r}")
+    remaining = len(result.all_output()) - args.top
+    if remaining > 0:
+        print(f"  ... and {remaining} more")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.analysis.report import render_sweep
+    from repro.analysis.sweeps import SweepPoint
+    from repro.sim import (
+        HadoopSimulator,
+        blackscholes_profile,
+        genetic_profile,
+        knn_profile,
+        lastfm_profile,
+        sort_profile,
+        wordcount_profile,
+    )
+
+    builders = {
+        "sort": lambda: sort_profile(args.size_gb),
+        "wc": lambda: wordcount_profile(args.size_gb),
+        "knn": lambda: knn_profile(args.size_gb),
+        "pp": lambda: lastfm_profile(args.size_gb),
+        "ga": lambda: genetic_profile(args.mappers),
+        "bs": lambda: blackscholes_profile(args.mappers),
+    }
+    profile = builders[args.app]()
+    reducers = 1 if args.app == "bs" else args.reducers
+    sim = HadoopSimulator()
+    barrier = sim.run(profile, reducers, ExecutionMode.BARRIER)
+    barrierless = sim.run(profile, reducers, ExecutionMode.BARRIERLESS)
+    point = SweepPoint(
+        args.mappers if args.app in ("ga", "bs") else args.size_gb,
+        barrier.completion_time,
+        barrierless.completion_time,
+    )
+    x_label = "Mappers" if args.app in ("ga", "bs") else "Input (GB)"
+    print(render_sweep(f"{profile.name} ({reducers} reducers)", x_label, [point]))
+    return 0
+
+
+def _cmd_pipeline(args) -> int:
+    from repro.engine import LocalEngine
+
+    engine = LocalEngine()
+    if args.app == "similarity":
+        from repro.apps.similarity import pairwise_similarity
+        from repro.workloads import generate_documents
+
+        docs = generate_documents(
+            max(2, args.size // 5), 40, 100, seed=args.seed
+        )
+        table = pairwise_similarity(docs, engine, args.mode)
+        print(f"{len(docs)} documents, {len(table)} similar pairs")
+        for pair, score in sorted(table.items(), key=lambda kv: -kv[1])[: args.top]:
+            print(f"  {pair[0]} ~ {pair[1]}\t{score}")
+        return 0
+    if args.app == "smt":
+        from repro.apps.translation import build_translation_table
+        from repro.workloads import generate_bitext
+
+        corpus = generate_bitext(args.size, seed=args.seed)
+        table = build_translation_table(corpus, engine, args.mode)
+        print(f"{len(corpus)} sentences, {len(table)} source words")
+        for src_word in sorted(table)[: args.top]:
+            target, probability = table[src_word][0]
+            print(f"  {src_word} -> {target}\t{probability:.3f}")
+        return 0
+    raise AssertionError(args.app)
+
+
+def _cmd_figure(names: list[str]) -> int:
+    from repro.analysis import (
+        ascii_boxplot,
+        ascii_heap_plot,
+        ascii_timeline,
+        figure6_series,
+        figure7_samples,
+        figure8_series,
+        figure9_series,
+        figure10_series,
+        five_number_summary,
+        heap_trace,
+        render_memory_sweep,
+        render_sweep,
+        timeline,
+    )
+    from repro.sim import (
+        HadoopSimulator,
+        MemoryTechnique,
+        paper_testbed,
+        wordcount_profile,
+    )
+
+    for name in names:
+        print(f"===== {name} =====")
+        if name == "fig4":
+            sim = HadoopSimulator(paper_testbed())
+            for mode in ExecutionMode:
+                result = sim.run(wordcount_profile(3.0), 40, mode)
+                print(f"-- {mode.value} --")
+                print(ascii_timeline(timeline(result)))
+        elif name == "fig5":
+            sim = HadoopSimulator(paper_testbed())
+            for technique, label in (
+                (MemoryTechnique("inmemory"), "(a) in-memory"),
+                (
+                    MemoryTechnique("spillmerge", spill_threshold_mb=240.0),
+                    "(b) spill and merge",
+                ),
+            ):
+                result = sim.run(
+                    wordcount_profile(16.0), 10, ExecutionMode.BARRIERLESS, technique
+                )
+                print(label)
+                print(ascii_heap_plot(heap_trace(result, 0)))
+        elif name == "fig6":
+            for app, series in figure6_series().items():
+                x = "Mappers" if app in ("ga", "bs") else "Input (GB)"
+                print(render_sweep(f"Figure 6 ({app})", x, series))
+        elif name == "fig7":
+            samples = figure7_samples()
+            stats = [five_number_summary(app, s) for app, s in samples.items()]
+            print(ascii_boxplot(stats))
+        elif name == "fig8":
+            print(render_sweep("Figure 8 (GA)", "Reducers", figure8_series()))
+        elif name == "fig9":
+            print(
+                render_memory_sweep("Figure 9", "Reducers", figure9_series())
+            )
+        elif name == "fig10":
+            print(
+                render_memory_sweep("Figure 10", "Input (GB)", figure10_series())
+            )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "classify":
+        return _cmd_classify()
+    if args.command == "effort":
+        return _cmd_effort()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "figure":
+        status = _cmd_figure(args.names)
+        if status == 0 and getattr(args, "csv", None):
+            from repro.analysis.export import export_all
+
+            for path in export_all(args.csv):
+                print(f"wrote {path}")
+        return status
+    if args.command == "export":
+        from repro.analysis.export import export_all
+
+        for path in export_all(args.directory):
+            print(f"wrote {path}")
+        return 0
+    if args.command == "pipeline":
+        return _cmd_pipeline(args)
+    raise AssertionError(args.command)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,90 @@
+"""Registry reproducing Table 1: the seven-way Reduce classification.
+
+Each entry records the representative application, whether key sort is
+required, and the asymptotic size of the partial results a barrier-less
+reducer must maintain — exactly the three columns of the paper's Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.types import (
+    KEY_SORT_REQUIRED,
+    PARTIAL_RESULT_COMPLEXITY,
+    ReduceClass,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class ClassificationEntry:
+    """One row of Table 1."""
+
+    application: str
+    reduce_class: ReduceClass
+    key_sort_required: bool
+    partial_result_size: str
+
+    def as_row(self) -> tuple[str, str, str, str]:
+        """Render as (application, class, sort required, partial size)."""
+        return (
+            self.application,
+            self.reduce_class.value,
+            "Yes" if self.key_sort_required else "No",
+            self.partial_result_size,
+        )
+
+
+#: Table 1 of the paper, row for row.
+TABLE_1: tuple[ClassificationEntry, ...] = tuple(
+    ClassificationEntry(
+        application=app,
+        reduce_class=rc,
+        key_sort_required=KEY_SORT_REQUIRED[rc],
+        partial_result_size=PARTIAL_RESULT_COMPLEXITY[rc],
+    )
+    for app, rc in (
+        ("Distributed Grep", ReduceClass.IDENTITY),
+        ("Sort", ReduceClass.SORTING),
+        ("Word Count", ReduceClass.AGGREGATION),
+        ("k-Nearest Neighbors", ReduceClass.SELECTION),
+        ("Last.fm unique listens", ReduceClass.POST_REDUCTION),
+        ("Genetic Algorithms", ReduceClass.CROSS_KEY),
+        ("Black Scholes", ReduceClass.SINGLE_REDUCER),
+    )
+)
+
+
+def classify(reduce_class: ReduceClass) -> ClassificationEntry:
+    """Look up the Table 1 row for a Reduce class."""
+    for entry in TABLE_1:
+        if entry.reduce_class is reduce_class:
+            return entry
+    raise KeyError(reduce_class)
+
+
+def requires_key_sort(reduce_class: ReduceClass) -> bool:
+    """Whether this class needs the framework's key sort (Table 1 col 2)."""
+    return KEY_SORT_REQUIRED[reduce_class]
+
+
+def partial_result_complexity(reduce_class: ReduceClass) -> str:
+    """Asymptotic partial-result memory for this class (Table 1 col 3)."""
+    return PARTIAL_RESULT_COMPLEXITY[reduce_class]
+
+
+def format_table_1() -> str:
+    """Render Table 1 as aligned text, for the bench harness."""
+    headers = ("Application", "Reduce class", "Key sort", "Partial results")
+    rows = [entry.as_row() for entry in TABLE_1]
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in rows))
+        for col in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)

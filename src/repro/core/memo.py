@@ -1,0 +1,184 @@
+"""Memoization: the paper's §8 future-work direction, implemented.
+
+"Memoization, an optimization similar to DryadInc [19] becomes feasible in
+the barrier-less model."  Two pieces make it concrete:
+
+1. **Map-output memoization** (:class:`MapOutputCache` +
+   :class:`MemoizingEngine`): a map task is a pure function of its split,
+   so its output can be cached under a digest of (job identity, split
+   contents) and reused verbatim when the same split reappears — re-running
+   a job over mostly-unchanged input only re-executes the changed splits.
+
+2. **Incremental reduction** (:func:`merge_job_outputs`): barrier-less
+   reducers maintain *mergeable partial results*, so yesterday's final
+   output and today's delta-job output can be folded together with the
+   job's ``merge_fn`` instead of recomputing from scratch — the DryadInc
+   pattern.  This is exactly what the stage barrier precluded: with a
+   barrier, the reduce function needs every value for a key present at
+   once, so old aggregates cannot be treated as just another input.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.job import JobSpec, split_input
+from repro.core.partial import MergeFunction
+from repro.core.types import (
+    Counters,
+    JobResult,
+    Key,
+    Record,
+    StageTimes,
+    Value,
+)
+from repro.engine.base import (
+    barrier_merge_sort,
+    finish_result,
+    interleave_arrival,
+    partition_records,
+    run_map_task,
+    run_reduce_task,
+)
+from repro.core.types import ExecutionMode
+
+
+def split_digest(job_identity: str, split: Sequence[tuple[Key, Value]]) -> str:
+    """Content digest of one input split under one job identity.
+
+    The job identity must change whenever the Map function's behaviour
+    changes (callers bump :attr:`MemoizingEngine.job_version` the way
+    DryadInc invalidates on code change); the split contents are hashed by
+    stable pickling.
+    """
+    hasher = hashlib.sha256(job_identity.encode("utf-8"))
+    hasher.update(pickle.dumps(list(split), protocol=pickle.HIGHEST_PROTOCOL))
+    return hasher.hexdigest()
+
+
+@dataclass
+class MapOutputCache:
+    """In-memory cache of map-task outputs keyed by split digest.
+
+    ``max_entries`` bounds the cache FIFO-style (oldest insertion evicted
+    first); ``hits``/``misses`` expose effectiveness.
+    """
+
+    max_entries: int = 1024
+    _entries: dict[str, list[Record]] = field(default_factory=dict)
+    _order: list[str] = field(default_factory=list)
+    hits: int = 0
+    misses: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, digest: str) -> list[Record] | None:
+        """Cached map output for a digest, or None."""
+        records = self._entries.get(digest)
+        if records is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return records
+
+    def put(self, digest: str, records: list[Record]) -> None:
+        """Cache one map task's output (copies are not taken; map output
+        is treated as immutable once produced)."""
+        if digest not in self._entries:
+            self._order.append(digest)
+        self._entries[digest] = records
+        while len(self._entries) > self.max_entries:
+            oldest = self._order.pop(0)
+            del self._entries[oldest]
+
+    def clear(self) -> None:
+        """Drop all cached outputs."""
+        self._entries.clear()
+        self._order.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+class MemoizingEngine:
+    """A sequential engine that reuses cached map outputs across runs.
+
+    Functionally equivalent to :class:`repro.engine.local.LocalEngine`,
+    plus memoization: each map task's output is cached under its split
+    digest and reused on later runs whose splits hash identically.  The
+    reduce stage always re-executes (its input changed if any split did;
+    see :func:`merge_job_outputs` for the incremental-reduce half).
+    """
+
+    def __init__(self, cache: MapOutputCache | None = None, job_version: str = "v1"):
+        self.cache = cache if cache is not None else MapOutputCache()
+        #: Bump when Map logic changes: invalidates all cached outputs.
+        self.job_version = job_version
+
+    def run(
+        self,
+        job: JobSpec,
+        pairs: Sequence[tuple[Key, Value]],
+        num_maps: int = 4,
+    ) -> JobResult:
+        """Execute ``job``, reusing memoized map outputs where possible."""
+        job.validate()
+        counters = Counters()
+        identity = f"{job.name}:{self.job_version}"
+        per_reducer_outputs: dict[int, list[list[Record]]] = {
+            i: [] for i in range(job.num_reducers)
+        }
+        for split in split_input(pairs, num_maps):
+            digest = split_digest(identity, split)
+            records = self.cache.get(digest)
+            if records is None:
+                records = run_map_task(job, split, counters)
+                self.cache.put(digest, records)
+                counters.increment("map.tasks")
+            else:
+                counters.increment("map.tasks_memoized")
+            partitions = partition_records(job, records)
+            for index, part in partitions.items():
+                per_reducer_outputs[index].append(part)
+
+        output: dict[int, list[Record]] = {}
+        for reducer_index in range(job.num_reducers):
+            map_outputs = per_reducer_outputs[reducer_index]
+            if job.mode is ExecutionMode.BARRIER:
+                stream = barrier_merge_sort(map_outputs)
+            else:
+                stream = interleave_arrival(map_outputs)
+            output[reducer_index] = run_reduce_task(job, stream, counters)
+            counters.increment("reduce.tasks")
+        return finish_result(job, output, counters, StageTimes())
+
+
+def merge_job_outputs(
+    previous: dict[Key, Value],
+    delta: dict[Key, Value],
+    merge_fn: MergeFunction,
+) -> dict[Key, Value]:
+    """Fold a delta job's output into a previous output (DryadInc-style).
+
+    Keys present in both are combined with ``merge_fn`` (which must be the
+    job's commutative/associative partial-result merge — the same function
+    the spill-and-merge store uses); keys unique to either side pass
+    through.  Valid only for reduce classes whose final outputs *are*
+    mergeable partials (Aggregation and Selection with a top-k merge);
+    post-processed outputs (e.g. set sizes) are not mergeable and must
+    keep their pre-post-processing partials instead.
+    """
+    merged = dict(previous)
+    for key, value in delta.items():
+        if key in merged:
+            merged[key] = merge_fn(merged[key], value)
+        else:
+            merged[key] = value
+    return merged

@@ -1,0 +1,100 @@
+"""Multi-job pipelines: chain MapReduce jobs output-to-input.
+
+Many of the paper's motivating applications are not single jobs —
+pairwise similarity is two chained jobs, iterated algorithms (the GA,
+PageRank-style computations) run one job per round.  ``run_pipeline``
+executes a list of job stages on any engine, feeding each stage's output
+records to the next stage as input pairs, and ``iterate_job`` runs one
+job repeatedly until a convergence predicate holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.job import JobSpec
+from repro.core.types import JobResult, Key, Value
+
+
+#: Converts one stage's result into the next stage's input pairs.  The
+#: default feeds output records through as ``(key, value)``; stages whose
+#: output convention differs (e.g. the GA, which emits ``(genome,
+#: fitness)`` but whose mapper consumes genomes as values) supply their
+#: own.
+Adapter = Callable[[JobResult], list[tuple[Key, Value]]]
+
+
+def default_adapter(result: JobResult) -> list[tuple[Key, Value]]:
+    """Output records as input pairs, unchanged."""
+    return [(record.key, record.value) for record in result.all_output()]
+
+
+@dataclass(frozen=True, slots=True)
+class PipelineStage:
+    """One stage: a job, its map-task parallelism, and how its output is
+    adapted into the next stage's input."""
+
+    job: JobSpec
+    num_maps: int = 4
+    adapt: Adapter = default_adapter
+
+
+@dataclass(slots=True)
+class PipelineResult:
+    """Outcome of a pipeline: per-stage results plus the final output."""
+
+    stages: list[JobResult]
+
+    @property
+    def final(self) -> JobResult:
+        if not self.stages:
+            raise ValueError("empty pipeline result")
+        return self.stages[-1]
+
+    def total_counter(self, name: str) -> int:
+        """Sum of one counter across all stages."""
+        return sum(result.counters.get(name) for result in self.stages)
+
+
+def run_pipeline(
+    engine,
+    stages: Sequence[PipelineStage],
+    pairs: Sequence[tuple[Key, Value]],
+) -> PipelineResult:
+    """Run stages in order; stage N+1's input is stage N's output records."""
+    if not stages:
+        raise ValueError("pipeline needs at least one stage")
+    results: list[JobResult] = []
+    current: Sequence[tuple[Key, Value]] = pairs
+    for stage in stages:
+        result = engine.run(stage.job, current, num_maps=stage.num_maps)
+        results.append(result)
+        current = stage.adapt(result)
+    return PipelineResult(results)
+
+
+def iterate_job(
+    engine,
+    make_stage: Callable[[int], PipelineStage],
+    pairs: Sequence[tuple[Key, Value]],
+    max_rounds: int,
+    converged: Callable[[JobResult, int], bool] | None = None,
+) -> PipelineResult:
+    """Run a job round after round (e.g. GA generations).
+
+    ``make_stage(round)`` builds each round's stage; ``converged(result,
+    round)`` (if given) stops the loop early.  At least one round runs.
+    """
+    if max_rounds <= 0:
+        raise ValueError("max_rounds must be positive")
+    results: list[JobResult] = []
+    current: Sequence[tuple[Key, Value]] = pairs
+    for round_index in range(max_rounds):
+        stage = make_stage(round_index)
+        result = engine.run(stage.job, current, num_maps=stage.num_maps)
+        results.append(result)
+        current = stage.adapt(result)
+        if converged is not None and converged(result, round_index):
+            break
+    return PipelineResult(results)

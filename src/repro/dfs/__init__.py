@@ -1,0 +1,50 @@
+"""On-disk mini-DFS substrate for the real engines.
+
+- :class:`LocalDFS` — chunked, replicated file storage across per-node
+  directories, with replica-failover reads and node-kill injection.
+- :class:`TextInputFormat` — Hadoop-style line-record splits over chunked
+  text files (boundary lines belong to the split where they start).
+- :mod:`repro.dfs.serialization` — typed binary encoding (the Writable
+  substrate; decoding untrusted data is safe, unlike pickle).
+- :class:`SequenceFileWriter`/:class:`SequenceFileReader` — splittable
+  key/value containers with sync markers.
+"""
+
+from repro.dfs.inputformat import TextInputFormat, write_lines
+from repro.dfs.jobio import (
+    commit_output,
+    read_output,
+    run_sequence_job,
+    run_text_job,
+)
+from repro.dfs.localdfs import (
+    ChunkInfo,
+    DFSError,
+    FileManifest,
+    LocalDFS,
+)
+from repro.dfs.sequencefile import (
+    SequenceFileError,
+    SequenceFileReader,
+    SequenceFileWriter,
+)
+from repro.dfs.serialization import SerializationError, decode, encode
+
+__all__ = [
+    "ChunkInfo",
+    "DFSError",
+    "FileManifest",
+    "LocalDFS",
+    "SequenceFileError",
+    "SequenceFileReader",
+    "SequenceFileWriter",
+    "SerializationError",
+    "TextInputFormat",
+    "commit_output",
+    "decode",
+    "encode",
+    "read_output",
+    "run_sequence_job",
+    "run_text_job",
+    "write_lines",
+]

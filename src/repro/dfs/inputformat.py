@@ -1,0 +1,104 @@
+"""Input formats: turning DFS files into map-task splits.
+
+``TextInputFormat`` reproduces Hadoop's line-record semantics over
+chunked storage: one split per chunk, and a line that straddles a chunk
+boundary belongs to the split where it *starts* — each split reads
+forward into the next chunk to finish its last line and (except the
+first) discards the partial line it opens with.  The invariant, tested
+property-style, is that the concatenation of all splits' records equals
+the file's lines, each exactly once, keyed by byte offset.
+"""
+
+from __future__ import annotations
+
+from repro.core.types import Key, Value
+from repro.dfs.localdfs import DFSError, LocalDFS
+
+
+class TextInputFormat:
+    """Line records ``(byte_offset, line)`` from a DFS text file."""
+
+    def __init__(self, dfs: LocalDFS):
+        self.dfs = dfs
+
+    def splits(self, name: str) -> list[list[tuple[Key, Value]]]:
+        """One split of ``(offset, line)`` pairs per stored chunk.
+
+        Hadoop's LineRecordReader rule: split ``i`` over bytes
+        ``[start, end)`` emits the lines starting at offsets ``S`` with
+        ``start < S <= end`` (the first split also emits ``S = 0``); a
+        split reads forward into following chunks to complete its final
+        line, and every non-first split discards everything up to and
+        including its first newline — that prefix was the previous
+        split's extra read.  Empty splits (a chunk wholly inside one
+        line) are preserved as empty lists so callers can still map
+        split index to chunk index.
+        """
+        manifest = self.dfs.manifest(name)
+        if not manifest.chunks:
+            return []
+        chunk_size = manifest.chunk_size
+        num_chunks = len(manifest.chunks)
+        splits: list[list[tuple[Key, Value]]] = []
+        for chunk in manifest.chunks:
+            start = chunk.index * chunk_size
+            blob = self.dfs.read_chunk(name, chunk.index)
+            data_len = len(blob)
+            next_index = chunk.index + 1
+
+            def find_newline(position: int) -> int:
+                """Index of the next newline, extending the blob lazily."""
+                nonlocal blob, next_index
+                while True:
+                    newline = blob.find(b"\n", position)
+                    if newline != -1 or next_index >= num_chunks:
+                        return newline
+                    blob += self.dfs.read_chunk(name, next_index)
+                    next_index += 1
+
+            records: list[tuple[Key, Value]] = []
+            position = 0
+            if chunk.index > 0:
+                newline = find_newline(0)
+                if newline == -1 or newline + 1 > data_len:
+                    # The whole chunk (and beyond) is the tail of a line
+                    # owned by an earlier split.
+                    splits.append(records)
+                    continue
+                position = newline + 1
+            # Emit lines starting at S = start + position with
+            # position <= data_len; position == data_len is a line that
+            # begins exactly at the next chunk's first byte, which this
+            # split owns (and the next split's skip discards).
+            while position <= data_len:
+                if position >= len(blob):
+                    if next_index >= num_chunks:
+                        break  # end of file: no line starts here
+                    blob += self.dfs.read_chunk(name, next_index)
+                    next_index += 1
+                    if position >= len(blob):
+                        break
+                newline = find_newline(position)
+                if newline == -1:
+                    records.append(
+                        (start + position, blob[position:].decode("utf-8"))
+                    )
+                    break
+                records.append(
+                    (start + position, blob[position:newline].decode("utf-8"))
+                )
+                position = newline + 1
+            splits.append(records)
+        return splits
+
+    def read_all(self, name: str) -> list[tuple[Key, Value]]:
+        """All line records of a file, in offset order."""
+        return [record for split in self.splits(name) for record in split]
+
+
+def write_lines(dfs: LocalDFS, name: str, lines: list[str]) -> None:
+    """Store lines as a newline-terminated text file."""
+    for line in lines:
+        if "\n" in line:
+            raise DFSError("lines must not contain newlines")
+    dfs.put_text(name, "".join(line + "\n" for line in lines))

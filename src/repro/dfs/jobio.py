@@ -1,0 +1,86 @@
+"""File-backed job execution: DFS in, DFS out.
+
+The glue that makes the engines run the way Hadoop jobs actually run —
+input read from a distributed file, output committed back to one:
+
+- text input: the file's line records (via :class:`TextInputFormat`)
+  become the map input, one split per DFS chunk;
+- sequence input: a :class:`SequenceFileReader`'s typed records, split by
+  chunk;
+- output: each reducer's records are appended to a SequenceFile part
+  (``<output>-part-NNNNN``), the standard part-file layout.
+"""
+
+from __future__ import annotations
+
+from repro.core.job import JobSpec
+from repro.core.types import JobResult
+from repro.dfs.inputformat import TextInputFormat
+from repro.dfs.localdfs import DFSError, LocalDFS
+from repro.dfs.sequencefile import SequenceFileReader, SequenceFileWriter
+
+
+def run_text_job(
+    engine,
+    dfs: LocalDFS,
+    job: JobSpec,
+    input_file: str,
+    output_file: str | None = None,
+) -> JobResult:
+    """Run ``job`` over a DFS text file; optionally commit the output.
+
+    The number of map tasks equals the input's chunk count, exactly as
+    HDFS chunking dictates in Hadoop.
+    """
+    splits = TextInputFormat(dfs).splits(input_file)
+    pairs = [record for split in splits for record in split]
+    num_maps = max(1, len(splits))
+    result = engine.run(job, pairs, num_maps=num_maps)
+    if output_file is not None:
+        commit_output(dfs, result, output_file)
+    return result
+
+
+def run_sequence_job(
+    engine,
+    dfs: LocalDFS,
+    job: JobSpec,
+    input_file: str,
+    output_file: str | None = None,
+) -> JobResult:
+    """Run ``job`` over a DFS SequenceFile; optionally commit the output."""
+    splits = SequenceFileReader(dfs, input_file).splits_by_chunk(dfs)
+    pairs = [record for split in splits for record in split]
+    num_maps = max(1, len(splits))
+    result = engine.run(job, pairs, num_maps=num_maps)
+    if output_file is not None:
+        commit_output(dfs, result, output_file)
+    return result
+
+
+def commit_output(dfs: LocalDFS, result: JobResult, output_file: str) -> list[str]:
+    """Write one SequenceFile part per reducer; returns the part names."""
+    if dfs.exists(f"{output_file}-part-00000"):
+        raise DFSError(f"output exists: {output_file}")
+    parts = []
+    for reducer_index in sorted(result.output):
+        name = f"{output_file}-part-{reducer_index:05d}"
+        writer = SequenceFileWriter(name)
+        for record in result.output[reducer_index]:
+            writer.append(record.key, record.value)
+        writer.store(dfs)
+        parts.append(name)
+    return parts
+
+
+def read_output(dfs: LocalDFS, output_file: str) -> dict:
+    """Read all part files of a committed output as one mapping."""
+    combined = {}
+    part = 0
+    while dfs.exists(f"{output_file}-part-{part:05d}"):
+        for key, value in SequenceFileReader(dfs, f"{output_file}-part-{part:05d}"):
+            combined[key] = value
+        part += 1
+    if part == 0:
+        raise DFSError(f"no output parts for {output_file}")
+    return combined

@@ -1,0 +1,222 @@
+"""A miniature on-disk distributed filesystem (the engines' HDFS).
+
+Where :mod:`repro.sim.dfs` *models* chunk placement for timing, this
+package *implements* one on the local filesystem so the real engines can
+run file-backed jobs the way Hadoop runs over HDFS: a file is split into
+fixed-size chunks, each chunk is replicated into several "node"
+directories, and reads tolerate the loss of all but one replica of each
+chunk.
+
+Layout on disk::
+
+    <root>/node-00/<file>__chunk-00000
+    <root>/node-01/<file>__chunk-00000      # replica
+    <root>/node-02/<file>__chunk-00001
+    ...
+    <root>/_meta/<file>.manifest            # chunk count/size/placement
+
+The namenode state (the manifest) is a JSON file per stored file, so a
+fresh ``LocalDFS`` instance over an existing root recovers everything.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class DFSError(RuntimeError):
+    """Namespace or data errors (missing file, unreadable chunk...)."""
+
+
+@dataclass(frozen=True, slots=True)
+class ChunkInfo:
+    """One chunk's metadata: index, byte size and replica node ids."""
+
+    index: int
+    size: int
+    nodes: tuple[int, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class FileManifest:
+    """A stored file's full metadata."""
+
+    name: str
+    chunk_size: int
+    total_size: int
+    chunks: tuple[ChunkInfo, ...]
+
+
+class LocalDFS:
+    """Chunked, replicated file storage across per-node directories."""
+
+    def __init__(
+        self,
+        root: str,
+        num_nodes: int = 4,
+        replication: int = 2,
+        chunk_size: int = 1 << 20,
+        seed: int = 0,
+    ):
+        if num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+        if not 1 <= replication <= num_nodes:
+            raise ValueError("replication must be in [1, num_nodes]")
+        if chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        self.root = root
+        self.num_nodes = num_nodes
+        self.replication = replication
+        self.chunk_size = chunk_size
+        self._rng = np.random.default_rng(seed)
+        self._next_writer = 0
+        os.makedirs(self._meta_dir, exist_ok=True)
+        for node in range(num_nodes):
+            os.makedirs(self._node_dir(node), exist_ok=True)
+
+    # -- paths -----------------------------------------------------------
+
+    @property
+    def _meta_dir(self) -> str:
+        return os.path.join(self.root, "_meta")
+
+    def _node_dir(self, node: int) -> str:
+        return os.path.join(self.root, f"node-{node:02d}")
+
+    def _chunk_path(self, node: int, name: str, index: int) -> str:
+        return os.path.join(self._node_dir(node), f"{name}__chunk-{index:05d}")
+
+    def _manifest_path(self, name: str) -> str:
+        return os.path.join(self._meta_dir, f"{name}.manifest")
+
+    # -- namespace ------------------------------------------------------------
+
+    def exists(self, name: str) -> bool:
+        """True if a file of this name is stored."""
+        return os.path.exists(self._manifest_path(name))
+
+    def list_files(self) -> list[str]:
+        """Names of all stored files."""
+        return sorted(
+            entry[: -len(".manifest")]
+            for entry in os.listdir(self._meta_dir)
+            if entry.endswith(".manifest")
+        )
+
+    def manifest(self, name: str) -> FileManifest:
+        """Load a file's manifest; raises :class:`DFSError` if absent."""
+        path = self._manifest_path(name)
+        if not os.path.exists(path):
+            raise DFSError(f"no such file: {name}")
+        with open(path) as fh:
+            raw = json.load(fh)
+        chunks = tuple(
+            ChunkInfo(c["index"], c["size"], tuple(c["nodes"]))
+            for c in raw["chunks"]
+        )
+        return FileManifest(raw["name"], raw["chunk_size"], raw["total_size"], chunks)
+
+    # -- write -------------------------------------------------------------------
+
+    def put(self, name: str, data: bytes) -> FileManifest:
+        """Store ``data`` under ``name``: chunk, replicate, write manifest."""
+        if "/" in name or name.startswith("_"):
+            raise DFSError(f"invalid file name: {name!r}")
+        if self.exists(name):
+            raise DFSError(f"file exists: {name}")
+        chunks: list[ChunkInfo] = []
+        for index, offset in enumerate(range(0, max(len(data), 1), self.chunk_size)):
+            payload = data[offset : offset + self.chunk_size]
+            nodes = self._place()
+            for node in nodes:
+                with open(self._chunk_path(node, name, index), "wb") as fh:
+                    fh.write(payload)
+            chunks.append(ChunkInfo(index, len(payload), nodes))
+        manifest = FileManifest(name, self.chunk_size, len(data), tuple(chunks))
+        with open(self._manifest_path(name), "w") as fh:
+            json.dump(
+                {
+                    "name": name,
+                    "chunk_size": self.chunk_size,
+                    "total_size": len(data),
+                    "chunks": [
+                        {"index": c.index, "size": c.size, "nodes": list(c.nodes)}
+                        for c in chunks
+                    ],
+                },
+                fh,
+            )
+        return manifest
+
+    def put_text(self, name: str, text: str) -> FileManifest:
+        """Store UTF-8 text."""
+        return self.put(name, text.encode("utf-8"))
+
+    def _place(self) -> tuple[int, ...]:
+        writer = self._next_writer % self.num_nodes
+        self._next_writer += 1
+        others = [n for n in range(self.num_nodes) if n != writer]
+        extra = self._rng.choice(others, size=self.replication - 1, replace=False)
+        return (writer, *(int(n) for n in extra))
+
+    # -- read -------------------------------------------------------------------
+
+    def read_chunk(self, name: str, index: int) -> bytes:
+        """Read one chunk, falling over to surviving replicas."""
+        manifest = self.manifest(name)
+        if not 0 <= index < len(manifest.chunks):
+            raise DFSError(f"{name}: no chunk {index}")
+        info = manifest.chunks[index]
+        for node in info.nodes:
+            path = self._chunk_path(node, name, index)
+            try:
+                with open(path, "rb") as fh:
+                    payload = fh.read()
+            except FileNotFoundError:
+                continue
+            if len(payload) == info.size:
+                return payload
+        raise DFSError(f"{name}: all replicas of chunk {index} lost")
+
+    def get(self, name: str) -> bytes:
+        """Read a whole file (concatenated chunks)."""
+        manifest = self.manifest(name)
+        return b"".join(
+            self.read_chunk(name, c.index) for c in manifest.chunks
+        )
+
+    def get_text(self, name: str) -> str:
+        """Read a whole file as UTF-8 text."""
+        return self.get(name).decode("utf-8")
+
+    # -- failure injection ------------------------------------------------------------
+
+    def kill_node(self, node: int) -> int:
+        """Delete one node directory's chunks; returns how many were lost.
+
+        Reads still succeed while every chunk retains a surviving replica
+        — the property the replication factor buys.
+        """
+        if not 0 <= node < self.num_nodes:
+            raise DFSError(f"no node {node}")
+        directory = self._node_dir(node)
+        lost = 0
+        for entry in os.listdir(directory):
+            os.unlink(os.path.join(directory, entry))
+            lost += 1
+        return lost
+
+    def delete(self, name: str) -> None:
+        """Remove a file: all replicas and the manifest."""
+        manifest = self.manifest(name)
+        for chunk in manifest.chunks:
+            for node in chunk.nodes:
+                try:
+                    os.unlink(self._chunk_path(node, name, chunk.index))
+                except FileNotFoundError:
+                    pass
+        os.unlink(self._manifest_path(name))

@@ -1,0 +1,188 @@
+"""Compact typed binary serialization (the Writable-format substrate).
+
+Hadoop stores intermediate and container data in its own typed binary
+format (Writables) rather than language-native pickling.  This module is
+that substrate: a tagged, varint-framed encoding for the value shapes the
+framework actually moves — ints, floats, strings, bytes, tuples/lists,
+dicts and frozensets — with deterministic output (dict/set entries are
+written in sorted order) so encodings are comparable and hashable.
+
+Unlike ``pickle`` it is safe to decode untrusted data (no code
+execution), and its compactness is testable: small ints cost 2 bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+# Type tags.
+_NONE = 0x00
+_FALSE = 0x01
+_TRUE = 0x02
+_INT_POS = 0x03
+_INT_NEG = 0x04
+_FLOAT = 0x05
+_STR = 0x06
+_BYTES = 0x07
+_TUPLE = 0x08
+_LIST = 0x09
+_DICT = 0x0A
+_FROZENSET = 0x0B
+
+
+class SerializationError(ValueError):
+    """Unsupported type or malformed byte stream."""
+
+
+def encode_varint(value: int) -> bytes:
+    """LEB128 unsigned varint."""
+    if value < 0:
+        raise SerializationError("varints are unsigned")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_varint(data: bytes, offset: int = 0) -> tuple[int, int]:
+    """Decode a varint at ``offset``; returns ``(value, next_offset)``."""
+    result = 0
+    shift = 0
+    position = offset
+    while True:
+        if position >= len(data):
+            raise SerializationError("truncated varint")
+        byte = data[position]
+        position += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, position
+        shift += 7
+        if shift > 70:
+            raise SerializationError("varint too long")
+
+
+def encode(obj: Any) -> bytes:
+    """Serialise one value to tagged bytes."""
+    out = bytearray()
+    _encode_into(obj, out)
+    return bytes(out)
+
+
+def _encode_into(obj: Any, out: bytearray) -> None:
+    if obj is None:
+        out.append(_NONE)
+    elif obj is True:
+        out.append(_TRUE)
+    elif obj is False:
+        out.append(_FALSE)
+    elif isinstance(obj, int):
+        if obj >= 0:
+            out.append(_INT_POS)
+            out += encode_varint(obj)
+        else:
+            out.append(_INT_NEG)
+            out += encode_varint(-obj)
+    elif isinstance(obj, float):
+        import struct
+
+        out.append(_FLOAT)
+        out += struct.pack(">d", obj)
+    elif isinstance(obj, str):
+        payload = obj.encode("utf-8")
+        out.append(_STR)
+        out += encode_varint(len(payload))
+        out += payload
+    elif isinstance(obj, bytes):
+        out.append(_BYTES)
+        out += encode_varint(len(obj))
+        out += obj
+    elif isinstance(obj, tuple):
+        out.append(_TUPLE)
+        out += encode_varint(len(obj))
+        for item in obj:
+            _encode_into(item, out)
+    elif isinstance(obj, list):
+        out.append(_LIST)
+        out += encode_varint(len(obj))
+        for item in obj:
+            _encode_into(item, out)
+    elif isinstance(obj, dict):
+        out.append(_DICT)
+        out += encode_varint(len(obj))
+        for key in sorted(obj, key=lambda k: encode(k)):
+            _encode_into(key, out)
+            _encode_into(obj[key], out)
+    elif isinstance(obj, frozenset):
+        out.append(_FROZENSET)
+        out += encode_varint(len(obj))
+        for item in sorted(obj, key=encode):
+            _encode_into(item, out)
+    else:
+        raise SerializationError(f"unsupported type: {type(obj).__name__}")
+
+
+def decode(data: bytes) -> Any:
+    """Deserialise one value; rejects trailing garbage."""
+    obj, offset = decode_at(data, 0)
+    if offset != len(data):
+        raise SerializationError(f"{len(data) - offset} trailing bytes")
+    return obj
+
+
+def decode_at(data: bytes, offset: int) -> tuple[Any, int]:
+    """Deserialise the value at ``offset``; returns ``(value, next)``."""
+    if offset >= len(data):
+        raise SerializationError("truncated stream")
+    tag = data[offset]
+    offset += 1
+    if tag == _NONE:
+        return None, offset
+    if tag == _TRUE:
+        return True, offset
+    if tag == _FALSE:
+        return False, offset
+    if tag == _INT_POS:
+        value, offset = decode_varint(data, offset)
+        return value, offset
+    if tag == _INT_NEG:
+        value, offset = decode_varint(data, offset)
+        return -value, offset
+    if tag == _FLOAT:
+        import struct
+
+        if offset + 8 > len(data):
+            raise SerializationError("truncated float")
+        return struct.unpack(">d", data[offset : offset + 8])[0], offset + 8
+    if tag in (_STR, _BYTES):
+        length, offset = decode_varint(data, offset)
+        if offset + length > len(data):
+            raise SerializationError("truncated payload")
+        payload = data[offset : offset + length]
+        offset += length
+        return (payload.decode("utf-8") if tag == _STR else payload), offset
+    if tag in (_TUPLE, _LIST, _FROZENSET):
+        length, offset = decode_varint(data, offset)
+        items = []
+        for _ in range(length):
+            item, offset = decode_at(data, offset)
+            items.append(item)
+        if tag == _TUPLE:
+            return tuple(items), offset
+        if tag == _LIST:
+            return items, offset
+        return frozenset(items), offset
+    if tag == _DICT:
+        length, offset = decode_varint(data, offset)
+        result = {}
+        for _ in range(length):
+            key, offset = decode_at(data, offset)
+            value, offset = decode_at(data, offset)
+            result[key] = value
+        return result, offset
+    raise SerializationError(f"unknown tag 0x{tag:02x}")

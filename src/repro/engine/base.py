@@ -1,0 +1,256 @@
+"""Shared machinery for the local execution engines.
+
+An *engine* executes a :class:`~repro.core.job.JobSpec` over in-memory
+input and returns a :class:`~repro.core.types.JobResult`.  Three engines
+share this module's helpers:
+
+- :class:`repro.engine.local.LocalEngine` — deterministic, single-threaded
+  reference implementation (the semantics oracle for tests);
+- :class:`repro.engine.threaded.ThreadedEngine` — per-mapper fetch threads
+  and a pipelined reduce thread, structurally faithful to §3.1;
+- :class:`repro.engine.multiproc.MultiprocessEngine` — map tasks in worker
+  processes.
+
+The helpers implement the stages every engine needs: running one map task
+(with optional combiner), partitioning its output, the barrier merge-sort,
+and wiring partial-result stores into barrier-less reducers.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from typing import Iterable, Sequence
+
+from repro.core.api import (
+    MapContext,
+    Mapper,
+    ReduceContext,
+    Reducer,
+    group_sorted_records,
+    singleton_groups,
+)
+from repro.core.job import JobSpec
+from repro.core.types import (
+    Counters,
+    ExecutionMode,
+    JobResult,
+    Key,
+    Record,
+    StageTimes,
+    Value,
+)
+from repro.memory import make_store
+
+
+def run_map_task(
+    job: JobSpec,
+    split: Sequence[tuple[Key, Value]],
+    counters: Counters,
+) -> list[Record]:
+    """Execute one map task over one input split; returns emitted records.
+
+    Applies the job's combiner (if any) to the task's buffered output, the
+    way Hadoop combines per map output before the shuffle.
+    """
+    mapper: Mapper = job.mapper_factory()
+    context = MapContext(counters)
+    mapper.setup(context)
+    for key, value in split:
+        mapper.map(key, value, context)
+        counters.increment("map.input_records")
+    mapper.cleanup(context)
+    records = context.drain()
+    if job.combiner_factory is not None:
+        records = apply_combiner(job, records, counters)
+    return records
+
+
+def apply_combiner(
+    job: JobSpec, records: list[Record], counters: Counters
+) -> list[Record]:
+    """Group a map task's buffered output by key and run the combiner."""
+    combiner = job.combiner_factory()  # type: ignore[misc]
+    buckets: dict[Key, list[Value]] = {}
+    order: list[Key] = []
+    for record in records:
+        if record.key not in buckets:
+            buckets[record.key] = []
+            order.append(record.key)
+        buckets[record.key].append(record.value)
+    combined: list[Record] = []
+    for key in order:
+        for value in combiner.combine(key, buckets[key]):
+            combined.append(Record(key, value))
+    counters.increment("combine.output_records", len(combined))
+    return combined
+
+
+def run_map_task_partitioned(
+    job: JobSpec,
+    split: Sequence[tuple[Key, Value]],
+    counters: Counters,
+) -> dict[int, list[Record]]:
+    """Execute one map task, returning per-partition output.
+
+    With ``job.map_output_buffer_bytes`` set (and no combiner), emissions
+    stream through a bounded :class:`~repro.engine.mapside.MapOutputBuffer`
+    that sorts and spills to disk — the Hadoop map side.  Otherwise the
+    classic in-memory path runs.
+    """
+    if job.map_output_buffer_bytes is None or job.combiner_factory is not None:
+        records = run_map_task(job, split, counters)
+        return partition_records(job, records)
+
+    from repro.engine.mapside import MapOutputBuffer
+
+    buffer = MapOutputBuffer(
+        num_partitions=job.num_reducers,
+        partition_fn=job.partition_fn,
+        buffer_bytes=job.map_output_buffer_bytes,
+        spill_dir=job.memory.spill_dir,
+    )
+    mapper: Mapper = job.mapper_factory()
+    context = MapContext(counters, sink=buffer.collect)
+    mapper.setup(context)
+    for key, value in split:
+        mapper.map(key, value, context)
+        counters.increment("map.input_records")
+    mapper.cleanup(context)
+    counters.increment("map.output_spills", buffer.num_spills)
+    partitions = buffer.all_partitions()
+    buffer.close()
+    return partitions
+
+
+def partition_records(
+    job: JobSpec, records: Iterable[Record]
+) -> dict[int, list[Record]]:
+    """Route records to reduce partitions with the job's partitioner."""
+    partitions: dict[int, list[Record]] = {i: [] for i in range(job.num_reducers)}
+    for record in records:
+        index = job.partition_fn(record.key, job.num_reducers)
+        partitions[index].append(record)
+    return partitions
+
+
+def barrier_merge_sort(map_outputs: Sequence[list[Record]]) -> list[Record]:
+    """The barrier path: buffer all map output, then sort by key.
+
+    Hadoop merge-sorts the per-mapper buffers; a stable sort over the
+    concatenation is equivalent for grouping purposes and preserves
+    per-mapper arrival order within a key.
+    """
+    merged: list[Record] = []
+    for output in map_outputs:
+        merged.extend(output)
+    merged.sort(key=lambda record: record.key)
+    return merged
+
+
+def interleave_arrival(map_outputs: Sequence[list[Record]]) -> list[Record]:
+    """Barrier-less arrival order for deterministic engines.
+
+    Models records arriving as the shuffle pulls them from finished mappers:
+    output is taken mapper-by-mapper in completion order.  Real engines
+    (threaded) produce a genuinely concurrent interleaving; this ordering is
+    the deterministic stand-in used by the reference engine, and application
+    correctness must not depend on which one it gets (the paper's
+    idempotence argument, §3.2).
+    """
+    stream: list[Record] = []
+    for output in map_outputs:
+        stream.extend(output)
+    return stream
+
+
+def make_reduce_context(
+    job: JobSpec, records: Iterable[Record], counters: Counters
+) -> ReduceContext:
+    """Build the reduce-side context for the job's execution mode.
+
+    In barrier mode, a job with ``value_sort_key`` gets each key group's
+    values delivered in that order — the framework-level secondary sort
+    Selection operations rely on (§4.4).
+    """
+    if job.mode is ExecutionMode.BARRIER:
+        grouped = group_sorted_records(records)
+        if job.value_sort_key is not None:
+            sort_key = job.value_sort_key
+            grouped = (
+                (key, sorted(values, key=sort_key)) for key, values in grouped
+            )
+    else:
+        grouped = singleton_groups(records)
+    return ReduceContext(grouped, counters)
+
+
+def prepare_reducer(job: JobSpec, on_sample=None) -> Reducer:
+    """Instantiate the reducer, attaching a partial-result store if needed.
+
+    A reducer that exposes ``attach_store`` (i.e. derives from
+    :class:`~repro.core.patterns.BarrierlessReducer`) receives a store built
+    from the job's :class:`~repro.core.job.MemoryConfig` — or from
+    ``job.store_factory`` when the application supplies its own.
+    """
+    reducer = job.reducer_factory()
+    attach = getattr(reducer, "attach_store", None)
+    if attach is not None:
+        if job.store_factory is not None:
+            store = job.store_factory()
+        else:
+            store = make_store(job.memory, merge_fn=job.merge_fn, on_sample=on_sample)
+        attach(store)
+    return reducer
+
+
+def run_reduce_task(
+    job: JobSpec,
+    records: Iterable[Record],
+    counters: Counters,
+    on_sample=None,
+) -> list[Record]:
+    """Execute one reduce task over its partition's record stream."""
+    reducer = prepare_reducer(job, on_sample=on_sample)
+    context = make_reduce_context(job, records, counters)
+    reducer.run(context)
+    return context.drain()
+
+
+class Engine(abc.ABC):
+    """Interface all local engines implement."""
+
+    @abc.abstractmethod
+    def run(
+        self,
+        job: JobSpec,
+        pairs: Sequence[tuple[Key, Value]],
+        num_maps: int = 4,
+    ) -> JobResult:
+        """Execute ``job`` over ``pairs`` split across ``num_maps`` tasks."""
+
+
+def finish_result(
+    job: JobSpec,
+    output: dict[int, list[Record]],
+    counters: Counters,
+    stage_times: StageTimes,
+) -> JobResult:
+    """Assemble the JobResult (shared tail of every engine)."""
+    return JobResult(
+        output=output,
+        counters=counters,
+        stage_times=stage_times,
+        mode=job.mode,
+    )
+
+
+class Stopwatch:
+    """Monotonic elapsed-seconds helper for stage timing."""
+
+    def __init__(self) -> None:
+        self._start = time.monotonic()
+
+    def elapsed(self) -> float:
+        """Seconds since construction."""
+        return time.monotonic() - self._start

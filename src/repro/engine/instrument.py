@@ -1,0 +1,93 @@
+"""Execution instrumentation: per-task events and stage concurrency series.
+
+``TaskEvent`` records one task's lifetime; ``TaskLog`` collects them
+thread-safely; ``concurrency_series`` converts a log into "number of tasks
+of each kind active at time t" — the quantity plotted on the y-axis of the
+paper's Figure 4.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True, slots=True)
+class TaskEvent:
+    """One completed task or stage interval, in job-relative seconds."""
+
+    kind: str  # "map" | "shuffle" | "sort" | "reduce" | "output"
+    task_id: str
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"task {self.task_id}: end {self.end} < start {self.start}")
+
+
+class TaskLog:
+    """Thread-safe collection of task events for one job execution."""
+
+    def __init__(self) -> None:
+        self._events: list[TaskEvent] = []
+        self._lock = threading.Lock()
+
+    def record(self, kind: str, task_id: str, start: float, end: float) -> None:
+        """Append one event."""
+        event = TaskEvent(kind, task_id, start, end)
+        with self._lock:
+            self._events.append(event)
+
+    def events(self, kind: str | None = None) -> list[TaskEvent]:
+        """Events (optionally filtered by kind), sorted by start time."""
+        with self._lock:
+            snapshot = list(self._events)
+        if kind is not None:
+            snapshot = [event for event in snapshot if event.kind == kind]
+        return sorted(snapshot, key=lambda event: (event.start, event.end))
+
+    def makespan(self) -> float:
+        """Latest end time across all events (0.0 when empty)."""
+        with self._lock:
+            if not self._events:
+                return 0.0
+            return max(event.end for event in self._events)
+
+
+def concurrency_series(
+    events: Sequence[TaskEvent],
+    step: float = 1.0,
+    until: float | None = None,
+) -> tuple[list[float], list[int]]:
+    """Sample how many events are simultaneously active every ``step`` s.
+
+    Returns ``(times, counts)``; an event is active at ``t`` when
+    ``start <= t < end``.  This is the Figure 4 y-axis ("Number of Tasks").
+    """
+    if step <= 0:
+        raise ValueError("step must be positive")
+    horizon = until
+    if horizon is None:
+        horizon = max((event.end for event in events), default=0.0)
+    times: list[float] = []
+    counts: list[int] = []
+    t = 0.0
+    while t <= horizon + 1e-9:
+        active = sum(1 for event in events if event.start <= t < event.end)
+        times.append(round(t, 9))
+        counts.append(active)
+        t += step
+    return times, counts
+
+
+def stage_boundaries(events: Iterable[TaskEvent], kind: str) -> tuple[float, float]:
+    """(earliest start, latest end) across events of ``kind``.
+
+    Raises ``ValueError`` when no event of that kind exists.
+    """
+    relevant = [event for event in events if event.kind == kind]
+    if not relevant:
+        raise ValueError(f"no events of kind {kind!r}")
+    return min(e.start for e in relevant), max(e.end for e in relevant)

@@ -1,0 +1,141 @@
+"""Deterministic single-threaded reference engine.
+
+``LocalEngine`` is the semantics oracle: it executes jobs with no
+concurrency, so its output is exactly reproducible, and every other engine
+(threaded, multiprocess, simulated) is tested for output equivalence
+against it.  Both shuffle modes are supported:
+
+- **barrier**: buffer all map output per reducer, merge-sort it, invoke
+  ``reduce(key, values)`` once per key (Figure 2);
+- **barrier-less**: feed records to the reducer one at a time in arrival
+  order, with partial results in the configured store (Figure 3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.core.job import JobSpec, split_input
+from repro.core.types import (
+    Counters,
+    ExecutionMode,
+    JobResult,
+    Key,
+    Record,
+    StageTimes,
+    Value,
+)
+from repro.engine.base import (
+    Engine,
+    Stopwatch,
+    barrier_merge_sort,
+    finish_result,
+    interleave_arrival,
+    run_map_task_partitioned,
+    run_reduce_task,
+)
+from repro.engine.faults import (
+    DEFAULT_MAX_ATTEMPTS,
+    FaultInjector,
+    RetryingTaskRunner,
+)
+
+
+class LocalEngine(Engine):
+    """Sequential in-process execution of a MapReduce job.
+
+    ``heap_sample_hook`` (if given) receives ``(reducer_index, used_bytes)``
+    for every partial-result store mutation — the raw feed for heap traces.
+    ``fault_injector`` crashes selected task attempts, which the engine
+    retries up to ``max_attempts`` times (Hadoop-style task attempts); the
+    paper's fault-tolerance claim is that both execution modes survive
+    this identically.
+    """
+
+    def __init__(
+        self,
+        heap_sample_hook: Callable[[int, int], None] | None = None,
+        fault_injector: FaultInjector | None = None,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    ) -> None:
+        self._heap_sample_hook = heap_sample_hook
+        self._fault_injector = fault_injector
+        self._max_attempts = max_attempts
+        #: Retry bookkeeping of the most recent run() (attempts per task).
+        self.last_run_attempts: dict[str, int] = {}
+
+    def run(
+        self,
+        job: JobSpec,
+        pairs: Sequence[tuple[Key, Value]],
+        num_maps: int = 4,
+    ) -> JobResult:
+        job.validate()
+        counters = Counters()
+        watch = Stopwatch()
+        times = StageTimes()
+        runner = RetryingTaskRunner(
+            injector=self._fault_injector, max_attempts=self._max_attempts
+        )
+
+        # Map stage: one task per split, sequentially, with retry.
+        splits = split_input(pairs, num_maps)
+        per_reducer_outputs: dict[int, list[list[Record]]] = {
+            i: [] for i in range(job.num_reducers)
+        }
+        times.map_start = watch.elapsed()
+        first_done: float | None = None
+        for task_index, split in enumerate(splits):
+
+            def map_attempt(split=split):
+                attempt_counters = Counters()
+                produced = run_map_task_partitioned(job, split, attempt_counters)
+                return produced, attempt_counters
+
+            partitions, task_counters = runner.run(
+                f"map-{task_index}", map_attempt
+            )
+            counters.merge(task_counters)
+            for index, part in partitions.items():
+                per_reducer_outputs[index].append(part)
+            counters.increment("map.tasks")
+            if first_done is None:
+                first_done = watch.elapsed()
+        times.first_map_done = first_done if first_done is not None else watch.elapsed()
+        times.last_map_done = watch.elapsed()
+
+        # Shuffle + reduce per partition.
+        output: dict[int, list[Record]] = {}
+        for reducer_index in range(job.num_reducers):
+            map_outputs = per_reducer_outputs[reducer_index]
+            if job.mode is ExecutionMode.BARRIER:
+                stream = barrier_merge_sort(map_outputs)
+            else:
+                stream = interleave_arrival(map_outputs)
+            counters.increment("shuffle.records", len(stream))
+            hook = self._heap_sample_hook
+            on_sample = (
+                (lambda used, _i=reducer_index: hook(_i, used))
+                if hook is not None
+                else None
+            )
+
+            def reduce_attempt(stream=stream, on_sample=on_sample):
+                attempt_counters = Counters()
+                produced = run_reduce_task(
+                    job, stream, attempt_counters, on_sample=on_sample
+                )
+                return produced, attempt_counters
+
+            produced, task_counters = runner.run(
+                f"reduce-{reducer_index}", reduce_attempt
+            )
+            counters.merge(task_counters)
+            output[reducer_index] = produced
+            counters.increment("reduce.tasks")
+        times.shuffle_done = times.last_map_done
+        times.sort_done = times.shuffle_done
+        times.reduce_done = watch.elapsed()
+        times.job_done = watch.elapsed()
+        self.last_run_attempts = dict(runner.attempts_made)
+        return finish_result(job, output, counters, times)

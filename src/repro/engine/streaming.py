@@ -1,0 +1,224 @@
+"""Online (streaming) barrier-less execution.
+
+§7 relates barrier-less MapReduce to online processing: "online processing
+applications such as event monitoring or stream processing require
+breaking the barrier to keep computations up-to-date ... we present a
+general framework for breaking the barrier that can be used for both
+online and batch processing."  This engine is that online half.
+
+A :class:`StreamingEngine` accepts input in arbitrary micro-batches
+(:meth:`push`), maps and routes records immediately, and folds them into
+long-lived per-reducer partial-result stores.  At any moment
+:meth:`snapshot` returns the job's *current* answer — e.g. running word
+counts — which is only possible because the reduce path never waits for
+"all values of a key": exactly the capability the barrier precluded.
+:meth:`close` ends the stream and returns the final result, equal to what
+a batch run over the concatenated input would produce.
+
+Each reducer runs ``Reducer.run`` unmodified on its own thread, consuming
+a blocking record queue, so every barrier-less reducer written for the
+batch engines works on streams without change.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Iterator, Sequence
+
+from repro.core.api import ReduceContext
+from repro.core.job import JobSpec
+from repro.core.patterns import BarrierlessReducer
+from repro.core.types import (
+    Counters,
+    ExecutionMode,
+    InvalidJobError,
+    JobResult,
+    Key,
+    Record,
+    StageTimes,
+    Value,
+)
+from repro.engine.base import (
+    finish_result,
+    partition_records,
+    prepare_reducer,
+    run_map_task,
+)
+
+_SENTINEL = None
+
+
+class _SyncToken:
+    """A marker flushed through a reducer queue for exact snapshots.
+
+    When the reducer thread dequeues the token, every record enqueued
+    before it has been fully folded into the store, so a snapshot taken
+    after :meth:`wait` is exact — not merely "probably drained".
+    """
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def arm(self) -> None:
+        self._event.set()
+
+    def wait(self, timeout: float = 10.0) -> bool:
+        return self._event.wait(timeout)
+
+
+class _LockedStore:
+    """Serialises store access between the reduce thread and snapshots."""
+
+    def __init__(self, inner, lock: threading.Lock):
+        self._inner = inner
+        self._lock = lock
+
+    def get(self, key, default=None):
+        with self._lock:
+            return self._inner.get(key, default)
+
+    def put(self, key, value):
+        with self._lock:
+            self._inner.put(key, value)
+
+    def contains(self, key):
+        with self._lock:
+            return self._inner.contains(key)
+
+    def items(self):
+        with self._lock:
+            return list(self._inner.items())
+
+    def finalize(self):
+        with self._lock:
+            self._inner.finalize()
+
+    def memory_used(self):
+        with self._lock:
+            return self._inner.memory_used()
+
+    def __len__(self):
+        with self._lock:
+            return len(self._inner)
+
+
+class _QueueGroups:
+    """Blocking grouped-record iterable feeding a reducer thread."""
+
+    def __init__(self, records: "queue.Queue"):
+        self._records = records
+
+    def __iter__(self) -> Iterator[tuple[Key, list[Value]]]:
+        while True:
+            item = self._records.get()
+            if item is _SENTINEL:
+                return
+            if isinstance(item, _SyncToken):
+                item.arm()
+                continue
+            yield item.key, [item.value]
+
+
+class _ReducerSession:
+    """One long-lived reducer: its thread, queue, store and context."""
+
+    def __init__(self, job: JobSpec, reducer_index: int):
+        self.queue: "queue.Queue" = queue.Queue()
+        self.lock = threading.Lock()
+        self.counters = Counters()
+        self.reducer = prepare_reducer(job)
+        self.store = None
+        if isinstance(self.reducer, BarrierlessReducer):
+            locked = _LockedStore(self.reducer.store, self.lock)
+            self.reducer.attach_store(locked)
+            self.store = locked
+        self.context = ReduceContext(_QueueGroups(self.queue), self.counters)
+        self.thread = threading.Thread(
+            target=self.reducer.run,
+            args=(self.context,),
+            name=f"stream-reduce-{reducer_index}",
+            daemon=True,
+        )
+        self.thread.start()
+
+
+class StreamingEngine:
+    """Continuous barrier-less execution with live snapshots."""
+
+    def __init__(self, job: JobSpec):
+        if job.mode is not ExecutionMode.BARRIERLESS:
+            raise InvalidJobError(
+                "streaming requires barrier-less mode: a barrier job cannot "
+                "reduce before its input ends"
+            )
+        job.validate()
+        self.job = job
+        self.counters = Counters()
+        self._sessions = [
+            _ReducerSession(job, i) for i in range(job.num_reducers)
+        ]
+        self._closed = False
+        self._pushed_batches = 0
+
+    # -- streaming input ----------------------------------------------------
+
+    def push(self, pairs: Sequence[tuple[Key, Value]]) -> None:
+        """Feed one micro-batch of input pairs (maps and routes now)."""
+        if self._closed:
+            raise RuntimeError("stream already closed")
+        records = run_map_task(self.job, pairs, self.counters)
+        partitions = partition_records(self.job, records)
+        for index, part in partitions.items():
+            for record in part:
+                self._sessions[index].queue.put(record)
+        self._pushed_batches += 1
+
+    # -- live output ----------------------------------------------------------
+
+    def snapshot(self) -> dict[Key, Value]:
+        """The current partial answer across all reducers.
+
+        Available for store-backed (``BarrierlessReducer``) jobs: the
+        snapshot is each key's present partial result.  For aggregations
+        this is the running aggregate — the "up-to-date computation" of
+        online processing.  Reducers without a store (identity, cross-key,
+        running aggregates) contribute their already-written output.
+        """
+        if self._closed:
+            raise RuntimeError("stream already closed")
+        # Flush a sync token through every queue: once it arms, every
+        # record enqueued before this snapshot has been folded.
+        tokens = []
+        for session in self._sessions:
+            token = _SyncToken()
+            session.queue.put(token)
+            tokens.append(token)
+        for token in tokens:
+            if not token.wait():
+                raise RuntimeError("reducer stalled; snapshot timed out")
+        current: dict[Key, Value] = {}
+        for session in self._sessions:
+            if session.store is not None:
+                for key, value in session.store.items():
+                    current[key] = value
+        return current
+
+    # -- termination -------------------------------------------------------------
+
+    def close(self) -> JobResult:
+        """End the stream; returns the final batch-equivalent result."""
+        if self._closed:
+            raise RuntimeError("stream already closed")
+        self._closed = True
+        for session in self._sessions:
+            session.queue.put(_SENTINEL)
+        output: dict[int, list[Record]] = {}
+        for index, session in enumerate(self._sessions):
+            session.thread.join(timeout=30.0)
+            if session.thread.is_alive():  # pragma: no cover - watchdog
+                raise RuntimeError(f"reducer {index} failed to terminate")
+            output[index] = session.context.drain()
+            self.counters.merge(session.counters)
+            self.counters.increment("reduce.tasks")
+        return finish_result(self.job, output, self.counters, StageTimes())

@@ -1,0 +1,78 @@
+"""Memory-management substrate for barrier-less partial results (§5).
+
+Three interchangeable :class:`~repro.core.partial.PartialResultStore`
+implementations:
+
+- :class:`TreeMapStore` — everything in a red-black tree on the heap
+  (fast; can OOM — Figure 5(a)).
+- :class:`SpillMergeStore` — disk spill and merge (§5.1, Figure 5(b)).
+- :class:`SpillingKVStore` — LRU-cached log-backed KV store, the
+  BerkeleyDB stand-in (§5.2).
+
+Plus the building blocks: :class:`TreeMap` (the red-black tree itself),
+byte estimation (:mod:`repro.memory.estimator`) and eviction policies
+(:mod:`repro.memory.policies`).
+"""
+
+from repro.core.job import MemoryConfig
+from repro.core.partial import MergeFunction
+from repro.memory.estimator import (
+    ENTRY_OVERHEAD_BYTES,
+    MemoryTracker,
+    deep_size,
+    entry_size,
+    shallow_size,
+)
+from repro.memory.kvstore import SpillingKVStore
+from repro.memory.policies import FIFOCache, LRUCache
+from repro.memory.spill import SpillMergeStore
+from repro.memory.store import TreeMapStore
+from repro.memory.treemap import TreeMap
+
+__all__ = [
+    "ENTRY_OVERHEAD_BYTES",
+    "FIFOCache",
+    "LRUCache",
+    "MemoryTracker",
+    "SpillMergeStore",
+    "SpillingKVStore",
+    "TreeMap",
+    "TreeMapStore",
+    "deep_size",
+    "entry_size",
+    "make_store",
+    "shallow_size",
+]
+
+
+def make_store(
+    config: MemoryConfig,
+    merge_fn: MergeFunction | None = None,
+    on_sample=None,
+):
+    """Build the partial-result store a :class:`MemoryConfig` describes.
+
+    Engines call this once per reduce task.  ``merge_fn`` is required for
+    the spill-and-merge technique; ``on_sample`` propagates heap-trace
+    callbacks into whichever store is chosen.
+    """
+    if config.store == "inmemory":
+        return TreeMapStore(
+            heap_limit_bytes=config.heap_limit_bytes, on_sample=on_sample
+        )
+    if config.store == "spillmerge":
+        if merge_fn is None:
+            raise ValueError("spillmerge store requires a merge_fn")
+        return SpillMergeStore(
+            merge_fn=merge_fn,
+            spill_threshold_bytes=config.spill_threshold_bytes or (1 << 20),
+            spill_dir=config.spill_dir,
+            on_sample=on_sample,
+        )
+    if config.store == "kvstore":
+        return SpillingKVStore(
+            cache_bytes=config.kv_cache_bytes or (1 << 20),
+            dir_path=config.spill_dir,
+            on_sample=on_sample,
+        )
+    raise ValueError(f"unknown store kind: {config.store!r}")

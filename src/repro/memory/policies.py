@@ -1,0 +1,123 @@
+"""Cache eviction policies for the disk-spilling key/value store (§5.2).
+
+BerkeleyDB-style stores keep a bounded in-memory cache and evict to disk
+under a policy "like Least Recently Used (LRU)".  ``LRUCache`` is that
+policy with byte-based capacity accounting; ``FIFOCache`` is provided as an
+ablation comparator.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Hashable, Iterator
+
+
+class LRUCache:
+    """Byte-bounded LRU cache.
+
+    ``capacity_bytes`` bounds the sum of entry costs; inserting past the
+    bound evicts least-recently-used entries, invoking ``on_evict(key,
+    value)`` for each so the owner can persist dirty state.  A single entry
+    larger than the capacity is admitted alone (the store must always be
+    able to hold the entry it is working on) and evicts everything else.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        on_evict: Callable[[Hashable, Any], None] | None = None,
+    ) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        self.capacity_bytes = capacity_bytes
+        self._on_evict = on_evict
+        self._entries: OrderedDict[Hashable, tuple[Any, int]] = OrderedDict()
+        self._used = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    @property
+    def used_bytes(self) -> int:
+        """Current total cost of cached entries."""
+        return self._used
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Fetch and mark recently-used; counts a hit or miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return default
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return entry[0]
+
+    def peek(self, key: Hashable, default: Any = None) -> Any:
+        """Fetch without touching recency or hit statistics."""
+        entry = self._entries.get(key)
+        return default if entry is None else entry[0]
+
+    def put(self, key: Hashable, value: Any, cost: int) -> None:
+        """Insert/replace an entry of ``cost`` bytes, evicting as needed."""
+        if cost < 0:
+            raise ValueError("cost must be non-negative")
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._used -= old[1]
+        self._entries[key] = (value, cost)
+        self._used += cost
+        self._evict_to_capacity(protect=key)
+
+    def remove(self, key: Hashable) -> bool:
+        """Drop an entry without invoking the eviction callback."""
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return False
+        self._used -= entry[1]
+        return True
+
+    def items(self) -> Iterator[tuple[Hashable, Any]]:
+        """Entries from least- to most-recently used."""
+        for key, (value, _) in self._entries.items():
+            yield key, value
+
+    def flush(self) -> None:
+        """Evict everything through the callback (e.g. at finalize)."""
+        while self._entries:
+            key, (value, cost) = self._entries.popitem(last=False)
+            self._used -= cost
+            self.evictions += 1
+            if self._on_evict is not None:
+                self._on_evict(key, value)
+
+    def _evict_to_capacity(self, protect: Hashable) -> None:
+        while self._used > self.capacity_bytes and len(self._entries) > 1:
+            key, (value, cost) = next(iter(self._entries.items()))
+            if key == protect and len(self._entries) > 1:
+                # The protected (just-inserted) entry is oldest only when it
+                # replaced an existing key; skip it by re-queuing at the end.
+                self._entries.move_to_end(key)
+                continue
+            del self._entries[key]
+            self._used -= cost
+            self.evictions += 1
+            if self._on_evict is not None:
+                self._on_evict(key, value)
+
+
+class FIFOCache(LRUCache):
+    """First-in-first-out variant: ``get`` does not refresh recency."""
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return default
+        self.hits += 1
+        return entry[0]

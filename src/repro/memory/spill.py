@@ -1,0 +1,218 @@
+"""Disk spill-and-merge partial-result store (§5.1, Figure 5(b)).
+
+The store buffers partial results in an in-memory red-black tree.  When the
+estimated footprint reaches ``spill_threshold_bytes`` the entire buffer is
+drained *in key order* into a newly created spill file.  The final
+``finalize``/``items`` pass performs the paper's merge phase: a k-way merge
+across all spill files plus the residual in-memory buffer, combining the
+partial results of equal keys with a user ``merge_fn`` (functionally the
+combiner) and yielding each key exactly once in ascending order.
+
+Spill files are real files: entries are pickled sequentially, so the merge
+streams from disk with O(#files) resident entries rather than reloading
+spills wholesale.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import pickle
+import tempfile
+from typing import BinaryIO, Callable, Iterator
+
+from repro.core.partial import MergeFunction
+from repro.core.types import Key, Value
+from repro.memory.estimator import MemoryTracker, entry_size
+from repro.memory.treemap import TreeMap
+
+
+class _SpillFileReader:
+    """Sequential reader over one pickled spill file."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._fh: BinaryIO | None = open(path, "rb")
+
+    def __iter__(self) -> Iterator[tuple[Key, Value]]:
+        assert self._fh is not None
+        while True:
+            try:
+                yield pickle.load(self._fh)
+            except EOFError:
+                break
+        self.close()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+class SpillMergeStore:
+    """Partial-result store with threshold-triggered spills and k-way merge.
+
+    Implements :class:`repro.core.partial.PartialResultStore`.  Lookups
+    (``get``/``contains``) see only the in-memory buffer — a key whose
+    partial result was spilled starts a fresh partial, and the merge phase
+    reconciles the pieces.  That is exactly the paper's design: "partial
+    results for a single key may be spilled onto multiple different spill
+    files", requiring the merge function to be commutative/associative.
+
+    ``on_sample`` receives the footprint estimate after every mutation so
+    heap traces (Figure 5(b)) can be collected.
+    """
+
+    def __init__(
+        self,
+        merge_fn: MergeFunction,
+        spill_threshold_bytes: int = 1 << 20,
+        spill_dir: str | None = None,
+        on_sample: Callable[[int], None] | None = None,
+    ) -> None:
+        if spill_threshold_bytes <= 0:
+            raise ValueError("spill_threshold_bytes must be positive")
+        self._merge_fn = merge_fn
+        self._threshold = spill_threshold_bytes
+        self._buffer = TreeMap()
+        self._tracker = MemoryTracker()
+        self._sizes: dict[Key, int] = {}
+        self._spill_paths: list[str] = []
+        self._owned_dir: tempfile.TemporaryDirectory | None = None
+        if spill_dir is None:
+            self._owned_dir = tempfile.TemporaryDirectory(prefix="repro-spill-")
+            self._dir = self._owned_dir.name
+        else:
+            os.makedirs(spill_dir, exist_ok=True)
+            self._dir = spill_dir
+        self._on_sample = on_sample
+        self._finalized = False
+        self.spill_count = 0
+        self.spilled_entries = 0
+
+    # -- PartialResultStore protocol ----------------------------------------
+
+    def get(self, key: Key, default: Value = None) -> Value:
+        return self._buffer.get(key, default)
+
+    def put(self, key: Key, value: Value) -> None:
+        if self._finalized:
+            raise RuntimeError("store already finalized")
+        new_cost = entry_size(key, value)
+        old_cost = self._sizes.get(key, 0)
+        # Spill *before* inserting: the entry being written must survive in
+        # the buffer so the reducer's read-modify-update cycle can read it
+        # back on the next fold.  (Spilling it away mid-cycle would hand
+        # the reducer a missing partial.)  Crucially, the *previous*
+        # version of this key must NOT reach the spill file: the incoming
+        # value replaces it, and merging both at the end would double-count
+        # everything the old partial already folded in.
+        if self._tracker.used + new_cost - old_cost >= self._threshold:
+            if old_cost:
+                self._buffer.remove(key)
+                self._sizes.pop(key, None)
+                self._tracker.discharge(old_cost)
+            self._spill()
+            old_cost = 0
+        self._buffer.put(key, value)
+        self._sizes[key] = new_cost
+        if new_cost >= old_cost:
+            self._tracker.charge(new_cost - old_cost)
+        else:
+            self._tracker.discharge(old_cost - new_cost)
+        if self._on_sample is not None:
+            self._on_sample(self._tracker.used)
+
+    def contains(self, key: Key) -> bool:
+        return key in self._buffer
+
+    def items(self) -> Iterator[tuple[Key, Value]]:
+        """Merged (key, partial) stream in ascending key order.
+
+        Valid once per store after :meth:`finalize`; before finalize it
+        exposes only the in-memory buffer (useful for inspection in tests).
+        """
+        if not self._finalized:
+            yield from self._buffer.items()
+            return
+        yield from self._merged_stream()
+
+    def finalize(self) -> None:
+        """Enter the merge phase; subsequent ``items()`` sees all spills."""
+        self._finalized = True
+
+    def memory_used(self) -> int:
+        return self._tracker.used
+
+    def __len__(self) -> int:
+        # Number of distinct keys is unknowable without a merge; report the
+        # buffered count plus spilled entries as an upper bound, which is
+        # what spill-accounting call sites (benches) want.
+        return len(self._buffer) + self.spilled_entries
+
+    # -- extras -------------------------------------------------------------------
+
+    @property
+    def peak_memory(self) -> int:
+        """High-water mark of the in-memory footprint."""
+        return self._tracker.peak
+
+    @property
+    def num_spill_files(self) -> int:
+        """How many spill files exist so far."""
+        return len(self._spill_paths)
+
+    def close(self) -> None:
+        """Delete spill files and release the temporary directory."""
+        for path in self._spill_paths:
+            try:
+                os.unlink(path)
+            except FileNotFoundError:
+                pass
+        self._spill_paths.clear()
+        if self._owned_dir is not None:
+            self._owned_dir.cleanup()
+            self._owned_dir = None
+
+    # -- internals ------------------------------------------------------------------
+
+    def _spill(self) -> None:
+        """Drain the buffer to a new spill file, sorted by key."""
+        if len(self._buffer) == 0:
+            return
+        path = os.path.join(self._dir, f"spill-{self.spill_count:05d}.pkl")
+        with open(path, "wb") as fh:
+            for key, value in self._buffer.items():
+                pickle.dump((key, value), fh, protocol=pickle.HIGHEST_PROTOCOL)
+                self.spilled_entries += 1
+        self._spill_paths.append(path)
+        self.spill_count += 1
+        self._buffer.clear()
+        self._sizes.clear()
+        self._tracker.reset()
+        if self._on_sample is not None:
+            self._on_sample(self._tracker.used)
+
+    def _merged_stream(self) -> Iterator[tuple[Key, Value]]:
+        """K-way merge over spill files + buffer, merging equal keys."""
+        streams: list[Iterator[tuple[Key, Value]]] = [
+            iter(_SpillFileReader(path)) for path in self._spill_paths
+        ]
+        streams.append(self._buffer.items())
+
+        # heapq.merge performs the "repeatedly read the globally lowest
+        # key" loop of §5.1 across all sorted runs.
+        merged = heapq.merge(*streams, key=lambda entry: entry[0])
+        current_key: Key = None
+        current_value: Value = None
+        have_current = False
+        for key, value in merged:
+            if have_current and key == current_key:
+                current_value = self._merge_fn(current_value, value)
+            else:
+                if have_current:
+                    yield current_key, current_value
+                current_key, current_value = key, value
+                have_current = True
+        if have_current:
+            yield current_key, current_value

@@ -1,0 +1,65 @@
+"""Discrete-event cluster simulator — the 16-node testbed stand-in.
+
+Substitutes for the paper's Cloud Computing Testbed (see DESIGN.md): a
+deterministic event simulator over nodes, slots, disks and an
+oversubscribed network, executing job *profiles* in barrier or
+barrier-less mode with the §5 memory-management techniques.
+"""
+
+from repro.sim.cluster import ClusterSpec, NodeSpec, paper_testbed
+from repro.sim.events import Simulator, SimulationError, SlotPool
+from repro.sim.dfs import (
+    Chunk,
+    DistributedFileSystem,
+    FileLayout,
+    LocalityStats,
+    schedule_with_locality,
+)
+from repro.sim.hadoop import (
+    HadoopSimulator,
+    MemoryTechnique,
+    NodeFailure,
+    ReducerTrace,
+    SimJobResult,
+    improvement_percent,
+)
+from repro.sim.workload import (
+    PROFILE_BUILDERS,
+    JobProfile,
+    MemoryProfile,
+    blackscholes_profile,
+    genetic_profile,
+    knn_profile,
+    lastfm_profile,
+    sort_profile,
+    wordcount_profile,
+)
+
+__all__ = [
+    "Chunk",
+    "ClusterSpec",
+    "DistributedFileSystem",
+    "FileLayout",
+    "LocalityStats",
+    "NodeFailure",
+    "HadoopSimulator",
+    "JobProfile",
+    "MemoryProfile",
+    "MemoryTechnique",
+    "NodeSpec",
+    "PROFILE_BUILDERS",
+    "ReducerTrace",
+    "SimJobResult",
+    "SimulationError",
+    "Simulator",
+    "SlotPool",
+    "schedule_with_locality",
+    "blackscholes_profile",
+    "genetic_profile",
+    "improvement_percent",
+    "knn_profile",
+    "lastfm_profile",
+    "paper_testbed",
+    "sort_profile",
+    "wordcount_profile",
+]

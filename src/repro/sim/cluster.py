@@ -1,0 +1,103 @@
+"""Cluster hardware model: nodes, disks, network, heterogeneity.
+
+Defaults mirror the paper's Cloud Computing Testbed configuration (§6): 16
+nodes — one master, 15 slaves — dual quad-core (8 cores), Gigabit
+ethernet, local disks, 4 map + 4 reduce slots per node, HDFS with 64 MB
+chunks and 3-way replication.
+
+Commodity datacenters "often show differences in performance between
+machines, and they have oversubscribed links" (§2); both effects are
+modelled: per-node speed factors drawn around 1.0, and an oversubscription
+divisor on cross-rack bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+MB = 1024 * 1024
+GB = 1024 * MB
+
+
+@dataclass(frozen=True, slots=True)
+class NodeSpec:
+    """One slave node's capabilities."""
+
+    node_id: int
+    speed_factor: float  # CPU multiplier; 1.0 is nominal
+    disk_mb_s: float  # sequential disk bandwidth, MB/s
+    net_mb_s: float  # effective NIC bandwidth, MB/s
+
+
+@dataclass(slots=True)
+class ClusterSpec:
+    """Whole-cluster configuration (defaults: the paper's testbed)."""
+
+    num_slaves: int = 15
+    map_slots_per_node: int = 4
+    reduce_slots_per_node: int = 4
+    disk_mb_s: float = 80.0
+    net_mb_s: float = 110.0  # GigE payload rate
+    oversubscription: float = 2.0  # effective shuffle bandwidth divisor
+    heterogeneity: float = 0.1  # stddev of per-node speed factors
+    chunk_mb: float = 64.0
+    replication: int = 3
+    #: Per-fetch connection/seek overhead a reducer pays for each map
+    #: output it pulls (HTTP setup + mapper-side disk seek in Hadoop).
+    fetch_latency_s: float = 0.08
+    #: Whether the JobTracker prefers data-local map tasks (Hadoop's
+    #: behaviour).  Disable for the locality ablation bench.
+    locality_aware: bool = True
+    #: Launch backup copies of straggling map tasks on idle slots once no
+    #: unstarted work remains (speculative execution, as in Hadoop and the
+    #: LATE scheduler the paper cites [23]).  First finisher wins.
+    speculative_execution: bool = False
+    heap_limit_mb: float = 1280.0  # Figure 5's "Maximum heap space"
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.num_slaves <= 0:
+            raise ValueError("num_slaves must be positive")
+        if self.map_slots_per_node <= 0 or self.reduce_slots_per_node <= 0:
+            raise ValueError("slot counts must be positive")
+        if self.oversubscription < 1.0:
+            raise ValueError("oversubscription must be >= 1.0")
+        if self.heterogeneity < 0.0:
+            raise ValueError("heterogeneity must be >= 0")
+
+    @property
+    def total_map_slots(self) -> int:
+        """Cluster-wide simultaneous map task capacity (paper: 60)."""
+        return self.num_slaves * self.map_slots_per_node
+
+    @property
+    def total_reduce_slots(self) -> int:
+        """Cluster-wide simultaneous reduce task capacity (paper: 60)."""
+        return self.num_slaves * self.reduce_slots_per_node
+
+    @property
+    def shuffle_mb_s(self) -> float:
+        """Per-reducer effective ingest bandwidth during the shuffle."""
+        return self.net_mb_s / self.oversubscription
+
+    def nodes(self) -> list[NodeSpec]:
+        """Instantiate per-node specs with seeded heterogeneity."""
+        rng = np.random.default_rng(self.seed)
+        factors = rng.normal(1.0, self.heterogeneity, size=self.num_slaves)
+        factors = np.clip(factors, 0.5, 1.5)
+        return [
+            NodeSpec(
+                node_id=i,
+                speed_factor=float(factors[i]),
+                disk_mb_s=self.disk_mb_s,
+                net_mb_s=self.net_mb_s,
+            )
+            for i in range(self.num_slaves)
+        ]
+
+
+def paper_testbed() -> ClusterSpec:
+    """The §6 configuration: 15 slaves, 4+4 slots, GigE, 64 MB chunks."""
+    return ClusterSpec()

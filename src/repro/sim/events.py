@@ -1,0 +1,114 @@
+"""Discrete-event simulation core.
+
+A minimal, deterministic event engine: events are ``(time, sequence,
+callback)`` triples in a binary heap; ties in time break by insertion
+sequence so runs are exactly reproducible.  The simulator exposes virtual
+time only — nothing here touches wall clocks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+
+class SimulationError(RuntimeError):
+    """Raised on malformed schedules (negative delays, post-hoc events)."""
+
+
+class Simulator:
+    """Deterministic discrete-event loop over virtual seconds."""
+
+    def __init__(self) -> None:
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._sequence = 0
+        self.now = 0.0
+        self._processed = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to run ``delay`` virtual seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        self.at(self.now + delay, callback)
+
+    def at(self, time: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at absolute virtual ``time``."""
+        if time < self.now - 1e-12:
+            raise SimulationError(f"cannot schedule at {time} before now={self.now}")
+        heapq.heappush(self._queue, (time, self._sequence, callback))
+        self._sequence += 1
+
+    def run(self, until: float | None = None) -> None:
+        """Process events in time order until the queue drains.
+
+        With ``until`` set, stops once the next event would be later and
+        advances ``now`` to ``until``.
+        """
+        while self._queue:
+            time, _seq, callback = self._queue[0]
+            if until is not None and time > until:
+                self.now = until
+                return
+            heapq.heappop(self._queue)
+            if time > self.now:
+                self.now = time
+            self._processed += 1
+            callback()
+        if until is not None and until > self.now:
+            self.now = until
+
+    @property
+    def events_processed(self) -> int:
+        """How many events have run (monotonicity checks in tests)."""
+        return self._processed
+
+    @property
+    def pending(self) -> int:
+        """Events still queued."""
+        return len(self._queue)
+
+
+class SlotPool:
+    """A counted pool of identical execution slots with FIFO queueing.
+
+    Models map/reduce slots on the cluster: ``acquire`` either grants a
+    slot immediately or queues the request; ``release`` hands the slot to
+    the oldest waiter.  Grant callbacks run as simulator events so slot
+    handoff is correctly interleaved with other activity.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._sim = sim
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: list[Callable[[], None]] = []
+
+    @property
+    def in_use(self) -> int:
+        """Slots currently held."""
+        return self._in_use
+
+    @property
+    def queued(self) -> int:
+        """Requests waiting for a slot."""
+        return len(self._waiters)
+
+    def acquire(self, granted: Callable[[], None]) -> None:
+        """Request a slot; ``granted`` runs (as an event) once one is free."""
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            self._sim.schedule(0.0, granted)
+        else:
+            self._waiters.append(granted)
+
+    def release(self) -> None:
+        """Return a slot, waking the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError("release() without a held slot")
+        if self._waiters:
+            granted = self._waiters.pop(0)
+            self._sim.schedule(0.0, granted)
+        else:
+            self._in_use -= 1

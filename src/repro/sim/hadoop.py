@@ -1,0 +1,590 @@
+"""Simulated Hadoop: barrier and barrier-less job execution on a cluster.
+
+The simulator executes a :class:`~repro.sim.workload.JobProfile` on a
+:class:`~repro.sim.cluster.ClusterSpec` at task/transfer granularity:
+
+- **Map stage** — event-driven scheduling of map tasks onto per-node map
+  slots (waves appear naturally when tasks exceed slots); a task's
+  duration is chunk read + CPU (divided by the node's heterogeneous speed
+  factor) + local write of its map output.
+- **Shuffle** — each reducer ingests its partition of every map output
+  through an effective per-reducer bandwidth (NIC rate divided by the
+  oversubscription factor).  Fetches begin as mappers finish, so the
+  shuffle overlaps the map stage in *both* modes, exactly as in Hadoop.
+- **Barrier reduce** — reduce work starts only after the last fetch
+  *and* the merge sort: ``shuffle → sort → reduce → DFS write`` in series
+  (Figure 2).
+- **Barrier-less reduce** — reduce CPU (plus the partial-result store's
+  read-modify-update cost) is pipelined with arrival: the reducer's CPU
+  clock advances chunk by chunk as data lands, then a final sweep emits
+  the store contents (Figure 3).  No sort.
+
+Reducer memory follows the job's :class:`MemoryProfile` and the selected
+memory-management technique, reproducing the §5 behaviours: in-memory
+stores OOM-kill the job at the heap limit; spill-and-merge pays spill
+writes and a merge read; the key/value store pays a per-record operation
+cost with an LRU hit model (the ~30 k ops/s ceiling of §6.3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.types import ExecutionMode, StageTimes
+from repro.engine.instrument import TaskLog
+from repro.sim.cluster import ClusterSpec, NodeSpec
+from repro.sim.dfs import (
+    DistributedFileSystem,
+    LocalityStats,
+    schedule_with_locality,
+)
+from repro.sim.events import Simulator
+from repro.sim.workload import JobProfile, MB
+
+
+@dataclass(slots=True)
+class MemoryTechnique:
+    """Reducer-side memory management selection for simulation (§5).
+
+    ``kind`` is one of ``"unbounded"`` (no heap accounting — the paper's
+    original-Hadoop reducers), ``"inmemory"``, ``"spillmerge"`` or
+    ``"kvstore"``.
+    """
+
+    kind: str = "unbounded"
+    spill_threshold_mb: float = 240.0  # Figure 5(b)'s threshold
+    kv_cache_mb: float = 64.0
+    kv_op_seconds: float = 1.0 / 30_000.0  # §6.3: ~30k inserts/s
+    kv_miss_penalty_s: float = 2.0e-5  # amortised disk read on cache miss
+    #: Temporal-locality exponent of the LRU hit model: Zipf-skewed key
+    #: streams give hit ratios far above cache_size/working_set, which is
+    #: how BerkeleyDB "can exploit temporal locality" (§5.3).
+    kv_locality: float = 0.25
+    merge_cpu_s_per_mb: float = 0.01
+    #: Fraction of spill-write time hidden behind the fetch pipeline (the
+    #: spill runs on an async I/O thread while the reducer keeps folding).
+    spill_write_overlap: float = 0.7
+    #: Fraction of merge-phase read time hidden behind merge CPU
+    #: (readahead across the sorted runs).
+    merge_read_overlap: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.kind not in {"unbounded", "inmemory", "spillmerge", "kvstore"}:
+            raise ValueError(f"unknown memory technique: {self.kind!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class NodeFailure:
+    """Kill one slave node at a virtual time during the map stage.
+
+    Models the machine-failure scenario Hadoop's fault tolerance covers:
+    the node's running map attempts are lost and its completed map output
+    (stored on its local disk) becomes unreadable, forcing re-execution
+    on the survivors.  Both execution modes recover identically — the
+    paper's §8 claim that barrier removal "preserves the fault tolerance
+    of the original MapReduce model".
+    """
+
+    node_id: int
+    at_time: float
+
+
+@dataclass(slots=True)
+class ReducerTrace:
+    """Per-reducer simulation outcome."""
+
+    reducer_id: int
+    start: float
+    shuffle_done: float
+    sort_done: float
+    finish: float
+    records: float
+    spills: int = 0
+    heap_samples: list[tuple[float, float]] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class SimJobResult:
+    """Outcome of one simulated job execution."""
+
+    profile_name: str
+    mode: ExecutionMode
+    completion_time: float
+    failed: bool
+    failure_time: float | None
+    failure_reason: str | None
+    stage_times: StageTimes
+    task_log: TaskLog
+    map_finish_times: list[float]
+    reducers: list[ReducerTrace]
+    locality: LocalityStats = field(default_factory=LocalityStats)
+    #: Map tasks re-executed due to an injected node failure.
+    reexecuted_maps: int = 0
+    #: Speculative backup attempts launched / that finished first.
+    speculative_attempts: int = 0
+    speculative_wins: int = 0
+
+    @property
+    def mapper_slack(self) -> float:
+        """First-map-done to shuffle-done interval (§3.2's definition)."""
+        return self.stage_times.mapper_slack
+
+
+class HadoopSimulator:
+    """Simulates barrier and barrier-less executions on one cluster."""
+
+    def __init__(self, cluster: ClusterSpec | None = None):
+        self.cluster = cluster if cluster is not None else ClusterSpec()
+        self._nodes = self.cluster.nodes()
+        self._load_cache: dict[tuple[int, int, float], list[float]] = {}
+
+    def _load_factors(self, profile: JobProfile, num_reducers: int) -> list[float]:
+        """Per-reducer partition load multipliers (cached per job shape)."""
+        key = (id(profile), num_reducers, profile.partition_skew)
+        factors = self._load_cache.get(key)
+        if factors is None:
+            factors = profile.reducer_load_factors(
+                num_reducers, seed=self.cluster.seed
+            )
+            self._load_cache[key] = factors
+        return factors
+
+    # ------------------------------------------------------------------ map
+
+    def _simulate_map_stage(
+        self,
+        profile: JobProfile,
+        task_log: TaskLog,
+        failure: "NodeFailure | None" = None,
+    ) -> tuple[list[float], LocalityStats, int, dict[str, int]]:
+        """Run map tasks on per-node slots with HDFS chunk locality.
+
+        The job input is placed on the DFS (one chunk per map task); each
+        free slot prefers a data-local pending chunk, else steals a remote
+        one and pays a network read instead of a disk read.
+
+        An optional :class:`NodeFailure` kills one node at a virtual time:
+        its in-flight map tasks are lost AND its *completed* tasks must
+        re-execute (map output lives on the failed node's local disk —
+        the write-local design the paper builds on), all on the surviving
+        nodes.  Returns (sorted finish times, locality stats, number of
+        re-executed tasks).
+        """
+        sim = Simulator()
+        cluster = self.cluster
+        nodes = self._nodes
+        dfs = DistributedFileSystem(
+            num_nodes=cluster.num_slaves,
+            replication=cluster.replication,
+            seed=cluster.seed,
+        )
+        chunk_mb = max(profile.map_input_mb_per_task, 1e-6)
+        layout = dfs.write_file(profile.num_maps * chunk_mb, chunk_mb)
+        pending: set[int] = {chunk.chunk_id for chunk in layout.chunks}
+        locality = LocalityStats()
+        remote_read_rate = cluster.shuffle_mb_s
+        dead: set[int] = set()
+        completed: dict[int, tuple[int, float]] = {}  # chunk -> (node, time)
+        running: dict[int, set[int]] = {n.node_id: set() for n in nodes}
+        epoch: dict[int, int] = {n.node_id: 0 for n in nodes}
+        reexecuted = 0
+        # Speculative-execution bookkeeping: expected finish per in-flight
+        # attempt, chunks that already have a backup, and win statistics.
+        expected_finish: dict[tuple[int, int], float] = {}
+        speculated: set[int] = set()
+        spec_stats = {"launched": 0, "wins": 0}
+
+        def task_duration(node: NodeSpec, is_local: bool) -> float:
+            read_rate = node.disk_mb_s if is_local else remote_read_rate
+            read = profile.map_input_mb_per_task / read_rate
+            cpu = profile.map_cpu_s_per_task / node.speed_factor
+            write = profile.map_output_mb_per_task / node.disk_mb_s
+            return read + cpu + write
+
+        def pick_speculation(node: NodeSpec) -> tuple[int, bool] | None:
+            """LATE-style candidate: the running chunk expected to finish
+            last, if a backup here would beat it."""
+            candidates = [
+                (finish_estimate, chunk)
+                for (holder, chunk), finish_estimate in expected_finish.items()
+                if chunk not in completed
+                and chunk not in speculated
+                and holder != node.node_id
+            ]
+            if not candidates:
+                return None
+            worst_finish, chunk = max(candidates)
+            is_local = layout.chunks[chunk].is_local_to(node.node_id)
+            backup_finish = sim.now + task_duration(node, is_local)
+            if backup_finish >= worst_finish:
+                return None
+            return chunk, is_local
+
+        def start_next_on(node: NodeSpec) -> None:
+            if node.node_id in dead:
+                return
+            speculative = False
+            if cluster.locality_aware:
+                chunk_id, is_local = schedule_with_locality(
+                    layout, node.node_id, pending
+                )
+            elif pending:
+                chunk_id = min(pending)
+                is_local = layout.chunks[chunk_id].is_local_to(node.node_id)
+            else:
+                chunk_id, is_local = None, False
+            if chunk_id is None and cluster.speculative_execution:
+                candidate = pick_speculation(node)
+                if candidate is not None:
+                    chunk_id, is_local = candidate
+                    speculative = True
+                    speculated.add(chunk_id)
+                    spec_stats["launched"] += 1
+            if chunk_id is None:
+                return
+            pending.discard(chunk_id)
+            running[node.node_id].add(chunk_id)
+            if is_local:
+                locality.local += 1
+            else:
+                locality.remote += 1
+            start = sim.now
+            my_epoch = epoch[node.node_id]
+            duration = task_duration(node, is_local)
+            expected_finish[(node.node_id, chunk_id)] = start + duration
+
+            def finish() -> None:
+                if node.node_id in dead or epoch[node.node_id] != my_epoch:
+                    return  # the node died mid-task; attempt discarded
+                running[node.node_id].discard(chunk_id)
+                expected_finish.pop((node.node_id, chunk_id), None)
+                if chunk_id in completed:
+                    # The other attempt won; this one is discarded.
+                    start_next_on(node)
+                    return
+                if speculative:
+                    spec_stats["wins"] += 1
+                completed[chunk_id] = (node.node_id, sim.now)
+                task_log.record("map", f"map-{chunk_id}", start, sim.now)
+                start_next_on(node)
+
+            sim.schedule(duration, finish)
+
+        if failure is not None:
+            if not 0 <= failure.node_id < len(nodes):
+                raise ValueError(f"no node {failure.node_id}")
+
+            def fail_node() -> None:
+                nonlocal reexecuted
+                node_id = failure.node_id
+                dead.add(node_id)
+                epoch[node_id] += 1
+                # In-flight attempts are lost.
+                lost_running = set(running[node_id])
+                running[node_id].clear()
+                for key in [k for k in expected_finish if k[0] == node_id]:
+                    del expected_finish[key]
+                # Completed map output on the node's local disk is lost too.
+                lost_completed = {
+                    chunk
+                    for chunk, (holder, _t) in completed.items()
+                    if holder == node_id
+                }
+                for chunk in lost_completed:
+                    del completed[chunk]
+                reexecuted += len(lost_completed) + len(lost_running)
+                pending.update(lost_running | lost_completed)
+                # Wake every surviving node's free slots.
+                for node in nodes:
+                    if node.node_id in dead:
+                        continue
+                    free = cluster.map_slots_per_node - len(running[node.node_id])
+                    for _slot in range(free):
+                        if pending:
+                            start_next_on(node)
+
+            sim.at(failure.at_time, fail_node)
+
+        for node in nodes:
+            for _slot in range(cluster.map_slots_per_node):
+                if pending:
+                    start_next_on(node)
+        sim.run()
+        finish_times = sorted(t for _node, t in completed.values())
+        return finish_times, locality, reexecuted, spec_stats
+
+    # -------------------------------------------------------------- reducers
+
+    def _simulate_reducer(
+        self,
+        profile: JobProfile,
+        mode: ExecutionMode,
+        technique: MemoryTechnique,
+        reducer_id: int,
+        start: float,
+        node: NodeSpec,
+        map_finish_times: list[float],
+        num_reducers: int,
+    ) -> ReducerTrace:
+        """Timing (and heap trace) for one reducer."""
+        cluster = self.cluster
+        load = self._load_factors(profile, num_reducers)[reducer_id]
+        bytes_per_map_mb = load * profile.map_output_mb_per_task / num_reducers
+        ingest_rate = cluster.shuffle_mb_s  # MB/s into this reducer
+        records_per_map = bytes_per_map_mb * MB / profile.record_bytes
+        total_mb = bytes_per_map_mb * len(map_finish_times)
+        output_mb = profile.final_output_mb / num_reducers
+        # DFS writes push replication copies through the pipeline; charge
+        # the write at disk rate divided by a pipeline factor.
+        dfs_write_rate = node.disk_mb_s / max(1.0, cluster.replication - 1.0)
+        speed = node.speed_factor
+        heap_limit_bytes = cluster.heap_limit_mb * MB
+
+        # Arrival schedule: fetch each finished mapper's partition through
+        # the reducer's ingest pipe, FIFO.
+        ingest_busy = start
+        arrivals: list[float] = []
+        for map_done in map_finish_times:
+            fetch_start = max(map_done, ingest_busy)
+            ingest_busy = (
+                fetch_start
+                + cluster.fetch_latency_s
+                + bytes_per_map_mb / ingest_rate
+            )
+            arrivals.append(ingest_busy)
+        shuffle_done = arrivals[-1] if arrivals else start
+
+        trace = ReducerTrace(
+            reducer_id=reducer_id,
+            start=start,
+            shuffle_done=shuffle_done,
+            sort_done=shuffle_done,
+            finish=shuffle_done,
+            records=records_per_map * len(map_finish_times),
+        )
+
+        if mode is ExecutionMode.BARRIER:
+            sort_time = profile.sort_cpu_s_per_mb * total_mb / speed
+            trace.sort_done = shuffle_done + sort_time
+            reduce_cpu = profile.reduce_cpu_s_per_mb * total_mb / speed
+            write_time = output_mb / dfs_write_rate
+            trace.finish = trace.sort_done + reduce_cpu + write_time
+            return trace
+
+        # ---- barrier-less: pipelined consume ------------------------------
+        mem = profile.memory
+        cpu_busy = start
+        records_consumed = 0.0
+        spill_base_records = 0.0
+        spilled_mb = 0.0
+        failed_at: float | None = None
+        per_mb_cost = (profile.reduce_cpu_s_per_mb + profile.store_cpu_s_per_mb) / speed
+        if technique.kind == "kvstore":
+            # Every record pays the store's op cost (a get + a put), plus a
+            # miss penalty scaled by the LRU hit model.
+            distinct = max(1.0, mem.distinct_keys(trace.records))
+            cache_entries = technique.kv_cache_mb * MB / max(1.0, mem.entry_bytes)
+            raw_ratio = min(1.0, cache_entries / distinct)
+            hit_ratio = raw_ratio**technique.kv_locality
+            per_record = technique.kv_op_seconds + (
+                (1.0 - hit_ratio) * technique.kv_miss_penalty_s
+            )
+            per_mb_cost = (
+                profile.reduce_cpu_s_per_mb / speed
+                + per_record * (MB / profile.record_bytes) / speed
+            )
+
+        for arrival in arrivals:
+            begin = max(arrival, cpu_busy)
+            cpu_busy = begin + per_mb_cost * bytes_per_map_mb
+            records_consumed += records_per_map
+            if technique.kind in {"inmemory", "spillmerge"}:
+                current = mem.bytes_at(records_consumed - spill_base_records)
+                trace.heap_samples.append((cpu_busy, current))
+                if technique.kind == "inmemory" and current > heap_limit_bytes:
+                    failed_at = cpu_busy
+                    break
+                if (
+                    technique.kind == "spillmerge"
+                    and current >= technique.spill_threshold_mb * MB
+                ):
+                    spill_mb = current / MB
+                    cpu_busy += (
+                        (1.0 - technique.spill_write_overlap)
+                        * spill_mb
+                        / node.disk_mb_s
+                    )
+                    spilled_mb += spill_mb
+                    spill_base_records = records_consumed
+                    trace.spills += 1
+                    trace.heap_samples.append((cpu_busy, 0.0))
+            elif technique.kind == "kvstore":
+                trace.heap_samples.append(
+                    (cpu_busy, min(technique.kv_cache_mb * MB,
+                                   mem.bytes_at(records_consumed)))
+                )
+            else:  # unbounded
+                trace.heap_samples.append(
+                    (cpu_busy, mem.bytes_at(records_consumed))
+                )
+
+        if failed_at is not None:
+            trace.finish = failed_at
+            trace.sort_done = failed_at
+            trace.records = records_consumed
+            trace.spills = -1  # sentinel consumed by the caller
+            return trace
+
+        # Final sweep + merge + DFS write.
+        finish = cpu_busy
+        if technique.kind == "spillmerge" and spilled_mb > 0.0:
+            residual_mb = mem.bytes_at(records_consumed - spill_base_records) / MB
+            merge_read = (
+                (1.0 - technique.merge_read_overlap) * spilled_mb / node.disk_mb_s
+            )
+            merge_cpu = technique.merge_cpu_s_per_mb * (spilled_mb + residual_mb) / speed
+            finish += merge_read + merge_cpu
+        finish += profile.sweep_s_per_mb * output_mb / speed
+        finish += output_mb / dfs_write_rate
+        trace.finish = finish
+        trace.sort_done = shuffle_done  # no sort stage exists
+        return trace
+
+    # ------------------------------------------------------------------ run
+
+    def run(
+        self,
+        profile: JobProfile,
+        num_reducers: int,
+        mode: ExecutionMode,
+        technique: MemoryTechnique | None = None,
+        failure: NodeFailure | None = None,
+    ) -> SimJobResult:
+        """Simulate one job; returns timings, traces and failure state.
+
+        ``failure`` optionally kills one node during the map stage; the
+        job still completes (on the surviving nodes) in both modes.
+        """
+        if num_reducers <= 0:
+            raise ValueError("num_reducers must be positive")
+        if technique is None:
+            technique = MemoryTechnique()
+        task_log = TaskLog()
+        map_finish_times, locality, reexecuted, spec_stats = (
+            self._simulate_map_stage(profile, task_log, failure)
+        )
+        dead_nodes = {failure.node_id} if failure is not None else set()
+
+        slots = self.cluster.total_reduce_slots
+        waves = math.ceil(num_reducers / slots)
+        wave_start = [0.0] * waves
+        reducers: list[ReducerTrace] = []
+        failed = False
+        failure_time: float | None = None
+        failure_reason: str | None = None
+
+        for wave in range(waves):
+            lo = wave * slots
+            hi = min(num_reducers, (wave + 1) * slots)
+            start = wave_start[wave]
+            wave_traces: list[ReducerTrace] = []
+            for reducer_id in range(lo, hi):
+                node = self._nodes[reducer_id % len(self._nodes)]
+                if node.node_id in dead_nodes:
+                    # Reducers scheduled for the failed node land on the
+                    # next surviving one.
+                    node = self._nodes[(reducer_id + 1) % len(self._nodes)]
+                trace = self._simulate_reducer(
+                    profile,
+                    mode,
+                    technique,
+                    reducer_id,
+                    start,
+                    node,
+                    map_finish_times,
+                    num_reducers,
+                )
+                wave_traces.append(trace)
+                if trace.spills == -1:
+                    failed = True
+                    if failure_time is None or trace.finish < failure_time:
+                        failure_time = trace.finish
+                    failure_reason = (
+                        f"reducer {reducer_id} exceeded "
+                        f"{self.cluster.heap_limit_mb:.0f} MB heap"
+                    )
+            reducers.extend(wave_traces)
+            if wave + 1 < waves:
+                # Next wave's reducers take slots as this wave finishes; the
+                # earliest finisher frees the first slot.
+                wave_start[wave + 1] = min(t.finish for t in wave_traces)
+
+        for trace in reducers:
+            if mode is ExecutionMode.BARRIER:
+                task_log.record(
+                    "shuffle", f"shuffle-{trace.reducer_id}", trace.start,
+                    trace.shuffle_done,
+                )
+                task_log.record(
+                    "sort", f"sort-{trace.reducer_id}", trace.shuffle_done,
+                    trace.sort_done,
+                )
+                task_log.record(
+                    "reduce", f"reduce-{trace.reducer_id}", trace.sort_done,
+                    trace.finish,
+                )
+            else:
+                # A reducer killed mid-pipeline (OOM) ends before its
+                # shuffle would have completed; clamp the boundary.
+                boundary = min(max(trace.start, trace.shuffle_done), trace.finish)
+                task_log.record(
+                    "shuffle+reduce",
+                    f"shuffle+reduce-{trace.reducer_id}",
+                    trace.start,
+                    boundary,
+                )
+                task_log.record(
+                    "output",
+                    f"output-{trace.reducer_id}",
+                    boundary,
+                    trace.finish,
+                )
+
+        completion = (
+            failure_time
+            if failed and failure_time is not None
+            else max((t.finish for t in reducers), default=0.0)
+        )
+        stage_times = StageTimes(
+            map_start=0.0,
+            first_map_done=map_finish_times[0] if map_finish_times else 0.0,
+            last_map_done=map_finish_times[-1] if map_finish_times else 0.0,
+            shuffle_done=max((t.shuffle_done for t in reducers), default=0.0),
+            sort_done=max((t.sort_done for t in reducers), default=0.0),
+            reduce_done=completion,
+            job_done=completion,
+        )
+        return SimJobResult(
+            profile_name=profile.name,
+            mode=mode,
+            completion_time=completion,
+            failed=failed,
+            failure_time=failure_time if failed else None,
+            failure_reason=failure_reason if failed else None,
+            stage_times=stage_times,
+            task_log=task_log,
+            map_finish_times=map_finish_times,
+            reducers=reducers,
+            locality=locality,
+            reexecuted_maps=reexecuted,
+            speculative_attempts=spec_stats["launched"],
+            speculative_wins=spec_stats["wins"],
+        )
+
+
+def improvement_percent(barrier_time: float, barrierless_time: float) -> float:
+    """Job-completion improvement of barrier-less over barrier, in %."""
+    if barrier_time <= 0:
+        raise ValueError("barrier_time must be positive")
+    return 100.0 * (barrier_time - barrierless_time) / barrier_time

@@ -1,0 +1,339 @@
+"""Simulator job profiles: aggregate descriptions of MapReduce jobs.
+
+The simulator works at task/transfer granularity, not record granularity,
+so a job is described by totals: how many map tasks, how long each takes,
+how many bytes it emits, how expensive reduce work is per shuffled MB, and
+how the reducer's partial-result memory grows as records are consumed.
+Each of the seven applications has a profile constructor calibrated
+against the paper's §6 measurements (absolute seconds are approximate; the
+*shapes* — who wins, by what factor, where crossovers fall — are the
+reproduction target).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.types import ReduceClass
+
+MB = 1024 * 1024
+
+
+@dataclass(slots=True)
+class MemoryProfile:
+    """How a barrier-less reducer's partial-result footprint grows.
+
+    ``bytes_at(records)`` returns estimated partial-result bytes after the
+    reducer has consumed ``records`` records.  The growth law per class
+    follows Table 1; aggregation-style key growth uses Heaps' law
+    (``distinct(n) ~ K * n^beta``) capped at the key cardinality.
+    """
+
+    reduce_class: ReduceClass
+    entry_bytes: float = 64.0
+    key_cardinality: float = 1e6
+    heaps_k: float = 3.0
+    heaps_beta: float = 0.8
+    selection_k: int = 10
+    window_size: int = 16
+    saturation_records: float | None = None  # post-reduction per-key cap
+
+    def distinct_keys(self, records: float) -> float:
+        """Expected distinct keys among ``records`` consumed records."""
+        if records <= 0:
+            return 0.0
+        return min(self.key_cardinality, self.heaps_k * records**self.heaps_beta)
+
+    def bytes_at(self, records: float) -> float:
+        """Partial-result bytes after consuming ``records`` records."""
+        if records <= 0:
+            return 0.0
+        cls = self.reduce_class
+        if cls is ReduceClass.IDENTITY:
+            return 0.0
+        if cls is ReduceClass.SORTING:
+            return self.entry_bytes * records
+        if cls is ReduceClass.AGGREGATION:
+            return self.entry_bytes * self.distinct_keys(records)
+        if cls is ReduceClass.SELECTION:
+            return self.entry_bytes * self.selection_k * self.distinct_keys(records)
+        if cls is ReduceClass.POST_REDUCTION:
+            cap = self.saturation_records
+            effective = records if cap is None else min(records, cap)
+            return self.entry_bytes * effective
+        if cls is ReduceClass.CROSS_KEY:
+            return self.entry_bytes * self.window_size
+        if cls is ReduceClass.SINGLE_REDUCER:
+            return self.entry_bytes
+        raise AssertionError(cls)
+
+
+@dataclass(slots=True)
+class JobProfile:
+    """Aggregate timing/size description of one job for the simulator."""
+
+    name: str
+    reduce_class: ReduceClass
+    num_maps: int
+    map_input_mb_per_task: float
+    map_cpu_s_per_task: float
+    map_output_mb_per_task: float
+    #: CPU seconds per shuffled MB of plain reduce work (both modes).
+    reduce_cpu_s_per_mb: float
+    #: Framework merge-sort cost in barrier mode, seconds per MB.
+    sort_cpu_s_per_mb: float
+    #: Extra barrier-less cost per MB: the partial-result store's
+    #: read-modify-update cycle (e.g. red-black inserts) — §6.1.1's reason
+    #: Sort slows down without the barrier.
+    store_cpu_s_per_mb: float
+    #: Final sweep: emitting output from the store, seconds per MB of
+    #: final output.
+    sweep_s_per_mb: float
+    #: MB written to the DFS by all reducers together.
+    final_output_mb: float
+    record_bytes: float = 100.0
+    memory: MemoryProfile = field(
+        default_factory=lambda: MemoryProfile(ReduceClass.AGGREGATION)
+    )
+    #: Partition skew: sigma of a lognormal per-reducer load multiplier
+    #: (0 = perfectly uniform partitions).  Hot keys concentrate records
+    #: on few reducers — §5.3's "certain keys are significantly more
+    #: common than others" concern, and the straggler-reducer effect.
+    partition_skew: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.num_maps <= 0:
+            raise ValueError("num_maps must be positive")
+        for attr in (
+            "map_input_mb_per_task",
+            "map_cpu_s_per_task",
+            "map_output_mb_per_task",
+            "reduce_cpu_s_per_mb",
+            "sort_cpu_s_per_mb",
+            "store_cpu_s_per_mb",
+            "sweep_s_per_mb",
+            "final_output_mb",
+            "record_bytes",
+        ):
+            if getattr(self, attr) < 0:
+                raise ValueError(f"{attr} must be >= 0")
+        if self.partition_skew < 0:
+            raise ValueError("partition_skew must be >= 0")
+
+    @property
+    def total_map_output_mb(self) -> float:
+        """All intermediate data crossing the shuffle."""
+        return self.num_maps * self.map_output_mb_per_task
+
+    @property
+    def total_input_mb(self) -> float:
+        """Total job input size."""
+        return self.num_maps * self.map_input_mb_per_task
+
+    def records_per_reducer(self, num_reducers: int) -> float:
+        """Mean intermediate records per reducer (before skew)."""
+        total_records = self.total_map_output_mb * MB / self.record_bytes
+        return total_records / num_reducers
+
+    def reducer_load_factors(self, num_reducers: int, seed: int = 0) -> list[float]:
+        """Per-reducer load multipliers, mean 1.0, lognormal under skew."""
+        import numpy as np
+
+        if self.partition_skew <= 0.0:
+            return [1.0] * num_reducers
+        rng = np.random.default_rng(seed + 1_000_003)
+        factors = rng.lognormal(0.0, self.partition_skew, size=num_reducers)
+        factors = factors / factors.mean()
+        return [float(f) for f in factors]
+
+
+# ---------------------------------------------------------------------------
+# Per-application profile constructors (§6 calibrations)
+# ---------------------------------------------------------------------------
+
+
+def _maps_for(input_gb: float, chunk_mb: float = 64.0) -> int:
+    """Number of map tasks HDFS chunking produces for ``input_gb``."""
+    return max(1, math.ceil(input_gb * 1024.0 / chunk_mb))
+
+
+def sort_profile(input_gb: float) -> JobProfile:
+    """Sort (§6.1.1): identity map/reduce; ordering is the entire cost.
+
+    Calibrated so barrier-less is a few percent *slower*: the framework's
+    merge sort beats per-record red-black insertion when sorting is the
+    only work.
+    """
+    num_maps = _maps_for(input_gb)
+    return JobProfile(
+        name="sort",
+        reduce_class=ReduceClass.SORTING,
+        num_maps=num_maps,
+        map_input_mb_per_task=64.0,
+        map_cpu_s_per_task=12.0,
+        map_output_mb_per_task=64.0,  # identity: everything shuffles
+        reduce_cpu_s_per_mb=0.05,
+        sort_cpu_s_per_mb=0.55,
+        store_cpu_s_per_mb=0.68,  # RB insert > merge sort per MB
+        sweep_s_per_mb=0.02,
+        final_output_mb=input_gb * 1024.0,
+        record_bytes=100.0,
+        memory=MemoryProfile(
+            ReduceClass.SORTING, entry_bytes=48.0, key_cardinality=1e9
+        ),
+    )
+
+
+def wordcount_profile(input_gb: float) -> JobProfile:
+    """WordCount (§3.2, §6.1.2): tokenise-heavy map, small aggregates out.
+
+    Map output is ~40% of input after combining; final output is tiny
+    (distinct words).  Barrier-less folds counts during the shuffle and
+    wins ~15% (bounded by DFS output writing, which both modes pay).
+    """
+    num_maps = _maps_for(input_gb)
+    intermediate_ratio = 0.40
+    return JobProfile(
+        name="wordcount",
+        reduce_class=ReduceClass.AGGREGATION,
+        num_maps=num_maps,
+        map_input_mb_per_task=64.0,
+        map_cpu_s_per_task=55.0,  # tokenisation dominates (Fig 4: ~150 s wave)
+        map_output_mb_per_task=64.0 * intermediate_ratio,
+        reduce_cpu_s_per_mb=0.18,
+        sort_cpu_s_per_mb=0.22,
+        store_cpu_s_per_mb=0.17,
+        sweep_s_per_mb=0.05,
+        final_output_mb=max(2.0, input_gb * 18.0),  # distinct-word table
+        record_bytes=12.0,  # "word\t1"
+        memory=MemoryProfile(
+            ReduceClass.AGGREGATION,
+            entry_bytes=56.0,
+            # A raw Wikipedia dump has tens of millions of distinct tokens
+            # (markup, numbers, typos); Heaps-law growth calibrated so 10
+            # reducers over 16 GB exceed the 1280 MB heap (Figure 5(a)).
+            key_cardinality=6e7 * max(0.125, input_gb / 16.0),
+            heaps_k=30.0,
+            heaps_beta=0.80,
+        ),
+    )
+
+
+def knn_profile(input_gb: float, k: int = 10) -> JobProfile:
+    """k-Nearest Neighbors (§6.1.3): quadratic map, top-k select reduce."""
+    num_maps = _maps_for(input_gb)
+    return JobProfile(
+        name="knn",
+        reduce_class=ReduceClass.SELECTION,
+        num_maps=num_maps,
+        map_input_mb_per_task=64.0,
+        map_cpu_s_per_task=48.0,  # distance computation per training value
+        map_output_mb_per_task=64.0 * 0.5,
+        reduce_cpu_s_per_mb=0.16,
+        sort_cpu_s_per_mb=0.22,  # secondary sort is pricier
+        store_cpu_s_per_mb=0.15,  # running top-k maintenance
+        sweep_s_per_mb=0.05,
+        final_output_mb=max(1.0, input_gb * 4.0),
+        record_bytes=16.0,
+        memory=MemoryProfile(
+            ReduceClass.SELECTION,
+            entry_bytes=48.0,
+            key_cardinality=2e5,
+            selection_k=k,
+            heaps_k=4.0,
+            heaps_beta=0.7,
+        ),
+    )
+
+
+def lastfm_profile(input_gb: float) -> JobProfile:
+    """Last.fm unique listens (§6.1.4): set-building reduce, 20% win."""
+    num_maps = _maps_for(input_gb)
+    return JobProfile(
+        name="lastfm",
+        reduce_class=ReduceClass.POST_REDUCTION,
+        num_maps=num_maps,
+        map_input_mb_per_task=64.0,
+        map_cpu_s_per_task=50.0,
+        map_output_mb_per_task=64.0 * 0.6,
+        reduce_cpu_s_per_mb=0.13,
+        sort_cpu_s_per_mb=0.16,
+        store_cpu_s_per_mb=0.11,
+        sweep_s_per_mb=0.04,
+        final_output_mb=max(0.5, input_gb * 1.0),  # one row per track
+        record_bytes=24.0,
+        memory=MemoryProfile(
+            ReduceClass.POST_REDUCTION,
+            entry_bytes=40.0,
+            key_cardinality=5000.0,
+            # 50 users x 5000 tracks: sets saturate at 250k entries/reducer
+            saturation_records=250_000.0,
+        ),
+    )
+
+
+def genetic_profile(num_mappers: int, window_size: int = 16) -> JobProfile:
+    """Genetic algorithm (§6.1.5): 50 M individuals per mapper; the x-axis
+    is mapper count, not bytes.  Disk-bound: intermediate and final output
+    writing dominates, capping the barrier-less win near 15%.
+    """
+    if num_mappers <= 0:
+        raise ValueError("num_mappers must be positive")
+    out_per_task = 40.0  # individuals + fitness, MB
+    return JobProfile(
+        name="genetic",
+        reduce_class=ReduceClass.CROSS_KEY,
+        num_maps=num_mappers,
+        map_input_mb_per_task=8.0,
+        map_cpu_s_per_task=45.0,  # fitness evaluation of 50 M individuals
+        map_output_mb_per_task=out_per_task,
+        reduce_cpu_s_per_mb=0.06,
+        sort_cpu_s_per_mb=0.10,
+        store_cpu_s_per_mb=0.05,  # window only — no keyed store
+        sweep_s_per_mb=0.01,
+        final_output_mb=num_mappers * out_per_task * 0.9,  # next generation
+        record_bytes=24.0,
+        memory=MemoryProfile(
+            ReduceClass.CROSS_KEY, entry_bytes=48.0, window_size=window_size
+        ),
+    )
+
+
+def blackscholes_profile(num_mappers: int) -> JobProfile:
+    """Black-Scholes (§6.1.6): many mappers, one reducer, O(1) output.
+
+    Map output (value + square per iteration) all funnels into a single
+    reducer; the barrier version serialises shuffle, sort and reduce after
+    the maps while the barrier-less version hides nearly everything inside
+    the map stage — the paper's best case (56% average, 87% max).
+    """
+    if num_mappers <= 0:
+        raise ValueError("num_mappers must be positive")
+    return JobProfile(
+        name="blackscholes",
+        reduce_class=ReduceClass.SINGLE_REDUCER,
+        num_maps=num_mappers,
+        map_input_mb_per_task=0.001,  # batch spec only
+        map_cpu_s_per_task=60.0,  # a million exp/log iterations
+        map_output_mb_per_task=16.0,  # 1 M x (value, square)
+        reduce_cpu_s_per_mb=0.02,
+        sort_cpu_s_per_mb=0.35,
+        store_cpu_s_per_mb=0.0,  # running sums, no store
+        sweep_s_per_mb=0.0,
+        final_output_mb=0.001,  # mean + stddev only
+        record_bytes=16.0,
+        memory=MemoryProfile(ReduceClass.SINGLE_REDUCER, entry_bytes=64.0),
+    )
+
+
+#: Profile constructors keyed by Figure 7 short name.
+PROFILE_BUILDERS: dict[str, Callable[..., JobProfile]] = {
+    "sort": sort_profile,
+    "wc": wordcount_profile,
+    "knn": knn_profile,
+    "pp": lastfm_profile,
+    "ga": genetic_profile,
+    "bs": blackscholes_profile,
+}

@@ -1,0 +1,68 @@
+"""Deterministic synthetic workload generators for the seven applications.
+
+Each generator substitutes for a dataset the paper used (Wikipedia dumps,
+Last.fm logs, …) while preserving the statistical property that drives the
+experiment — see the substitution table in DESIGN.md.
+"""
+
+from repro.workloads.bitext import dominant_translation, generate_bitext
+from repro.workloads.ints import generate_sort_records, is_sorted_output
+from repro.workloads.listens import (
+    PAPER_NUM_TRACKS,
+    PAPER_NUM_USERS,
+    generate_listens,
+    unique_listens_reference,
+)
+from repro.workloads.options import (
+    OptionParams,
+    black_scholes_closed_form,
+    generate_mc_batches,
+    simulate_option_values,
+)
+from repro.workloads.points import (
+    VALUE_RANGE,
+    brute_force_knn,
+    generate_knn_dataset,
+    knn_input_pairs,
+)
+from repro.workloads.population import (
+    crossover,
+    generate_population,
+    mean_fitness,
+    onemax_fitness,
+)
+from repro.workloads.text import (
+    corpus_size_bytes,
+    expected_distinct_words,
+    generate_documents,
+    vocabulary,
+    zipf_probabilities,
+)
+
+__all__ = [
+    "OptionParams",
+    "PAPER_NUM_TRACKS",
+    "PAPER_NUM_USERS",
+    "VALUE_RANGE",
+    "black_scholes_closed_form",
+    "brute_force_knn",
+    "corpus_size_bytes",
+    "crossover",
+    "dominant_translation",
+    "generate_bitext",
+    "expected_distinct_words",
+    "generate_documents",
+    "generate_knn_dataset",
+    "generate_listens",
+    "generate_mc_batches",
+    "generate_population",
+    "generate_sort_records",
+    "is_sorted_output",
+    "knn_input_pairs",
+    "mean_fitness",
+    "onemax_fitness",
+    "simulate_option_values",
+    "unique_listens_reference",
+    "vocabulary",
+    "zipf_probabilities",
+]

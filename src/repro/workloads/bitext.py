@@ -1,0 +1,54 @@
+"""Synthetic word-aligned bilingual corpus generator (for the SMT app).
+
+Each "source" word has one dominant "target" translation plus noisy
+alternatives, so the estimated table has a known structure to test
+against: the dominant translation must carry the largest probability.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.types import Key, Value
+
+
+def dominant_translation(source_word: str) -> str:
+    """The designed-in primary translation of a source word."""
+    return source_word.replace("s", "t", 1)
+
+
+def generate_bitext(
+    num_sentences: int,
+    sentence_length: int = 8,
+    vocab_size: int = 50,
+    noise: float = 0.2,
+    seed: int = 0,
+) -> list[tuple[Key, Value]]:
+    """``(sentence_id, (src_tokens, tgt_tokens, alignment))`` pairs.
+
+    Alignment is monotone one-to-one (position i ↔ i); with probability
+    ``noise`` a target token is replaced by a random alternative, which
+    produces the long tail of the translation distribution.
+    """
+    if num_sentences < 0:
+        raise ValueError("num_sentences must be >= 0")
+    if not 0.0 <= noise < 1.0:
+        raise ValueError("noise must be in [0, 1)")
+    rng = np.random.default_rng(seed)
+    source_vocab = [f"s{i:03d}" for i in range(vocab_size)]
+    target_vocab = [f"t{i:03d}" for i in range(vocab_size)]
+    corpus: list[tuple[Key, Value]] = []
+    for sentence_id in range(num_sentences):
+        indices = rng.integers(0, vocab_size, size=sentence_length)
+        source_tokens = [source_vocab[i] for i in indices]
+        target_tokens = []
+        for i in indices:
+            if rng.random() < noise:
+                target_tokens.append(target_vocab[int(rng.integers(0, vocab_size))])
+            else:
+                target_tokens.append(dominant_translation(source_vocab[i]))
+        alignment = tuple((p, p) for p in range(sentence_length))
+        corpus.append(
+            (sentence_id, (tuple(source_tokens), tuple(target_tokens), alignment))
+        )
+    return corpus

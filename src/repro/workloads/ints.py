@@ -1,0 +1,39 @@
+"""Integer-record generator for the Sort benchmark (§6.1.1).
+
+The paper's Sort is the degenerate case: identity map, identity reduce,
+with all ordering work done by the framework (barrier) or by the reducer's
+red-black tree (barrier-less).  Records are uniform random integers; the
+value mirrors the key as in terasort-style record sorting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.types import Key, Value
+
+
+def generate_sort_records(
+    num_records: int,
+    key_range: int = 1_000_000,
+    seed: int = 0,
+) -> list[tuple[Key, Value]]:
+    """Uniform random integer records ``(key, key)``.
+
+    Duplicates are expected once ``num_records`` approaches ``key_range``;
+    the barrier-less SortingReducer must not spend extra memory on them
+    (§6.1.1: "This count value is incremented so that duplicate values do
+    not consume memory").
+    """
+    if num_records < 0:
+        raise ValueError("num_records must be >= 0")
+    if key_range <= 0:
+        raise ValueError("key_range must be positive")
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(0, key_range, size=num_records)
+    return [(int(k), int(k)) for k in keys]
+
+
+def is_sorted_output(pairs: list[tuple[Key, Value]]) -> bool:
+    """True when keys are in non-decreasing order."""
+    return all(pairs[i][0] <= pairs[i + 1][0] for i in range(len(pairs) - 1))

@@ -1,0 +1,46 @@
+"""Last.fm listen-log generator (§6.1.4).
+
+The paper generates "track listens, uniformly at random across 50 users
+and 5000 tracks"; each log entry carries a userId and trackId and the job
+counts unique listeners per track.  We reproduce that generator, with the
+user/track cardinalities as parameters defaulting to the paper's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.types import Key, Value
+
+PAPER_NUM_USERS = 50
+PAPER_NUM_TRACKS = 5000
+
+
+def generate_listens(
+    num_listens: int,
+    num_users: int = PAPER_NUM_USERS,
+    num_tracks: int = PAPER_NUM_TRACKS,
+    seed: int = 0,
+) -> list[tuple[Key, Value]]:
+    """``(entry_id, (track_id, user_id))`` pairs, uniform over both axes."""
+    if num_listens < 0:
+        raise ValueError("num_listens must be >= 0")
+    if num_users <= 0 or num_tracks <= 0:
+        raise ValueError("num_users and num_tracks must be positive")
+    rng = np.random.default_rng(seed)
+    users = rng.integers(0, num_users, size=num_listens)
+    tracks = rng.integers(0, num_tracks, size=num_listens)
+    return [
+        (i, (f"track{int(t):05d}", f"user{int(u):03d}"))
+        for i, (t, u) in enumerate(zip(tracks, users))
+    ]
+
+
+def unique_listens_reference(
+    listens: list[tuple[Key, Value]],
+) -> dict[str, int]:
+    """Ground truth: number of distinct users per track."""
+    per_track: dict[str, set[str]] = {}
+    for _, (track, user) in listens:
+        per_track.setdefault(track, set()).add(user)
+    return {track: len(users) for track, users in per_track.items()}

@@ -1,0 +1,83 @@
+"""Black-Scholes Monte-Carlo workload generator (§6.1.6).
+
+Each mapper runs a batch of Monte-Carlo iterations of the Black-Scholes
+model; the single reducer aggregates mean and standard deviation of the
+simulated option values.  The generator produces per-mapper batch specs;
+the heavy math (exponentials over normal draws) lives in the app module
+and is vectorised with NumPy per the HPC guide.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.types import Key, Value
+
+
+@dataclass(frozen=True, slots=True)
+class OptionParams:
+    """European call option parameters for the Black-Scholes model."""
+
+    spot: float = 100.0
+    strike: float = 100.0
+    rate: float = 0.05
+    volatility: float = 0.2
+    maturity: float = 1.0
+
+    def validate(self) -> None:
+        if min(self.spot, self.strike, self.volatility, self.maturity) <= 0:
+            raise ValueError("spot, strike, volatility and maturity must be positive")
+
+
+def black_scholes_closed_form(params: OptionParams) -> float:
+    """Analytic Black-Scholes call price (the Monte-Carlo ground truth)."""
+    params.validate()
+    s, k, r, sigma, t = (
+        params.spot,
+        params.strike,
+        params.rate,
+        params.volatility,
+        params.maturity,
+    )
+    d1 = (math.log(s / k) + (r + 0.5 * sigma**2) * t) / (sigma * math.sqrt(t))
+    d2 = d1 - sigma * math.sqrt(t)
+    phi = lambda x: 0.5 * (1.0 + math.erf(x / math.sqrt(2.0)))
+    return s * phi(d1) - k * math.exp(-r * t) * phi(d2)
+
+
+def generate_mc_batches(
+    num_mappers: int,
+    iterations_per_mapper: int = 10_000,
+    params: OptionParams | None = None,
+    seed: int = 0,
+) -> list[tuple[Key, Value]]:
+    """One input pair per mapper batch: ``(batch_id, (params, n, seed))``.
+
+    Each batch carries its own derived seed so results are independent of
+    how batches are assigned to map tasks.
+    """
+    if num_mappers <= 0 or iterations_per_mapper <= 0:
+        raise ValueError("num_mappers and iterations_per_mapper must be positive")
+    params = params if params is not None else OptionParams()
+    params.validate()
+    return [
+        (batch, (params, iterations_per_mapper, seed + batch * 7919))
+        for batch in range(num_mappers)
+    ]
+
+
+def simulate_option_values(
+    params: OptionParams, iterations: int, seed: int
+) -> np.ndarray:
+    """Vectorised Monte-Carlo sample of discounted option payoffs."""
+    params.validate()
+    rng = np.random.default_rng(seed)
+    z = rng.standard_normal(iterations)
+    drift = (params.rate - 0.5 * params.volatility**2) * params.maturity
+    diffusion = params.volatility * math.sqrt(params.maturity) * z
+    terminal = params.spot * np.exp(drift + diffusion)
+    payoff = np.maximum(terminal - params.strike, 0.0)
+    return payoff * math.exp(-params.rate * params.maturity)

@@ -1,0 +1,73 @@
+"""k-Nearest-Neighbors dataset generator (§6.1.3).
+
+The paper's kNN reads a *training set* and an *experimental set* of integer
+values in [0, 1,000,000) and finds, for each experimental value, the k
+training values closest by absolute difference.  Experimental values are
+unique ("the experimental values must be unique while training set values
+need not be"); training values are sampled with replacement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.types import Key, Value
+
+VALUE_RANGE = 1_000_000
+
+
+def generate_knn_dataset(
+    num_experimental: int,
+    num_training: int,
+    seed: int = 0,
+    value_range: int = VALUE_RANGE,
+) -> tuple[list[int], list[int]]:
+    """Return ``(experimental_values, training_values)``.
+
+    Experimental values are unique (sampled without replacement); training
+    values may repeat.  Raises ``ValueError`` when uniqueness is impossible.
+    """
+    if num_experimental > value_range:
+        raise ValueError("cannot draw more unique experimental values than the range")
+    rng = np.random.default_rng(seed)
+    experimental = rng.choice(value_range, size=num_experimental, replace=False)
+    training = rng.integers(0, value_range, size=num_training)
+    return [int(v) for v in experimental], [int(v) for v in training]
+
+
+def knn_input_pairs(
+    experimental: list[int], training: list[int]
+) -> list[tuple[Key, Value]]:
+    """Flatten a kNN dataset into map input.
+
+    Each input pair is ``(split_tag, (kind, value))`` where kind is
+    ``"train"`` or ``"exp"``; the mapper holds the experimental set and
+    compares every training value against it, as in the paper's all-pairs
+    formulation.
+    """
+    pairs: list[tuple[Key, Value]] = []
+    for value in experimental:
+        pairs.append((f"exp-{value}", ("exp", value)))
+    for index, value in enumerate(training):
+        pairs.append((f"train-{index}", ("train", value)))
+    return pairs
+
+
+def brute_force_knn(
+    experimental: list[int], training: list[int], k: int
+) -> dict[int, list[tuple[int, int]]]:
+    """Reference answer: for each experimental value the k nearest
+    ``(training_value, distance)`` pairs, sorted by distance then by
+    arrival (training-list) order — the tie-break a running top-k with
+    stable insertion produces.
+    """
+    exp = np.asarray(experimental, dtype=np.int64)
+    train = np.asarray(training, dtype=np.int64)
+    answers: dict[int, list[tuple[int, int]]] = {}
+    for value in exp:
+        distances = np.abs(train - value)
+        order = np.argsort(distances, kind="stable")[:k]
+        answers[int(value)] = [
+            (int(train[i]), int(distances[i])) for i in order
+        ]
+    return answers

@@ -1,0 +1,52 @@
+"""Genetic-algorithm population generator (§6.1.5).
+
+The paper's GA (after Verma et al., "Scaling genetic algorithms using
+MapReduce") represents each individual as a bit string; the mapper
+evaluates fitness and the reducer performs windowed selection and
+crossover.  We use the classic OneMax problem (fitness = number of set
+bits) so convergence is checkable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.types import Key, Value
+
+
+def generate_population(
+    num_individuals: int,
+    genome_bits: int = 32,
+    seed: int = 0,
+) -> list[tuple[Key, Value]]:
+    """``(index, genome)`` pairs; genomes are ``genome_bits``-bit ints."""
+    if num_individuals < 0:
+        raise ValueError("num_individuals must be >= 0")
+    if not 1 <= genome_bits <= 63:
+        raise ValueError("genome_bits must be in [1, 63]")
+    rng = np.random.default_rng(seed)
+    genomes = rng.integers(0, 1 << genome_bits, size=num_individuals, dtype=np.int64)
+    return [(i, int(g)) for i, g in enumerate(genomes)]
+
+
+def onemax_fitness(genome: int) -> int:
+    """OneMax: the number of set bits in the genome."""
+    return int(genome).bit_count()
+
+
+def mean_fitness(pairs: list[tuple[Key, Value]]) -> float:
+    """Average OneMax fitness of a population (progress metric)."""
+    if not pairs:
+        return 0.0
+    return sum(onemax_fitness(genome) for _, genome in pairs) / len(pairs)
+
+
+def crossover(parent_a: int, parent_b: int, point: int, genome_bits: int) -> tuple[int, int]:
+    """One-point crossover at bit ``point`` (0 < point < genome_bits)."""
+    if not 0 < point < genome_bits:
+        raise ValueError("crossover point must fall inside the genome")
+    low_mask = (1 << point) - 1
+    high_mask = ((1 << genome_bits) - 1) ^ low_mask
+    child_a = (parent_a & high_mask) | (parent_b & low_mask)
+    child_b = (parent_b & high_mask) | (parent_a & low_mask)
+    return child_a, child_b

@@ -1,0 +1,66 @@
+"""Synthetic text corpus generator (the Wikipedia-dataset stand-in).
+
+The paper's WordCount/Grep/Sort experiments run over 1–16 GB Wikipedia
+dumps.  We generate documents whose word frequencies follow a Zipf
+distribution — the defining statistical property of natural-language text
+that stresses the aggregation path (a few very hot keys, a long tail of
+rare ones).  Word identifiers are drawn from a fixed vocabulary ``w0000``…
+so outputs are deterministic under a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.types import Key, Value
+
+
+def zipf_probabilities(vocab_size: int, s: float = 1.1) -> np.ndarray:
+    """Normalised Zipf(s) probability vector over ``vocab_size`` ranks."""
+    if vocab_size <= 0:
+        raise ValueError("vocab_size must be positive")
+    ranks = np.arange(1, vocab_size + 1, dtype=np.float64)
+    weights = ranks**-s
+    return weights / weights.sum()
+
+
+def vocabulary(vocab_size: int) -> list[str]:
+    """The deterministic vocabulary: ``w0000`` … zero-padded to width 6."""
+    return [f"w{i:06d}" for i in range(vocab_size)]
+
+
+def generate_documents(
+    num_docs: int,
+    words_per_doc: int = 100,
+    vocab_size: int = 1000,
+    seed: int = 0,
+    zipf_s: float = 1.1,
+) -> list[tuple[Key, Value]]:
+    """Generate ``(doc_id, text)`` pairs with Zipf-distributed words.
+
+    Sampling is vectorised: all word indices for the corpus are drawn in
+    one ``rng.choice`` call, then reshaped per document.
+    """
+    if num_docs < 0 or words_per_doc <= 0:
+        raise ValueError("num_docs must be >= 0 and words_per_doc positive")
+    if num_docs == 0:
+        return []
+    rng = np.random.default_rng(seed)
+    probabilities = zipf_probabilities(vocab_size, zipf_s)
+    vocab = np.array(vocabulary(vocab_size))
+    indices = rng.choice(vocab_size, size=num_docs * words_per_doc, p=probabilities)
+    words = vocab[indices].reshape(num_docs, words_per_doc)
+    return [(f"doc{d:06d}", " ".join(words[d])) for d in range(num_docs)]
+
+
+def corpus_size_bytes(documents: list[tuple[Key, Value]]) -> int:
+    """Total payload bytes of a generated corpus (for size sweeps)."""
+    return sum(len(text) for _, text in documents)
+
+
+def expected_distinct_words(documents: list[tuple[Key, Value]]) -> int:
+    """Number of distinct words actually present in the corpus."""
+    seen: set[str] = set()
+    for _, text in documents:
+        seen.update(text.split())
+    return len(seen)

@@ -1,0 +1,52 @@
+"""Tests for the paper-claims scoreboard."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.claims import (
+    ClaimCheck,
+    format_scoreboard,
+    verify_paper_claims,
+)
+
+
+@pytest.fixture(scope="module")
+def checks():
+    return verify_paper_claims()
+
+
+class TestVerifyPaperClaims:
+    def test_all_claims_pass(self, checks):
+        failed = [check for check in checks if not check.passed]
+        assert not failed, [check.claim for check in failed]
+
+    def test_covers_every_evaluation_section(self, checks):
+        sources = {check.source for check in checks}
+        for expected in ("Abstract", "§6.1.1", "§6.1.6", "§6.2/Fig 8",
+                         "§6.3/Fig 9", "§6.4/Table 2"):
+            assert expected in sources
+
+    def test_at_least_fifteen_claims(self, checks):
+        assert len(checks) >= 15
+
+    def test_measured_values_populated(self, checks):
+        for check in checks:
+            assert check.measured
+            assert check.expected
+
+
+class TestFormatScoreboard:
+    def test_renders_pass_fail_and_tally(self, checks):
+        rendered = format_scoreboard(checks)
+        assert "PASS" in rendered
+        assert f"{len(checks)}/{len(checks)} claims reproduced" in rendered
+
+    def test_renders_failures(self):
+        fake = [
+            ClaimCheck("§X", "made-up claim", "1", "2", False),
+            ClaimCheck("§Y", "true claim", "3", "3", True),
+        ]
+        rendered = format_scoreboard(fake)
+        assert "FAIL" in rendered
+        assert "1/2 claims reproduced" in rendered

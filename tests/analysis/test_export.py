@@ -1,0 +1,91 @@
+"""Tests for CSV export of the regenerated experiments."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.analysis.export import (
+    export_all,
+    write_boxplot_csv,
+    write_memory_sweep_csv,
+    write_sweep_csv,
+    write_table2_csv,
+    write_timeline_csv,
+)
+from repro.analysis.sweeps import MemorySweepPoint, SweepPoint
+from repro.core.types import ExecutionMode
+from repro.sim import HadoopSimulator, wordcount_profile
+
+
+def _read(path):
+    with open(path, newline="") as fh:
+        return list(csv.reader(fh))
+
+
+class TestWriters:
+    def test_sweep_csv(self, tmp_path):
+        path = write_sweep_csv(
+            str(tmp_path / "sweep.csv"),
+            "input_gb",
+            [SweepPoint(2.0, 100.0, 80.0), SweepPoint(4.0, 150.0, 120.0)],
+        )
+        rows = _read(path)
+        assert rows[0] == ["input_gb", "with_barrier_s", "without_barrier_s",
+                           "improvement_pct"]
+        assert rows[1][0] == "2.0"
+        assert rows[1][3] == "20.00"
+        assert len(rows) == 3
+
+    def test_memory_sweep_marks_oom_as_empty(self, tmp_path):
+        path = write_memory_sweep_csv(
+            str(tmp_path / "mem.csv"),
+            "reducers",
+            [MemorySweepPoint(10.0, 500.0, None, 140.0, 450.0, 3000.0)],
+        )
+        rows = _read(path)
+        assert rows[1][2] == ""  # inmemory_s empty on OOM
+        assert rows[1][3] == "140.000"
+
+    def test_timeline_csv_columns_are_stages(self, tmp_path):
+        result = HadoopSimulator().run(
+            wordcount_profile(2.0), 10, ExecutionMode.BARRIER
+        )
+        path = write_timeline_csv(str(tmp_path / "tl.csv"), result)
+        rows = _read(path)
+        assert rows[0] == ["time_s", "map", "shuffle", "sort", "reduce"]
+        assert len(rows) > 10
+        # counts are integers >= 0
+        assert all(int(cell) >= 0 for cell in rows[1][1:])
+
+    def test_boxplot_csv(self, tmp_path):
+        path = write_boxplot_csv(
+            str(tmp_path / "box.csv"), {"wc": [10.0, 20.0, 30.0]}
+        )
+        rows = _read(path)
+        assert rows[1][0] == "wc"
+        assert rows[1][3] == "20.00"  # median
+
+    def test_table2_csv(self, tmp_path):
+        path = write_table2_csv(str(tmp_path / "t2.csv"))
+        rows = _read(path)
+        assert len(rows) == 7  # header + six apps
+        apps = {row[0] for row in rows[1:]}
+        assert "Black-Scholes" in apps
+
+
+class TestExportAll:
+    def test_writes_every_experiment(self, tmp_path):
+        written = export_all(str(tmp_path))
+        names = {p.split("/")[-1] for p in written}
+        assert {
+            "fig6_sort.csv", "fig6_wc.csv", "fig6_knn.csv", "fig6_pp.csv",
+            "fig6_ga.csv", "fig6_bs.csv", "fig7_boxplot.csv",
+            "fig8_reducers.csv", "fig9_memory_vs_reducers.csv",
+            "fig10_memory_vs_size.csv", "fig4_timeline_barrier.csv",
+            "fig4_timeline_barrierless.csv", "table2_loc.csv",
+        } == names
+        for path in written:
+            rows = _read(path)
+            assert len(rows) >= 2, path

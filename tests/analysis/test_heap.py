@@ -1,0 +1,80 @@
+"""Tests for Figure 5 heap-trace extraction and rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.heap import ascii_heap_plot, heap_trace
+from repro.core.types import ExecutionMode
+from repro.sim.hadoop import HadoopSimulator, MemoryTechnique
+from repro.sim.workload import wordcount_profile
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return HadoopSimulator()
+
+
+@pytest.fixture(scope="module")
+def inmemory_run(sim):
+    return sim.run(
+        wordcount_profile(16.0), 10, ExecutionMode.BARRIERLESS,
+        MemoryTechnique("inmemory"),
+    )
+
+
+@pytest.fixture(scope="module")
+def spill_run(sim):
+    return sim.run(
+        wordcount_profile(16.0), 10, ExecutionMode.BARRIERLESS,
+        MemoryTechnique("spillmerge", spill_threshold_mb=240.0),
+    )
+
+
+class TestHeapTrace:
+    def test_figure5a_oom(self, inmemory_run):
+        # Figure 5(a): heap grows until the limit, then the job dies.
+        trace = heap_trace(inmemory_run, reducer_id=0, limit_mb=1280.0)
+        assert trace.failed
+        assert trace.peak_mb() > 1280.0 * 0.8
+        used = list(trace.used_mb)
+        assert used == sorted(used)  # monotone growth, no spills
+
+    def test_figure5b_sawtooth(self, spill_run):
+        # Figure 5(b): heap sawtooths under the 240 MB threshold and the
+        # job completes.
+        trace = heap_trace(spill_run, reducer_id=0, limit_mb=1280.0)
+        assert not trace.failed
+        assert trace.peak_mb() < 1280.0 / 2
+        used = list(trace.used_mb)
+        drops = sum(1 for a, b in zip(used, used[1:]) if b < a)
+        assert drops >= 3  # several spill resets
+
+    def test_missing_reducer_raises(self, spill_run):
+        with pytest.raises(KeyError):
+            heap_trace(spill_run, reducer_id=999)
+
+    def test_times_monotone(self, spill_run):
+        trace = heap_trace(spill_run, reducer_id=3)
+        assert list(trace.times) == sorted(trace.times)
+
+
+class TestAsciiHeapPlot:
+    def test_render(self, inmemory_run):
+        trace = heap_trace(inmemory_run, reducer_id=0)
+        rendered = ascii_heap_plot(trace)
+        assert "#" in rendered
+        assert "max heap" in rendered
+        assert "KILLED" in rendered
+
+    def test_render_success_status(self, spill_run):
+        trace = heap_trace(spill_run, reducer_id=0)
+        assert "completed" in ascii_heap_plot(trace)
+
+    def test_empty_trace_rejected(self):
+        from repro.analysis.heap import HeapTrace
+
+        with pytest.raises(ValueError):
+            ascii_heap_plot(
+                HeapTrace(0, (), (), limit_mb=100.0, failed=False)
+            )

@@ -1,0 +1,43 @@
+"""Tests for the bench-output table renderers."""
+
+from __future__ import annotations
+
+from repro.analysis.report import render_memory_sweep, render_sweep, render_table
+from repro.analysis.sweeps import MemorySweepPoint, SweepPoint
+
+
+class TestRenderTable:
+    def test_alignment_and_rule(self):
+        rendered = render_table(("a", "bb"), [("1", "2"), ("333", "4")])
+        lines = rendered.splitlines()
+        assert len(lines) == 4
+        assert set(lines[1]) <= {"-", " "}
+        # All rows equal width.
+        assert len({len(line.rstrip()) for line in lines[:1]}) == 1
+
+    def test_empty_rows(self):
+        rendered = render_table(("x",), [])
+        assert "x" in rendered
+
+
+class TestRenderSweep:
+    def test_contains_improvement(self):
+        points = [SweepPoint(2.0, 100.0, 80.0)]
+        rendered = render_sweep("Fig", "GB", points)
+        assert "Fig" in rendered
+        assert "20.0%" in rendered
+
+    def test_negative_improvement_rendered(self):
+        points = [SweepPoint(2.0, 100.0, 109.0)]
+        assert "-9.0%" in render_sweep("t", "x", points)
+
+
+class TestRenderMemorySweep:
+    def test_oom_marker(self):
+        points = [
+            MemorySweepPoint(10.0, 500.0, None, 140.0, 450.0, 3000.0),
+            MemorySweepPoint(40.0, 360.0, 280.0, None, 300.0, 850.0),
+        ]
+        rendered = render_memory_sweep("Fig 9", "Reducers", points)
+        assert "OOM@" in rendered
+        assert "850.0" in rendered

@@ -1,0 +1,74 @@
+"""Tests for box-plot statistics (Figure 7 machinery)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.stats import (
+    ascii_boxplot,
+    best_case,
+    five_number_summary,
+    overall_average,
+)
+
+
+class TestFiveNumberSummary:
+    def test_known_values(self):
+        stats = five_number_summary("x", [1.0, 2.0, 3.0, 4.0, 5.0])
+        assert stats.minimum == 1.0
+        assert stats.median == 3.0
+        assert stats.maximum == 5.0
+        assert stats.q25 == 2.0
+        assert stats.q75 == 4.0
+        assert stats.mean == 3.0
+        assert stats.n == 5
+
+    def test_single_sample(self):
+        stats = five_number_summary("x", [7.0])
+        assert stats.minimum == stats.median == stats.maximum == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            five_number_summary("x", [])
+
+    def test_quartiles_ordered(self):
+        stats = five_number_summary("x", [9.0, 1.0, 5.0, 3.0, 7.0, 2.0])
+        assert (
+            stats.minimum <= stats.q25 <= stats.median <= stats.q75 <= stats.maximum
+        )
+
+
+class TestAggregates:
+    def test_overall_average(self):
+        samples = {"a": [10.0, 20.0], "b": [30.0, 40.0]}
+        assert overall_average(samples) == pytest.approx(25.0)
+
+    def test_best_case(self):
+        samples = {"a": [10.0], "b": [87.0, 3.0]}
+        assert best_case(samples) == pytest.approx(87.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            overall_average({})
+        with pytest.raises(ValueError):
+            best_case({"a": []})
+
+
+class TestAsciiBoxplot:
+    def test_contains_labels_and_markers(self):
+        stats = [
+            five_number_summary("wc", [10.0, 15.0, 20.0]),
+            five_number_summary("bs", [50.0, 70.0, 87.0]),
+        ]
+        rendered = ascii_boxplot(stats)
+        assert "wc" in rendered and "bs" in rendered
+        assert ":" in rendered  # median marker
+        assert "|" in rendered  # whiskers
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_boxplot([])
+
+    def test_degenerate_distribution(self):
+        rendered = ascii_boxplot([five_number_summary("x", [5.0, 5.0, 5.0])])
+        assert "x" in rendered

@@ -1,0 +1,94 @@
+"""Tests for Figure 4 timeline extraction and rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.timeline import (
+    BARRIER_STAGES,
+    BARRIERLESS_STAGES,
+    ascii_timeline,
+    stage_summary,
+    timeline,
+)
+from repro.core.types import ExecutionMode
+from repro.sim.hadoop import HadoopSimulator
+from repro.sim.workload import wordcount_profile
+
+
+@pytest.fixture(scope="module")
+def results():
+    sim = HadoopSimulator()
+    profile = wordcount_profile(3.0)
+    return {
+        mode: sim.run(profile, 40, mode) for mode in ExecutionMode
+    }
+
+
+class TestTimeline:
+    def test_barrier_panel_stages(self, results):
+        series = timeline(results[ExecutionMode.BARRIER])
+        assert [s.stage for s in series] == list(BARRIER_STAGES)
+
+    def test_barrierless_panel_stages(self, results):
+        series = timeline(results[ExecutionMode.BARRIERLESS])
+        assert [s.stage for s in series] == list(BARRIERLESS_STAGES)
+
+    def test_map_concurrency_bounded_by_slots(self, results):
+        series = timeline(results[ExecutionMode.BARRIER])
+        map_series = next(s for s in series if s.stage == "map")
+        assert 0 < map_series.peak() <= 60  # 60 map slots in the testbed
+
+    def test_reduce_follows_sort_in_barrier_mode(self, results):
+        series = {s.stage: s for s in timeline(results[ExecutionMode.BARRIER])}
+        # First time reduce becomes active must not precede first sort
+        # activity (the barrier's ordering).
+        def first_active(s):
+            for t, c in zip(s.times, s.counts):
+                if c > 0:
+                    return t
+            return float("inf")
+
+        assert first_active(series["reduce"]) >= first_active(series["sort"])
+
+    def test_series_lengths_consistent(self, results):
+        for s in timeline(results[ExecutionMode.BARRIER]):
+            assert len(s.times) == len(s.counts)
+
+
+class TestAsciiTimeline:
+    def test_render_contains_legend(self, results):
+        rendered = ascii_timeline(timeline(results[ExecutionMode.BARRIER]))
+        assert "map" in rendered
+        assert "+" in rendered  # axis
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_timeline([])
+
+
+class TestStageSummary:
+    def test_barrierless_finishes_soon_after_last_map(self, results):
+        # §3.2: "the job finishes ... only 10 seconds after the final Map
+        # task completes" — the pipelined job's tail is short relative to
+        # the barrier version's shuffle+sort+reduce tail.
+        bl = stage_summary(results[ExecutionMode.BARRIERLESS])
+        barrier = stage_summary(results[ExecutionMode.BARRIER])
+        bl_tail = bl["job_done"] - bl["last_map_done"]
+        barrier_tail = barrier["job_done"] - barrier["last_map_done"]
+        assert bl_tail < barrier_tail
+
+    def test_summary_keys(self, results):
+        summary = stage_summary(results[ExecutionMode.BARRIER])
+        assert set(summary) == {
+            "first_map_done",
+            "last_map_done",
+            "shuffle_done",
+            "sort_done",
+            "job_done",
+            "mapper_slack",
+        }
+
+    def test_mapper_slack_nonnegative(self, results):
+        for result in results.values():
+            assert stage_summary(result)["mapper_slack"] >= 0.0

@@ -1,0 +1,41 @@
+"""Tests for Distributed Grep (Identity class)."""
+
+from __future__ import annotations
+
+from repro.apps import grep
+from repro.core.types import ExecutionMode, ReduceClass
+
+
+class TestGrep:
+    def test_matches_only(self, local_engine):
+        pairs = [("d0", "alpha line\nbeta line"), ("d1", "gamma")]
+        job = grep.make_job(ExecutionMode.BARRIER, pattern="beta")
+        result = local_engine.run(job, pairs, num_maps=2)
+        assert result.output_as_dict() == {"d0:1": "beta line"}
+
+    def test_multiline_documents(self, local_engine):
+        pairs = [("d", "x\nmatch here\nx\nmatch again")]
+        job = grep.make_job(ExecutionMode.BARRIERLESS, pattern="match")
+        result = local_engine.run(job, pairs, num_maps=1)
+        assert result.output_as_dict() == {
+            "d:1": "match here",
+            "d:3": "match again",
+        }
+
+    def test_regex_patterns(self, local_engine):
+        pairs = [("d", "cat\ncar\ncab")]
+        job = grep.make_job(ExecutionMode.BARRIER, pattern=r"ca[rt]")
+        result = local_engine.run(job, pairs, num_maps=1)
+        assert set(result.output_as_dict().values()) == {"cat", "car"}
+
+    def test_no_matches(self, local_engine):
+        job = grep.make_job(ExecutionMode.BARRIERLESS, pattern="zzz")
+        result = local_engine.run(job, [("d", "nothing here")], num_maps=1)
+        assert result.all_output() == []
+
+    def test_classified_as_identity(self):
+        assert grep.make_job(ExecutionMode.BARRIER).reduce_class is ReduceClass.IDENTITY
+
+    def test_reference_output_helper(self):
+        pairs = [("d", "yes\nno")]
+        assert grep.reference_output(pairs, "yes") == {"d:0": "yes"}

@@ -1,0 +1,42 @@
+"""Tests for the application registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.registry import REGISTRY, by_short_name, evaluated_apps
+from repro.core.types import ExecutionMode, ReduceClass
+
+
+class TestRegistry:
+    def test_seven_applications(self):
+        assert len(REGISTRY) == 7
+
+    def test_covers_all_reduce_classes(self):
+        classes = {descriptor.reduce_class for descriptor in REGISTRY}
+        assert classes == set(ReduceClass)
+
+    def test_short_names_unique(self):
+        names = [d.short_name for d in REGISTRY]
+        assert len(names) == len(set(names))
+
+    def test_by_short_name(self):
+        assert by_short_name("wc").name == "WordCount"
+        with pytest.raises(KeyError):
+            by_short_name("nope")
+
+    def test_evaluated_apps_exclude_identity(self):
+        evaluated = evaluated_apps()
+        assert len(evaluated) == 6
+        assert all(d.reduce_class is not ReduceClass.IDENTITY for d in evaluated)
+
+    def test_flag_only_conversions(self):
+        # GA and Black-Scholes need only the mode flag (Table 2: 0%);
+        # grep's identity reduce is likewise unchanged.
+        flag_only = {d.short_name for d in REGISTRY if d.flag_only_conversion}
+        assert flag_only == {"grep", "ga", "bs"}
+
+    def test_descriptor_classes_are_importable_types(self):
+        for descriptor in REGISTRY:
+            for cls in descriptor.original + descriptor.barrierless:
+                assert isinstance(cls, type)

@@ -1,0 +1,100 @@
+"""Tests for the pairwise document-similarity pipeline (paper ref [12])."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.similarity import (
+    PairGeneratorMapper,
+    PostingsMapper,
+    make_index_job,
+    make_similarity_job,
+    merge_postings,
+    pairwise_similarity,
+    reference_similarity,
+)
+from repro.core.api import MapContext
+from repro.core.job import MemoryConfig
+from repro.core.types import ExecutionMode
+from repro.engine.local import LocalEngine
+from repro.workloads.text import generate_documents
+
+
+class TestPostingsMapper:
+    def test_emits_term_frequencies(self):
+        ctx = MapContext()
+        PostingsMapper().map("d1", "apple banana apple", ctx)
+        emitted = {(r.key, r.value) for r in ctx.drain()}
+        assert emitted == {("apple", ("d1", 2)), ("banana", ("d1", 1))}
+
+
+class TestPairGeneratorMapper:
+    def test_emits_ordered_pairs(self):
+        ctx = MapContext()
+        PairGeneratorMapper().map("term", (("d2", 3), ("d1", 2)), ctx)
+        [record] = ctx.drain()
+        assert record.key == ("d1", "d2")
+        assert record.value == 6
+
+    def test_no_pairs_for_singleton_posting(self):
+        ctx = MapContext()
+        PairGeneratorMapper().map("term", (("d1", 5),), ctx)
+        assert ctx.drain() == []
+
+
+class TestMergePostings:
+    def test_concatenates_sorted(self):
+        merged = merge_postings((("d2", 1),), (("d1", 3),))
+        assert merged == (("d1", 3), ("d2", 1))
+
+
+class TestPipeline:
+    @pytest.fixture
+    def docs(self):
+        return [
+            ("docA", "cat dog cat"),
+            ("docB", "dog mouse"),
+            ("docC", "cat mouse mouse"),
+            ("docD", "zebra"),
+        ]
+
+    @pytest.mark.parametrize("mode", list(ExecutionMode))
+    def test_matches_reference(self, mode, docs):
+        got = pairwise_similarity(docs, LocalEngine(), mode, num_reducers=2)
+        assert got == reference_similarity(docs)
+
+    def test_hand_checked_values(self, docs):
+        got = pairwise_similarity(
+            docs, LocalEngine(), ExecutionMode.BARRIERLESS
+        )
+        # docA·docB share "dog": 1*1 = 1.  docA·docC share "cat": 2*1 = 2.
+        # docB·docC share "mouse": 1*2 = 2.  docD shares nothing.
+        assert got[("docA", "docB")] == 1
+        assert got[("docA", "docC")] == 2
+        assert got[("docB", "docC")] == 2
+        assert not any("docD" in pair for pair in got)
+
+    def test_synthetic_corpus_mode_equivalence(self):
+        docs = generate_documents(12, words_per_doc=15, vocab_size=30, seed=8)
+        barrier = pairwise_similarity(docs, LocalEngine(), ExecutionMode.BARRIER)
+        barrierless = pairwise_similarity(
+            docs, LocalEngine(), ExecutionMode.BARRIERLESS
+        )
+        assert barrier == barrierless == reference_similarity(docs)
+
+    def test_spillmerge_index_job(self, docs):
+        job = make_index_job(
+            ExecutionMode.BARRIERLESS,
+            num_reducers=2,
+            memory=MemoryConfig(store="spillmerge", spill_threshold_bytes=512),
+        )
+        result = LocalEngine().run(job, docs, num_maps=2)
+        postings = result.output_as_dict()
+        assert postings["cat"] == (("docA", 2), ("docC", 1))
+
+    def test_similarity_symmetric_in_input_order(self, docs):
+        forward = pairwise_similarity(docs, LocalEngine(), ExecutionMode.BARRIERLESS)
+        backward = pairwise_similarity(
+            list(reversed(docs)), LocalEngine(), ExecutionMode.BARRIERLESS
+        )
+        assert forward == backward

@@ -1,0 +1,114 @@
+"""Tests for the SMT translation-table pipeline (paper refs [6, 11])."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.translation import (
+    AlignedPairMapper,
+    BarrierlessTranslationTableReducer,
+    build_translation_table,
+    make_normalise_job,
+    make_pair_count_job,
+    merge_histograms,
+    reference_table,
+)
+from repro.core.api import MapContext
+from repro.core.job import MemoryConfig
+from repro.core.pipeline import PipelineStage, run_pipeline
+from repro.core.types import ExecutionMode
+from repro.engine.local import LocalEngine
+from repro.workloads.bitext import dominant_translation, generate_bitext
+
+
+TINY = [
+    (0, (("s0", "s1"), ("t0", "t1"), ((0, 0), (1, 1)))),
+    (1, (("s0", "s2"), ("t0", "t9"), ((0, 0), (1, 1)))),
+    (2, (("s0",), ("tX",), ((0, 0),))),
+]
+
+
+class TestMapper:
+    def test_emits_aligned_pairs_only(self):
+        ctx = MapContext()
+        AlignedPairMapper().map(
+            0, (("a", "b"), ("x", "y"), ((0, 1),)), ctx
+        )
+        assert [(r.key, r.value) for r in ctx.drain()] == [(("a", "y"), 1)]
+
+
+class TestMergeHistograms:
+    def test_adds_counts(self):
+        merged = merge_histograms((("x", 2),), (("x", 1), ("y", 5)))
+        assert dict(merged) == {"x": 3, "y": 5}
+
+
+class TestPipeline:
+    @pytest.mark.parametrize("mode", list(ExecutionMode))
+    def test_matches_reference(self, mode):
+        table = build_translation_table(TINY, LocalEngine(), mode)
+        assert table == reference_table(TINY)
+
+    def test_probabilities_sum_to_one(self):
+        corpus = generate_bitext(60, seed=1)
+        table = build_translation_table(
+            corpus, LocalEngine(), ExecutionMode.BARRIERLESS
+        )
+        for src, distribution in table.items():
+            total = sum(prob for _, prob in distribution)
+            assert total == pytest.approx(1.0), src
+            assert all(0.0 < prob <= 1.0 for _, prob in distribution)
+
+    def test_dominant_translation_wins(self):
+        corpus = generate_bitext(200, noise=0.15, vocab_size=20, seed=2)
+        table = build_translation_table(
+            corpus, LocalEngine(), ExecutionMode.BARRIERLESS
+        )
+        hits = sum(
+            1
+            for src, distribution in table.items()
+            if distribution[0][0] == dominant_translation(src)
+        )
+        assert hits / len(table) > 0.9
+
+    def test_mode_equivalence_on_synthetic_corpus(self):
+        corpus = generate_bitext(80, seed=3)
+        barrier = build_translation_table(corpus, LocalEngine(), ExecutionMode.BARRIER)
+        barrierless = build_translation_table(
+            corpus, LocalEngine(), ExecutionMode.BARRIERLESS
+        )
+        assert barrier == barrierless == reference_table(corpus)
+
+    def test_spillmerge_normalise_job(self):
+        corpus = generate_bitext(80, seed=4)
+        memory = MemoryConfig(store="spillmerge", spill_threshold_bytes=2048)
+        result = run_pipeline(
+            LocalEngine(),
+            [
+                PipelineStage(
+                    make_pair_count_job(ExecutionMode.BARRIERLESS), 4
+                ),
+                PipelineStage(
+                    make_normalise_job(ExecutionMode.BARRIERLESS, memory=memory), 4
+                ),
+            ],
+            corpus,
+        )
+        assert result.final.output_as_dict() == reference_table(corpus)
+
+
+class TestBitextGenerator:
+    def test_deterministic(self):
+        assert generate_bitext(5, seed=9) == generate_bitext(5, seed=9)
+
+    def test_monotone_alignment(self):
+        corpus = generate_bitext(3, sentence_length=5, seed=1)
+        for _, (src, tgt, alignment) in corpus:
+            assert len(src) == len(tgt) == 5
+            assert alignment == tuple((i, i) for i in range(5))
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            generate_bitext(-1)
+        with pytest.raises(ValueError):
+            generate_bitext(1, noise=1.0)

@@ -1,0 +1,27 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.local import LocalEngine
+from repro.engine.threaded import ThreadedEngine
+from repro.workloads.text import generate_documents
+
+
+@pytest.fixture
+def local_engine() -> LocalEngine:
+    """The deterministic reference engine."""
+    return LocalEngine()
+
+
+@pytest.fixture
+def threaded_engine() -> ThreadedEngine:
+    """A small threaded engine (2 map slots)."""
+    return ThreadedEngine(map_slots=2)
+
+
+@pytest.fixture
+def small_corpus():
+    """A deterministic 30-document corpus for text jobs."""
+    return generate_documents(30, words_per_doc=40, vocab_size=150, seed=7)

@@ -1,0 +1,60 @@
+"""Tests for the Table 1 classification registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.classify import (
+    TABLE_1,
+    classify,
+    format_table_1,
+    partial_result_complexity,
+    requires_key_sort,
+)
+from repro.core.types import ReduceClass
+
+
+class TestTable1:
+    def test_has_seven_rows(self):
+        assert len(TABLE_1) == 7
+
+    def test_every_class_appears_once(self):
+        classes = [entry.reduce_class for entry in TABLE_1]
+        assert sorted(c.value for c in classes) == sorted(
+            c.value for c in ReduceClass
+        )
+
+    def test_only_sorting_requires_key_sort(self):
+        # "This is the only prominent kind of operation we found that
+        # requires a strict ordering on the output keys." (§4.2)
+        for entry in TABLE_1:
+            expected = entry.reduce_class is ReduceClass.SORTING
+            assert entry.key_sort_required is expected
+
+    @pytest.mark.parametrize(
+        "reduce_class,complexity",
+        [
+            (ReduceClass.IDENTITY, "O(1)"),
+            (ReduceClass.SORTING, "O(records)"),
+            (ReduceClass.AGGREGATION, "O(keys)"),
+            (ReduceClass.SELECTION, "O(k * keys)"),
+            (ReduceClass.POST_REDUCTION, "O(records)"),
+            (ReduceClass.CROSS_KEY, "O(window_size)"),
+            (ReduceClass.SINGLE_REDUCER, "O(1)"),
+        ],
+    )
+    def test_partial_result_sizes_match_paper(self, reduce_class, complexity):
+        assert partial_result_complexity(reduce_class) == complexity
+
+    def test_classify_lookup(self):
+        entry = classify(ReduceClass.AGGREGATION)
+        assert entry.application == "Word Count"
+
+    def test_requires_key_sort_helper(self):
+        assert requires_key_sort(ReduceClass.SORTING)
+        assert not requires_key_sort(ReduceClass.AGGREGATION)
+
+    def test_format_contains_all_apps(self):
+        rendered = format_table_1()
+        for entry in TABLE_1:
+            assert entry.application in rendered

@@ -1,0 +1,127 @@
+"""Tests for memoization (§8 future work: DryadInc-style reuse)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import wordcount
+from repro.core.memo import (
+    MapOutputCache,
+    MemoizingEngine,
+    merge_job_outputs,
+    split_digest,
+)
+from repro.core.types import ExecutionMode
+from repro.workloads.text import generate_documents
+
+
+class TestSplitDigest:
+    def test_deterministic(self):
+        split = [(0, "a b c"), (1, "d e")]
+        assert split_digest("job:v1", split) == split_digest("job:v1", split)
+
+    def test_sensitive_to_content(self):
+        assert split_digest("j", [(0, "a")]) != split_digest("j", [(0, "b")])
+
+    def test_sensitive_to_job_identity(self):
+        split = [(0, "same")]
+        assert split_digest("job:v1", split) != split_digest("job:v2", split)
+
+
+class TestMapOutputCache:
+    def test_put_get_roundtrip(self):
+        cache = MapOutputCache()
+        cache.put("d1", ["records"])
+        assert cache.get("d1") == ["records"]
+        assert cache.hits == 1
+
+    def test_miss_counts(self):
+        cache = MapOutputCache()
+        assert cache.get("nope") is None
+        assert cache.misses == 1
+
+    def test_fifo_eviction(self):
+        cache = MapOutputCache(max_entries=2)
+        cache.put("a", [1])
+        cache.put("b", [2])
+        cache.put("c", [3])
+        assert cache.get("a") is None
+        assert cache.get("b") == [2]
+        assert len(cache) == 2
+
+    def test_clear(self):
+        cache = MapOutputCache()
+        cache.put("a", [1])
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0 and cache.hits == 0
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            MapOutputCache(max_entries=0)
+
+
+class TestMemoizingEngine:
+    @pytest.fixture
+    def corpus(self):
+        return generate_documents(24, words_per_doc=30, vocab_size=100, seed=1)
+
+    @pytest.mark.parametrize("mode", list(ExecutionMode))
+    def test_correct_output(self, mode, corpus):
+        engine = MemoizingEngine()
+        result = engine.run(wordcount.make_job(mode), corpus, num_maps=4)
+        assert result.output_as_dict() == wordcount.reference_output(corpus)
+
+    def test_second_run_fully_memoized(self, corpus):
+        engine = MemoizingEngine()
+        job = wordcount.make_job(ExecutionMode.BARRIERLESS)
+        first = engine.run(job, corpus, num_maps=4)
+        assert first.counters.get("map.tasks") == 4
+        second = engine.run(job, corpus, num_maps=4)
+        assert second.counters.get("map.tasks") == 0
+        assert second.counters.get("map.tasks_memoized") == 4
+        assert second.output_as_dict() == first.output_as_dict()
+
+    def test_incremental_input_reexecutes_changed_splits_only(self, corpus):
+        engine = MemoizingEngine()
+        job = wordcount.make_job(ExecutionMode.BARRIERLESS)
+        engine.run(job, corpus, num_maps=4)
+        # Change only the last quarter of the input.
+        modified = list(corpus)
+        modified[-1] = (modified[-1][0], "brand new words here")
+        result = engine.run(job, modified, num_maps=4)
+        assert result.counters.get("map.tasks_memoized") == 3
+        assert result.counters.get("map.tasks") == 1
+        assert result.output_as_dict() == wordcount.reference_output(modified)
+
+    def test_version_bump_invalidates(self, corpus):
+        engine = MemoizingEngine()
+        job = wordcount.make_job(ExecutionMode.BARRIERLESS)
+        engine.run(job, corpus, num_maps=4)
+        engine.job_version = "v2"
+        result = engine.run(job, corpus, num_maps=4)
+        assert result.counters.get("map.tasks") == 4
+
+
+class TestMergeJobOutputs:
+    def test_dryadinc_pattern(self):
+        # Yesterday's word counts + today's delta = full recount.
+        yesterday_docs = generate_documents(10, 20, 50, seed=2)
+        today_docs = generate_documents(5, 20, 50, seed=3)
+        engine = MemoizingEngine()
+        job = wordcount.make_job(ExecutionMode.BARRIERLESS)
+        previous = engine.run(job, yesterday_docs, num_maps=2).output_as_dict()
+        delta = engine.run(job, today_docs, num_maps=2).output_as_dict()
+        merged = merge_job_outputs(previous, delta, wordcount.merge_counts)
+        full = wordcount.reference_output(list(yesterday_docs) + list(today_docs))
+        assert merged == full
+
+    def test_disjoint_keys_pass_through(self):
+        merged = merge_job_outputs({"a": 1}, {"b": 2}, lambda x, y: x + y)
+        assert merged == {"a": 1, "b": 2}
+
+    def test_inputs_not_mutated(self):
+        previous = {"a": 1}
+        delta = {"a": 2}
+        merge_job_outputs(previous, delta, lambda x, y: x + y)
+        assert previous == {"a": 1} and delta == {"a": 2}

@@ -1,0 +1,112 @@
+"""Tests for the sampled range partitioner (terasort-style)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import sortapp
+from repro.core.partitioners import SampledRangePartitioner, sample_keys
+from repro.core.types import ExecutionMode, InvalidJobError
+from repro.engine.local import LocalEngine
+from repro.workloads.ints import generate_sort_records
+
+
+class TestSampledRangePartitioner:
+    def test_boundaries_split_ranges(self):
+        part = SampledRangePartitioner.from_sample(list(range(100)), 4)
+        assert part.num_partitions == 4
+        assert part(0, 4) == 0
+        assert part(99, 4) == 3
+        # Monotone: larger keys never land in earlier partitions.
+        assignments = [part(k, 4) for k in range(100)]
+        assert assignments == sorted(assignments)
+
+    def test_balances_skewed_keys(self):
+        # Heavily skewed keys: 90% of mass in [0, 10).
+        keys = [i % 10 for i in range(900)] + list(range(100, 200))
+        part = SampledRangePartitioner.from_sample(keys, 5)
+        assert part.balance_ratio(keys) < 2.5
+        # A uniform-assumption range partitioner would dump ~90% of keys
+        # into its first bucket over the same data.
+        uniform = sortapp.RangePartitioner(key_range=200)
+        counts = [0] * 5
+        for key in keys:
+            counts[uniform(key, 5)] += 1
+        assert max(counts) / (sum(counts) / 5) > 3.0
+
+    def test_wrong_partition_count_rejected(self):
+        part = SampledRangePartitioner.from_sample([1, 2, 3], 2)
+        with pytest.raises(InvalidJobError):
+            part(1, 5)
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(InvalidJobError):
+            SampledRangePartitioner.from_sample([], 3)
+
+    def test_single_partition(self):
+        part = SampledRangePartitioner.from_sample([5, 9], 1)
+        assert part(7, 1) == 0
+        assert part(-100, 1) == 0
+
+    @given(
+        st.lists(st.integers(-1000, 1000), min_size=1, max_size=300),
+        st.integers(1, 12),
+    )
+    def test_property_monotone_and_in_range(self, sample, n):
+        part = SampledRangePartitioner.from_sample(sample, n)
+        previous = 0
+        for key in sorted(set(sample)):
+            partition = part(key, n)
+            assert 0 <= partition < n
+            assert partition >= previous
+            previous = partition
+
+
+class TestSampleKeys:
+    def test_small_input_returned_whole(self):
+        pairs = [(i, i) for i in range(5)]
+        assert sorted(sample_keys(pairs, 100)) == [0, 1, 2, 3, 4]
+
+    def test_sample_size_respected(self):
+        pairs = [(i, i) for i in range(1000)]
+        assert len(sample_keys(pairs, 50, seed=1)) == 50
+
+    def test_deterministic(self):
+        pairs = [(i, i) for i in range(1000)]
+        assert sample_keys(pairs, 50, seed=2) == sample_keys(pairs, 50, seed=2)
+
+    def test_empty_input(self):
+        assert sample_keys([], 10) == []
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(InvalidJobError):
+            sample_keys([(1, 1)], 0)
+
+
+class TestSortWithSampledPartitioner:
+    def test_total_order_preserved(self):
+        records = generate_sort_records(400, key_range=1_000_000, seed=31)
+        job = sortapp.make_job(ExecutionMode.BARRIERLESS, num_reducers=4)
+        job.partition_fn = SampledRangePartitioner.from_sample(
+            sample_keys(records, 100, seed=1), 4
+        )
+        result = LocalEngine().run(job, records, num_maps=4)
+        out = [(r.key, r.value) for r in result.all_output()]
+        assert out == sortapp.reference_output(records)
+
+    def test_skewed_sort_balanced(self):
+        # All keys clustered near zero: the sampled partitioner still
+        # spreads reducer load.
+        records = [(k % 50, k % 50) for k in range(500)]
+        partitioner = SampledRangePartitioner.from_sample(
+            sample_keys(records, 200, seed=2), 4
+        )
+        job = sortapp.make_job(ExecutionMode.BARRIERLESS, num_reducers=4)
+        job.partition_fn = partitioner
+        result = LocalEngine().run(job, records, num_maps=4)
+        out = [(r.key, r.value) for r in result.all_output()]
+        assert out == sortapp.reference_output(records)
+        loads = [len(result.output[i]) for i in range(4)]
+        assert max(loads) / (sum(loads) / 4) < 2.5

@@ -1,0 +1,94 @@
+"""Tests for multi-job pipelines and iterated jobs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import genetic, wordcount
+from repro.apps.similarity import (
+    make_index_job,
+    make_similarity_job,
+    reference_similarity,
+)
+from repro.core.pipeline import PipelineStage, iterate_job, run_pipeline
+from repro.core.types import ExecutionMode
+from repro.engine.local import LocalEngine
+from repro.workloads.population import generate_population, mean_fitness
+
+
+class TestRunPipeline:
+    def test_two_stage_similarity(self):
+        docs = [("a", "x y"), ("b", "y z"), ("c", "z x")]
+        result = run_pipeline(
+            LocalEngine(),
+            [
+                PipelineStage(make_index_job(ExecutionMode.BARRIERLESS), 2),
+                PipelineStage(make_similarity_job(ExecutionMode.BARRIERLESS), 2),
+            ],
+            docs,
+        )
+        assert result.final.output_as_dict() == reference_similarity(docs)
+        assert len(result.stages) == 2
+
+    def test_single_stage_equals_direct_run(self, small_corpus):
+        engine = LocalEngine()
+        job = wordcount.make_job(ExecutionMode.BARRIERLESS)
+        piped = run_pipeline(engine, [PipelineStage(job, 4)], small_corpus)
+        direct = engine.run(job, small_corpus, num_maps=4)
+        assert piped.final.output_as_dict() == direct.output_as_dict()
+
+    def test_total_counter_sums_stages(self, small_corpus):
+        engine = LocalEngine()
+        job = wordcount.make_job(ExecutionMode.BARRIERLESS)
+        result = run_pipeline(
+            engine,
+            [PipelineStage(job, 2), PipelineStage(job, 2)],
+            small_corpus,
+        )
+        assert result.total_counter("reduce.tasks") == 8  # 4 reducers x 2
+
+    def test_empty_pipeline_rejected(self, small_corpus):
+        with pytest.raises(ValueError):
+            run_pipeline(LocalEngine(), [], small_corpus)
+
+
+class TestIterateJob:
+    def test_ga_generations_improve(self):
+        population = generate_population(64, 16, seed=21)
+
+        def make_stage(round_index):
+            return PipelineStage(
+                genetic.make_job(
+                    ExecutionMode.BARRIERLESS, window_size=8,
+                    genome_bits=16, num_reducers=2,
+                ),
+                num_maps=4,
+                adapt=genetic.next_generation_pairs,
+            )
+
+        result = iterate_job(LocalEngine(), make_stage, population, max_rounds=4)
+        assert len(result.stages) == 4
+        final_population = [
+            (record.key, record.key) for record in result.final.all_output()
+        ]
+        assert mean_fitness(final_population) >= mean_fitness(population)
+
+    def test_convergence_predicate_stops_early(self, small_corpus):
+        job = wordcount.make_job(ExecutionMode.BARRIERLESS)
+        result = iterate_job(
+            LocalEngine(),
+            lambda _round: PipelineStage(job, 2),
+            small_corpus,
+            max_rounds=10,
+            converged=lambda _result, round_index: round_index >= 1,
+        )
+        assert len(result.stages) == 2
+
+    def test_rejects_zero_rounds(self, small_corpus):
+        with pytest.raises(ValueError):
+            iterate_job(
+                LocalEngine(),
+                lambda r: PipelineStage(wordcount.make_job(ExecutionMode.BARRIER)),
+                small_corpus,
+                max_rounds=0,
+            )

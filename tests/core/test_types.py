@@ -1,0 +1,133 @@
+"""Unit tests for repro.core.types."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.types import (
+    Counters,
+    ExecutionMode,
+    InvalidJobError,
+    JobResult,
+    Record,
+    ReducerOutOfMemoryError,
+    StageTimes,
+    default_partition,
+    make_records,
+)
+
+
+class TestRecord:
+    def test_unpacking(self):
+        key, value = Record("a", 1)
+        assert key == "a" and value == 1
+
+    def test_equality_and_hash(self):
+        assert Record("a", 1) == Record("a", 1)
+        assert Record("a", 1) != Record("a", 2)
+        assert hash(Record("a", 1)) == hash(Record("a", 1))
+
+    def test_immutability(self):
+        record = Record("a", 1)
+        with pytest.raises(AttributeError):
+            record.key = "b"  # type: ignore[misc]
+
+    def test_make_records(self):
+        records = make_records([("a", 1), ("b", 2)])
+        assert records == [Record("a", 1), Record("b", 2)]
+
+
+class TestCounters:
+    def test_increment_and_get(self):
+        counters = Counters()
+        counters.increment("x")
+        counters.increment("x", 4)
+        assert counters.get("x") == 5
+
+    def test_get_missing_is_zero(self):
+        assert Counters().get("nothing") == 0
+
+    def test_merge(self):
+        a, b = Counters(), Counters()
+        a.increment("x", 2)
+        b.increment("x", 3)
+        b.increment("y", 1)
+        a.merge(b)
+        assert a.get("x") == 5
+        assert a.get("y") == 1
+
+    def test_as_dict_is_snapshot(self):
+        counters = Counters()
+        counters.increment("x")
+        snapshot = counters.as_dict()
+        counters.increment("x")
+        assert snapshot == {"x": 1}
+
+
+class TestStageTimes:
+    def test_mapper_slack(self):
+        times = StageTimes(first_map_done=50.0, shuffle_done=170.0)
+        assert times.mapper_slack == pytest.approx(120.0)
+
+    def test_mapper_slack_never_negative(self):
+        times = StageTimes(first_map_done=100.0, shuffle_done=50.0)
+        assert times.mapper_slack == 0.0
+
+    def test_barrier_wait(self):
+        times = StageTimes(last_map_done=155.0, sort_done=170.0)
+        assert times.barrier_wait == pytest.approx(15.0)
+
+
+class TestDefaultPartition:
+    def test_single_partition(self):
+        assert default_partition("anything", 1) == 0
+
+    def test_range(self):
+        for key in ("a", "b", 3, (1, 2), "longer-key"):
+            assert 0 <= default_partition(key, 7) < 7
+
+    def test_deterministic_across_calls(self):
+        assert default_partition("stable", 13) == default_partition("stable", 13)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(InvalidJobError):
+            default_partition("k", 0)
+
+    @given(st.integers(), st.integers(min_value=1, max_value=64))
+    def test_property_in_range(self, key, n):
+        assert 0 <= default_partition(key, n) < n
+
+    def test_spreads_keys(self):
+        # 1000 distinct keys over 10 partitions: no partition should be
+        # empty and none should hold more than half the keys.
+        counts = [0] * 10
+        for i in range(1000):
+            counts[default_partition(f"key-{i}", 10)] += 1
+        assert min(counts) > 0
+        assert max(counts) < 500
+
+
+class TestJobResult:
+    def _result(self) -> JobResult:
+        return JobResult(
+            output={1: [Record("b", 2)], 0: [Record("a", 1)]},
+            counters=Counters(),
+            stage_times=StageTimes(),
+            mode=ExecutionMode.BARRIER,
+        )
+
+    def test_all_output_reducer_order(self):
+        assert [r.key for r in self._result().all_output()] == ["a", "b"]
+
+    def test_output_as_dict(self):
+        assert self._result().output_as_dict() == {"a": 1, "b": 2}
+
+
+class TestErrors:
+    def test_oom_message(self):
+        err = ReducerOutOfMemoryError(2048, 1024)
+        assert err.used_bytes == 2048
+        assert err.limit_bytes == 1024
+        assert "2048" in str(err)

@@ -1,0 +1,106 @@
+"""Tests for line-record splits over chunked files."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import wordcount
+from repro.core.types import ExecutionMode
+from repro.dfs.inputformat import TextInputFormat, write_lines
+from repro.dfs.localdfs import DFSError, LocalDFS
+from repro.engine.local import LocalEngine
+
+
+@pytest.fixture
+def dfs(tmp_path):
+    return LocalDFS(str(tmp_path), num_nodes=3, replication=2, chunk_size=32)
+
+
+class TestSplits:
+    def test_lines_keyed_by_offset(self, dfs):
+        write_lines(dfs, "f", ["alpha", "beta"])
+        records = TextInputFormat(dfs).read_all("f")
+        assert records == [(0, "alpha"), (6, "beta")]
+
+    def test_boundary_line_belongs_to_starting_split(self, dfs):
+        # chunk_size=32: the second line starts in chunk 0 and ends in
+        # chunk 1; it must appear exactly once, in split 0.
+        lines = ["x" * 20, "y" * 20, "z" * 20]
+        write_lines(dfs, "f", lines)
+        splits = TextInputFormat(dfs).splits("f")
+        all_lines = [line for split in splits for _, line in split]
+        assert all_lines == lines
+        assert [line for _, line in splits[0]] == ["x" * 20, "y" * 20]
+
+    def test_line_longer_than_chunk(self, dfs):
+        lines = ["a" * 100, "b"]
+        write_lines(dfs, "f", lines)
+        fmt = TextInputFormat(dfs)
+        assert [line for _, line in fmt.read_all("f")] == lines
+        splits = fmt.splits("f")
+        # The giant line lives in split 0; middle chunks contribute nothing.
+        assert [line for _, line in splits[0]] == ["a" * 100]
+        assert sum(len(s) for s in splits[1:]) == 1
+
+    def test_no_trailing_newline(self, dfs):
+        dfs.put_text("f", "one\ntwo")  # unterminated final line
+        records = TextInputFormat(dfs).read_all("f")
+        assert [line for _, line in records] == ["one", "two"]
+
+    def test_empty_file(self, dfs):
+        dfs.put("f", b"")
+        assert TextInputFormat(dfs).splits("f") == [[]]
+
+    def test_write_lines_rejects_embedded_newlines(self, dfs):
+        with pytest.raises(DFSError):
+            write_lines(dfs, "f", ["bad\nline"])
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    lines=st.lists(
+        st.text(
+            alphabet=st.characters(blacklist_characters="\n", max_codepoint=0x2FF),
+            max_size=40,
+        ),
+        max_size=20,
+    ),
+    chunk_size=st.integers(4, 64),
+)
+def test_property_every_line_exactly_once(tmp_path_factory, lines, chunk_size):
+    """The Hadoop split invariant: concatenated splits == the file's lines."""
+    root = tmp_path_factory.mktemp("fmt")
+    dfs = LocalDFS(str(root), num_nodes=3, replication=1, chunk_size=chunk_size)
+    write_lines(dfs, "f", lines)
+    records = TextInputFormat(dfs).read_all("f")
+    assert [line for _, line in records] == lines
+    offsets = [offset for offset, _ in records]
+    assert offsets == sorted(offsets)
+    assert len(set(offsets)) == len(offsets)
+
+
+class TestEndToEndOverDFS:
+    def test_wordcount_from_dfs_file(self, tmp_path):
+        dfs = LocalDFS(str(tmp_path), num_nodes=4, replication=2, chunk_size=128)
+        lines = [f"the quick brown fox line{i}" for i in range(20)]
+        write_lines(dfs, "corpus", lines)
+        pairs = TextInputFormat(dfs).read_all("corpus")
+        result = LocalEngine().run(
+            wordcount.make_job(ExecutionMode.BARRIERLESS), pairs, num_maps=4
+        )
+        out = result.output_as_dict()
+        assert out["the"] == 20
+        assert out["fox"] == 20
+        assert out["line7"] == 1
+
+    def test_wordcount_survives_dfs_node_loss(self, tmp_path):
+        dfs = LocalDFS(str(tmp_path), num_nodes=4, replication=2, chunk_size=64)
+        write_lines(dfs, "corpus", ["hello world"] * 30)
+        dfs.kill_node(2)  # replication covers the loss
+        pairs = TextInputFormat(dfs).read_all("corpus")
+        result = LocalEngine().run(
+            wordcount.make_job(ExecutionMode.BARRIER), pairs, num_maps=3
+        )
+        assert result.output_as_dict() == {"hello": 30, "world": 30}

@@ -1,0 +1,107 @@
+"""Tests for file-backed job execution over the mini-DFS."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import wordcount
+from repro.apps.lastfm import make_job as make_lastfm_job
+from repro.core.types import ExecutionMode
+from repro.dfs.inputformat import write_lines
+from repro.dfs.jobio import (
+    commit_output,
+    read_output,
+    run_sequence_job,
+    run_text_job,
+)
+from repro.dfs.localdfs import DFSError, LocalDFS
+from repro.dfs.sequencefile import SequenceFileReader, SequenceFileWriter
+from repro.engine.local import LocalEngine
+
+
+@pytest.fixture
+def dfs(tmp_path):
+    return LocalDFS(str(tmp_path), num_nodes=4, replication=2, chunk_size=256)
+
+
+class TestTextJob:
+    def test_wordcount_end_to_end(self, dfs):
+        lines = ["spark fire spark"] * 20
+        write_lines(dfs, "input.txt", lines)
+        result = run_text_job(
+            LocalEngine(),
+            dfs,
+            wordcount.make_job(ExecutionMode.BARRIERLESS, num_reducers=2),
+            "input.txt",
+            output_file="counts",
+        )
+        assert result.output_as_dict() == {"spark": 40, "fire": 20}
+        assert read_output(dfs, "counts") == {"spark": 40, "fire": 20}
+
+    def test_one_map_per_chunk(self, dfs):
+        write_lines(dfs, "big.txt", [f"line {i} with words" for i in range(60)])
+        chunks = len(dfs.manifest("big.txt").chunks)
+        assert chunks > 1
+        result = run_text_job(
+            LocalEngine(),
+            dfs,
+            wordcount.make_job(ExecutionMode.BARRIER),
+            "big.txt",
+        )
+        assert result.counters.get("map.tasks") == chunks
+
+    def test_both_modes_agree_over_dfs(self, dfs):
+        write_lines(dfs, "t.txt", [f"w{i % 7} w{i % 3}" for i in range(50)])
+        outputs = []
+        for mode in ExecutionMode:
+            result = run_text_job(
+                LocalEngine(), dfs, wordcount.make_job(mode), "t.txt"
+            )
+            outputs.append(result.output_as_dict())
+        assert outputs[0] == outputs[1]
+
+
+class TestSequenceJob:
+    def test_lastfm_over_sequencefile(self, dfs):
+        writer = SequenceFileWriter("listens", sync_interval=8)
+        for i in range(100):
+            writer.append(i, (f"track{i % 5}", f"user{i % 9}"))
+        writer.store(dfs)
+        result = run_sequence_job(
+            LocalEngine(),
+            dfs,
+            make_lastfm_job(ExecutionMode.BARRIERLESS, num_reducers=2),
+            "listens",
+            output_file="unique",
+        )
+        out = read_output(dfs, "unique")
+        assert out == result.output_as_dict()
+        assert all(1 <= v <= 9 for v in out.values())
+
+
+class TestOutputCommit:
+    def test_one_part_per_reducer(self, dfs):
+        write_lines(dfs, "i.txt", ["a b c"] * 10)
+        result = run_text_job(
+            LocalEngine(),
+            dfs,
+            wordcount.make_job(ExecutionMode.BARRIER, num_reducers=3),
+            "i.txt",
+        )
+        parts = commit_output(dfs, result, "out")
+        assert parts == [f"out-part-{i:05d}" for i in range(3)]
+        total = sum(
+            1 for part in parts for _ in SequenceFileReader(dfs, part)
+        )
+        assert total == 3  # a, b, c
+
+    def test_existing_output_rejected(self, dfs):
+        write_lines(dfs, "i.txt", ["x"])
+        job = wordcount.make_job(ExecutionMode.BARRIER, num_reducers=1)
+        run_text_job(LocalEngine(), dfs, job, "i.txt", output_file="out")
+        with pytest.raises(DFSError):
+            run_text_job(LocalEngine(), dfs, job, "i.txt", output_file="out")
+
+    def test_read_output_missing_raises(self, dfs):
+        with pytest.raises(DFSError):
+            read_output(dfs, "never-written")

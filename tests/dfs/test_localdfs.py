@@ -1,0 +1,148 @@
+"""Tests for the on-disk mini-DFS."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dfs.localdfs import DFSError, LocalDFS
+
+
+@pytest.fixture
+def dfs(tmp_path):
+    return LocalDFS(str(tmp_path), num_nodes=4, replication=2, chunk_size=64)
+
+
+class TestBasics:
+    def test_put_get_roundtrip(self, dfs):
+        data = b"hello world" * 20
+        dfs.put("f", data)
+        assert dfs.get("f") == data
+
+    def test_empty_file(self, dfs):
+        dfs.put("empty", b"")
+        assert dfs.get("empty") == b""
+
+    def test_text_roundtrip(self, dfs):
+        dfs.put_text("t", "héllo\nwörld")
+        assert dfs.get_text("t") == "héllo\nwörld"
+
+    def test_exists_and_list(self, dfs):
+        assert not dfs.exists("a")
+        dfs.put("a", b"x")
+        dfs.put("b", b"y")
+        assert dfs.exists("a")
+        assert dfs.list_files() == ["a", "b"]
+
+    def test_duplicate_name_rejected(self, dfs):
+        dfs.put("f", b"1")
+        with pytest.raises(DFSError):
+            dfs.put("f", b"2")
+
+    def test_invalid_names_rejected(self, dfs):
+        with pytest.raises(DFSError):
+            dfs.put("_meta", b"x")
+        with pytest.raises(DFSError):
+            dfs.put("a/b", b"x")
+
+    def test_missing_file_raises(self, dfs):
+        with pytest.raises(DFSError):
+            dfs.get("ghost")
+
+    def test_delete(self, dfs):
+        dfs.put("f", b"data" * 100)
+        dfs.delete("f")
+        assert not dfs.exists("f")
+        assert dfs.list_files() == []
+
+
+class TestChunking:
+    def test_chunk_count(self, dfs):
+        dfs.put("f", b"x" * 200)  # 64-byte chunks -> 4 chunks (64*3=192, +8)
+        manifest = dfs.manifest("f")
+        assert len(manifest.chunks) == 4
+        assert [c.size for c in manifest.chunks] == [64, 64, 64, 8]
+
+    def test_replication_factor(self, dfs):
+        dfs.put("f", b"x" * 100)
+        for chunk in dfs.manifest("f").chunks:
+            assert len(chunk.nodes) == 2
+            assert len(set(chunk.nodes)) == 2
+
+    def test_chunks_on_disk(self, dfs, tmp_path):
+        dfs.put("f", b"x" * 100)
+        chunk_files = [
+            entry
+            for node_dir in os.listdir(tmp_path)
+            if node_dir.startswith("node-")
+            for entry in os.listdir(tmp_path / node_dir)
+        ]
+        # 2 chunks x 2 replicas
+        assert len(chunk_files) == 4
+
+    def test_read_single_chunk(self, dfs):
+        dfs.put("f", bytes(range(200)) )
+        assert dfs.read_chunk("f", 1) == bytes(range(200))[64:128]
+
+    def test_bad_chunk_index(self, dfs):
+        dfs.put("f", b"x")
+        with pytest.raises(DFSError):
+            dfs.read_chunk("f", 5)
+
+
+class TestDurability:
+    def test_survives_single_node_loss(self, dfs):
+        data = os.urandom(500)
+        dfs.put("f", data)
+        dfs.kill_node(1)
+        assert dfs.get("f") == data
+
+    def test_replication_1_does_not_survive(self, tmp_path):
+        dfs = LocalDFS(str(tmp_path), num_nodes=3, replication=1, chunk_size=64)
+        dfs.put("f", b"x" * 300)
+        # Killing every node that holds a chunk must break the read.
+        for node in range(3):
+            dfs.kill_node(node)
+        with pytest.raises(DFSError):
+            dfs.get("f")
+
+    def test_manifest_persists_across_instances(self, tmp_path):
+        first = LocalDFS(str(tmp_path), num_nodes=3, replication=2, chunk_size=64)
+        first.put("f", b"persistent data" * 10)
+        second = LocalDFS(str(tmp_path), num_nodes=3, replication=2, chunk_size=64)
+        assert second.get("f") == b"persistent data" * 10
+
+    def test_kill_invalid_node(self, dfs):
+        with pytest.raises(DFSError):
+            dfs.kill_node(99)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_nodes": 0},
+            {"replication": 0},
+            {"replication": 9},
+            {"chunk_size": 0},
+        ],
+    )
+    def test_bad_configs(self, tmp_path, kwargs):
+        config = dict(num_nodes=4, replication=2, chunk_size=64)
+        config.update(kwargs)
+        with pytest.raises(ValueError):
+            LocalDFS(str(tmp_path), **config)
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.binary(max_size=2000), chunk_size=st.integers(1, 257))
+def test_property_roundtrip_any_chunking(tmp_path_factory, data, chunk_size):
+    root = tmp_path_factory.mktemp("dfs")
+    dfs = LocalDFS(str(root), num_nodes=3, replication=2, chunk_size=chunk_size)
+    dfs.put("f", data)
+    assert dfs.get("f") == data
+    manifest = dfs.manifest("f")
+    assert sum(c.size for c in manifest.chunks) == len(data)

@@ -1,0 +1,122 @@
+"""Tests for the splittable SequenceFile container."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import wordcount
+from repro.core.types import ExecutionMode
+from repro.dfs.localdfs import LocalDFS
+from repro.dfs.sequencefile import (
+    SequenceFileError,
+    SequenceFileReader,
+    SequenceFileWriter,
+)
+from repro.engine.local import LocalEngine
+
+
+@pytest.fixture
+def dfs(tmp_path):
+    return LocalDFS(str(tmp_path), num_nodes=3, replication=2, chunk_size=256)
+
+
+class TestRoundtrip:
+    def test_write_read(self, dfs):
+        writer = SequenceFileWriter("data")
+        records = [(f"key-{i}", {"count": i}) for i in range(50)]
+        for key, value in records:
+            writer.append(key, value)
+        writer.store(dfs)
+        assert list(SequenceFileReader(dfs, "data")) == records
+
+    def test_empty_file(self, dfs):
+        SequenceFileWriter("empty").store(dfs)
+        assert list(SequenceFileReader(dfs, "empty")) == []
+
+    def test_typed_keys_and_values(self, dfs):
+        writer = SequenceFileWriter("typed")
+        records = [
+            (1, (1.5, "x")),
+            (("composite", 2), [1, 2, 3]),
+            ("s", frozenset({"u1", "u2"})),
+        ]
+        for key, value in records:
+            writer.append(key, value)
+        writer.store(dfs)
+        assert list(SequenceFileReader(dfs, "typed")) == records
+
+    def test_not_a_sequence_file(self, dfs):
+        dfs.put("plain", b"just bytes, no magic")
+        with pytest.raises(SequenceFileError):
+            SequenceFileReader(dfs, "plain")
+
+    def test_rejects_bad_sync_interval(self):
+        with pytest.raises(ValueError):
+            SequenceFileWriter("x", sync_interval=0)
+
+
+class TestSplits:
+    def test_splits_partition_records(self, dfs):
+        writer = SequenceFileWriter("big", sync_interval=8)
+        records = [(i, f"value-{i}" * 3) for i in range(300)]
+        for key, value in records:
+            writer.append(key, value)
+        writer.store(dfs)
+        reader = SequenceFileReader(dfs, "big")
+        splits = reader.splits_by_chunk(dfs)
+        assert len(splits) == len(dfs.manifest("big").chunks) > 1
+        combined = [record for split in splits for record in split]
+        assert sorted(combined) == sorted(records)
+
+    def test_arbitrary_disjoint_ranges_partition(self, dfs):
+        writer = SequenceFileWriter("r", sync_interval=4)
+        records = [(i, i * i) for i in range(120)]
+        for key, value in records:
+            writer.append(key, value)
+        writer.store(dfs)
+        reader = SequenceFileReader(dfs, "r")
+        size = len(dfs.get("r"))
+        cut = size // 3
+        parts = (
+            list(reader.read_split(0, cut))
+            + list(reader.read_split(cut, 2 * cut))
+            + list(reader.read_split(2 * cut, size))
+        )
+        assert sorted(parts) == sorted(records)
+
+    def test_mapreduce_over_sequencefile_splits(self, dfs):
+        writer = SequenceFileWriter("corpus", sync_interval=4)
+        for i in range(60):
+            writer.append(i, "alpha beta alpha")
+        writer.store(dfs)
+        splits = SequenceFileReader(dfs, "corpus").splits_by_chunk(dfs)
+        pairs = [record for split in splits for record in split]
+        result = LocalEngine().run(
+            wordcount.make_job(ExecutionMode.BARRIERLESS), pairs, num_maps=4
+        )
+        assert result.output_as_dict() == {"alpha": 120, "beta": 60}
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(0, 150),
+    sync_interval=st.integers(1, 20),
+    num_cuts=st.integers(1, 6),
+)
+def test_property_any_cut_partitions(tmp_path_factory, n, sync_interval, num_cuts):
+    root = tmp_path_factory.mktemp("seq")
+    dfs = LocalDFS(str(root), num_nodes=2, replication=1, chunk_size=128)
+    writer = SequenceFileWriter("f", sync_interval=sync_interval)
+    records = [(i, f"v{i}") for i in range(n)]
+    for key, value in records:
+        writer.append(key, value)
+    writer.store(dfs)
+    reader = SequenceFileReader(dfs, "f")
+    size = len(dfs.get("f"))
+    cuts = [0] + sorted((i + 1) * size // (num_cuts + 1) for i in range(num_cuts)) + [size]
+    combined = []
+    for start, end in zip(cuts, cuts[1:]):
+        combined.extend(reader.read_split(start, end))
+    assert sorted(combined) == sorted(records)

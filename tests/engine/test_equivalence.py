@@ -1,0 +1,162 @@
+"""Cross-cutting equivalence: the paper's correctness claim.
+
+"Since our modifications were idempotent, the correctness and the
+completeness of the MapReduce execution is not compromised" (§3.2).
+These tests assert that for every application class, the barrier and
+barrier-less executions produce identical results, across engines and
+memory-management techniques.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import blackscholes, grep, knn, lastfm, sortapp, wordcount
+from repro.core.job import MemoryConfig
+from repro.core.types import ExecutionMode
+from repro.engine.local import LocalEngine
+from repro.engine.threaded import ThreadedEngine
+from repro.workloads.ints import generate_sort_records
+from repro.workloads.listens import generate_listens
+from repro.workloads.options import OptionParams, generate_mc_batches
+from repro.workloads.points import generate_knn_dataset
+from repro.workloads.text import generate_documents
+
+ENGINES = [LocalEngine(), ThreadedEngine(map_slots=2)]
+
+
+def _outputs(job_factory, pairs, num_maps=4):
+    """Run all (engine, mode) combinations, return output dicts."""
+    outputs = []
+    for engine in ENGINES:
+        for mode in ExecutionMode:
+            result = engine.run(job_factory(mode), pairs, num_maps=num_maps)
+            outputs.append(result.output_as_dict())
+    return outputs
+
+
+class TestModeEquivalence:
+    def test_grep(self, small_corpus):
+        outputs = _outputs(lambda m: grep.make_job(m, "w00001"), small_corpus)
+        assert all(o == outputs[0] for o in outputs)
+        assert outputs[0] == grep.reference_output(small_corpus, "w00001")
+
+    def test_wordcount(self, small_corpus):
+        outputs = _outputs(wordcount.make_job, small_corpus)
+        assert all(o == outputs[0] for o in outputs)
+        assert outputs[0] == wordcount.reference_output(small_corpus)
+
+    def test_sort(self):
+        records = generate_sort_records(400, key_range=800, seed=21)
+        expected = sortapp.reference_output(records)
+        for engine in ENGINES:
+            for mode in ExecutionMode:
+                result = engine.run(sortapp.make_job(mode), records, num_maps=4)
+                out = [(r.key, r.value) for r in result.all_output()]
+                assert out == expected, (engine, mode)
+
+    def test_lastfm(self):
+        listens = generate_listens(800, num_users=15, num_tracks=60, seed=9)
+        outputs = _outputs(lastfm.make_job, listens)
+        assert all(o == outputs[0] for o in outputs)
+
+    def test_knn_distances_match(self):
+        experimental, training = generate_knn_dataset(6, 150, seed=13)
+        pairs = knn.training_pairs(training)
+        per_mode = {}
+        for mode in ExecutionMode:
+            job = knn.make_job(mode, experimental, k=4, num_reducers=2)
+            result = LocalEngine().run(job, pairs, num_maps=3)
+            got: dict = {}
+            for record in result.all_output():
+                got.setdefault(record.key, []).append(record.value[1])
+            per_mode[mode] = {k: sorted(v) for k, v in got.items()}
+        assert per_mode[ExecutionMode.BARRIER] == per_mode[ExecutionMode.BARRIERLESS]
+
+    def test_blackscholes_statistics_identical(self):
+        batches = generate_mc_batches(3, 500, seed=17)
+        results = {}
+        for mode in ExecutionMode:
+            out = LocalEngine().run(
+                blackscholes.make_job(mode), batches, num_maps=3
+            ).output_as_dict()
+            results[mode] = out
+        barrier = results[ExecutionMode.BARRIER]
+        barrierless = results[ExecutionMode.BARRIERLESS]
+        assert barrier["count"] == barrierless["count"]
+        assert barrier["mean"] == pytest.approx(barrierless["mean"], rel=1e-12)
+        assert barrier["stddev"] == pytest.approx(barrierless["stddev"], rel=1e-12)
+
+
+class TestMemoryTechniqueEquivalence:
+    """All three §5 stores must produce identical WordCount output."""
+
+    @pytest.mark.parametrize(
+        "memory",
+        [
+            MemoryConfig(store="inmemory"),
+            MemoryConfig(store="spillmerge", spill_threshold_bytes=2048),
+            MemoryConfig(store="kvstore", kv_cache_bytes=2048),
+        ],
+        ids=["inmemory", "spillmerge", "kvstore"],
+    )
+    def test_wordcount_output_identical(self, memory, small_corpus, local_engine):
+        job = wordcount.make_job(
+            ExecutionMode.BARRIERLESS, num_reducers=2, memory=memory
+        )
+        result = local_engine.run(job, small_corpus, num_maps=4)
+        assert result.output_as_dict() == wordcount.reference_output(small_corpus)
+
+    def test_lastfm_spillmerge(self, local_engine):
+        listens = generate_listens(500, num_users=8, num_tracks=40, seed=3)
+        job = lastfm.make_job(
+            ExecutionMode.BARRIERLESS,
+            num_reducers=2,
+            memory=MemoryConfig(store="spillmerge", spill_threshold_bytes=1024),
+        )
+        result = local_engine.run(job, listens, num_maps=5)
+        from repro.workloads.listens import unique_listens_reference
+
+        assert result.output_as_dict() == unique_listens_reference(listens)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    docs=st.lists(
+        st.text(alphabet="abcde ", min_size=0, max_size=40), max_size=15
+    ),
+    num_maps=st.integers(min_value=1, max_value=6),
+    num_reducers=st.integers(min_value=1, max_value=4),
+)
+def test_property_wordcount_mode_equivalence(docs, num_maps, num_reducers):
+    """Barrier and barrier-less WordCount agree on arbitrary corpora."""
+    pairs = [(i, doc) for i, doc in enumerate(docs)]
+    engine = LocalEngine()
+    barrier = engine.run(
+        wordcount.make_job(ExecutionMode.BARRIER, num_reducers=num_reducers),
+        pairs,
+        num_maps=num_maps,
+    )
+    barrierless = engine.run(
+        wordcount.make_job(ExecutionMode.BARRIERLESS, num_reducers=num_reducers),
+        pairs,
+        num_maps=num_maps,
+    )
+    assert barrier.output_as_dict() == barrierless.output_as_dict()
+    assert barrier.output_as_dict() == wordcount.reference_output(pairs)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    keys=st.lists(st.integers(0, 999_999), max_size=60),
+    num_reducers=st.integers(min_value=1, max_value=4),
+)
+def test_property_sort_total_order(keys, num_reducers):
+    """Barrier-less sort yields a totally ordered output for any input."""
+    records = [(k, k) for k in keys]
+    job = sortapp.make_job(ExecutionMode.BARRIERLESS, num_reducers=num_reducers)
+    result = LocalEngine().run(job, records, num_maps=3)
+    out_keys = [r.key for r in result.all_output()]
+    assert out_keys == sorted(keys)

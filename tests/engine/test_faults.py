@@ -1,0 +1,161 @@
+"""Tests for fault injection and Hadoop-style task retry.
+
+These make the paper's fault-tolerance claims executable: injected task
+crashes are retried transparently in both execution modes, and the job's
+output is unchanged ("fault-tolerance ... handled in the same way as
+original Hadoop", §3.1).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import wordcount
+from repro.core.types import ExecutionMode
+from repro.engine.faults import (
+    FaultInjector,
+    RetryingTaskRunner,
+    TaskAttemptError,
+    TaskPermanentlyFailedError,
+)
+from repro.engine.local import LocalEngine
+
+
+class TestFaultInjector:
+    def test_targeted_first_attempt_failure(self):
+        injector = FaultInjector(fail_first_attempt_of=frozenset({"map-1"}))
+        with pytest.raises(TaskAttemptError):
+            injector.check("map-1", 0)
+        injector.check("map-1", 1)  # second attempt succeeds
+        injector.check("map-0", 0)  # other tasks unaffected
+        assert injector.injected == 1
+
+    def test_probabilistic_failures_deterministic_under_seed(self):
+        a = FaultInjector(failure_probability=0.5, seed=3)
+        b = FaultInjector(failure_probability=0.5, seed=3)
+        outcome_a = [self._crashes(a, f"t{i}") for i in range(20)]
+        outcome_b = [self._crashes(b, f"t{i}") for i in range(20)]
+        assert outcome_a == outcome_b
+        assert any(outcome_a) and not all(outcome_a)
+
+    @staticmethod
+    def _crashes(injector: FaultInjector, task_id: str) -> bool:
+        try:
+            injector.check(task_id, 0)
+            return False
+        except TaskAttemptError:
+            return True
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            FaultInjector(failure_probability=1.0)
+
+
+class TestRetryingTaskRunner:
+    def test_success_first_try(self):
+        runner = RetryingTaskRunner()
+        assert runner.run("t", lambda: 42) == 42
+        assert runner.attempts_made["t"] == 1
+
+    def test_retries_injected_failures(self):
+        injector = FaultInjector(fail_first_attempt_of=frozenset({"t"}))
+        runner = RetryingTaskRunner(injector=injector)
+        assert runner.run("t", lambda: "ok") == "ok"
+        assert runner.attempts_made["t"] == 2
+        assert runner.retried_tasks == ["t"]
+
+    def test_exhausts_attempt_budget(self):
+        class AlwaysFails(FaultInjector):
+            def check(self, task_id, attempt):
+                raise TaskAttemptError("always")
+
+        runner = RetryingTaskRunner(injector=AlwaysFails(), max_attempts=3)
+        with pytest.raises(TaskPermanentlyFailedError) as excinfo:
+            runner.run("doomed", lambda: None)
+        assert excinfo.value.attempts == 3
+
+    def test_application_errors_not_retried(self):
+        runner = RetryingTaskRunner()
+        calls = []
+
+        def buggy():
+            calls.append(1)
+            raise ValueError("deterministic bug")
+
+        with pytest.raises(ValueError):
+            runner.run("t", buggy)
+        assert len(calls) == 1  # no retry for app bugs
+
+    def test_rejects_bad_max_attempts(self):
+        with pytest.raises(ValueError):
+            RetryingTaskRunner(max_attempts=0)
+
+
+class TestEngineFaultTolerance:
+    @pytest.mark.parametrize("mode", list(ExecutionMode))
+    def test_output_survives_map_task_crashes(self, mode, small_corpus):
+        injector = FaultInjector(
+            fail_first_attempt_of=frozenset({"map-0", "map-2"})
+        )
+        engine = LocalEngine(fault_injector=injector)
+        result = engine.run(wordcount.make_job(mode), small_corpus, num_maps=4)
+        assert result.output_as_dict() == wordcount.reference_output(small_corpus)
+        assert engine.last_run_attempts["map-0"] == 2
+        assert engine.last_run_attempts["map-2"] == 2
+        assert engine.last_run_attempts["map-1"] == 1
+
+    @pytest.mark.parametrize("mode", list(ExecutionMode))
+    def test_output_survives_reduce_task_crashes(self, mode, small_corpus):
+        # A barrier-less reducer retried from scratch rebuilds its
+        # partial-result store and still produces the right answer.
+        injector = FaultInjector(fail_first_attempt_of=frozenset({"reduce-0"}))
+        engine = LocalEngine(fault_injector=injector)
+        result = engine.run(
+            wordcount.make_job(mode, num_reducers=2), small_corpus, num_maps=3
+        )
+        assert result.output_as_dict() == wordcount.reference_output(small_corpus)
+        assert engine.last_run_attempts["reduce-0"] == 2
+
+    def test_soak_random_failures(self, small_corpus):
+        # 20% of attempts crash; with 4 attempts per task the job should
+        # still finish with correct output.
+        injector = FaultInjector(failure_probability=0.2, seed=7)
+        engine = LocalEngine(fault_injector=injector)
+        result = engine.run(
+            wordcount.make_job(ExecutionMode.BARRIERLESS), small_corpus, num_maps=6
+        )
+        assert result.output_as_dict() == wordcount.reference_output(small_corpus)
+        assert injector.injected > 0
+
+    def test_counters_not_double_counted_on_retry(self, small_corpus):
+        injector = FaultInjector(fail_first_attempt_of=frozenset({"map-0"}))
+        faulty = LocalEngine(fault_injector=injector)
+        clean = LocalEngine()
+        job = wordcount.make_job(ExecutionMode.BARRIER)
+        faulty_result = faulty.run(job, small_corpus, num_maps=4)
+        clean_result = clean.run(job, small_corpus, num_maps=4)
+        assert faulty_result.counters.get("map.output_records") == (
+            clean_result.counters.get("map.output_records")
+        )
+
+
+class TestThreadedEngineFaultTolerance:
+    @pytest.mark.parametrize("mode", list(ExecutionMode))
+    def test_threaded_retries_map_crashes(self, mode, small_corpus):
+        from repro.engine.threaded import ThreadedEngine
+
+        injector = FaultInjector(fail_first_attempt_of=frozenset({"map-1"}))
+        engine = ThreadedEngine(map_slots=2, fault_injector=injector)
+        result = engine.run(wordcount.make_job(mode), small_corpus, num_maps=4)
+        assert result.output_as_dict() == wordcount.reference_output(small_corpus)
+        assert injector.injected == 1
+
+    def test_threaded_soak_concurrent_failures(self, small_corpus):
+        from repro.engine.threaded import ThreadedEngine
+
+        injector = FaultInjector(failure_probability=0.25, seed=11)
+        engine = ThreadedEngine(map_slots=3, fault_injector=injector)
+        result = engine.run(
+            wordcount.make_job(ExecutionMode.BARRIERLESS), small_corpus, num_maps=6
+        )
+        assert result.output_as_dict() == wordcount.reference_output(small_corpus)

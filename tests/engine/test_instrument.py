@@ -1,0 +1,88 @@
+"""Tests for task-event instrumentation and concurrency series."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.instrument import (
+    TaskEvent,
+    TaskLog,
+    concurrency_series,
+    stage_boundaries,
+)
+
+
+class TestTaskEvent:
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            TaskEvent("map", "m1", 10.0, 5.0)
+
+    def test_zero_duration_allowed(self):
+        TaskEvent("map", "m1", 5.0, 5.0)
+
+
+class TestTaskLog:
+    def test_record_and_filter(self):
+        log = TaskLog()
+        log.record("map", "m1", 0.0, 2.0)
+        log.record("reduce", "r1", 2.0, 5.0)
+        assert len(log.events()) == 2
+        assert [e.task_id for e in log.events("map")] == ["m1"]
+
+    def test_events_sorted_by_start(self):
+        log = TaskLog()
+        log.record("map", "late", 5.0, 6.0)
+        log.record("map", "early", 1.0, 2.0)
+        assert [e.task_id for e in log.events()] == ["early", "late"]
+
+    def test_makespan(self):
+        log = TaskLog()
+        assert log.makespan() == 0.0
+        log.record("map", "m1", 0.0, 7.5)
+        log.record("map", "m2", 1.0, 3.0)
+        assert log.makespan() == 7.5
+
+
+class TestConcurrencySeries:
+    def test_counts_active_tasks(self):
+        events = [
+            TaskEvent("map", "a", 0.0, 4.0),
+            TaskEvent("map", "b", 2.0, 6.0),
+        ]
+        times, counts = concurrency_series(events, step=1.0)
+        assert times[:7] == [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+        assert counts[:7] == [1, 1, 2, 2, 1, 1, 0]
+
+    def test_empty_events(self):
+        times, counts = concurrency_series([], step=1.0)
+        assert times == [0.0]
+        assert counts == [0]
+
+    def test_rejects_bad_step(self):
+        with pytest.raises(ValueError):
+            concurrency_series([], step=0.0)
+
+    def test_until_extends_horizon(self):
+        events = [TaskEvent("map", "a", 0.0, 1.0)]
+        times, counts = concurrency_series(events, step=1.0, until=3.0)
+        assert times[-1] == 3.0
+        assert counts[-1] == 0
+
+    def test_peak_never_exceeds_event_count(self):
+        events = [TaskEvent("map", str(i), float(i % 3), float(i % 3) + 2.0) for i in range(30)]
+        _, counts = concurrency_series(events, step=0.5)
+        assert max(counts) <= 30
+
+
+class TestStageBoundaries:
+    def test_min_start_max_end(self):
+        events = [
+            TaskEvent("map", "a", 1.0, 4.0),
+            TaskEvent("map", "b", 0.5, 3.0),
+            TaskEvent("reduce", "r", 4.0, 9.0),
+        ]
+        assert stage_boundaries(events, "map") == (0.5, 4.0)
+
+    def test_missing_kind_raises(self):
+        with pytest.raises(ValueError):
+            stage_boundaries([], "map")

@@ -1,0 +1,149 @@
+"""Tests for the map-side sort-and-spill buffer."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import wordcount
+from repro.core.types import Counters, ExecutionMode, default_partition
+from repro.engine.base import run_map_task_partitioned
+from repro.engine.local import LocalEngine
+from repro.engine.mapside import MapOutputBuffer
+from repro.workloads.text import generate_documents
+
+
+def make_buffer(partitions=3, buffer_bytes=1 << 20):
+    return MapOutputBuffer(partitions, default_partition, buffer_bytes)
+
+
+class TestMapOutputBuffer:
+    def test_small_output_stays_in_memory(self):
+        buffer = make_buffer()
+        buffer.collect("a", 1)
+        buffer.collect("b", 2)
+        assert buffer.num_spills == 0
+        assert buffer.records_collected == 2
+        buffer.close()
+
+    def test_spills_when_full(self):
+        buffer = make_buffer(buffer_bytes=512)
+        for i in range(50):
+            buffer.collect(f"key-{i:03d}", i)
+        assert buffer.num_spills > 0
+        assert buffer.memory_used() < 512
+        buffer.close()
+
+    def test_partitions_complete_and_key_sorted(self):
+        buffer = make_buffer(partitions=4, buffer_bytes=400)
+        expected: dict[int, list] = {p: [] for p in range(4)}
+        for i in range(120):
+            key = f"key-{i % 37:03d}"
+            buffer.collect(key, i)
+            expected[default_partition(key, 4)].append(key)
+        total = 0
+        for partition in range(4):
+            records = list(buffer.partition_records(partition))
+            keys = [record.key for record in records]
+            assert keys == sorted(keys), partition
+            assert sorted(keys) == sorted(expected[partition])
+            total += len(records)
+        assert total == 120
+        buffer.close()
+
+    def test_same_key_single_partition(self):
+        buffer = make_buffer(partitions=5, buffer_bytes=300)
+        for i in range(60):
+            buffer.collect("hot", i)
+        non_empty = [
+            p for p in range(5) if list(buffer.partition_records(p))
+        ]
+        assert len(non_empty) == 1
+        assert len(list(buffer.partition_records(non_empty[0]))) == 60
+        buffer.close()
+
+    def test_invalid_partition_rejected(self):
+        buffer = make_buffer(partitions=2)
+        with pytest.raises(ValueError):
+            list(buffer.partition_records(7))
+        buffer.close()
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            MapOutputBuffer(0, default_partition)
+        with pytest.raises(ValueError):
+            MapOutputBuffer(1, default_partition, buffer_bytes=0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.tuples(st.integers(0, 30), st.integers()), max_size=150),
+        st.integers(200, 5000),
+        st.integers(1, 6),
+    )
+    def test_property_conserves_records(self, pairs, buffer_bytes, partitions):
+        buffer = MapOutputBuffer(partitions, default_partition, buffer_bytes)
+        for key, value in pairs:
+            buffer.collect(key, value)
+        out = []
+        for partition in range(partitions):
+            out.extend(
+                (r.key, r.value) for r in buffer.partition_records(partition)
+            )
+        assert sorted(out) == sorted(pairs)
+        buffer.close()
+
+
+class TestEngineIntegration:
+    @pytest.fixture
+    def corpus(self):
+        return generate_documents(20, words_per_doc=30, vocab_size=80, seed=6)
+
+    @pytest.mark.parametrize("mode", list(ExecutionMode))
+    def test_spilled_map_output_same_result(self, mode, corpus):
+        job = wordcount.make_job(mode, num_reducers=3)
+        job.map_output_buffer_bytes = 2048  # tiny: forces spills
+        counters = Counters()
+        result = LocalEngine().run(job, corpus, num_maps=4)
+        assert result.output_as_dict() == wordcount.reference_output(corpus)
+        assert result.counters.get("map.output_spills") > 0
+
+    def test_run_map_task_partitioned_matches_in_memory(self, corpus):
+        job_memory = wordcount.make_job(ExecutionMode.BARRIER, num_reducers=3)
+        job_spill = wordcount.make_job(ExecutionMode.BARRIER, num_reducers=3)
+        job_spill.map_output_buffer_bytes = 1024
+        split = corpus[:5]
+        in_memory = run_map_task_partitioned(job_memory, split, Counters())
+        spilled = run_map_task_partitioned(job_spill, split, Counters())
+        for partition in range(3):
+            assert sorted(
+                (r.key, r.value) for r in in_memory[partition]
+            ) == sorted((r.key, r.value) for r in spilled[partition])
+
+    def test_validation_rejects_nonpositive_buffer(self):
+        job = wordcount.make_job(ExecutionMode.BARRIER)
+        job.map_output_buffer_bytes = 0
+        with pytest.raises(Exception):
+            job.validate()
+
+
+class TestAllEnginesWithSpilledMapOutput:
+    def test_threaded_engine(self, corpus=None):
+        from repro.engine.threaded import ThreadedEngine
+        from repro.workloads.text import generate_documents
+
+        corpus = generate_documents(15, 25, 60, seed=2)
+        job = wordcount.make_job(ExecutionMode.BARRIERLESS, num_reducers=2)
+        job.map_output_buffer_bytes = 1024
+        result = ThreadedEngine(map_slots=2).run(job, corpus, num_maps=3)
+        assert result.output_as_dict() == wordcount.reference_output(corpus)
+
+    def test_multiprocess_engine(self):
+        from repro.engine.multiproc import MultiprocessEngine
+        from repro.workloads.text import generate_documents
+
+        corpus = generate_documents(15, 25, 60, seed=3)
+        job = wordcount.make_job(ExecutionMode.BARRIER, num_reducers=2)
+        job.map_output_buffer_bytes = 1024
+        result = MultiprocessEngine(processes=2).run(job, corpus, num_maps=3)
+        assert result.output_as_dict() == wordcount.reference_output(corpus)

@@ -1,0 +1,43 @@
+"""Tests for the multiprocessing engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import sortapp, wordcount
+from repro.core.types import ExecutionMode
+from repro.engine.multiproc import MultiprocessEngine
+from repro.workloads.ints import generate_sort_records
+
+
+class TestMultiprocessEngine:
+    @pytest.mark.parametrize("mode", list(ExecutionMode))
+    def test_wordcount_matches_reference(self, mode, small_corpus):
+        engine = MultiprocessEngine(processes=2)
+        result = engine.run(wordcount.make_job(mode), small_corpus, num_maps=4)
+        assert result.output_as_dict() == wordcount.reference_output(small_corpus)
+
+    def test_matches_local_engine(self, local_engine, small_corpus):
+        job = wordcount.make_job(ExecutionMode.BARRIERLESS, num_reducers=2)
+        multi = MultiprocessEngine(processes=2).run(job, small_corpus, num_maps=3)
+        local = local_engine.run(job, small_corpus, num_maps=3)
+        assert multi.output_as_dict() == local.output_as_dict()
+
+    def test_sort_total_order(self):
+        records = generate_sort_records(300, key_range=500, seed=11)
+        job = sortapp.make_job(ExecutionMode.BARRIERLESS, num_reducers=3)
+        result = MultiprocessEngine(processes=2).run(job, records, num_maps=4)
+        out = [(r.key, r.value) for r in result.all_output()]
+        assert out == sortapp.reference_output(records)
+
+    def test_counters_merged_across_processes(self, small_corpus):
+        engine = MultiprocessEngine(processes=2)
+        result = engine.run(
+            wordcount.make_job(ExecutionMode.BARRIER), small_corpus, num_maps=4
+        )
+        assert result.counters.get("map.tasks") == 4
+        assert result.counters.get("map.output_records") > 0
+
+    def test_rejects_bad_processes(self):
+        with pytest.raises(ValueError):
+            MultiprocessEngine(processes=0)

@@ -1,0 +1,146 @@
+"""Tests for the online/streaming barrier-less engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import lastfm, wordcount
+from repro.core.job import MemoryConfig
+from repro.core.types import ExecutionMode, InvalidJobError
+from repro.engine.streaming import StreamingEngine
+from repro.workloads.listens import generate_listens, unique_listens_reference
+from repro.workloads.text import generate_documents
+
+
+@pytest.fixture
+def corpus():
+    return generate_documents(20, words_per_doc=25, vocab_size=60, seed=4)
+
+
+class TestLifecycle:
+    def test_rejects_barrier_mode(self):
+        with pytest.raises(InvalidJobError):
+            StreamingEngine(wordcount.make_job(ExecutionMode.BARRIER))
+
+    def test_close_twice_raises(self, corpus):
+        stream = StreamingEngine(wordcount.make_job(ExecutionMode.BARRIERLESS))
+        stream.push(corpus)
+        stream.close()
+        with pytest.raises(RuntimeError):
+            stream.close()
+
+    def test_push_after_close_raises(self, corpus):
+        stream = StreamingEngine(wordcount.make_job(ExecutionMode.BARRIERLESS))
+        stream.close()
+        with pytest.raises(RuntimeError):
+            stream.push(corpus)
+
+
+class TestStreamEqualsBatch:
+    def test_wordcount_over_micro_batches(self, corpus):
+        stream = StreamingEngine(
+            wordcount.make_job(ExecutionMode.BARRIERLESS, num_reducers=3)
+        )
+        for i in range(0, len(corpus), 3):
+            stream.push(corpus[i : i + 3])
+        result = stream.close()
+        assert result.output_as_dict() == wordcount.reference_output(corpus)
+
+    def test_single_push_equals_batch(self, corpus):
+        stream = StreamingEngine(wordcount.make_job(ExecutionMode.BARRIERLESS))
+        stream.push(corpus)
+        assert stream.close().output_as_dict() == wordcount.reference_output(corpus)
+
+    def test_lastfm_streaming(self):
+        listens = generate_listens(600, num_users=10, num_tracks=30, seed=5)
+        stream = StreamingEngine(
+            lastfm.make_job(ExecutionMode.BARRIERLESS, num_reducers=2)
+        )
+        for i in range(0, len(listens), 100):
+            stream.push(listens[i : i + 100])
+        result = stream.close()
+        assert result.output_as_dict() == unique_listens_reference(listens)
+
+    def test_empty_stream(self):
+        stream = StreamingEngine(wordcount.make_job(ExecutionMode.BARRIERLESS))
+        assert stream.close().all_output() == []
+
+
+class TestSnapshots:
+    def test_snapshots_are_running_aggregates(self, corpus):
+        stream = StreamingEngine(
+            wordcount.make_job(ExecutionMode.BARRIERLESS, num_reducers=2)
+        )
+        half = len(corpus) // 2
+        stream.push(corpus[:half])
+        early = stream.snapshot()
+        assert early == wordcount.reference_output(corpus[:half])
+        stream.push(corpus[half:])
+        late = stream.snapshot()
+        assert late == wordcount.reference_output(corpus)
+        stream.close()
+
+    def test_snapshot_counts_monotone(self, corpus):
+        stream = StreamingEngine(wordcount.make_job(ExecutionMode.BARRIERLESS))
+        previous: dict = {}
+        for i in range(0, len(corpus), 5):
+            stream.push(corpus[i : i + 5])
+            snap = stream.snapshot()
+            for word, count in previous.items():
+                assert snap.get(word, 0) >= count
+            previous = snap
+        stream.close()
+
+    def test_snapshot_before_any_push(self):
+        stream = StreamingEngine(wordcount.make_job(ExecutionMode.BARRIERLESS))
+        assert stream.snapshot() == {}
+        stream.close()
+
+    def test_snapshot_with_spillmerge_store(self, corpus):
+        # Online mode also works over the spill-capable store; the live
+        # snapshot sees the buffered (unspilled) partials and the final
+        # close() reconciles everything.
+        job = wordcount.make_job(
+            ExecutionMode.BARRIERLESS,
+            memory=MemoryConfig(store="spillmerge", spill_threshold_bytes=1 << 20),
+        )
+        stream = StreamingEngine(job)
+        stream.push(corpus)
+        snap = stream.snapshot()
+        assert snap  # visible running counts
+        result = stream.close()
+        assert result.output_as_dict() == wordcount.reference_output(corpus)
+
+
+class TestSnapshotAcrossReduceClasses:
+    def test_selection_snapshot_shows_running_topk(self):
+        from repro.core import JobSpec, SelectionReducer
+        from repro.core.api import Mapper
+
+        class PassMapper(Mapper):
+            def map(self, key, value, context):
+                context.emit(key, value)
+
+        job = JobSpec(
+            name="topk-stream",
+            mapper_factory=PassMapper,
+            reducer_factory=lambda: SelectionReducer(k=2, score=lambda v: v),
+            num_reducers=1,
+            mode=ExecutionMode.BARRIERLESS,
+        )
+        stream = StreamingEngine(job)
+        stream.push([("sensor", 9.0), ("sensor", 3.0)])
+        assert stream.snapshot()["sensor"] == [3.0, 9.0]
+        stream.push([("sensor", 1.0)])  # displaces 9.0 from the top-2
+        assert stream.snapshot()["sensor"] == [1.0, 3.0]
+        result = stream.close()
+        assert [r.value for r in result.all_output()] == [1.0, 3.0]
+
+    def test_many_small_batches_stress(self, corpus):
+        stream = StreamingEngine(
+            wordcount.make_job(ExecutionMode.BARRIERLESS, num_reducers=4)
+        )
+        for pair in corpus:  # one document per batch
+            stream.push([pair])
+        result = stream.close()
+        assert result.output_as_dict() == wordcount.reference_output(corpus)

@@ -1,0 +1,99 @@
+"""Tests for the threaded pipelined engine (§3.1 structure)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import lastfm, wordcount
+from repro.core.types import ExecutionMode
+from repro.engine.threaded import ThreadedEngine
+from repro.workloads.listens import generate_listens, unique_listens_reference
+
+
+class TestThreadedEngine:
+    @pytest.mark.parametrize("mode", list(ExecutionMode))
+    def test_wordcount_matches_reference(self, mode, small_corpus):
+        engine = ThreadedEngine(map_slots=3)
+        result = engine.run(wordcount.make_job(mode), small_corpus, num_maps=6)
+        assert result.output_as_dict() == wordcount.reference_output(small_corpus)
+
+    @pytest.mark.parametrize("mode", list(ExecutionMode))
+    def test_matches_local_engine(self, mode, local_engine, small_corpus):
+        job = wordcount.make_job(mode, num_reducers=3)
+        threaded = ThreadedEngine(map_slots=2).run(job, small_corpus, num_maps=5)
+        local = local_engine.run(job, small_corpus, num_maps=5)
+        assert threaded.output_as_dict() == local.output_as_dict()
+
+    def test_more_slots_than_tasks(self, small_corpus):
+        engine = ThreadedEngine(map_slots=16)
+        result = engine.run(
+            wordcount.make_job(ExecutionMode.BARRIERLESS), small_corpus, num_maps=2
+        )
+        assert result.output_as_dict() == wordcount.reference_output(small_corpus)
+
+    def test_single_slot_serialises_maps(self, small_corpus):
+        engine = ThreadedEngine(map_slots=1)
+        result = engine.run(
+            wordcount.make_job(ExecutionMode.BARRIER), small_corpus, num_maps=4
+        )
+        assert result.counters.get("map.tasks") == 4
+
+    def test_rejects_bad_slots(self):
+        with pytest.raises(ValueError):
+            ThreadedEngine(map_slots=0)
+
+    def test_task_log_records_stages_barrier(self, small_corpus):
+        engine = ThreadedEngine(map_slots=2)
+        engine.run(
+            wordcount.make_job(ExecutionMode.BARRIER, num_reducers=2),
+            small_corpus,
+            num_maps=3,
+        )
+        kinds = {event.kind for event in engine.task_log.events()}
+        assert {"map", "shuffle", "sort", "reduce"} <= kinds
+        assert len(engine.task_log.events("map")) == 3
+        assert len(engine.task_log.events("reduce")) == 2
+
+    def test_task_log_records_stages_barrierless(self, small_corpus):
+        engine = ThreadedEngine(map_slots=2)
+        engine.run(
+            wordcount.make_job(ExecutionMode.BARRIERLESS, num_reducers=2),
+            small_corpus,
+            num_maps=3,
+        )
+        kinds = {event.kind for event in engine.task_log.events()}
+        assert "shuffle+reduce" in kinds
+        assert "sort" not in kinds  # no sort stage without the barrier
+
+    def test_mapper_error_propagates(self):
+        from repro.core.api import Mapper
+        from repro.core.job import JobSpec
+        from repro.core.api import Reducer
+
+        class FailingMapper(Mapper):
+            def map(self, key, value, context):
+                raise RuntimeError("boom")
+
+        job = JobSpec(
+            name="fails",
+            mapper_factory=FailingMapper,
+            reducer_factory=Reducer,
+            num_reducers=1,
+            mode=ExecutionMode.BARRIER,
+        )
+        with pytest.raises(RuntimeError, match="boom"):
+            ThreadedEngine(map_slots=2).run(job, [(0, "x")], num_maps=1)
+
+    def test_pipelined_lastfm(self):
+        listens = generate_listens(600, num_users=10, num_tracks=50, seed=5)
+        job = lastfm.make_job(ExecutionMode.BARRIERLESS, num_reducers=3)
+        result = ThreadedEngine(map_slots=3).run(job, listens, num_maps=6)
+        assert result.output_as_dict() == unique_listens_reference(listens)
+
+    def test_stage_times_monotone(self, small_corpus):
+        engine = ThreadedEngine(map_slots=2)
+        result = engine.run(
+            wordcount.make_job(ExecutionMode.BARRIERLESS), small_corpus, num_maps=4
+        )
+        st = result.stage_times
+        assert st.first_map_done <= st.last_map_done <= st.job_done + 1e-9

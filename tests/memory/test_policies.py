@@ -1,0 +1,105 @@
+"""Tests for the LRU/FIFO cache policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memory.policies import FIFOCache, LRUCache
+
+
+class TestLRUCache:
+    def test_put_get(self):
+        cache = LRUCache(1000)
+        cache.put("a", 1, 10)
+        assert cache.get("a") == 1
+        assert cache.hits == 1
+
+    def test_miss_counts(self):
+        cache = LRUCache(1000)
+        assert cache.get("missing", "default") == "default"
+        assert cache.misses == 1
+
+    def test_eviction_order_is_lru(self):
+        evicted = []
+        cache = LRUCache(30, on_evict=lambda k, v: evicted.append(k))
+        cache.put("a", 1, 10)
+        cache.put("b", 2, 10)
+        cache.put("c", 3, 10)
+        cache.get("a")  # refresh a: b becomes LRU
+        cache.put("d", 4, 10)
+        assert evicted == ["b"]
+        assert "a" in cache and "c" in cache and "d" in cache
+
+    def test_replace_updates_cost(self):
+        cache = LRUCache(100)
+        cache.put("a", 1, 40)
+        cache.put("a", 2, 60)
+        assert cache.used_bytes == 60
+        assert len(cache) == 1
+
+    def test_oversized_entry_admitted_alone(self):
+        evicted = []
+        cache = LRUCache(50, on_evict=lambda k, v: evicted.append(k))
+        cache.put("a", 1, 10)
+        cache.put("big", 2, 500)
+        assert "big" in cache
+        assert evicted == ["a"]
+
+    def test_peek_does_not_touch_recency(self):
+        cache = LRUCache(20)
+        cache.put("a", 1, 10)
+        cache.put("b", 2, 10)
+        cache.peek("a")
+        cache.put("c", 3, 10)  # evicts a (peek didn't refresh it)
+        assert "a" not in cache
+        assert cache.hits == 0
+
+    def test_remove(self):
+        cache = LRUCache(100)
+        cache.put("a", 1, 10)
+        assert cache.remove("a")
+        assert not cache.remove("a")
+        assert cache.used_bytes == 0
+
+    def test_flush_evicts_everything_in_lru_order(self):
+        evicted = []
+        cache = LRUCache(1000, on_evict=lambda k, v: evicted.append((k, v)))
+        cache.put("a", 1, 10)
+        cache.put("b", 2, 10)
+        cache.flush()
+        assert evicted == [("a", 1), ("b", 2)]
+        assert len(cache) == 0
+
+    def test_items_lru_to_mru(self):
+        cache = LRUCache(1000)
+        cache.put("a", 1, 1)
+        cache.put("b", 2, 1)
+        cache.get("a")
+        assert [k for k, _ in cache.items()] == ["b", "a"]
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+    def test_rejects_negative_cost(self):
+        with pytest.raises(ValueError):
+            LRUCache(10).put("a", 1, -1)
+
+
+class TestFIFOCache:
+    def test_get_does_not_refresh(self):
+        evicted = []
+        cache = FIFOCache(30, on_evict=lambda k, v: evicted.append(k))
+        cache.put("a", 1, 10)
+        cache.put("b", 2, 10)
+        cache.put("c", 3, 10)
+        cache.get("a")  # FIFO: does NOT protect a
+        cache.put("d", 4, 10)
+        assert evicted == ["a"]
+
+    def test_hit_statistics_still_counted(self):
+        cache = FIFOCache(100)
+        cache.put("a", 1, 10)
+        cache.get("a")
+        cache.get("zz")
+        assert cache.hits == 1 and cache.misses == 1

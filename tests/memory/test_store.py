@@ -1,0 +1,98 @@
+"""Tests for the in-memory TreeMapStore, including the OOM fault model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.partial import PartialResultStore
+from repro.core.types import ReducerOutOfMemoryError
+from repro.memory.store import TreeMapStore
+
+
+class TestProtocol:
+    def test_satisfies_partial_result_store(self):
+        assert isinstance(TreeMapStore(), PartialResultStore)
+
+    def test_get_put_contains(self):
+        store = TreeMapStore()
+        assert not store.contains("a")
+        assert store.get("a") is None
+        assert store.get("a", 0) == 0
+        store.put("a", 5)
+        assert store.contains("a")
+        assert store.get("a") == 5
+        assert len(store) == 1
+
+    def test_items_sorted(self):
+        store = TreeMapStore()
+        for key in ("c", "a", "b"):
+            store.put(key, key.upper())
+        assert list(store.items()) == [("a", "A"), ("b", "B"), ("c", "C")]
+
+    def test_finalize_is_noop(self):
+        store = TreeMapStore()
+        store.put("a", 1)
+        store.finalize()
+        assert list(store.items()) == [("a", 1)]
+
+
+class TestMemoryAccounting:
+    def test_memory_grows_with_entries(self):
+        store = TreeMapStore()
+        store.put("a", 1)
+        first = store.memory_used()
+        store.put("b", 2)
+        assert store.memory_used() > first
+
+    def test_replace_adjusts_not_accumulates(self):
+        store = TreeMapStore()
+        store.put("a", "x" * 1000)
+        big = store.memory_used()
+        store.put("a", "x")
+        assert store.memory_used() < big
+
+    def test_remove_releases(self):
+        store = TreeMapStore()
+        store.put("a", "payload" * 100)
+        store.remove("a")
+        assert store.memory_used() == 0
+        assert not store.remove("a")
+
+    def test_pop_first_releases_and_orders(self):
+        store = TreeMapStore()
+        store.put("b", 2)
+        store.put("a", 1)
+        assert store.pop_first() == ("a", 1)
+        assert len(store) == 1
+
+    def test_peak_memory(self):
+        store = TreeMapStore()
+        store.put("a", "y" * 500)
+        peak = store.peak_memory
+        store.remove("a")
+        assert store.peak_memory == peak
+        assert store.memory_used() == 0
+
+    def test_sample_hook_called(self):
+        samples = []
+        store = TreeMapStore(on_sample=samples.append)
+        store.put("a", 1)
+        store.put("b", 2)
+        store.remove("a")
+        assert len(samples) == 3
+        assert samples[1] > samples[0]
+
+
+class TestOOM:
+    def test_raises_at_heap_limit(self):
+        store = TreeMapStore(heap_limit_bytes=600)
+        with pytest.raises(ReducerOutOfMemoryError) as excinfo:
+            for i in range(100):
+                store.put(f"key-{i}", "v" * 50)
+        assert excinfo.value.used_bytes > excinfo.value.limit_bytes
+
+    def test_no_limit_never_raises(self):
+        store = TreeMapStore(heap_limit_bytes=None)
+        for i in range(200):
+            store.put(f"key-{i}", "v" * 50)
+        assert len(store) == 200

@@ -1,0 +1,55 @@
+"""Tests for the cluster hardware model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.cluster import ClusterSpec, paper_testbed
+
+
+class TestClusterSpec:
+    def test_paper_testbed_matches_section_6(self):
+        spec = paper_testbed()
+        # "A single node was configured to be the JobTracker ... and the
+        # other 15 nodes were used as slaves.  The number of mappers and
+        # Reducers per node was set to 4."
+        assert spec.num_slaves == 15
+        assert spec.map_slots_per_node == 4
+        assert spec.reduce_slots_per_node == 4
+        assert spec.total_map_slots == 60
+        assert spec.total_reduce_slots == 60
+        assert spec.chunk_mb == 64.0
+        assert spec.replication == 3
+
+    def test_nodes_deterministic_under_seed(self):
+        a = ClusterSpec(seed=1).nodes()
+        b = ClusterSpec(seed=1).nodes()
+        assert [n.speed_factor for n in a] == [n.speed_factor for n in b]
+
+    def test_heterogeneity_spreads_speeds(self):
+        nodes = ClusterSpec(heterogeneity=0.15, seed=2).nodes()
+        speeds = [n.speed_factor for n in nodes]
+        assert max(speeds) > min(speeds)
+        assert all(0.5 <= s <= 1.5 for s in speeds)
+
+    def test_zero_heterogeneity_uniform(self):
+        nodes = ClusterSpec(heterogeneity=0.0).nodes()
+        assert all(n.speed_factor == pytest.approx(1.0) for n in nodes)
+
+    def test_shuffle_bandwidth_oversubscribed(self):
+        spec = ClusterSpec(net_mb_s=100.0, oversubscription=2.0)
+        assert spec.shuffle_mb_s == pytest.approx(50.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_slaves": 0},
+            {"map_slots_per_node": 0},
+            {"reduce_slots_per_node": -1},
+            {"oversubscription": 0.5},
+            {"heterogeneity": -0.1},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ClusterSpec(**kwargs)

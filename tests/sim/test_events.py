@@ -1,0 +1,136 @@
+"""Tests for the discrete-event core."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.events import SimulationError, Simulator, SlotPool
+
+
+class TestSimulator:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, lambda: order.append("first"))
+        sim.schedule(1.0, lambda: order.append("second"))
+        sim.run()
+        assert order == ["first", "second"]
+
+    def test_now_advances(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.0]
+        assert sim.now == 5.0
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        times = []
+
+        def first():
+            times.append(sim.now)
+            sim.schedule(2.0, lambda: times.append(sim.now))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert times == [1.0, 3.0]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_past_absolute_time_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.at(1.0, lambda: None)
+
+    def test_run_until(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(10))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+        assert sim.pending == 1
+        sim.run()
+        assert fired == [1, 10]
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1000.0), max_size=50))
+    def test_property_monotonic_time(self, delays):
+        sim = Simulator()
+        observed = []
+        for delay in delays:
+            sim.schedule(delay, lambda: observed.append(sim.now))
+        sim.run()
+        assert observed == sorted(observed)
+
+
+class TestSlotPool:
+    def test_grants_up_to_capacity(self):
+        sim = Simulator()
+        pool = SlotPool(sim, capacity=2)
+        granted = []
+        pool.acquire(lambda: granted.append("a"))
+        pool.acquire(lambda: granted.append("b"))
+        pool.acquire(lambda: granted.append("c"))
+        sim.run()
+        assert granted == ["a", "b"]
+        assert pool.queued == 1
+
+    def test_release_wakes_fifo(self):
+        sim = Simulator()
+        pool = SlotPool(sim, capacity=1)
+        granted = []
+        pool.acquire(lambda: granted.append("first"))
+        pool.acquire(lambda: granted.append("second"))
+        pool.acquire(lambda: granted.append("third"))
+        sim.run()
+        pool.release()
+        sim.run()
+        assert granted == ["first", "second"]
+        pool.release()
+        sim.run()
+        assert granted == ["first", "second", "third"]
+
+    def test_release_without_hold_raises(self):
+        sim = Simulator()
+        pool = SlotPool(sim, capacity=1)
+        with pytest.raises(SimulationError):
+            pool.release()
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            SlotPool(Simulator(), capacity=0)
+
+    def test_in_use_accounting(self):
+        sim = Simulator()
+        pool = SlotPool(sim, capacity=3)
+        pool.acquire(lambda: None)
+        pool.acquire(lambda: None)
+        sim.run()
+        assert pool.in_use == 2
+        pool.release()
+        assert pool.in_use == 1

@@ -1,0 +1,81 @@
+"""Tests for node-failure injection in the simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.types import ExecutionMode
+from repro.sim import HadoopSimulator, NodeFailure, wordcount_profile
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return HadoopSimulator()
+
+
+class TestNodeFailure:
+    @pytest.mark.parametrize("mode", list(ExecutionMode))
+    def test_job_completes_despite_failure(self, sim, mode):
+        result = sim.run(
+            wordcount_profile(4.0), 40, mode, failure=NodeFailure(2, 30.0)
+        )
+        assert not result.failed
+        assert result.reexecuted_maps > 0
+        # Every map task still produced output exactly once.
+        assert len(result.map_finish_times) == wordcount_profile(4.0).num_maps
+
+    def test_failure_costs_time(self, sim):
+        clean = sim.run(wordcount_profile(4.0), 40, ExecutionMode.BARRIER)
+        failed = sim.run(
+            wordcount_profile(4.0), 40, ExecutionMode.BARRIER,
+            failure=NodeFailure(2, 30.0),
+        )
+        assert failed.completion_time > clean.completion_time
+
+    def test_later_failure_loses_more_completed_work(self, sim):
+        early = sim.run(
+            wordcount_profile(8.0), 40, ExecutionMode.BARRIER,
+            failure=NodeFailure(1, 10.0),
+        )
+        late = sim.run(
+            wordcount_profile(8.0), 40, ExecutionMode.BARRIER,
+            failure=NodeFailure(1, 100.0),
+        )
+        assert late.reexecuted_maps >= early.reexecuted_maps
+
+    def test_barrierless_still_wins_under_failure(self, sim):
+        # The paper's §8 claim, quantified: barrier removal does not cost
+        # fault tolerance — the improvement survives a node failure.
+        failure = NodeFailure(3, 40.0)
+        barrier = sim.run(
+            wordcount_profile(8.0), 40, ExecutionMode.BARRIER, failure=failure
+        )
+        barrierless = sim.run(
+            wordcount_profile(8.0), 40, ExecutionMode.BARRIERLESS, failure=failure
+        )
+        assert barrierless.completion_time < barrier.completion_time
+
+    def test_failure_after_map_stage_reexecutes_outputs(self, sim):
+        # Map outputs live on local disks; losing a node after its maps
+        # finished still forces re-execution (write-local design).
+        clean = sim.run(wordcount_profile(2.0), 40, ExecutionMode.BARRIER)
+        failure = NodeFailure(0, clean.stage_times.last_map_done + 1.0)
+        result = sim.run(
+            wordcount_profile(2.0), 40, ExecutionMode.BARRIER, failure=failure
+        )
+        assert result.reexecuted_maps > 0
+        assert len(result.map_finish_times) == wordcount_profile(2.0).num_maps
+
+    def test_invalid_node_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.run(
+                wordcount_profile(2.0), 10, ExecutionMode.BARRIER,
+                failure=NodeFailure(999, 10.0),
+            )
+
+    def test_deterministic(self, sim):
+        kwargs = dict(failure=NodeFailure(2, 25.0))
+        a = sim.run(wordcount_profile(4.0), 40, ExecutionMode.BARRIER, **kwargs)
+        b = sim.run(wordcount_profile(4.0), 40, ExecutionMode.BARRIER, **kwargs)
+        assert a.completion_time == b.completion_time
+        assert a.reexecuted_maps == b.reexecuted_maps

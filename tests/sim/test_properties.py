@@ -1,0 +1,151 @@
+"""Property-based tests: simulator invariants over random configurations.
+
+Hypothesis drives the simulator across a wide space of cluster shapes and
+job profiles, asserting the structural invariants that must hold for
+*any* configuration — conservation of tasks, monotone stage ordering,
+non-negative times, and the defining semantic difference between the two
+execution modes.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.types import ExecutionMode, ReduceClass
+from repro.sim.cluster import ClusterSpec
+from repro.sim.hadoop import HadoopSimulator, MemoryTechnique
+from repro.sim.workload import JobProfile, MemoryProfile
+
+cluster_specs = st.builds(
+    ClusterSpec,
+    num_slaves=st.integers(2, 20),
+    map_slots_per_node=st.integers(1, 6),
+    reduce_slots_per_node=st.integers(1, 6),
+    heterogeneity=st.floats(0.0, 0.3),
+    oversubscription=st.floats(1.0, 4.0),
+    replication=st.integers(1, 3),
+    speculative_execution=st.booleans(),
+    seed=st.integers(0, 10_000),
+)
+
+job_profiles = st.builds(
+    JobProfile,
+    name=st.just("prop"),
+    reduce_class=st.sampled_from(list(ReduceClass)),
+    num_maps=st.integers(1, 120),
+    map_input_mb_per_task=st.floats(0.1, 128.0),
+    map_cpu_s_per_task=st.floats(0.1, 120.0),
+    map_output_mb_per_task=st.floats(0.1, 128.0),
+    reduce_cpu_s_per_mb=st.floats(0.0, 1.0),
+    sort_cpu_s_per_mb=st.floats(0.0, 1.0),
+    store_cpu_s_per_mb=st.floats(0.0, 1.0),
+    sweep_s_per_mb=st.floats(0.0, 0.2),
+    final_output_mb=st.floats(0.0, 4096.0),
+    record_bytes=st.floats(8.0, 512.0),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(cluster=cluster_specs, profile=job_profiles, reducers=st.integers(1, 80))
+def test_property_structural_invariants(cluster, profile, reducers):
+    sim = HadoopSimulator(cluster)
+    for mode in ExecutionMode:
+        result = sim.run(profile, reducers, mode)
+        # Conservation: every map task finishes exactly once.
+        assert len(result.map_finish_times) == profile.num_maps
+        assert result.locality.total >= profile.num_maps
+        # Monotone stage ordering.
+        st_ = result.stage_times
+        assert 0.0 <= st_.first_map_done <= st_.last_map_done
+        assert st_.shuffle_done >= st_.first_map_done - 1e-9
+        assert result.completion_time >= st_.last_map_done - 1e-9
+        assert result.completion_time >= st_.shuffle_done - 1e-9
+        assert math.isfinite(result.completion_time)
+        # Every reducer trace is internally ordered.
+        for trace in result.reducers:
+            assert trace.start <= trace.shuffle_done + 1e-9
+            assert trace.shuffle_done <= trace.sort_done + 1e-9
+            assert trace.sort_done <= trace.finish + 1e-9
+        assert not result.failed  # unbounded technique never OOMs
+
+
+@settings(max_examples=30, deadline=None)
+@given(profile=job_profiles, reducers=st.integers(1, 60))
+def test_property_barrier_always_sorts_after_shuffle(profile, reducers):
+    sim = HadoopSimulator(ClusterSpec())
+    barrier = sim.run(profile, reducers, ExecutionMode.BARRIER)
+    barrierless = sim.run(profile, reducers, ExecutionMode.BARRIERLESS)
+    # In barrier mode sorting takes time whenever the sort work amounts
+    # to something representable (guard against denormal-float configs
+    # whose sort time underflows addition).
+    assert barrier.stage_times.sort_done >= barrier.stage_times.shuffle_done
+    sort_work = (
+        profile.sort_cpu_s_per_mb * profile.total_map_output_mb / reducers
+    )
+    if sort_work > 1e-6:
+        assert barrier.stage_times.sort_done > barrier.stage_times.shuffle_done
+    # Barrier-less mode never has a distinct sort interval.
+    assert (
+        barrierless.stage_times.sort_done == barrierless.stage_times.shuffle_done
+    )
+    # With zero store overhead, pipelining can never lose: the barrier-less
+    # reducer does the same reduce CPU but overlapped with arrival.
+    if profile.store_cpu_s_per_mb == 0 and profile.sweep_s_per_mb == 0:
+        assert (
+            barrierless.completion_time <= barrier.completion_time + 1e-6
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    profile=job_profiles,
+    reducers=st.integers(1, 40),
+    threshold=st.floats(10.0, 500.0),
+)
+def test_property_spill_keeps_heap_bounded(profile, reducers, threshold):
+    sim = HadoopSimulator(ClusterSpec())
+    result = sim.run(
+        profile,
+        reducers,
+        ExecutionMode.BARRIERLESS,
+        MemoryTechnique("spillmerge", spill_threshold_mb=threshold),
+    )
+    assert not result.failed
+    for trace in result.reducers:
+        if trace.heap_samples:
+            peak_mb = max(b for _, b in trace.heap_samples) / (1 << 20)
+            # One chunk's worth of growth may overshoot the threshold
+            # before the spill triggers; it must stay the same order.
+            assert peak_mb <= 3 * threshold + 64.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(cluster=cluster_specs, profile=job_profiles)
+def test_property_determinism(cluster, profile):
+    a = HadoopSimulator(cluster).run(profile, 8, ExecutionMode.BARRIER)
+    b = HadoopSimulator(cluster).run(profile, 8, ExecutionMode.BARRIER)
+    assert a.completion_time == b.completion_time
+    assert a.map_finish_times == b.map_finish_times
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    num_maps=st.integers(1, 100),
+    cpu=st.floats(1.0, 60.0),
+    reducers=st.integers(1, 40),
+)
+def test_property_more_maps_never_faster(num_maps, cpu, reducers):
+    def profile(n):
+        return JobProfile(
+            "mono", ReduceClass.AGGREGATION, n, 64.0, cpu, 16.0,
+            0.1, 0.2, 0.1, 0.01, 10.0, 32.0,
+            MemoryProfile(ReduceClass.AGGREGATION),
+        )
+
+    sim = HadoopSimulator(ClusterSpec(heterogeneity=0.0))
+    small = sim.run(profile(num_maps), reducers, ExecutionMode.BARRIER)
+    large = sim.run(profile(num_maps + 10), reducers, ExecutionMode.BARRIER)
+    assert large.completion_time >= small.completion_time - 1e-6

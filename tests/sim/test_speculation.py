@@ -1,0 +1,70 @@
+"""Tests for speculative execution (backup tasks for stragglers)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.types import ExecutionMode
+from repro.sim import ClusterSpec, HadoopSimulator, NodeFailure, wordcount_profile
+
+
+def _sim(speculative: bool, heterogeneity: float = 0.3, seed: int = 5):
+    return HadoopSimulator(
+        ClusterSpec(
+            heterogeneity=heterogeneity,
+            speculative_execution=speculative,
+            seed=seed,
+        )
+    )
+
+
+class TestSpeculativeExecution:
+    def test_off_by_default(self):
+        result = HadoopSimulator().run(
+            wordcount_profile(8.0), 40, ExecutionMode.BARRIER
+        )
+        assert result.speculative_attempts == 0
+
+    def test_backups_cut_the_straggler_tail(self):
+        profile = wordcount_profile(8.0)
+        plain = _sim(False).run(profile, 40, ExecutionMode.BARRIER)
+        spec = _sim(True).run(profile, 40, ExecutionMode.BARRIER)
+        assert spec.speculative_attempts > 0
+        assert (
+            spec.stage_times.last_map_done < plain.stage_times.last_map_done
+        )
+        assert spec.completion_time < plain.completion_time
+
+    def test_wins_bounded_by_attempts(self):
+        result = _sim(True).run(wordcount_profile(8.0), 40, ExecutionMode.BARRIER)
+        assert 0 <= result.speculative_wins <= result.speculative_attempts
+
+    def test_every_map_completes_exactly_once(self):
+        profile = wordcount_profile(8.0)
+        result = _sim(True).run(profile, 40, ExecutionMode.BARRIER)
+        assert len(result.map_finish_times) == profile.num_maps
+
+    def test_homogeneous_cluster_rarely_speculates(self):
+        # With identical nodes the only backups worth launching are
+        # local-read copies of remote-read tasks — a handful at most.
+        profile = wordcount_profile(8.0)
+        sim = HadoopSimulator(
+            ClusterSpec(heterogeneity=0.0, speculative_execution=True)
+        )
+        result = sim.run(profile, 40, ExecutionMode.BARRIER)
+        assert result.speculative_attempts <= profile.num_maps * 0.1
+
+    def test_composes_with_node_failure(self):
+        profile = wordcount_profile(8.0)
+        result = _sim(True).run(
+            profile, 40, ExecutionMode.BARRIER, failure=NodeFailure(2, 40.0)
+        )
+        assert len(result.map_finish_times) == profile.num_maps
+        assert result.reexecuted_maps > 0
+
+    def test_deterministic(self):
+        profile = wordcount_profile(8.0)
+        a = _sim(True).run(profile, 40, ExecutionMode.BARRIER)
+        b = _sim(True).run(profile, 40, ExecutionMode.BARRIER)
+        assert a.completion_time == b.completion_time
+        assert a.speculative_attempts == b.speculative_attempts

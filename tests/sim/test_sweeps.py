@@ -1,0 +1,187 @@
+"""Tests asserting the paper's evaluation *shapes* hold in the sweeps.
+
+Each test encodes one claim from §6 as an assertion over the regenerated
+series.  These are the contract between this reproduction and the paper.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.analysis.sweeps import (
+    figure6_series,
+    figure7_samples,
+    figure8_series,
+    figure9_series,
+    figure10_series,
+)
+
+
+@pytest.fixture(scope="module")
+def fig6():
+    return figure6_series()
+
+
+@pytest.fixture(scope="module")
+def fig7(fig6):
+    return {
+        app: [point.improvement_pct for point in series]
+        for app, series in fig6.items()
+    }
+
+
+class TestFigure6Claims:
+    def test_sort_slight_slowdown(self, fig7):
+        # §6.1.1: "slight slowdowns ... up to 9% in the 8GB case".
+        assert all(-15.0 < x < 0.0 for x in fig7["sort"])
+
+    def test_wordcount_average_around_15pct(self, fig7):
+        # §6.1.2: "an average of 15% decrease in job completion times".
+        assert 10.0 <= statistics.mean(fig7["wc"]) <= 25.0
+
+    def test_knn_average_around_18pct(self, fig7):
+        # §6.1.3: "an average decrease of 18%".
+        assert 12.0 <= statistics.mean(fig7["knn"]) <= 30.0
+
+    def test_knn_improvement_increases_with_size(self, fig7):
+        # §6.1.3: "This improvement slowly increased as the dataset size
+        # was increased".
+        assert fig7["knn"][-1] > fig7["knn"][0]
+
+    def test_lastfm_consistent_20pct(self, fig7):
+        # §6.1.4: "we consistently observed a 20% decrease".
+        assert 12.0 <= statistics.mean(fig7["pp"]) <= 30.0
+
+    def test_ga_benefit_about_15pct_and_stable(self, fig7):
+        # §6.1.5: "a benefit of about 15%, which stays relatively constant".
+        samples = fig7["ga"]
+        assert 10.0 <= statistics.mean(samples) <= 22.0
+        assert max(samples) - min(samples) < 10.0
+
+    def test_blackscholes_best_case(self, fig7):
+        # §6.1.6: "average benefit of about 56% ... maximum ... 87%".
+        samples = fig7["bs"]
+        assert statistics.mean(samples) > 45.0
+        assert max(samples) > 75.0
+
+    def test_blackscholes_improvement_grows(self, fig7):
+        # §6.1.6: "continued to increase as the number of iterations
+        # increased".
+        samples = fig7["bs"]
+        assert samples[-1] > samples[0]
+        assert all(b >= a - 1e-9 for a, b in zip(samples, samples[1:]))
+
+    def test_completion_times_grow_with_size(self, fig6):
+        for app in ("sort", "wc", "knn", "pp"):
+            barrier = [p.barrier_s for p in fig6[app]]
+            assert barrier == sorted(barrier), app
+
+
+class TestFigure7Claims:
+    def test_overall_average_about_25pct(self):
+        # Abstract: "a reduction in job completion times that is 25% on
+        # average" (non-sort apps pull the mean up; sort pulls it down).
+        samples = figure7_samples()
+        flat = [x for values in samples.values() for x in values]
+        assert 18.0 <= statistics.mean(flat) <= 35.0
+
+    def test_best_case_is_blackscholes(self):
+        samples = figure7_samples()
+        best_app = max(samples, key=lambda app: max(samples[app]))
+        assert best_app == "bs"
+        assert max(samples["bs"]) > 75.0  # paper: 87%
+
+    def test_sort_is_worst_case(self):
+        samples = figure7_samples()
+        worst_app = min(samples, key=lambda app: statistics.mean(samples[app]))
+        assert worst_app == "sort"
+
+
+class TestFigure8Claims:
+    @pytest.fixture(scope="class")
+    def series(self):
+        return figure8_series()
+
+    def test_barrier_time_decreases_toward_capacity(self, series):
+        # 30 -> 60 reducers: completion time decreases as utilisation rises.
+        up_to_capacity = [p.barrier_s for p in series if p.x <= 60]
+        assert up_to_capacity == sorted(up_to_capacity, reverse=True)
+
+    def test_time_jumps_past_capacity(self, series):
+        # 70 reducers on 60 slots: a second wave raises completion time.
+        at_60 = next(p for p in series if p.x == 60)
+        at_70 = next(p for p in series if p.x == 70)
+        assert at_70.barrier_s > at_60.barrier_s
+        assert at_70.barrierless_s > at_60.barrierless_s
+
+    def test_improvement_shrinks_with_utilisation(self, series):
+        # "our improvement over the barrier version decreased somewhat"
+        imps = {p.x: p.improvement_pct for p in series}
+        assert imps[30] > imps[40] > imps[50] > imps[60]
+
+    def test_improvement_recovers_past_capacity(self, series):
+        # "once the system becomes over-saturated ... our improvement also
+        # increased."
+        imps = {p.x: p.improvement_pct for p in series}
+        assert imps[70] > imps[60]
+
+
+class TestFigure9Claims:
+    @pytest.fixture(scope="class")
+    def series(self):
+        return figure9_series()
+
+    def test_inmemory_fails_below_25_reducers(self, series):
+        # §6.3: "as the number of Reducers was decreased below 25, the
+        # in-memory technique resulted in an out of memory exception".
+        for point in series:
+            if point.x < 25:
+                assert point.inmemory_s is None, point.x
+            else:
+                assert point.inmemory_s is not None, point.x
+
+    def test_spillmerge_beats_barrier_everywhere(self, series):
+        # "The spill and merge technique continued to perform better than
+        # the original MapReduce."
+        for point in series:
+            assert point.spillmerge_s < point.barrier_s, point.x
+
+    def test_spillmerge_slightly_worse_than_inmemory(self, series):
+        # "The disk spill and merge scheme performed slightly worse than
+        # storing the partial results in memory."
+        for point in series:
+            if point.inmemory_s is not None:
+                assert point.spillmerge_s >= point.inmemory_s, point.x
+
+    def test_kvstore_worst_everywhere(self, series):
+        # "BerkeleyDB on the other hand, performed poorly."
+        for point in series:
+            assert point.kvstore_s > point.barrier_s, point.x
+            assert point.kvstore_s > point.spillmerge_s, point.x
+
+
+class TestFigure10Claims:
+    @pytest.fixture(scope="class")
+    def series(self):
+        return figure10_series()
+
+    def test_barrierless_variants_beat_barrier_at_scale(self, series):
+        # "as the dataset increases, both the disk spill and merge, and the
+        # in-memory barrier-less versions, outperformed the original".
+        for point in series:
+            if point.x >= 4.0:
+                assert point.spillmerge_s < point.barrier_s, point.x
+                if point.inmemory_s is not None:
+                    assert point.inmemory_s < point.barrier_s, point.x
+
+    def test_kvstore_cannot_keep_up(self, series):
+        # "the BerkeleyDB key/value store can not keep up with the high
+        # frequency of record accesses."
+        for point in series:
+            assert point.kvstore_s > point.barrier_s, point.x
+
+    def test_times_grow_with_size(self, series):
+        barrier = [p.barrier_s for p in series]
+        assert barrier == sorted(barrier)

@@ -1,0 +1,170 @@
+"""Tests for simulator job profiles and the memory growth model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.types import ReduceClass
+from repro.sim.workload import (
+    PROFILE_BUILDERS,
+    JobProfile,
+    MemoryProfile,
+    blackscholes_profile,
+    genetic_profile,
+    knn_profile,
+    lastfm_profile,
+    sort_profile,
+    wordcount_profile,
+)
+
+
+class TestMemoryProfile:
+    def test_identity_is_zero(self):
+        profile = MemoryProfile(ReduceClass.IDENTITY)
+        assert profile.bytes_at(1e9) == 0.0
+
+    def test_sorting_linear_in_records(self):
+        profile = MemoryProfile(ReduceClass.SORTING, entry_bytes=10)
+        assert profile.bytes_at(100) == pytest.approx(1000.0)
+        assert profile.bytes_at(200) == pytest.approx(2000.0)
+
+    def test_aggregation_sublinear_heaps_law(self):
+        profile = MemoryProfile(
+            ReduceClass.AGGREGATION, entry_bytes=1, key_cardinality=1e12,
+            heaps_k=1.0, heaps_beta=0.5,
+        )
+        assert profile.bytes_at(100) == pytest.approx(10.0)
+        # doubling records does NOT double distinct keys
+        assert profile.bytes_at(400) == pytest.approx(20.0)
+
+    def test_aggregation_caps_at_cardinality(self):
+        profile = MemoryProfile(
+            ReduceClass.AGGREGATION, entry_bytes=1, key_cardinality=50,
+            heaps_k=10.0, heaps_beta=1.0,
+        )
+        assert profile.bytes_at(1e9) == pytest.approx(50.0)
+
+    def test_selection_k_multiplier(self):
+        base = MemoryProfile(
+            ReduceClass.AGGREGATION, entry_bytes=1, key_cardinality=1e9,
+            heaps_k=1.0, heaps_beta=1.0,
+        )
+        sel = MemoryProfile(
+            ReduceClass.SELECTION, entry_bytes=1, key_cardinality=1e9,
+            heaps_k=1.0, heaps_beta=1.0, selection_k=5,
+        )
+        assert sel.bytes_at(100) == pytest.approx(5 * base.bytes_at(100))
+
+    def test_post_reduction_saturates(self):
+        profile = MemoryProfile(
+            ReduceClass.POST_REDUCTION, entry_bytes=1, saturation_records=1000
+        )
+        assert profile.bytes_at(500) == pytest.approx(500.0)
+        assert profile.bytes_at(10_000) == pytest.approx(1000.0)
+
+    def test_cross_key_constant_window(self):
+        profile = MemoryProfile(ReduceClass.CROSS_KEY, entry_bytes=8, window_size=16)
+        assert profile.bytes_at(10) == profile.bytes_at(1e9) == 128.0
+
+    def test_single_reducer_constant(self):
+        profile = MemoryProfile(ReduceClass.SINGLE_REDUCER, entry_bytes=64)
+        assert profile.bytes_at(1e12) == 64.0
+
+    def test_zero_records_zero_bytes(self):
+        for cls in ReduceClass:
+            assert MemoryProfile(cls).bytes_at(0) == 0.0
+
+
+class TestJobProfile:
+    def test_totals(self):
+        profile = wordcount_profile(4.0)
+        assert profile.num_maps == 64  # 4 GB / 64 MB
+        assert profile.total_input_mb == pytest.approx(64 * 64.0)
+        assert profile.total_map_output_mb > 0
+
+    def test_records_per_reducer_uniform(self):
+        profile = wordcount_profile(2.0)
+        assert profile.records_per_reducer(10) == pytest.approx(
+            profile.records_per_reducer(5) / 2
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JobProfile(
+                "bad", ReduceClass.IDENTITY, 0, 1, 1, 1, 0, 0, 0, 0, 0
+            )
+        with pytest.raises(ValueError):
+            JobProfile(
+                "bad", ReduceClass.IDENTITY, 1, -1, 1, 1, 0, 0, 0, 0, 0
+            )
+
+
+class TestProfileBuilders:
+    def test_all_six_present(self):
+        assert set(PROFILE_BUILDERS) == {"sort", "wc", "knn", "pp", "ga", "bs"}
+
+    @pytest.mark.parametrize(
+        "builder,arg,expected_class",
+        [
+            (sort_profile, 2.0, ReduceClass.SORTING),
+            (wordcount_profile, 2.0, ReduceClass.AGGREGATION),
+            (knn_profile, 2.0, ReduceClass.SELECTION),
+            (lastfm_profile, 2.0, ReduceClass.POST_REDUCTION),
+            (genetic_profile, 50, ReduceClass.CROSS_KEY),
+            (blackscholes_profile, 50, ReduceClass.SINGLE_REDUCER),
+        ],
+    )
+    def test_classes_match_table_1(self, builder, arg, expected_class):
+        assert builder(arg).reduce_class is expected_class
+
+    def test_maps_scale_with_input(self):
+        assert wordcount_profile(8.0).num_maps == 2 * wordcount_profile(4.0).num_maps
+
+    def test_ga_bs_reject_zero_mappers(self):
+        with pytest.raises(ValueError):
+            genetic_profile(0)
+        with pytest.raises(ValueError):
+            blackscholes_profile(0)
+
+    def test_lastfm_saturation_set(self):
+        profile = lastfm_profile(4.0)
+        assert profile.memory.saturation_records is not None
+
+
+class TestPartitionSkew:
+    def test_uniform_by_default(self):
+        profile = wordcount_profile(2.0)
+        assert profile.reducer_load_factors(10) == [1.0] * 10
+
+    def test_factors_mean_one(self):
+        import numpy as np
+
+        profile = wordcount_profile(2.0)
+        profile.partition_skew = 0.8
+        factors = profile.reducer_load_factors(50, seed=3)
+        assert np.mean(factors) == pytest.approx(1.0)
+        assert max(factors) > 1.5  # genuinely skewed
+
+    def test_deterministic_under_seed(self):
+        profile = wordcount_profile(2.0)
+        profile.partition_skew = 0.5
+        assert profile.reducer_load_factors(20, seed=1) == (
+            profile.reducer_load_factors(20, seed=1)
+        )
+
+    def test_rejects_negative_skew(self):
+        profile = wordcount_profile(2.0)
+        profile.partition_skew = -0.1
+        with pytest.raises(ValueError):
+            profile.__post_init__()
+
+    def test_skewed_job_conserves_total_records(self):
+        from repro.core.types import ExecutionMode
+        from repro.sim.hadoop import HadoopSimulator
+
+        profile = wordcount_profile(4.0)
+        profile.partition_skew = 0.7
+        result = HadoopSimulator().run(profile, 20, ExecutionMode.BARRIERLESS)
+        total = sum(trace.records for trace in result.reducers)
+        expected = profile.records_per_reducer(20) * 20
+        assert total == pytest.approx(expected, rel=1e-6)

@@ -1,0 +1,98 @@
+"""Chaos suite: random configuration × fault matrix against the oracle.
+
+Hypothesis drives random combinations of engine, execution mode, memory
+technique, task parallelism and injected failures over random inputs; the
+output must always equal the deterministic reference computation.  This is
+the repository-wide integration property: no combination of supported
+configuration knobs may change an answer.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import lastfm, sortapp, wordcount
+from repro.core.job import MemoryConfig
+from repro.core.types import ExecutionMode
+from repro.engine.faults import FaultInjector
+from repro.engine.local import LocalEngine
+from repro.engine.threaded import ThreadedEngine
+from repro.workloads.listens import generate_listens, unique_listens_reference
+from repro.workloads.text import generate_documents
+
+memory_configs = st.sampled_from(
+    [
+        MemoryConfig(store="inmemory"),
+        MemoryConfig(store="spillmerge", spill_threshold_bytes=1024),
+        MemoryConfig(store="spillmerge", spill_threshold_bytes=16384),
+        MemoryConfig(store="kvstore", kv_cache_bytes=1024),
+    ]
+)
+
+engines = st.sampled_from(["local", "threaded"])
+
+
+def _engine(kind: str, failure_seed: int | None):
+    injector = (
+        FaultInjector(failure_probability=0.15, seed=failure_seed)
+        if failure_seed is not None
+        else None
+    )
+    if kind == "local":
+        return LocalEngine(fault_injector=injector)
+    return ThreadedEngine(map_slots=2, fault_injector=injector)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    engine_kind=engines,
+    mode=st.sampled_from(list(ExecutionMode)),
+    memory=memory_configs,
+    num_maps=st.integers(1, 6),
+    num_reducers=st.integers(1, 4),
+    corpus_seed=st.integers(0, 50),
+    failure_seed=st.one_of(st.none(), st.integers(0, 50)),
+)
+def test_chaos_wordcount(
+    engine_kind, mode, memory, num_maps, num_reducers, corpus_seed, failure_seed
+):
+    corpus = generate_documents(12, words_per_doc=20, vocab_size=40, seed=corpus_seed)
+    job = wordcount.make_job(mode, num_reducers=num_reducers, memory=memory)
+    engine = _engine(engine_kind, failure_seed)
+    result = engine.run(job, corpus, num_maps=num_maps)
+    assert result.output_as_dict() == wordcount.reference_output(corpus)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    mode=st.sampled_from(list(ExecutionMode)),
+    memory=memory_configs,
+    num_maps=st.integers(1, 5),
+    num_reducers=st.integers(1, 4),
+    seed=st.integers(0, 50),
+)
+def test_chaos_lastfm(mode, memory, num_maps, num_reducers, seed):
+    listens = generate_listens(200, num_users=8, num_tracks=25, seed=seed)
+    job = lastfm.make_job(mode, num_reducers=num_reducers, memory=memory)
+    result = LocalEngine().run(job, listens, num_maps=num_maps)
+    assert result.output_as_dict() == unique_listens_reference(listens)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    mode=st.sampled_from(list(ExecutionMode)),
+    num_maps=st.integers(1, 5),
+    num_reducers=st.integers(1, 5),
+    keys=st.lists(st.integers(0, 999_999), max_size=60),
+    failure_seed=st.one_of(st.none(), st.integers(0, 50)),
+)
+def test_chaos_sort(mode, num_maps, num_reducers, keys, failure_seed):
+    records = [(k, k) for k in keys]
+    job = sortapp.make_job(mode, num_reducers=num_reducers)
+    engine = _engine("local", failure_seed)
+    result = engine.run(job, records, num_maps=num_maps)
+    assert [(r.key, r.value) for r in result.all_output()] == (
+        sortapp.reference_output(records)
+    )

@@ -1,0 +1,109 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_app(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "nosuchapp"])
+
+    def test_rejects_bad_mode(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "wc", "--mode", "turbo"])
+
+
+class TestCommands:
+    def test_classify(self, capsys):
+        assert main(["classify"]) == 0
+        out = capsys.readouterr().out
+        assert "Word Count" in out
+        assert "O(window_size)" in out
+
+    def test_effort(self, capsys):
+        assert main(["effort"]) == 0
+        out = capsys.readouterr().out
+        assert "Black-Scholes" in out
+        assert "0%" in out
+
+    @pytest.mark.parametrize("app", ["wc", "sort", "pp", "ga"])
+    def test_run_small(self, app, capsys):
+        assert main(["run", app, "--records", "300", "--maps", "2",
+                     "--reducers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "reduce tasks=2" in out
+
+    def test_run_barrier_mode(self, capsys):
+        assert main(["run", "wc", "--mode", "barrier", "--records", "200"]) == 0
+        assert "mode=barrier" in capsys.readouterr().out
+
+    def test_run_with_spillmerge(self, capsys):
+        assert main(["run", "wc", "--records", "200", "--store",
+                     "spillmerge"]) == 0
+        assert "store=spillmerge" in capsys.readouterr().out
+
+    def test_run_bs(self, capsys):
+        assert main(["run", "bs", "--records", "2000", "--maps", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "'mean'" in out
+
+    def test_compare_wc(self, capsys):
+        assert main(["compare", "wc", "--size-gb", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "With barrier" in out
+        assert "Improvement" in out
+
+    def test_compare_bs_forces_single_reducer(self, capsys):
+        assert main(["compare", "bs", "--mappers", "50"]) == 0
+        assert "(1 reducers)" in capsys.readouterr().out
+
+    def test_figure_fig8(self, capsys):
+        assert main(["figure", "fig8"]) == 0
+        assert "Reducers" in capsys.readouterr().out
+
+    def test_figure_fig5(self, capsys):
+        assert main(["figure", "fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "KILLED" in out  # panel (a) job death is rendered
+        assert "spill and merge" in out
+
+    def test_multiple_figures(self, capsys):
+        assert main(["figure", "fig7", "fig10"]) == 0
+        out = capsys.readouterr().out
+        assert "===== fig7 =====" in out
+        assert "===== fig10 =====" in out
+
+
+class TestExportCommands:
+    def test_export_command(self, tmp_path, capsys):
+        assert main(["export", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "table2_loc.csv" in out
+        assert (tmp_path / "fig8_reducers.csv").exists()
+
+    def test_figure_with_csv_flag(self, tmp_path, capsys):
+        assert main(["figure", "fig8", "--csv", str(tmp_path)]) == 0
+        assert (tmp_path / "fig9_memory_vs_reducers.csv").exists()
+
+
+class TestPipelineCommand:
+    def test_similarity_pipeline(self, capsys):
+        assert main(["pipeline", "similarity", "--size", "30"]) == 0
+        assert "similar pairs" in capsys.readouterr().out
+
+    def test_smt_pipeline(self, capsys):
+        assert main(["pipeline", "smt", "--size", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "source words" in out
+        assert "->" in out
+
+    def test_smt_barrier_mode(self, capsys):
+        assert main(["pipeline", "smt", "--size", "30", "--mode", "barrier"]) == 0

@@ -1,0 +1,29 @@
+"""Integration tests: every example script must run clean end-to-end.
+
+Examples are executed in-process via ``runpy`` so their internal
+assertions (mode equivalence, Monte-Carlo convergence, population
+conservation, …) become part of the suite.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_is_populated():
+    assert len(EXAMPLES) >= 6
+    assert "quickstart.py" in EXAMPLES
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs_clean(script, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"

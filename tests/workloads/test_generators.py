@@ -1,0 +1,221 @@
+"""Tests for the synthetic workload generators."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.workloads.ints import generate_sort_records, is_sorted_output
+from repro.workloads.listens import generate_listens, unique_listens_reference
+from repro.workloads.options import (
+    OptionParams,
+    black_scholes_closed_form,
+    generate_mc_batches,
+    simulate_option_values,
+)
+from repro.workloads.points import (
+    brute_force_knn,
+    generate_knn_dataset,
+    knn_input_pairs,
+)
+from repro.workloads.population import (
+    crossover,
+    generate_population,
+    mean_fitness,
+    onemax_fitness,
+)
+from repro.workloads.text import (
+    corpus_size_bytes,
+    expected_distinct_words,
+    generate_documents,
+    vocabulary,
+    zipf_probabilities,
+)
+
+
+class TestText:
+    def test_deterministic_under_seed(self):
+        a = generate_documents(5, 20, 100, seed=3)
+        b = generate_documents(5, 20, 100, seed=3)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = generate_documents(5, 20, 100, seed=3)
+        b = generate_documents(5, 20, 100, seed=4)
+        assert a != b
+
+    def test_document_shape(self):
+        docs = generate_documents(3, 10, 50, seed=1)
+        assert len(docs) == 3
+        for doc_id, text in docs:
+            assert doc_id.startswith("doc")
+            assert len(text.split()) == 10
+
+    def test_zipf_skew(self):
+        # The most frequent word should dominate the tail heavily.
+        docs = generate_documents(50, 200, 500, seed=5, zipf_s=1.2)
+        counts: dict[str, int] = {}
+        for _, text in docs:
+            for word in text.split():
+                counts[word] = counts.get(word, 0) + 1
+        top = max(counts.values())
+        median = sorted(counts.values())[len(counts) // 2]
+        assert top > 10 * median
+
+    def test_zipf_probabilities_normalised(self):
+        probs = zipf_probabilities(1000, 1.1)
+        assert probs.sum() == pytest.approx(1.0)
+        assert (np.diff(probs) <= 0).all()  # decreasing by rank
+
+    def test_zipf_rejects_empty_vocab(self):
+        with pytest.raises(ValueError):
+            zipf_probabilities(0)
+
+    def test_empty_corpus(self):
+        assert generate_documents(0) == []
+
+    def test_helpers(self):
+        docs = generate_documents(4, 25, 30, seed=2)
+        assert corpus_size_bytes(docs) > 0
+        assert 1 <= expected_distinct_words(docs) <= 30
+        assert len(vocabulary(10)) == 10
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            generate_documents(-1)
+        with pytest.raises(ValueError):
+            generate_documents(1, words_per_doc=0)
+
+
+class TestInts:
+    def test_deterministic(self):
+        assert generate_sort_records(50, seed=1) == generate_sort_records(50, seed=1)
+
+    def test_value_mirrors_key(self):
+        for key, value in generate_sort_records(100, key_range=50, seed=2):
+            assert key == value
+            assert 0 <= key < 50
+
+    def test_is_sorted_output(self):
+        assert is_sorted_output([(1, 1), (1, 1), (2, 2)])
+        assert not is_sorted_output([(2, 2), (1, 1)])
+        assert is_sorted_output([])
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            generate_sort_records(-1)
+        with pytest.raises(ValueError):
+            generate_sort_records(1, key_range=0)
+
+
+class TestPoints:
+    def test_experimental_values_unique(self):
+        experimental, _ = generate_knn_dataset(200, 100, seed=1)
+        assert len(set(experimental)) == 200
+
+    def test_range_respected(self):
+        experimental, training = generate_knn_dataset(10, 50, seed=2, value_range=1000)
+        assert all(0 <= v < 1000 for v in experimental + training)
+
+    def test_uniqueness_impossible_raises(self):
+        with pytest.raises(ValueError):
+            generate_knn_dataset(11, 5, value_range=10)
+
+    def test_input_pairs_tagging(self):
+        pairs = knn_input_pairs([1], [2, 3])
+        kinds = [value[0] for _, value in pairs]
+        assert kinds == ["exp", "train", "train"]
+
+    def test_brute_force_reference(self):
+        answers = brute_force_knn([100], [90, 105, 300], 2)
+        assert answers[100] == [(105, 5), (90, 10)]
+
+
+class TestListens:
+    def test_paper_defaults(self):
+        listens = generate_listens(100, seed=1)
+        tracks = {t for _, (t, _) in listens}
+        users = {u for _, (_, u) in listens}
+        assert all(t.startswith("track") for t in tracks)
+        assert all(u.startswith("user") for u in users)
+
+    def test_reference_counts(self):
+        listens = [
+            (0, ("t1", "u1")),
+            (1, ("t1", "u1")),
+            (2, ("t1", "u2")),
+            (3, ("t2", "u1")),
+        ]
+        assert unique_listens_reference(listens) == {"t1": 2, "t2": 1}
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            generate_listens(-1)
+        with pytest.raises(ValueError):
+            generate_listens(1, num_users=0)
+
+
+class TestPopulation:
+    def test_genome_bits_respected(self):
+        population = generate_population(100, genome_bits=8, seed=1)
+        assert all(0 <= genome < 256 for _, genome in population)
+
+    def test_onemax(self):
+        assert onemax_fitness(0b1011) == 3
+        assert onemax_fitness(0) == 0
+
+    def test_mean_fitness(self):
+        assert mean_fitness([(0, 0b11), (1, 0b1)]) == pytest.approx(1.5)
+        assert mean_fitness([]) == 0.0
+
+    def test_crossover_swaps_low_bits(self):
+        child_a, child_b = crossover(0b11110000, 0b00001111, 4, 8)
+        assert child_a == 0b11111111
+        assert child_b == 0b00000000
+
+    def test_crossover_rejects_bad_point(self):
+        with pytest.raises(ValueError):
+            crossover(1, 2, 0, 8)
+        with pytest.raises(ValueError):
+            crossover(1, 2, 8, 8)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            generate_population(-1)
+        with pytest.raises(ValueError):
+            generate_population(1, genome_bits=64)
+
+
+class TestOptions:
+    def test_closed_form_sane(self):
+        # At-the-money call with 20% vol, 5% rate, 1y: ~10.45 (textbook).
+        price = black_scholes_closed_form(OptionParams())
+        assert price == pytest.approx(10.4506, abs=0.001)
+
+    def test_simulation_is_deterministic(self):
+        a = simulate_option_values(OptionParams(), 100, seed=1)
+        b = simulate_option_values(OptionParams(), 100, seed=1)
+        assert np.array_equal(a, b)
+
+    def test_payoffs_nonnegative(self):
+        values = simulate_option_values(OptionParams(), 1000, seed=2)
+        assert (values >= 0).all()
+
+    def test_monte_carlo_matches_closed_form(self):
+        params = OptionParams()
+        values = simulate_option_values(params, 200_000, seed=3)
+        standard_error = values.std() / math.sqrt(values.size)
+        assert abs(values.mean() - black_scholes_closed_form(params)) < 4 * standard_error
+
+    def test_batches_have_distinct_seeds(self):
+        batches = generate_mc_batches(5, 10, seed=0)
+        seeds = {seed for _, (_, _, seed) in batches}
+        assert len(seeds) == 5
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            generate_mc_batches(0)
+        with pytest.raises(ValueError):
+            OptionParams(spot=-1).validate()
