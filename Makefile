@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test bench figures csv examples all clean
+.PHONY: install test bench figures csv examples trace-demo all clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -22,6 +22,11 @@ scoreboard:
 
 examples:
 	for script in examples/*.py; do echo "== $$script"; python $$script || exit 1; done
+
+trace-demo:
+	python -m repro.cli trace wc --records 2000 --engine threaded \
+		-o results/wc.trace.json --summary
+	python -m repro.cli counters wc --records 2000 --diff
 
 all: test bench
 

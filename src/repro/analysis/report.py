@@ -44,6 +44,29 @@ def render_sweep(
     return f"{title}\n{table}"
 
 
+def render_counter_diff(
+    left_name: str,
+    left: dict[str, int],
+    right_name: str,
+    right: dict[str, int],
+) -> str:
+    """Side-by-side table of two counter snapshots with a delta column.
+
+    Operates on plain ``{counter: value}`` dicts (the
+    :meth:`~repro.obs.CounterRegistry.as_dict` form), so it can diff any
+    two executions: barrier vs barrier-less, engine vs engine, or a real
+    run vs its simulation.
+    """
+    names = sorted(set(left) | set(right))
+    rows = []
+    for name in names:
+        a = left.get(name, 0)
+        b = right.get(name, 0)
+        delta = b - a
+        rows.append((name, str(a), str(b), f"{delta:+d}" if delta else "="))
+    return render_table(("counter", left_name, right_name, "delta"), rows)
+
+
 def render_memory_sweep(
     title: str, x_label: str, points: Sequence[MemorySweepPoint]
 ) -> str:

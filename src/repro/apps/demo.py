@@ -1,0 +1,138 @@
+"""One-call demo jobs over synthetic input, shared by the CLI and tests.
+
+``demo_job_and_input`` builds a registered application's job plus a
+seeded synthetic input for it — the single source the ``repro run``,
+``repro trace`` and ``repro counters`` commands and the differential
+test-suite all draw from, so "the same app on the same input" means the
+same thing everywhere.
+
+``normalized_output`` canonicalises a job result for cross-mode and
+cross-engine comparison.  Most applications produce identical outputs in
+both execution modes; the exceptions are inherent to the algorithms, not
+bugs, and the normal form encodes exactly the invariant each class
+guarantees:
+
+- ``ga`` (cross-key window): the window fills in arrival order, so the
+  *individuals* differ between modes — only the population size is
+  conserved (the tested §4.6 invariant).
+- ``bs`` (single reducer over floats): summation order differs between
+  modes, so means/stddevs are compared after rounding.
+- ``knn`` (selection): the k nearest *distances* per key are unique, but
+  equidistant training values may tie-break differently.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.apps import blackscholes, genetic, grep, knn, lastfm, sortapp, wordcount
+from repro.core.job import JobSpec, MemoryConfig
+from repro.core.types import ExecutionMode, JobResult
+from repro.workloads import (
+    generate_documents,
+    generate_knn_dataset,
+    generate_listens,
+    generate_mc_batches,
+    generate_population,
+    generate_sort_records,
+)
+
+#: Short names accepted everywhere an app can be chosen.
+APP_CHOICES = ("grep", "sort", "wc", "knn", "pp", "ga", "bs")
+
+DEMO_GREP_PATTERN = "w00001"
+DEMO_KNN_EXPERIMENTAL = 10
+DEMO_KNN_K = 10
+
+
+def demo_job_and_input(
+    app: str,
+    mode: ExecutionMode,
+    records: int = 2000,
+    num_reducers: int = 4,
+    num_maps: int = 4,
+    store: str = "inmemory",
+    seed: int = 0,
+) -> tuple[JobSpec, list]:
+    """Build ``(job, input pairs)`` for one app over synthetic input.
+
+    ``records`` scales the synthetic workload (records, documents or
+    listens, depending on the app); ``seed`` makes the input — and hence
+    every engine's output — reproducible.
+    """
+    memory = MemoryConfig(store=store)
+    if store == "spillmerge":
+        memory.spill_threshold_bytes = 256 << 10
+    if store == "kvstore":
+        memory.kv_cache_bytes = 256 << 10
+
+    if app == "grep":
+        pairs = generate_documents(max(1, records // 50), 50, 500, seed=seed)
+        return (
+            grep.make_job(mode, DEMO_GREP_PATTERN, num_reducers=num_reducers),
+            pairs,
+        )
+    if app == "sort":
+        pairs = generate_sort_records(records, seed=seed)
+        return sortapp.make_job(mode, num_reducers, memory), pairs
+    if app == "wc":
+        pairs = generate_documents(max(1, records // 50), 50, 500, seed=seed)
+        return wordcount.make_job(mode, num_reducers, memory), pairs
+    if app == "knn":
+        experimental, training = generate_knn_dataset(
+            DEMO_KNN_EXPERIMENTAL, records, seed=seed
+        )
+        job = knn.make_job(
+            mode, experimental, DEMO_KNN_K, num_reducers, memory
+        )
+        return job, knn.training_pairs(training)
+    if app == "pp":
+        pairs = generate_listens(records, seed=seed)
+        return lastfm.make_job(mode, num_reducers, memory), pairs
+    if app == "ga":
+        pairs = generate_population(records, seed=seed)
+        return genetic.make_job(mode, num_reducers=num_reducers), pairs
+    if app == "bs":
+        pairs = generate_mc_batches(
+            num_maps, max(1, records // num_maps), seed=seed
+        )
+        return blackscholes.make_job(mode), pairs
+    raise KeyError(f"unknown app {app!r} (choose from {APP_CHOICES})")
+
+
+def _round_floats(value: Any, digits: int = 6) -> Any:
+    """Recursively round floats inside tuples/lists (order-tolerance)."""
+    if isinstance(value, float):
+        return round(value, digits)
+    if isinstance(value, tuple):
+        return tuple(_round_floats(item, digits) for item in value)
+    if isinstance(value, list):
+        return [_round_floats(item, digits) for item in value]
+    return value
+
+
+def normalized_output(app: str, result: JobResult) -> Any:
+    """Canonical form of a job's output for equality comparison.
+
+    Two runs of the same app over the same input — in either execution
+    mode, on any engine — must produce equal normal forms.
+    """
+    records = result.all_output()
+    if app == "ga":
+        # Cross-key windows consume arrival order: only the population
+        # size survives normalisation (genome-level results differ).
+        return {"population": len(records)}
+    if app == "knn":
+        # Top-k distances are canonical; tie-breaks among equidistant
+        # training values are not.
+        distances: dict[Any, list] = {}
+        for record in records:
+            distances.setdefault(record.key, []).append(record.value[1])
+        return {key: sorted(values) for key, values in distances.items()}
+    if app == "bs":
+        # One reducer summing floats: accumulation order moves the last
+        # few ulps, so compare rounded statistics.
+        return sorted(
+            (record.key, _round_floats(record.value)) for record in records
+        )
+    return sorted((record.key, record.value) for record in records)

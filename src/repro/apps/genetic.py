@@ -11,6 +11,8 @@ reducer runs with and without the barrier.
 
 from __future__ import annotations
 
+import functools
+
 from repro.core.api import MapContext, Mapper
 from repro.core.job import JobSpec, MemoryConfig
 from repro.core.patterns import CrossKeyWindowReducer
@@ -94,8 +96,10 @@ def make_job(
     """
     return JobSpec(
         name=f"genetic[w={window_size}]",
-        mapper_factory=lambda: FitnessMapper(genome_bits),
-        reducer_factory=lambda: SelectionCrossoverReducer(window_size, genome_bits),
+        mapper_factory=functools.partial(FitnessMapper, genome_bits),
+        reducer_factory=functools.partial(
+            SelectionCrossoverReducer, window_size, genome_bits
+        ),
         num_reducers=num_reducers,
         mode=mode,
         reduce_class=ReduceClass.CROSS_KEY,

@@ -8,6 +8,7 @@ runs with and without the barrier — the zero-effort row of Table 1.
 
 from __future__ import annotations
 
+import functools
 import re
 
 from repro.core.api import MapContext, Mapper, Reducer
@@ -52,7 +53,7 @@ def make_job(
         reducer_factory = IdentityBarrierlessReducer
     return JobSpec(
         name=f"grep[{pattern}]",
-        mapper_factory=lambda: GrepMapper(pattern),
+        mapper_factory=functools.partial(GrepMapper, pattern),
         reducer_factory=reducer_factory,
         num_reducers=num_reducers,
         mode=mode,

@@ -20,6 +20,8 @@ standing in for Hadoop's distributed cache.
 from __future__ import annotations
 
 import bisect
+import functools
+import operator
 
 from repro.core.api import MapContext, Mapper, ReduceContext, Reducer
 from repro.core.job import JobSpec, MemoryConfig
@@ -128,25 +130,27 @@ def make_job(
     where the ordering work lives.  Ignored in barrier-less mode.
     """
     exp = list(experimental)
+    # functools.partial / operator.itemgetter keep every factory picklable,
+    # which the multiprocessing engine needs to ship jobs to its workers.
     if mode is ExecutionMode.BARRIER:
         if secondary_sort:
-            reducer_factory = lambda: KnnSecondarySortReducer(k)  # noqa: E731
-            value_sort_key = lambda pair: pair[1]  # noqa: E731
+            reducer_factory = functools.partial(KnnSecondarySortReducer, k)
+            value_sort_key = operator.itemgetter(1)
         else:
-            reducer_factory = lambda: KnnBarrierReducer(k)  # noqa: E731
+            reducer_factory = functools.partial(KnnBarrierReducer, k)
             value_sort_key = None
     else:
-        reducer_factory = lambda: KnnBarrierlessReducer(k)  # noqa: E731
+        reducer_factory = functools.partial(KnnBarrierlessReducer, k)
         value_sort_key = None
     return JobSpec(
         name=f"knn[k={k}]",
-        mapper_factory=lambda: KnnMapper(exp),
+        mapper_factory=functools.partial(KnnMapper, exp),
         reducer_factory=reducer_factory,
         num_reducers=num_reducers,
         mode=mode,
         reduce_class=ReduceClass.SELECTION,
         memory=memory if memory is not None else MemoryConfig(),
-        merge_fn=lambda a, b: merge_topk(a, b, k),
+        merge_fn=functools.partial(merge_topk, k=k),
         value_sort_key=value_sort_key,
     )
 

@@ -5,6 +5,8 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli classify                    # Table 1
     python -m repro.cli effort                      # Table 2
     python -m repro.cli run wc --mode barrierless --records 5000
+    python -m repro.cli trace wc -o wc.trace.json   # Chrome trace_event JSON
+    python -m repro.cli counters wc --diff          # barrier vs barrier-less
     python -m repro.cli compare wc --size-gb 8      # simulated A/B
     python -m repro.cli figure fig6 fig7            # regenerate figures
 
@@ -41,19 +43,44 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("classify", help="print Table 1 (Reduce classification)")
     sub.add_parser("effort", help="print Table 2 (programmer effort, LoC)")
 
+    def add_execution_args(command, engines=("local", "threaded", "multiproc")):
+        command.add_argument(
+            "app", choices=["grep", "sort", "wc", "knn", "pp", "ga", "bs"]
+        )
+        command.add_argument("--mode", type=_mode, default=ExecutionMode.BARRIERLESS)
+        command.add_argument("--records", type=int, default=2000,
+                             help="synthetic input size (records/documents/listens)")
+        command.add_argument("--reducers", type=int, default=4)
+        command.add_argument("--maps", type=int, default=4)
+        command.add_argument("--engine", choices=list(engines), default="local")
+        command.add_argument("--store",
+                             choices=["inmemory", "spillmerge", "kvstore"],
+                             default="inmemory")
+        command.add_argument("--seed", type=int, default=0)
+
     run = sub.add_parser("run", help="execute one application locally")
-    run.add_argument("app", choices=["grep", "sort", "wc", "knn", "pp", "ga", "bs"])
-    run.add_argument("--mode", type=_mode, default=ExecutionMode.BARRIERLESS)
-    run.add_argument("--records", type=int, default=2000,
-                     help="synthetic input size (records/documents/listens)")
-    run.add_argument("--reducers", type=int, default=4)
-    run.add_argument("--maps", type=int, default=4)
-    run.add_argument("--engine", choices=["local", "threaded"], default="local")
-    run.add_argument("--store", choices=["inmemory", "spillmerge", "kvstore"],
-                     default="inmemory")
-    run.add_argument("--seed", type=int, default=0)
+    add_execution_args(run)
     run.add_argument("--top", type=int, default=10,
                      help="print at most this many output records")
+
+    trace = sub.add_parser(
+        "trace",
+        help="execute one application and emit a Chrome trace_event JSON",
+    )
+    add_execution_args(trace)
+    trace.add_argument("-o", "--output", metavar="FILE",
+                       help="trace JSON path (default: <app>.trace.json)")
+    trace.add_argument("--summary", action="store_true",
+                       help="also print the span tree to stdout")
+
+    counters_cmd = sub.add_parser(
+        "counters", help="execute one application and print its job counters"
+    )
+    add_execution_args(counters_cmd)
+    counters_cmd.add_argument(
+        "--diff", action="store_true",
+        help="run both execution modes and print a counter diff table",
+    )
 
     compare = sub.add_parser(
         "compare", help="simulate barrier vs barrier-less for one app"
@@ -112,63 +139,37 @@ def _cmd_effort() -> int:
     return 0
 
 
-def _make_app_job_and_input(args):
-    """Build (job, input pairs) for the `run` command."""
-    from repro.apps import blackscholes, genetic, grep, knn, lastfm, sortapp, wordcount
-    from repro.core.job import MemoryConfig
-    from repro.workloads import (
-        generate_documents,
-        generate_knn_dataset,
-        generate_listens,
-        generate_mc_batches,
-        generate_population,
-        generate_sort_records,
+def _make_app_job_and_input(args, mode: ExecutionMode | None = None):
+    """Build (job, input pairs) for the run/trace/counters commands."""
+    from repro.apps.demo import demo_job_and_input
+
+    return demo_job_and_input(
+        args.app,
+        mode if mode is not None else args.mode,
+        records=args.records,
+        num_reducers=args.reducers,
+        num_maps=args.maps,
+        store=args.store,
+        seed=args.seed,
     )
 
-    memory = MemoryConfig(store=args.store)
-    if args.store == "spillmerge":
-        memory.spill_threshold_bytes = 256 << 10
-    if args.store == "kvstore":
-        memory.kv_cache_bytes = 256 << 10
 
-    if args.app == "grep":
-        pairs = generate_documents(
-            max(1, args.records // 50), 50, 500, seed=args.seed
-        )
-        return grep.make_job(args.mode, "w00001", num_reducers=args.reducers), pairs
-    if args.app == "sort":
-        pairs = generate_sort_records(args.records, seed=args.seed)
-        return sortapp.make_job(args.mode, args.reducers, memory), pairs
-    if args.app == "wc":
-        pairs = generate_documents(
-            max(1, args.records // 50), 50, 500, seed=args.seed
-        )
-        return wordcount.make_job(args.mode, args.reducers, memory), pairs
-    if args.app == "knn":
-        experimental, training = generate_knn_dataset(
-            10, args.records, seed=args.seed
-        )
-        job = knn.make_job(args.mode, experimental, 10, args.reducers, memory)
-        return job, knn.training_pairs(training)
-    if args.app == "pp":
-        pairs = generate_listens(args.records, seed=args.seed)
-        return lastfm.make_job(args.mode, args.reducers, memory), pairs
-    if args.app == "ga":
-        pairs = generate_population(args.records, seed=args.seed)
-        return genetic.make_job(args.mode, num_reducers=args.reducers), pairs
-    if args.app == "bs":
-        pairs = generate_mc_batches(
-            args.maps, max(1, args.records // args.maps), seed=args.seed
-        )
-        return blackscholes.make_job(args.mode), pairs
-    raise AssertionError(args.app)
+def _make_engine(name: str, obs=None):
+    from repro.engine import LocalEngine, ThreadedEngine
+    from repro.engine.multiproc import MultiprocessEngine
+
+    if name == "local":
+        return LocalEngine(obs=obs)
+    if name == "threaded":
+        return ThreadedEngine(obs=obs)
+    if name == "multiproc":
+        return MultiprocessEngine(obs=obs)
+    raise AssertionError(name)
 
 
 def _cmd_run(args) -> int:
-    from repro.engine import LocalEngine, ThreadedEngine
-
     job, pairs = _make_app_job_and_input(args)
-    engine = LocalEngine() if args.engine == "local" else ThreadedEngine()
+    engine = _make_engine(args.engine)
     result = engine.run(job, pairs, num_maps=args.maps)
     print(
         f"{job.name}: mode={args.mode.value} engine={args.engine} "
@@ -186,6 +187,55 @@ def _cmd_run(args) -> int:
     remaining = len(result.all_output()) - args.top
     if remaining > 0:
         print(f"  ... and {remaining} more")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs import JobObservability, write_chrome_trace
+
+    obs = JobObservability()
+    job, pairs = _make_app_job_and_input(args)
+    engine = _make_engine(args.engine, obs=obs)
+    engine.run(job, pairs, num_maps=args.maps)
+    path = args.output if args.output else f"{args.app}.trace.json"
+    write_chrome_trace(path, obs.tracer, counters=obs.counters)
+    print(
+        f"wrote {path} ({len(obs.tracer)} spans, "
+        f"{len(obs.counters)} counters) — open in chrome://tracing or Perfetto"
+    )
+    if args.summary:
+        print(obs.summary())
+    return 0
+
+
+def _cmd_counters(args) -> int:
+    from repro.obs import JobObservability, render_counters
+
+    def execute(mode: ExecutionMode) -> dict[str, int]:
+        obs = JobObservability()
+        job, pairs = _make_app_job_and_input(args, mode=mode)
+        _make_engine(args.engine, obs=obs).run(job, pairs, num_maps=args.maps)
+        return obs.counters.as_dict()
+
+    if args.diff:
+        from repro.analysis.report import render_counter_diff
+
+        left = execute(ExecutionMode.BARRIER)
+        right = execute(ExecutionMode.BARRIERLESS)
+        print(f"{args.app}: engine={args.engine} input={args.records} records")
+        print(render_counter_diff("barrier", left, "barrierless", right))
+        return 0
+
+    from repro.obs import CounterRegistry
+
+    registry = CounterRegistry()
+    registry.merge_dict(execute(args.mode))
+    print(
+        render_counters(
+            registry,
+            title=f"{args.app} [{args.mode.value}] engine={args.engine}",
+        )
+    )
     return 0
 
 
@@ -330,6 +380,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_effort()
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "counters":
+        return _cmd_counters(args)
     if args.command == "compare":
         return _cmd_compare(args)
     if args.command == "figure":

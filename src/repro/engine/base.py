@@ -82,6 +82,7 @@ def apply_combiner(
     for key in order:
         for value in combiner.combine(key, buckets[key]):
             combined.append(Record(key, value))
+    counters.increment("combine.input_records", len(records))
     counters.increment("combine.output_records", len(combined))
     return combined
 
@@ -118,6 +119,7 @@ def run_map_task_partitioned(
         counters.increment("map.input_records")
     mapper.cleanup(context)
     counters.increment("map.output_spills", buffer.num_spills)
+    counters.increment("map.spill_bytes", buffer.bytes_spilled)
     partitions = buffer.all_partitions()
     buffer.close()
     return partitions
@@ -204,6 +206,41 @@ def prepare_reducer(job: JobSpec, on_sample=None) -> Reducer:
     return reducer
 
 
+def harvest_store_counters(reducer: Reducer, counters: Counters) -> None:
+    """Fold a reducer's partial-result-store statistics into counters.
+
+    Store-backed reducers expose their store after :func:`prepare_reducer`;
+    the concrete technique determines which statistics exist (KV-store
+    cache hits/misses, spill-merge spill counts), so every lookup is
+    feature-probed.  Reducers without a store are a no-op.
+    """
+    store = getattr(reducer, "_store", None)
+    if store is None:
+        return
+    counters.increment("store.builds")
+    inner = getattr(store, "_inner", store)  # unwrap locking facades
+    hits = getattr(inner, "cache_hits", None)
+    if isinstance(hits, int):
+        counters.increment("store.cache_hits", hits)
+        counters.increment("store.cache_misses", inner.cache_misses)
+    spills = getattr(inner, "spill_count", None)
+    if isinstance(spills, int):
+        counters.increment("store.spills", spills)
+        counters.increment(
+            "store.spilled_entries", getattr(inner, "spilled_entries", 0)
+        )
+
+
+def reducer_is_store_backed(job: JobSpec) -> bool:
+    """Whether this job's reducers get a partial-result store attached.
+
+    Engines use this to surface store rebuilds on task retry as a
+    ``store.resets`` counter (the barrier-less recovery path the paper's
+    §8 claim rests on).
+    """
+    return getattr(job.reducer_factory(), "attach_store", None) is not None
+
+
 def run_reduce_task(
     job: JobSpec,
     records: Iterable[Record],
@@ -214,6 +251,7 @@ def run_reduce_task(
     reducer = prepare_reducer(job, on_sample=on_sample)
     context = make_reduce_context(job, records, counters)
     reducer.run(context)
+    harvest_store_counters(reducer, counters)
     return context.drain()
 
 

@@ -19,9 +19,13 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Callable, TypeVar
+from typing import TYPE_CHECKING, Callable, TypeVar
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import JobObservability
+    from repro.obs.trace import Span
 
 T = TypeVar("T")
 
@@ -89,32 +93,77 @@ class FaultInjector:
 
 @dataclass
 class RetryingTaskRunner:
-    """Executes task bodies with bounded retry, Hadoop-attempt style."""
+    """Executes task bodies with bounded retry, Hadoop-attempt style.
+
+    With an observability bundle attached, every attempt increments
+    ``task.attempts`` (plus ``task.attempts.<kind>``, the kind being the
+    task-id prefix, e.g. ``map``/``reduce``), every re-execution
+    increments ``task.retries``, and each attempt is recorded as an
+    ``attempt`` span under the task's span.
+    """
 
     injector: FaultInjector | None = None
     max_attempts: int = DEFAULT_MAX_ATTEMPTS
     attempts_made: dict[str, int] = field(default_factory=dict)
+    obs: "JobObservability | None" = None
 
     def __post_init__(self) -> None:
         if self.max_attempts <= 0:
             raise ValueError("max_attempts must be positive")
 
-    def run(self, task_id: str, body: Callable[[], T]) -> T:
+    def _count_attempt(self, task_id: str, attempt: int) -> None:
+        counters = self.obs.counters  # type: ignore[union-attr]
+        counters.increment("task.attempts")
+        counters.increment(f"task.attempts.{task_id.split('-', 1)[0]}")
+        if attempt > 0:
+            counters.increment("task.retries")
+
+    def run(
+        self,
+        task_id: str,
+        body: Callable[[], T],
+        parent: "Span | int | None" = None,
+    ) -> T:
         """Run ``body``; on an attempt failure, retry up to the budget.
 
         Only :class:`TaskAttemptError` (an injected crash) is retried —
         genuine application exceptions propagate immediately, matching
         Hadoop's treatment of deterministic task bugs versus machine
-        failures.
+        failures.  ``parent`` is the task span the attempt spans nest
+        under.
         """
+        obs = self.obs
         for attempt in range(self.max_attempts):
             self.attempts_made[task_id] = attempt + 1
+            if obs is not None:
+                self._count_attempt(task_id, attempt)
+                start = obs.tracer.now()
             try:
                 if self.injector is not None:
                     self.injector.check(task_id, attempt)
-                return body()
+                result = body()
             except TaskAttemptError:
+                if obs is not None:
+                    obs.counters.increment("task.failed_attempts")
+                    obs.tracer.record(
+                        f"{task_id}/attempt-{attempt}",
+                        "attempt",
+                        start,
+                        obs.tracer.now(),
+                        parent=parent,
+                        crashed=True,
+                    )
                 continue
+            if obs is not None:
+                obs.tracer.record(
+                    f"{task_id}/attempt-{attempt}",
+                    "attempt",
+                    start,
+                    obs.tracer.now(),
+                    parent=parent,
+                    crashed=False,
+                )
+            return result
         raise TaskPermanentlyFailedError(task_id, self.max_attempts)
 
     @property

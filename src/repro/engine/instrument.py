@@ -64,18 +64,31 @@ def concurrency_series(
     """Sample how many events are simultaneously active every ``step`` s.
 
     Returns ``(times, counts)``; an event is active at ``t`` when
-    ``start <= t < end``.  This is the Figure 4 y-axis ("Number of Tasks").
+    ``start <= t < end``, except that a zero-duration event (start ==
+    end, legal per :class:`TaskEvent`) counts as active at its single
+    instant — an instantaneous task did run, and dropping it would make
+    the series disagree with the event log.  With no events and no
+    explicit ``until`` there is nothing to sample, so the series is
+    empty rather than a phantom ``t=0`` sample.  This is the Figure 4
+    y-axis ("Number of Tasks").
     """
     if step <= 0:
         raise ValueError("step must be positive")
     horizon = until
     if horizon is None:
-        horizon = max((event.end for event in events), default=0.0)
+        if not events:
+            return [], []
+        horizon = max(event.end for event in events)
     times: list[float] = []
     counts: list[int] = []
     t = 0.0
     while t <= horizon + 1e-9:
-        active = sum(1 for event in events if event.start <= t < event.end)
+        active = sum(
+            1
+            for event in events
+            if event.start <= t < event.end
+            or (event.start == event.end and abs(t - event.start) <= 1e-9)
+        )
         times.append(round(t, 9))
         counts.append(active)
         t += step

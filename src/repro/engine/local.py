@@ -31,6 +31,7 @@ from repro.engine.base import (
     barrier_merge_sort,
     finish_result,
     interleave_arrival,
+    reducer_is_store_backed,
     run_map_task_partitioned,
     run_reduce_task,
 )
@@ -39,6 +40,7 @@ from repro.engine.faults import (
     FaultInjector,
     RetryingTaskRunner,
 )
+from repro.obs import JobObservability
 
 
 class LocalEngine(Engine):
@@ -57,10 +59,12 @@ class LocalEngine(Engine):
         heap_sample_hook: Callable[[int, int], None] | None = None,
         fault_injector: FaultInjector | None = None,
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        obs: JobObservability | None = None,
     ) -> None:
         self._heap_sample_hook = heap_sample_hook
         self._fault_injector = fault_injector
         self._max_attempts = max_attempts
+        self.obs = obs if obs is not None else JobObservability()
         #: Retry bookkeeping of the most recent run() (attempts per task).
         self.last_run_attempts: dict[str, int] = {}
 
@@ -74,65 +78,93 @@ class LocalEngine(Engine):
         counters = Counters()
         watch = Stopwatch()
         times = StageTimes()
+        obs = self.obs
         runner = RetryingTaskRunner(
-            injector=self._fault_injector, max_attempts=self._max_attempts
+            injector=self._fault_injector,
+            max_attempts=self._max_attempts,
+            obs=obs,
         )
+        store_backed = reducer_is_store_backed(job)
 
-        # Map stage: one task per split, sequentially, with retry.
-        splits = split_input(pairs, num_maps)
-        per_reducer_outputs: dict[int, list[list[Record]]] = {
-            i: [] for i in range(job.num_reducers)
-        }
-        times.map_start = watch.elapsed()
-        first_done: float | None = None
-        for task_index, split in enumerate(splits):
+        with obs.tracer.span(
+            job.name, "job", mode=job.mode.value, engine="local"
+        ) as job_span:
+            # Map stage: one task per split, sequentially, with retry.
+            splits = split_input(pairs, num_maps)
+            per_reducer_outputs: dict[int, list[list[Record]]] = {
+                i: [] for i in range(job.num_reducers)
+            }
+            times.map_start = watch.elapsed()
+            first_done: float | None = None
+            with obs.tracer.span("map", "stage", parent=job_span):
+                for task_index, split in enumerate(splits):
 
-            def map_attempt(split=split):
-                attempt_counters = Counters()
-                produced = run_map_task_partitioned(job, split, attempt_counters)
-                return produced, attempt_counters
+                    def map_attempt(split=split):
+                        attempt_counters = Counters()
+                        produced = run_map_task_partitioned(
+                            job, split, attempt_counters
+                        )
+                        return produced, attempt_counters
 
-            partitions, task_counters = runner.run(
-                f"map-{task_index}", map_attempt
+                    with obs.tracer.span(
+                        f"map-{task_index}", "task"
+                    ) as task_span:
+                        partitions, task_counters = runner.run(
+                            f"map-{task_index}", map_attempt, parent=task_span
+                        )
+                    counters.merge(task_counters)
+                    obs.counters.merge_counters(task_counters)
+                    for index, part in partitions.items():
+                        per_reducer_outputs[index].append(part)
+                    counters.increment("map.tasks")
+                    obs.counters.increment("map.tasks")
+                    if first_done is None:
+                        first_done = watch.elapsed()
+            times.first_map_done = (
+                first_done if first_done is not None else watch.elapsed()
             )
-            counters.merge(task_counters)
-            for index, part in partitions.items():
-                per_reducer_outputs[index].append(part)
-            counters.increment("map.tasks")
-            if first_done is None:
-                first_done = watch.elapsed()
-        times.first_map_done = first_done if first_done is not None else watch.elapsed()
-        times.last_map_done = watch.elapsed()
+            times.last_map_done = watch.elapsed()
 
-        # Shuffle + reduce per partition.
-        output: dict[int, list[Record]] = {}
-        for reducer_index in range(job.num_reducers):
-            map_outputs = per_reducer_outputs[reducer_index]
-            if job.mode is ExecutionMode.BARRIER:
-                stream = barrier_merge_sort(map_outputs)
-            else:
-                stream = interleave_arrival(map_outputs)
-            counters.increment("shuffle.records", len(stream))
-            hook = self._heap_sample_hook
-            on_sample = (
-                (lambda used, _i=reducer_index: hook(_i, used))
-                if hook is not None
-                else None
-            )
+            # Shuffle + reduce per partition.
+            output: dict[int, list[Record]] = {}
+            with obs.tracer.span("reduce", "stage", parent=job_span):
+                for reducer_index in range(job.num_reducers):
+                    map_outputs = per_reducer_outputs[reducer_index]
+                    if job.mode is ExecutionMode.BARRIER:
+                        stream = barrier_merge_sort(map_outputs)
+                    else:
+                        stream = interleave_arrival(map_outputs)
+                    counters.increment("shuffle.records", len(stream))
+                    obs.counters.increment("shuffle.records", len(stream))
+                    hook = self._heap_sample_hook
+                    on_sample = (
+                        (lambda used, _i=reducer_index: hook(_i, used))
+                        if hook is not None
+                        else None
+                    )
 
-            def reduce_attempt(stream=stream, on_sample=on_sample):
-                attempt_counters = Counters()
-                produced = run_reduce_task(
-                    job, stream, attempt_counters, on_sample=on_sample
-                )
-                return produced, attempt_counters
+                    def reduce_attempt(stream=stream, on_sample=on_sample):
+                        attempt_counters = Counters()
+                        produced = run_reduce_task(
+                            job, stream, attempt_counters, on_sample=on_sample
+                        )
+                        return produced, attempt_counters
 
-            produced, task_counters = runner.run(
-                f"reduce-{reducer_index}", reduce_attempt
-            )
-            counters.merge(task_counters)
-            output[reducer_index] = produced
-            counters.increment("reduce.tasks")
+                    task_id = f"reduce-{reducer_index}"
+                    with obs.tracer.span(task_id, "task") as task_span:
+                        produced, task_counters = runner.run(
+                            task_id, reduce_attempt, parent=task_span
+                        )
+                    counters.merge(task_counters)
+                    obs.counters.merge_counters(task_counters)
+                    retries = runner.attempts_made.get(task_id, 1) - 1
+                    if retries > 0 and store_backed:
+                        # Each retried attempt rebuilt the partial store
+                        # from scratch — the barrier-less recovery path.
+                        obs.counters.increment("store.resets", retries)
+                    output[reducer_index] = produced
+                    counters.increment("reduce.tasks")
+                    obs.counters.increment("reduce.tasks")
         times.shuffle_done = times.last_map_done
         times.sort_done = times.shuffle_done
         times.reduce_done = watch.elapsed()

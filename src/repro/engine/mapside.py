@@ -66,6 +66,7 @@ class MapOutputBuffer:
             self._dir = spill_dir
         self.spill_count = 0
         self.records_collected = 0
+        self.bytes_spilled = 0
 
     # -- write side -------------------------------------------------------
 
@@ -92,6 +93,7 @@ class MapOutputBuffer:
                 pickle.dump(entry, fh, protocol=pickle.HIGHEST_PROTOCOL)
         self._spills.append(path)
         self.spill_count += 1
+        self.bytes_spilled += self._used
         self._records = []
         self._used = 0
 

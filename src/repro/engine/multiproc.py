@@ -5,11 +5,21 @@ must be picklable (module-level mapper/reducer factories — all the bundled
 applications qualify).  On a single-core host this engine demonstrates
 functional correctness rather than speedup; the discrete-event simulator in
 :mod:`repro.sim` is the performance substrate.
+
+Observability across the process boundary works by value, not by shared
+state: each worker measures its task with ``time.time() - epoch`` (the
+fork model keeps parent and child clocks on the same host clock) and
+returns ``(start, end, pid)`` alongside its counters dict; the parent
+re-ingests both into the job's :class:`~repro.obs.JobObservability` via
+:meth:`~repro.obs.Tracer.record` and
+:meth:`~repro.obs.CounterRegistry.merge_dict`.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
+import time
 from typing import Sequence
 
 from repro.core.job import JobSpec, split_input
@@ -31,32 +41,66 @@ from repro.engine.base import (
     run_map_task_partitioned,
     run_reduce_task,
 )
+from repro.obs import JobObservability
 
 
-def _map_task_entry(args: tuple[JobSpec, list]) -> tuple[dict[int, list[Record]], dict]:
-    """Worker-side map task: returns partitioned output and counters."""
-    job, split = args
+def _map_task_entry(
+    args: tuple[JobSpec, list, float],
+) -> tuple[dict[int, list[Record]], dict, tuple[float, float, int]]:
+    """Worker-side map task: partitioned output, counters, and timing."""
+    job, split, epoch = args
     counters = Counters()
-    return run_map_task_partitioned(job, split, counters), counters.as_dict()
+    start = time.time() - epoch
+    partitions = run_map_task_partitioned(job, split, counters)
+    end = time.time() - epoch
+    return partitions, counters.as_dict(), (start, end, os.getpid())
 
 
 def _reduce_task_entry(
-    args: tuple[JobSpec, list[Record]],
-) -> tuple[list[Record], dict]:
+    args: tuple[JobSpec, list[Record], float],
+) -> tuple[list[Record], dict, tuple[float, float, int]]:
     """Worker-side reduce task over one partition's record stream."""
-    job, stream = args
+    job, stream, epoch = args
     counters = Counters()
+    start = time.time() - epoch
     produced = run_reduce_task(job, stream, counters)
-    return produced, counters.as_dict()
+    end = time.time() - epoch
+    return produced, counters.as_dict(), (start, end, os.getpid())
 
 
 class MultiprocessEngine(Engine):
     """Engine running tasks in a ``multiprocessing`` pool."""
 
-    def __init__(self, processes: int = 2) -> None:
+    def __init__(
+        self,
+        processes: int = 2,
+        obs: JobObservability | None = None,
+    ) -> None:
         if processes <= 0:
             raise ValueError("processes must be positive")
         self.processes = processes
+        self.obs = obs if obs is not None else JobObservability()
+
+    def _record_task_span(
+        self, stage, name: str, timing: tuple[float, float, int]
+    ) -> None:
+        """Re-ingest one worker-measured task interval under ``stage``.
+
+        Worker times come off the wall clock (``time.time() - epoch``)
+        while the parent tracer runs on a monotonic clock anchored at the
+        same instant; the two can disagree by a few microseconds, so the
+        interval is clamped into the enclosing stage span to keep the
+        trace's nesting invariant exact.
+        """
+        obs = self.obs
+        if stage is None or not obs.enabled:
+            return
+        start, end, pid = timing
+        start = max(start, stage.start)
+        end = min(max(end, start), obs.tracer.now())
+        obs.tracer.record(
+            name, "task", start, end, parent=stage, tid=pid & 0xFFFF, pid=pid
+        )
 
     def run(
         self,
@@ -68,26 +112,40 @@ class MultiprocessEngine(Engine):
         counters = Counters()
         watch = Stopwatch()
         times = StageTimes()
+        obs = self.obs
+        epoch = obs.epoch
         splits = split_input(pairs, num_maps)
 
+        job_span = obs.tracer.open(
+            job.name, "job", mode=job.mode.value, engine="multiproc"
+        )
         times.map_start = watch.elapsed()
         ctx = multiprocessing.get_context("fork")
         with ctx.Pool(processes=self.processes) as pool:
+            map_stage = obs.tracer.open("map", "stage", parent=job_span)
             map_results = pool.map(
-                _map_task_entry, [(job, split) for split in splits]
+                _map_task_entry, [(job, split, epoch) for split in splits]
             )
             times.first_map_done = watch.elapsed()
             times.last_map_done = watch.elapsed()
             counters.increment("map.tasks", len(splits))
-            for _partitions, task_counters in map_results:
+            obs.counters.increment("map.tasks", len(splits))
+            for task_index, (_partitions, task_counters, timing) in enumerate(
+                map_results
+            ):
                 counters.merge(Counters(dict(task_counters)))
+                obs.counters.merge_dict(task_counters)
+                obs.counters.increment("task.attempts")
+                obs.counters.increment("task.attempts.map")
+                self._record_task_span(map_stage, f"map-{task_index}", timing)
+            obs.tracer.close(map_stage)
 
             # Assemble per-reducer streams according to the shuffle mode.
             streams: list[list[Record]] = []
             for reducer_index in range(job.num_reducers):
                 map_outputs = [
                     partitions.get(reducer_index, [])
-                    for partitions, _ in map_results
+                    for partitions, _, _ in map_results
                 ]
                 if job.mode is ExecutionMode.BARRIER:
                     streams.append(barrier_merge_sort(map_outputs))
@@ -96,14 +154,27 @@ class MultiprocessEngine(Engine):
             times.shuffle_done = watch.elapsed()
             times.sort_done = times.shuffle_done
 
+            reduce_stage = obs.tracer.open("reduce", "stage", parent=job_span)
+            for stream in streams:
+                counters.increment("shuffle.records", len(stream))
+                obs.counters.increment("shuffle.records", len(stream))
             reduce_results = pool.map(
-                _reduce_task_entry, [(job, stream) for stream in streams]
+                _reduce_task_entry, [(job, stream, epoch) for stream in streams]
             )
         output: dict[int, list[Record]] = {}
-        for reducer_index, (produced, task_counters) in enumerate(reduce_results):
+        for reducer_index, (produced, task_counters, timing) in enumerate(
+            reduce_results
+        ):
             output[reducer_index] = produced
             counters.merge(Counters(dict(task_counters)))
+            obs.counters.merge_dict(task_counters)
             counters.increment("reduce.tasks")
+            obs.counters.increment("reduce.tasks")
+            obs.counters.increment("task.attempts")
+            obs.counters.increment("task.attempts.reduce")
+            self._record_task_span(reduce_stage, f"reduce-{reducer_index}", timing)
+        obs.tracer.close(reduce_stage)
+        obs.tracer.close(job_span)
         times.reduce_done = watch.elapsed()
         times.job_done = watch.elapsed()
         return finish_result(job, output, counters, times)

@@ -41,10 +41,12 @@ from repro.core.types import (
 )
 from repro.engine.base import (
     finish_result,
+    harvest_store_counters,
     partition_records,
     prepare_reducer,
     run_map_task,
 )
+from repro.obs import JobObservability
 
 _SENTINEL = None
 
@@ -146,7 +148,9 @@ class _ReducerSession:
 class StreamingEngine:
     """Continuous barrier-less execution with live snapshots."""
 
-    def __init__(self, job: JobSpec):
+    def __init__(
+        self, job: JobSpec, obs: JobObservability | None = None
+    ):
         if job.mode is not ExecutionMode.BARRIERLESS:
             raise InvalidJobError(
                 "streaming requires barrier-less mode: a barrier job cannot "
@@ -155,8 +159,25 @@ class StreamingEngine:
         job.validate()
         self.job = job
         self.counters = Counters()
+        self.obs = obs if obs is not None else JobObservability()
+        # The job span stays open for the stream's whole life; map and
+        # reduce stages overlap by construction (reducers consume pushes
+        # as they arrive), so both open up front, like the threaded engine.
+        self._job_span = self.obs.tracer.open(
+            job.name, "job", mode=job.mode.value, engine="streaming"
+        )
+        self._map_stage = self.obs.tracer.open(
+            "map", "stage", parent=self._job_span
+        )
+        self._reduce_stage = self.obs.tracer.open(
+            "reduce", "stage", parent=self._job_span
+        )
         self._sessions = [
             _ReducerSession(job, i) for i in range(job.num_reducers)
+        ]
+        self._task_spans = [
+            self.obs.tracer.open(f"reduce-{i}", "task", parent=self._reduce_stage)
+            for i in range(job.num_reducers)
         ]
         self._closed = False
         self._pushed_batches = 0
@@ -167,8 +188,12 @@ class StreamingEngine:
         """Feed one micro-batch of input pairs (maps and routes now)."""
         if self._closed:
             raise RuntimeError("stream already closed")
-        records = run_map_task(self.job, pairs, self.counters)
-        partitions = partition_records(self.job, records)
+        with self.obs.tracer.span(
+            f"push-{self._pushed_batches}", "task", parent=self._map_stage
+        ):
+            records = run_map_task(self.job, pairs, self.counters)
+            partitions = partition_records(self.job, records)
+        self.counters.increment("map.tasks")
         for index, part in partitions.items():
             for record in part:
                 self._sessions[index].queue.put(record)
@@ -211,6 +236,8 @@ class StreamingEngine:
         if self._closed:
             raise RuntimeError("stream already closed")
         self._closed = True
+        obs = self.obs
+        obs.tracer.close(self._map_stage)
         for session in self._sessions:
             session.queue.put(_SENTINEL)
         output: dict[int, list[Record]] = {}
@@ -218,7 +245,17 @@ class StreamingEngine:
             session.thread.join(timeout=30.0)
             if session.thread.is_alive():  # pragma: no cover - watchdog
                 raise RuntimeError(f"reducer {index} failed to terminate")
+            harvest_store_counters(session.reducer, session.counters)
             output[index] = session.context.drain()
             self.counters.merge(session.counters)
             self.counters.increment("reduce.tasks")
+            obs.tracer.close(self._task_spans[index])
+        obs.tracer.close(self._reduce_stage)
+        obs.tracer.close(self._job_span)
+        obs.counters.merge_counters(self.counters)
+        obs.counters.increment("task.attempts.map", self._pushed_batches)
+        obs.counters.increment("task.attempts.reduce", len(self._sessions))
+        obs.counters.increment(
+            "task.attempts", self._pushed_batches + len(self._sessions)
+        )
         return finish_result(self.job, output, self.counters, StageTimes())

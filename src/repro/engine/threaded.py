@@ -40,6 +40,7 @@ from repro.engine.base import (
     Engine,
     Stopwatch,
     finish_result,
+    harvest_store_counters,
     make_reduce_context,
     prepare_reducer,
     run_map_task_partitioned,
@@ -50,6 +51,7 @@ from repro.engine.faults import (
     RetryingTaskRunner,
 )
 from repro.engine.instrument import TaskLog
+from repro.obs import JobObservability
 
 _SENTINEL = None
 _BATCH_SIZE = 256
@@ -91,6 +93,7 @@ class ThreadedEngine(Engine):
         task_log: TaskLog | None = None,
         fault_injector: FaultInjector | None = None,
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        obs: JobObservability | None = None,
     ) -> None:
         if map_slots <= 0:
             raise ValueError("map_slots must be positive")
@@ -98,6 +101,7 @@ class ThreadedEngine(Engine):
         self.task_log = task_log if task_log is not None else TaskLog()
         self._fault_injector = fault_injector
         self._max_attempts = max_attempts
+        self.obs = obs if obs is not None else JobObservability()
 
     def run(
         self,
@@ -110,6 +114,7 @@ class ThreadedEngine(Engine):
         counters_lock = threading.Lock()
         watch = Stopwatch()
         times = StageTimes()
+        obs = self.obs
         splits = split_input(pairs, num_maps)
         actual_maps = len(splits)
 
@@ -125,11 +130,24 @@ class ThreadedEngine(Engine):
         errors_lock = threading.Lock()
 
         runner = RetryingTaskRunner(
-            injector=self._fault_injector, max_attempts=self._max_attempts
+            injector=self._fault_injector,
+            max_attempts=self._max_attempts,
+            obs=obs,
         )
+
+        job_span = obs.tracer.open(
+            job.name, "job", mode=job.mode.value, engine="threaded"
+        )
+        map_stage = obs.tracer.open("map", "stage", parent=job_span)
+        # The reduce stage overlaps the map stage (fetch threads pull from
+        # still-running mappers), so both stage spans open up front.
+        reduce_stage = obs.tracer.open("reduce", "stage", parent=job_span)
 
         def map_worker(mapper_index: int, split) -> None:
             start = watch.elapsed()
+            task_span = obs.tracer.open(
+                f"map-{mapper_index}", "task", parent=map_stage
+            )
             try:
                 def attempt():
                     attempt_counters = Counters()
@@ -139,7 +157,7 @@ class ThreadedEngine(Engine):
                     return produced, attempt_counters
 
                 partitions, local_counters = runner.run(
-                    f"map-{mapper_index}", attempt
+                    f"map-{mapper_index}", attempt, parent=task_span
                 )
                 for reducer_index, part in partitions.items():
                     for offset in range(0, len(part), _BATCH_SIZE):
@@ -149,10 +167,13 @@ class ThreadedEngine(Engine):
                 with counters_lock:
                     counters.merge(local_counters)
                     counters.increment("map.tasks")
+                obs.counters.merge_counters(local_counters)
+                obs.counters.increment("map.tasks")
             except BaseException as exc:  # propagate to the driver
                 with errors_lock:
                     errors.append(exc)
             finally:
+                obs.tracer.close(task_span)
                 for reducer_index in range(job.num_reducers):
                     queues[mapper_index][reducer_index].put(_SENTINEL)
                 end = watch.elapsed()
@@ -183,39 +204,52 @@ class ThreadedEngine(Engine):
         output_lock = threading.Lock()
 
         def reduce_worker(reducer_index: int) -> None:
+            task_span = obs.tracer.open(
+                f"reduce-{reducer_index}", "task", parent=reduce_stage
+            )
             try:
                 if job.mode is ExecutionMode.BARRIER:
                     records = self._barrier_fetch(
-                        job, queues, reducer_index, actual_maps, watch
+                        job, queues, reducer_index, actual_maps, watch, task_span
                     )
                     sort_start = watch.elapsed()
-                    records.sort(key=lambda record: record.key)
+                    with obs.tracer.span("sort", "op", parent=task_span):
+                        records.sort(key=lambda record: record.key)
                     self.task_log.record(
                         "sort", f"sort-{reducer_index}", sort_start, watch.elapsed()
                     )
                     reduce_start = watch.elapsed()
                     local_counters = Counters()
+                    local_counters.increment("shuffle.records", len(records))
                     reducer = prepare_reducer(job)
-                    context = make_reduce_context(job, records, local_counters)
-                    reducer.run(context)
-                    produced = context.drain()
+                    with obs.tracer.span("reduce", "op", parent=task_span):
+                        context = make_reduce_context(job, records, local_counters)
+                        reducer.run(context)
+                        produced = context.drain()
+                    harvest_store_counters(reducer, local_counters)
                     self.task_log.record(
                         "reduce", f"reduce-{reducer_index}", reduce_start, watch.elapsed()
                     )
                 else:
                     produced, local_counters = self._pipelined_fetch_reduce(
-                        job, queues, reducer_index, actual_maps, watch
+                        job, queues, reducer_index, actual_maps, watch, task_span
                     )
                 with output_lock:
                     output[reducer_index] = produced
                 with counters_lock:
                     counters.merge(local_counters)
                     counters.increment("reduce.tasks")
+                obs.counters.merge_counters(local_counters)
+                obs.counters.increment("reduce.tasks")
+                obs.counters.increment("task.attempts")
+                obs.counters.increment("task.attempts.reduce")
             except BaseException as exc:
                 with errors_lock:
                     errors.append(exc)
                 with output_lock:
                     output.setdefault(reducer_index, [])
+            finally:
+                obs.tracer.close(task_span)
 
         reduce_threads = [
             threading.Thread(target=reduce_worker, args=(i,), name=f"reduce-{i}")
@@ -229,11 +263,14 @@ class ThreadedEngine(Engine):
             thread.start()
         for thread in map_threads:
             thread.join()
+        obs.tracer.close(map_stage)
         with map_done_lock:
             times.first_map_done = min(map_done_times, default=watch.elapsed())
             times.last_map_done = max(map_done_times, default=watch.elapsed())
         for thread in reduce_threads:
             thread.join()
+        obs.tracer.close(reduce_stage)
+        obs.tracer.close(job_span)
         times.shuffle_done = watch.elapsed()
         times.sort_done = times.shuffle_done
         times.reduce_done = watch.elapsed()
@@ -252,10 +289,12 @@ class ThreadedEngine(Engine):
         reducer_index: int,
         num_maps: int,
         watch: Stopwatch,
+        task_span=None,
     ) -> list[Record]:
         """One fetch thread per mapper into per-mapper buffers; barrier."""
         buffers: list[list[Record]] = [[] for _ in range(num_maps)]
         shuffle_start = watch.elapsed()
+        shuffle_span = self.obs.tracer.open("shuffle", "op", parent=task_span)
 
         def fetch(mapper_index: int) -> None:
             q = queues[mapper_index][reducer_index]
@@ -275,6 +314,7 @@ class ThreadedEngine(Engine):
             thread.start()
         for thread in threads:
             thread.join()  # <-- the distributed barrier
+        self.obs.tracer.close(shuffle_span)
         self.task_log.record(
             "shuffle", f"shuffle-{reducer_index}", shuffle_start, watch.elapsed()
         )
@@ -290,6 +330,7 @@ class ThreadedEngine(Engine):
         reducer_index: int,
         num_maps: int,
         watch: Stopwatch,
+        task_span=None,
     ) -> tuple[list[Record], Counters]:
         """Fetch threads into one shared buffer + FIFO reduce, pipelined."""
         shared: "queue.Queue" = queue.Queue()
@@ -315,11 +356,19 @@ class ThreadedEngine(Engine):
 
         local_counters = Counters()
         reducer = prepare_reducer(job)
-        stream = _RecordStream(shared, num_maps)
-        context = make_reduce_context(job, stream, local_counters)
-        reducer.run(context)  # consumes records as they arrive
-        for thread in threads:
-            thread.join()
+
+        def counted(records):
+            for record in records:
+                local_counters.increment("shuffle.records")
+                yield record
+
+        stream = counted(_RecordStream(shared, num_maps))
+        with self.obs.tracer.span("shuffle+reduce", "op", parent=task_span):
+            context = make_reduce_context(job, stream, local_counters)
+            reducer.run(context)  # consumes records as they arrive
+            for thread in threads:
+                thread.join()
+        harvest_store_counters(reducer, local_counters)
         self.task_log.record(
             "shuffle+reduce",
             f"shuffle+reduce-{reducer_index}",

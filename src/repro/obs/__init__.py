@@ -1,0 +1,41 @@
+"""Unified observability layer: job counters, trace spans and exporters.
+
+The engines, the fault/retry path and the discrete-event simulator all
+report through this package so that *real* and *simulated* executions
+produce diffable artifacts:
+
+- :class:`CounterRegistry` — hierarchical, thread-safe job counters
+  (records mapped/combined/shuffled/reduced, bytes spilled, task
+  attempts/retries, partial-store builds/resets);
+- :class:`Tracer` / :class:`Span` — nestable spans (job → stage → task →
+  attempt) generalising :class:`~repro.engine.instrument.TaskEvent`;
+- :mod:`repro.obs.export` — a Chrome ``trace_event`` JSON exporter
+  (open the file in ``chrome://tracing`` or Perfetto) plus a plain-text
+  summary;
+- :class:`JobObservability` — the bundle engines accept, with a fully
+  disabled no-op mode for overhead-sensitive runs.
+"""
+
+from repro.obs.counters import CounterRegistry
+from repro.obs.export import (
+    render_counters,
+    render_trace_summary,
+    to_chrome_trace,
+    validate_span_nesting,
+    write_chrome_trace,
+)
+from repro.obs.session import JobObservability
+from repro.obs.trace import KIND_DEPTH, Span, Tracer
+
+__all__ = [
+    "CounterRegistry",
+    "JobObservability",
+    "KIND_DEPTH",
+    "Span",
+    "Tracer",
+    "render_counters",
+    "render_trace_summary",
+    "to_chrome_trace",
+    "validate_span_nesting",
+    "write_chrome_trace",
+]

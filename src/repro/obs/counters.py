@@ -1,0 +1,119 @@
+"""Hierarchical, thread-safe job counters.
+
+Counter names are dotted paths (``"map.input_records"``,
+``"task.attempts.reduce"``); the registry stores them flat for cheap
+increments and exposes :meth:`CounterRegistry.tree` /
+:meth:`CounterRegistry.group` for hierarchical views.
+
+The per-record hot path stays on the engines' plain task-local
+:class:`~repro.core.types.Counters`; each finished task folds its totals
+into the registry in one locked :meth:`merge_counters` call, so registry
+overhead is O(tasks), not O(records).  A registry constructed with
+``enabled=False`` turns every mutation into an early-return no-op — the
+baseline for the counter-overhead benchmark.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Mapping
+
+from repro.core.types import Counters
+
+
+class CounterRegistry:
+    """Job-level counter aggregation shared across tasks and threads."""
+
+    __slots__ = ("enabled", "_values", "_lock")
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._values: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    # -- mutation ---------------------------------------------------------
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``name`` (creating it at zero)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._values[name] = self._values.get(name, 0) + amount
+
+    def merge_dict(self, values: Mapping[str, int]) -> None:
+        """Fold a plain name → amount mapping in under one lock."""
+        if not self.enabled or not values:
+            return
+        with self._lock:
+            for name, amount in values.items():
+                self._values[name] = self._values.get(name, 0) + amount
+
+    def merge_counters(self, counters: Counters) -> None:
+        """Fold one task's :class:`Counters` totals into the registry."""
+        self.merge_dict(counters.values)
+
+    def merge(self, other: "CounterRegistry") -> None:
+        """Fold another registry (e.g. a sub-job's) into this one."""
+        self.merge_dict(other.as_dict())
+
+    def clear(self) -> None:
+        """Reset every counter (reused registries between runs)."""
+        with self._lock:
+            self._values.clear()
+
+    # -- read side --------------------------------------------------------
+
+    def get(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        with self._lock:
+            return self._values.get(name, 0)
+
+    def as_dict(self) -> dict[str, int]:
+        """Snapshot copy of all counters, keyed by dotted name."""
+        with self._lock:
+            return dict(self._values)
+
+    def group(self, prefix: str) -> dict[str, int]:
+        """All counters under a dotted prefix, keyed by the remainder.
+
+        ``group("task")`` returns ``{"attempts": ..., "retries": ...}``
+        for counters named ``task.attempts``, ``task.retries``, …
+        """
+        dotted = prefix + "."
+        with self._lock:
+            return {
+                name[len(dotted) :]: value
+                for name, value in self._values.items()
+                if name.startswith(dotted)
+            }
+
+    def tree(self) -> dict:
+        """Nested-dict view: one level per dotted-name segment.
+
+        A name that is both a leaf and a prefix (``a`` and ``a.b``)
+        stores its own value under the ``""`` key of its subtree.
+        """
+        root: dict = {}
+        for name, value in sorted(self.as_dict().items()):
+            node = root
+            segments = name.split(".")
+            for segment in segments[:-1]:
+                child = node.get(segment)
+                if not isinstance(child, dict):
+                    child = {} if child is None else {"": child}
+                    node[segment] = child
+                node = child
+            leaf = segments[-1]
+            if isinstance(node.get(leaf), dict):
+                node[leaf][""] = value
+            else:
+                node[leaf] = value
+        return root
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "enabled" if self.enabled else "disabled"
+        return f"CounterRegistry({state}, {len(self)} counters)"

@@ -1,0 +1,223 @@
+"""Trace and counter exporters.
+
+Two consumers are served:
+
+- **Chrome trace JSON** (:func:`to_chrome_trace` /
+  :func:`write_chrome_trace`): the ``trace_event`` object format that
+  ``chrome://tracing`` and Perfetto load directly.  Every span becomes a
+  complete ("X") event with microsecond timestamps; span identity and
+  parentage ride along in ``args`` so tooling (and our tests) can check
+  nesting without re-deriving it from time containment.
+- **Plain text** (:func:`render_trace_summary`, :func:`render_counters`):
+  an indented span tree plus an aligned counter table for terminals and
+  CI logs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.obs.counters import CounterRegistry
+from repro.obs.trace import KIND_DEPTH, Span, Tracer
+
+#: Slack allowed when checking that a child's interval sits inside its
+#: parent's (floating-point clock reads at span boundaries).
+NESTING_EPSILON = 1e-6
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace_event JSON
+# ---------------------------------------------------------------------------
+
+
+def to_chrome_trace(
+    tracer: Tracer,
+    counters: CounterRegistry | None = None,
+    process_name: str = "repro",
+) -> dict:
+    """Convert a tracer (and optionally counters) to a trace_event dict.
+
+    Uses the JSON *object* format so extra top-level keys are legal; the
+    final counter totals land under ``"counters"`` and the span records
+    under ``"traceEvents"``.
+    """
+    events: list[dict] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for span in tracer.spans():
+        args = {
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+            "kind": span.kind,
+        }
+        args.update(span.attrs)
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.kind,
+                "ph": "X",
+                "ts": round(span.start * 1e6, 3),
+                "dur": round(span.duration * 1e6, 3),
+                "pid": 0,
+                "tid": span.tid,
+                "args": args,
+            }
+        )
+    trace: dict = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if counters is not None:
+        trace["counters"] = counters.as_dict()
+    return trace
+
+
+def write_chrome_trace(
+    path: str,
+    tracer: Tracer,
+    counters: CounterRegistry | None = None,
+    process_name: str = "repro",
+) -> str:
+    """Write the Chrome trace JSON to ``path``; returns the path."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(to_chrome_trace(tracer, counters, process_name), fh, indent=1)
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Validation
+# ---------------------------------------------------------------------------
+
+
+def validate_span_nesting(spans: list[Span]) -> list[str]:
+    """Structural problems in a span list (empty when well-formed).
+
+    Checks that every parent reference resolves, that a child's interval
+    is contained in its parent's (within :data:`NESTING_EPSILON`), and
+    that kinds only nest downward (stage under job, task under stage, …).
+    """
+    by_id = {span.span_id: span for span in spans}
+    problems: list[str] = []
+    for span in spans:
+        if span.end < span.start:
+            problems.append(f"{span.name}: end precedes start")
+        if span.parent_id is None:
+            continue
+        parent = by_id.get(span.parent_id)
+        if parent is None:
+            problems.append(f"{span.name}: dangling parent id {span.parent_id}")
+            continue
+        if KIND_DEPTH[span.kind] <= KIND_DEPTH[parent.kind]:
+            problems.append(
+                f"{span.name} ({span.kind}) cannot nest under "
+                f"{parent.name} ({parent.kind})"
+            )
+        if span.start < parent.start - NESTING_EPSILON:
+            problems.append(f"{span.name}: starts before parent {parent.name}")
+        if span.end > parent.end + NESTING_EPSILON:
+            problems.append(f"{span.name}: ends after parent {parent.name}")
+    return problems
+
+
+def spans_from_chrome_trace(trace: dict) -> list[Span]:
+    """Rebuild spans from an exported trace dict (the exporter's inverse).
+
+    Tests round-trip through this to validate written trace files the
+    same way live tracers are validated.
+    """
+    spans: list[Span] = []
+    for event in trace.get("traceEvents", []):
+        if event.get("ph") != "X":
+            continue
+        args = event.get("args", {})
+        start = event["ts"] / 1e6
+        spans.append(
+            Span(
+                span_id=args["span_id"],
+                parent_id=args.get("parent_id"),
+                name=event["name"],
+                kind=args.get("kind", event.get("cat", "op")),
+                start=start,
+                end=start + event.get("dur", 0.0) / 1e6,
+                tid=event.get("tid", 0),
+                attrs={
+                    k: v
+                    for k, v in args.items()
+                    if k not in ("span_id", "parent_id", "kind")
+                },
+            )
+        )
+    return spans
+
+
+# ---------------------------------------------------------------------------
+# Plain-text rendering
+# ---------------------------------------------------------------------------
+
+
+def render_counters(counters: CounterRegistry, title: str = "Counters") -> str:
+    """Aligned two-column counter table, sorted by dotted name."""
+    values = counters.as_dict()
+    if not values:
+        return f"{title}\n  (none)"
+    width = max(len(name) for name in values)
+    lines = [title]
+    for name in sorted(values):
+        lines.append(f"  {name.ljust(width)}  {values[name]:>12}")
+    return "\n".join(lines)
+
+
+def render_trace_summary(
+    tracer: Tracer,
+    counters: CounterRegistry | None = None,
+    max_children: int = 8,
+) -> str:
+    """Indented span tree (top ``max_children`` per level) + counters.
+
+    Children are ranked by duration so the expensive tasks surface; the
+    rest are folded into an ``… and N more`` line with their combined
+    duration.
+    """
+    spans = tracer.spans()
+    children: dict[int | None, list[Span]] = {}
+    for span in spans:
+        children.setdefault(span.parent_id, []).append(span)
+
+    lines: list[str] = []
+
+    def emit(span: Span, depth: int) -> None:
+        indent = "  " * depth
+        lines.append(
+            f"{indent}{span.name:<24s} [{span.kind}] "
+            f"{span.start:9.3f}s → {span.end:9.3f}s  ({span.duration:8.3f}s)"
+        )
+        kids = sorted(
+            children.get(span.span_id, ()),
+            key=lambda child: -child.duration,
+        )
+        for child in kids[:max_children]:
+            emit(child, depth + 1)
+        hidden = kids[max_children:]
+        if hidden:
+            total = sum(child.duration for child in hidden)
+            lines.append(
+                f"{'  ' * (depth + 1)}… and {len(hidden)} more "
+                f"({total:.3f}s combined)"
+            )
+
+    roots = children.get(None, [])
+    if not roots:
+        lines.append("(no spans recorded)")
+    for root in roots:
+        emit(root, 0)
+    if counters is not None:
+        lines.append("")
+        lines.append(render_counters(counters))
+    return "\n".join(lines)

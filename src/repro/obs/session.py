@@ -1,0 +1,60 @@
+"""The observability bundle every engine accepts.
+
+:class:`JobObservability` pairs one :class:`CounterRegistry` with one
+:class:`Tracer` under a single enabled/disabled switch, and carries the
+wall-clock epoch (``time.time`` at construction) that worker *processes*
+use to express their span times in the parent's trace timeline — the
+cross-process counterpart of the tracer's monotonic clock.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.obs.counters import CounterRegistry
+from repro.obs.export import (
+    render_trace_summary,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.trace import Tracer
+
+
+class JobObservability:
+    """Counters + tracer for one engine, sharing one on/off switch."""
+
+    __slots__ = ("enabled", "counters", "tracer", "epoch")
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        clock: Callable[[], float] | None = None,
+    ):
+        self.enabled = enabled
+        self.counters = CounterRegistry(enabled=enabled)
+        self.tracer = Tracer(clock=clock, enabled=enabled)
+        #: Wall-clock anchor of the tracer's t=0.  Worker processes
+        #: compute ``time.time() - epoch`` to produce span times directly
+        #: comparable with the parent's monotonic clock (same host, so
+        #: the clocks agree to well under a millisecond).
+        self.epoch = time.time()
+
+    @classmethod
+    def disabled(cls) -> "JobObservability":
+        """A no-op bundle: increments and spans cost one branch each."""
+        return cls(enabled=False)
+
+    # -- export conveniences ----------------------------------------------
+
+    def chrome_trace(self, process_name: str = "repro") -> dict:
+        """The Chrome ``trace_event`` dict for this bundle."""
+        return to_chrome_trace(self.tracer, self.counters, process_name)
+
+    def write_trace(self, path: str, process_name: str = "repro") -> str:
+        """Write the Chrome trace JSON to ``path``; returns the path."""
+        return write_chrome_trace(path, self.tracer, self.counters, process_name)
+
+    def summary(self) -> str:
+        """Plain-text span tree + counter table."""
+        return render_trace_summary(self.tracer, self.counters)

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 
 from repro.core.types import ExecutionMode, StageTimes
 from repro.engine.instrument import TaskLog
+from repro.obs import JobObservability
 from repro.sim.cluster import ClusterSpec, NodeSpec
 from repro.sim.dfs import (
     DistributedFileSystem,
@@ -460,11 +461,15 @@ class HadoopSimulator:
         mode: ExecutionMode,
         technique: MemoryTechnique | None = None,
         failure: NodeFailure | None = None,
+        obs: JobObservability | None = None,
     ) -> SimJobResult:
         """Simulate one job; returns timings, traces and failure state.
 
         ``failure`` optionally kills one node during the map stage; the
         job still completes (on the surviving nodes) in both modes.
+        ``obs`` receives the execution as *virtual-time* spans and
+        counters in the same schema the real engines emit, which makes
+        simulated and measured traces directly diffable.
         """
         if num_reducers <= 0:
             raise ValueError("num_reducers must be positive")
@@ -565,7 +570,7 @@ class HadoopSimulator:
             reduce_done=completion,
             job_done=completion,
         )
-        return SimJobResult(
+        result = SimJobResult(
             profile_name=profile.name,
             mode=mode,
             completion_time=completion,
@@ -581,6 +586,114 @@ class HadoopSimulator:
             speculative_attempts=spec_stats["launched"],
             speculative_wins=spec_stats["wins"],
         )
+        if obs is not None and obs.enabled:
+            self._export_observability(profile, mode, result, obs)
+        return result
+
+    def _export_observability(
+        self,
+        profile: JobProfile,
+        mode: ExecutionMode,
+        result: SimJobResult,
+        obs: JobObservability,
+    ) -> None:
+        """Mirror one simulated execution into an observability bundle.
+
+        Spans carry *virtual* times via :meth:`~repro.obs.Tracer.record`
+        but use the same job → stage → task (→ op) hierarchy and the same
+        counter names as the real engines.
+        """
+        tracer = obs.tracer
+        reducers = result.reducers
+        map_events = result.task_log.events("map")
+        job_end = max(
+            result.completion_time,
+            max((t.finish for t in reducers), default=0.0),
+            max((e.end for e in map_events), default=0.0),
+        )
+        job_span = tracer.record(
+            profile.name, "job", 0.0, job_end, mode=mode.value, engine="sim"
+        )
+        if map_events:
+            map_stage = tracer.record(
+                "map",
+                "stage",
+                min(e.start for e in map_events),
+                max(e.end for e in map_events),
+                parent=job_span,
+            )
+            for event in map_events:
+                tracer.record(
+                    event.task_id,
+                    "task",
+                    event.start,
+                    event.end,
+                    parent=map_stage,
+                )
+        if reducers:
+            reduce_stage = tracer.record(
+                "reduce",
+                "stage",
+                min(t.start for t in reducers),
+                max(t.finish for t in reducers),
+                parent=job_span,
+            )
+            for trace in reducers:
+                task_span = tracer.record(
+                    f"reduce-{trace.reducer_id}",
+                    "task",
+                    trace.start,
+                    trace.finish,
+                    parent=reduce_stage,
+                    oom_killed=trace.spills == -1,
+                )
+                if mode is ExecutionMode.BARRIER:
+                    tracer.record(
+                        "shuffle", "op", trace.start, trace.shuffle_done,
+                        parent=task_span,
+                    )
+                    tracer.record(
+                        "sort", "op", trace.shuffle_done, trace.sort_done,
+                        parent=task_span,
+                    )
+                    tracer.record(
+                        "reduce", "op", trace.sort_done, trace.finish,
+                        parent=task_span,
+                    )
+                else:
+                    boundary = min(
+                        max(trace.start, trace.shuffle_done), trace.finish
+                    )
+                    tracer.record(
+                        "shuffle+reduce", "op", trace.start, boundary,
+                        parent=task_span,
+                    )
+                    tracer.record(
+                        "output", "op", boundary, trace.finish,
+                        parent=task_span,
+                    )
+        counters = obs.counters
+        maps_completed = len(result.map_finish_times)
+        counters.increment("map.tasks", maps_completed)
+        counters.increment("reduce.tasks", len(reducers))
+        counters.increment(
+            "shuffle.records", int(round(sum(t.records for t in reducers)))
+        )
+        counters.increment(
+            "task.attempts.map", maps_completed + result.reexecuted_maps
+        )
+        counters.increment("task.attempts.reduce", len(reducers))
+        counters.increment(
+            "task.attempts",
+            maps_completed + result.reexecuted_maps + len(reducers),
+        )
+        counters.increment("task.retries", result.reexecuted_maps)
+        counters.increment(
+            "store.spills", sum(t.spills for t in reducers if t.spills > 0)
+        )
+        counters.increment("sim.reexecuted_maps", result.reexecuted_maps)
+        counters.increment("sim.speculative_attempts", result.speculative_attempts)
+        counters.increment("sim.speculative_wins", result.speculative_wins)
 
 
 def improvement_percent(barrier_time: float, barrierless_time: float) -> float:

@@ -53,10 +53,31 @@ class TestConcurrencySeries:
         assert times[:7] == [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
         assert counts[:7] == [1, 1, 2, 2, 1, 1, 0]
 
-    def test_empty_events(self):
+    def test_empty_events_yield_empty_series(self):
         times, counts = concurrency_series([], step=1.0)
+        assert times == []
+        assert counts == []
+
+    def test_empty_events_with_until_still_sample(self):
+        times, counts = concurrency_series([], step=1.0, until=2.0)
+        assert times == [0.0, 1.0, 2.0]
+        assert counts == [0, 0, 0]
+
+    def test_zero_duration_event_counts_at_its_instant(self):
+        events = [
+            TaskEvent("map", "instant", 2.0, 2.0),
+            TaskEvent("map", "long", 0.0, 4.0),
+        ]
+        times, counts = concurrency_series(events, step=1.0)
+        assert counts[times.index(2.0)] == 2
+        assert counts[times.index(1.0)] == 1
+        assert counts[times.index(3.0)] == 1
+
+    def test_all_zero_duration_events(self):
+        events = [TaskEvent("map", "a", 0.0, 0.0)]
+        times, counts = concurrency_series(events, step=1.0)
         assert times == [0.0]
-        assert counts == [0]
+        assert counts == [1]
 
     def test_rejects_bad_step(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,72 @@
+"""Differential suite: barrier vs barrier-less on the same seeded input.
+
+For every application in the registry, run the same synthetic input
+through both execution modes on the reference engine and require:
+
+- records-in / records-out conservation — ``map.input_records``,
+  ``map.output_records``, ``shuffle.records`` and
+  ``reduce.output_records`` are identical across modes (breaking the
+  barrier reroutes records; it must not create or destroy them);
+- output equality under each app's normal form (see
+  :mod:`repro.apps.demo` for why ga/bs/knn need normalisation).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.demo import demo_job_and_input, normalized_output
+from repro.apps.registry import REGISTRY
+from repro.core.types import ExecutionMode
+from repro.engine.local import LocalEngine
+from repro.obs import JobObservability
+
+APPS = [descriptor.short_name for descriptor in REGISTRY]
+
+#: Counters that must match exactly between the two execution modes.
+CONSERVED = (
+    "map.input_records",
+    "map.output_records",
+    "map.tasks",
+    "shuffle.records",
+    "reduce.output_records",
+    "reduce.tasks",
+)
+
+
+def run_with_counters(app: str, mode: ExecutionMode):
+    obs = JobObservability()
+    job, pairs = demo_job_and_input(app, mode, records=600, seed=11)
+    result = LocalEngine(obs=obs).run(job, pairs, num_maps=3)
+    return result, obs.counters.as_dict()
+
+
+@pytest.mark.parametrize("app", APPS)
+def test_record_counters_conserved_across_modes(app):
+    _, barrier = run_with_counters(app, ExecutionMode.BARRIER)
+    _, barrierless = run_with_counters(app, ExecutionMode.BARRIERLESS)
+    for name in CONSERVED:
+        assert barrier.get(name, 0) == barrierless.get(name, 0), (
+            f"{app}: {name} diverged between modes "
+            f"({barrier.get(name, 0)} vs {barrierless.get(name, 0)})"
+        )
+    # Record conservation inside each mode: everything the maps emitted
+    # reached a reducer.
+    for counters in (barrier, barrierless):
+        assert counters["shuffle.records"] == counters["map.output_records"]
+
+
+@pytest.mark.parametrize("app", APPS)
+def test_outputs_equal_across_modes(app):
+    barrier_result, _ = run_with_counters(app, ExecutionMode.BARRIER)
+    barrierless_result, _ = run_with_counters(app, ExecutionMode.BARRIERLESS)
+    assert normalized_output(app, barrier_result) == normalized_output(
+        app, barrierless_result
+    )
+
+
+@pytest.mark.parametrize("app", APPS)
+def test_registry_counters_mirror_job_result_counters(app):
+    result, registry_counters = run_with_counters(app, ExecutionMode.BARRIERLESS)
+    for name in CONSERVED:
+        assert registry_counters.get(name, 0) == result.counters.get(name)

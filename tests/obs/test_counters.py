@@ -1,0 +1,80 @@
+"""Unit tests for the hierarchical job-counter registry."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.types import Counters
+from repro.obs import CounterRegistry
+
+
+def test_increment_and_get():
+    registry = CounterRegistry()
+    registry.increment("map.tasks")
+    registry.increment("map.tasks", 3)
+    assert registry.get("map.tasks") == 4
+    assert registry.get("missing") == 0
+
+
+def test_disabled_registry_records_nothing():
+    registry = CounterRegistry(enabled=False)
+    registry.increment("map.tasks", 100)
+    registry.merge_dict({"reduce.tasks": 5})
+    assert registry.as_dict() == {}
+    assert len(registry) == 0
+
+
+def test_merge_dict_and_counters():
+    registry = CounterRegistry()
+    registry.merge_dict({"a.x": 1, "a.y": 2})
+    registry.merge_counters(Counters({"a.x": 10, "b": 5}))
+    assert registry.as_dict() == {"a.x": 11, "a.y": 2, "b": 5}
+
+
+def test_merge_registry():
+    a = CounterRegistry()
+    b = CounterRegistry()
+    a.increment("n", 1)
+    b.increment("n", 2)
+    b.increment("m", 7)
+    a.merge(b)
+    assert a.as_dict() == {"n": 3, "m": 7}
+
+
+def test_group_strips_prefix():
+    registry = CounterRegistry()
+    registry.merge_dict({"store.cache_hits": 9, "store.cache_misses": 1, "map.tasks": 2})
+    assert registry.group("store") == {"cache_hits": 9, "cache_misses": 1}
+
+
+def test_tree_nests_dotted_names():
+    registry = CounterRegistry()
+    registry.merge_dict({"task.attempts": 5, "task.attempts.map": 3, "map.tasks": 2})
+    tree = registry.tree()
+    assert tree["map"]["tasks"] == 2
+    # A name that is both a leaf and a prefix keeps its own value under "".
+    assert tree["task"]["attempts"][""] == 5
+    assert tree["task"]["attempts"]["map"] == 3
+
+
+def test_clear():
+    registry = CounterRegistry()
+    registry.increment("x")
+    registry.clear()
+    assert registry.as_dict() == {}
+
+
+def test_concurrent_increments_are_exact():
+    registry = CounterRegistry()
+    per_thread = 5000
+
+    def work():
+        for _ in range(per_thread):
+            registry.increment("hot")
+
+    threads = [threading.Thread(target=work) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert registry.get("hot") == 8 * per_thread

@@ -1,0 +1,103 @@
+"""Tests for the Chrome trace exporter, validator and text renderers."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import (
+    CounterRegistry,
+    Tracer,
+    render_counters,
+    render_trace_summary,
+    to_chrome_trace,
+    validate_span_nesting,
+    write_chrome_trace,
+)
+from repro.obs.export import spans_from_chrome_trace
+from repro.obs.trace import Span
+
+
+def make_tracer() -> Tracer:
+    tracer = Tracer()
+    job = tracer.record("job", "job", 0.0, 10.0, mode="barrierless")
+    stage = tracer.record("map", "stage", 0.0, 6.0, parent=job)
+    tracer.record("map-0", "task", 0.5, 3.0, parent=stage)
+    tracer.record("map-1", "task", 1.0, 5.5, parent=stage, tid=7)
+    return tracer
+
+
+def test_to_chrome_trace_event_format():
+    counters = CounterRegistry()
+    counters.increment("map.tasks", 2)
+    trace = to_chrome_trace(make_tracer(), counters, process_name="demo")
+    events = trace["traceEvents"]
+    meta = events[0]
+    assert meta["ph"] == "M" and meta["args"]["name"] == "demo"
+    xs = [event for event in events if event["ph"] == "X"]
+    assert len(xs) == 4
+    job = next(event for event in xs if event["name"] == "job")
+    assert job["ts"] == 0.0
+    assert job["dur"] == 10.0 * 1e6  # microseconds
+    assert job["args"]["mode"] == "barrierless"
+    assert trace["counters"] == {"map.tasks": 2}
+    assert trace["displayTimeUnit"] == "ms"
+
+
+def test_written_trace_is_valid_json_and_round_trips(tmp_path):
+    tracer = make_tracer()
+    path = write_chrome_trace(str(tmp_path / "sub" / "t.json"), tracer)
+    with open(path, encoding="utf-8") as fh:
+        loaded = json.load(fh)
+    spans = spans_from_chrome_trace(loaded)
+    assert validate_span_nesting(spans) == []
+    by_name = {span.name: span for span in spans}
+    assert by_name["map-1"].tid == 7
+    assert by_name["map"].parent_id == by_name["job"].span_id
+
+
+def test_validator_catches_broken_nesting():
+    ok = [
+        Span(0, None, "job", "job", 0.0, 10.0),
+        Span(1, 0, "map", "stage", 0.0, 6.0),
+    ]
+    assert validate_span_nesting(ok) == []
+
+    dangling = [Span(1, 99, "map", "stage", 0.0, 6.0)]
+    assert any("dangling" in p for p in validate_span_nesting(dangling))
+
+    inverted = [Span(0, None, "job", "job", 5.0, 1.0)]
+    assert any("end precedes start" in p for p in validate_span_nesting(inverted))
+
+    upside_down = [
+        Span(0, None, "task", "task", 0.0, 10.0),
+        Span(1, 0, "job", "job", 1.0, 2.0),
+    ]
+    assert any("cannot nest" in p for p in validate_span_nesting(upside_down))
+
+    escaping = [
+        Span(0, None, "job", "job", 0.0, 10.0),
+        Span(1, 0, "map", "stage", 2.0, 11.0),
+    ]
+    assert any("ends after parent" in p for p in validate_span_nesting(escaping))
+
+
+def test_render_counters_aligned_table():
+    counters = CounterRegistry()
+    counters.merge_dict({"map.tasks": 4, "reduce.tasks": 2})
+    text = render_counters(counters, title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "map.tasks" in lines[1] and "4" in lines[1]
+    assert render_counters(CounterRegistry()).endswith("(none)")
+
+
+def test_render_trace_summary_tree_and_folding():
+    tracer = Tracer()
+    job = tracer.record("job", "job", 0.0, 100.0)
+    stage = tracer.record("map", "stage", 0.0, 90.0, parent=job)
+    for index in range(12):
+        tracer.record(f"map-{index}", "task", index, index + 1.0, parent=stage)
+    text = render_trace_summary(tracer, max_children=8)
+    assert text.splitlines()[0].startswith("job")
+    assert "… and 4 more" in text
+    assert render_trace_summary(Tracer()) == "(no spans recorded)"

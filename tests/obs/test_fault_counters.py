@@ -1,0 +1,104 @@
+"""Fault-path observability: attempts, retries and store rebuilds.
+
+A :class:`FaultInjector` killing task attempts must be fully visible in
+the counters: ``task.attempts`` reconciles with the runner's bookkeeping,
+``task.retries``/``task.failed_attempts`` count the injected crashes, and
+a store-backed reducer that retried shows its partial-result store being
+rebuilt from scratch (``store.resets``) — the recovery path behind the
+paper's claim that barrier removal preserves fault tolerance (§8).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.demo import demo_job_and_input
+from repro.core.types import ExecutionMode
+from repro.engine.faults import FaultInjector, TaskPermanentlyFailedError
+from repro.engine.local import LocalEngine
+from repro.engine.threaded import ThreadedEngine
+from repro.obs import JobObservability
+
+
+def test_clean_run_attempts_reconcile_with_runner():
+    obs = JobObservability()
+    engine = LocalEngine(obs=obs)
+    job, pairs = demo_job_and_input("wc", ExecutionMode.BARRIERLESS, records=400)
+    engine.run(job, pairs, num_maps=3)
+    counters = obs.counters
+    assert counters.get("task.attempts") == sum(engine.last_run_attempts.values())
+    assert counters.get("task.attempts.map") == 3
+    assert counters.get("task.attempts.reduce") == 4
+    assert counters.get("task.retries") == 0
+    assert counters.get("task.failed_attempts") == 0
+    assert counters.get("store.resets") == 0
+
+
+def test_killed_reduce_attempts_are_counted_and_reconciled():
+    injector = FaultInjector(
+        fail_first_attempt_of=frozenset({"reduce-0", "reduce-2"})
+    )
+    obs = JobObservability()
+    engine = LocalEngine(fault_injector=injector, obs=obs)
+    job, pairs = demo_job_and_input("wc", ExecutionMode.BARRIERLESS, records=400)
+    result = engine.run(job, pairs, num_maps=3)
+    counters = obs.counters
+
+    assert injector.injected == 2
+    assert counters.get("task.retries") == 2
+    assert counters.get("task.failed_attempts") == 2
+    # attempts = one per task + one per injected retry, and the registry
+    # total must equal the runner's own ledger.
+    assert counters.get("task.attempts") == 3 + 4 + 2
+    assert counters.get("task.attempts") == sum(engine.last_run_attempts.values())
+    assert counters.get("task.attempts.reduce") == 4 + 2
+    # The job still succeeds with correct totals.
+    assert result.counters.get("reduce.tasks") == 4
+
+    # Each killed attempt of a store-backed reducer rebuilt its store.
+    assert counters.get("store.resets") == 2
+
+    # Attempt spans: the crashed ones are flagged.
+    attempts = obs.tracer.spans(kind="attempt")
+    crashed = [span for span in attempts if span.attrs.get("crashed")]
+    assert len(crashed) == 2
+    assert {span.name for span in crashed} == {
+        "reduce-0/attempt-0",
+        "reduce-2/attempt-0",
+    }
+
+
+def test_barrier_mode_reduce_retry_has_no_store_resets():
+    injector = FaultInjector(fail_first_attempt_of=frozenset({"reduce-1"}))
+    obs = JobObservability()
+    engine = LocalEngine(fault_injector=injector, obs=obs)
+    job, pairs = demo_job_and_input("wc", ExecutionMode.BARRIER, records=400)
+    engine.run(job, pairs, num_maps=3)
+    # Barrier reducers have no partial-result store to rebuild.
+    assert obs.counters.get("store.resets") == 0
+    assert obs.counters.get("task.retries") == 1
+
+
+def test_threaded_map_faults_visible_in_counters():
+    injector = FaultInjector(fail_first_attempt_of=frozenset({"map-0", "map-1"}))
+    obs = JobObservability()
+    engine = ThreadedEngine(
+        map_slots=2, fault_injector=injector, obs=obs
+    )
+    job, pairs = demo_job_and_input("wc", ExecutionMode.BARRIERLESS, records=400)
+    engine.run(job, pairs, num_maps=3)
+    counters = obs.counters
+    assert counters.get("task.retries") == 2
+    assert counters.get("task.attempts.map") == 3 + 2
+    assert counters.get("map.tasks") == 3
+
+
+def test_exhausted_attempts_leave_consistent_counters():
+    injector = FaultInjector(fail_first_attempt_of=frozenset({"map-0"}))
+    obs = JobObservability()
+    engine = LocalEngine(fault_injector=injector, max_attempts=1, obs=obs)
+    job, pairs = demo_job_and_input("wc", ExecutionMode.BARRIERLESS, records=200)
+    with pytest.raises(TaskPermanentlyFailedError):
+        engine.run(job, pairs, num_maps=3)
+    assert obs.counters.get("task.failed_attempts") == 1
+    assert obs.counters.get("task.attempts") == 1

@@ -1,0 +1,94 @@
+"""Simulator observability: virtual-time spans in the real engines' schema."""
+
+from __future__ import annotations
+
+from repro.core.types import ExecutionMode
+from repro.obs import JobObservability, validate_span_nesting
+from repro.sim.hadoop import HadoopSimulator, MemoryTechnique, NodeFailure
+from repro.sim.workload import wordcount_profile
+
+
+def run_sim(mode: ExecutionMode, **kwargs):
+    obs = JobObservability()
+    sim = HadoopSimulator()
+    result = sim.run(wordcount_profile(1.0), 4, mode, obs=obs, **kwargs)
+    return result, obs
+
+
+def test_sim_spans_are_well_nested_virtual_time():
+    for mode in ExecutionMode:
+        result, obs = run_sim(mode)
+        spans = obs.tracer.spans()
+        assert validate_span_nesting(spans) == []
+        (job_span,) = [span for span in spans if span.kind == "job"]
+        assert job_span.attrs["engine"] == "sim"
+        assert job_span.attrs["mode"] == mode.value
+        # Virtual times, not wall clock: the job span covers the whole
+        # simulated execution, far longer than the test itself ran.
+        assert job_span.end >= result.completion_time > 10.0
+
+
+def test_sim_op_spans_follow_the_mode():
+    _, barrier_obs = run_sim(ExecutionMode.BARRIER)
+    barrier_ops = {span.name for span in barrier_obs.tracer.spans(kind="op")}
+    assert barrier_ops == {"shuffle", "sort", "reduce"}
+
+    _, barrierless_obs = run_sim(ExecutionMode.BARRIERLESS)
+    pipelined_ops = {
+        span.name for span in barrierless_obs.tracer.spans(kind="op")
+    }
+    assert pipelined_ops == {"shuffle+reduce", "output"}
+
+
+def test_sim_counters_use_engine_schema():
+    result, obs = run_sim(ExecutionMode.BARRIERLESS)
+    counters = obs.counters
+    assert counters.get("map.tasks") == len(result.map_finish_times)
+    assert counters.get("reduce.tasks") == len(result.reducers)
+    assert counters.get("task.attempts") == (
+        counters.get("task.attempts.map") + counters.get("task.attempts.reduce")
+    )
+    assert counters.get("shuffle.records") > 0
+
+
+def test_sim_node_failure_counts_reexecutions():
+    profile = wordcount_profile(2.0)
+    obs = JobObservability()
+    sim = HadoopSimulator()
+    result = sim.run(
+        profile,
+        4,
+        ExecutionMode.BARRIERLESS,
+        failure=NodeFailure(node_id=0, at_time=20.0),
+        obs=obs,
+    )
+    assert result.reexecuted_maps > 0
+    assert obs.counters.get("task.retries") == result.reexecuted_maps
+    assert obs.counters.get("sim.reexecuted_maps") == result.reexecuted_maps
+    assert obs.counters.get("task.attempts.map") == (
+        len(result.map_finish_times) + result.reexecuted_maps
+    )
+    assert validate_span_nesting(obs.tracer.spans()) == []
+
+
+def test_sim_oom_kill_keeps_trace_well_formed():
+    obs = JobObservability()
+    sim = HadoopSimulator()
+    result = sim.run(
+        wordcount_profile(16.0),
+        4,
+        ExecutionMode.BARRIERLESS,
+        technique=MemoryTechnique("inmemory"),
+        obs=obs,
+    )
+    assert result.failed
+    spans = obs.tracer.spans()
+    assert validate_span_nesting(spans) == []
+    killed = [span for span in spans if span.attrs.get("oom_killed")]
+    assert killed, "the OOM-killed reducer must be flagged in its task span"
+
+
+def test_obs_none_is_untouched_default():
+    sim = HadoopSimulator()
+    result = sim.run(wordcount_profile(1.0), 4, ExecutionMode.BARRIER)
+    assert result.completion_time > 0.0

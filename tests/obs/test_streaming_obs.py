@@ -1,0 +1,46 @@
+"""Streaming-engine observability: long-lived spans, final counters."""
+
+from __future__ import annotations
+
+from repro.apps.demo import demo_job_and_input
+from repro.core.types import ExecutionMode
+from repro.engine.streaming import StreamingEngine
+from repro.obs import JobObservability, validate_span_nesting
+
+
+def test_streaming_counters_and_spans():
+    obs = JobObservability()
+    job, pairs = demo_job_and_input("wc", ExecutionMode.BARRIERLESS, records=400)
+    engine = StreamingEngine(job, obs=obs)
+    third = max(1, len(pairs) // 3)
+    for offset in range(0, len(pairs), third):
+        engine.push(pairs[offset : offset + third])
+    result = engine.close()
+
+    counters = obs.counters
+    pushes = counters.get("map.tasks")
+    assert pushes >= 3
+    assert counters.get("reduce.tasks") == job.num_reducers
+    assert counters.get("map.output_records") == result.counters.get(
+        "map.output_records"
+    )
+    assert counters.get("store.builds") == job.num_reducers
+    assert counters.get("task.attempts") == pushes + job.num_reducers
+
+    spans = obs.tracer.spans()
+    assert validate_span_nesting(spans) == []
+    (job_span,) = [span for span in spans if span.kind == "job"]
+    assert job_span.attrs["engine"] == "streaming"
+    push_spans = [
+        span for span in spans if span.kind == "task" and span.name.startswith("push-")
+    ]
+    assert len(push_spans) == pushes
+    reducer_spans = [
+        span
+        for span in spans
+        if span.kind == "task" and span.name.startswith("reduce-")
+    ]
+    # Long-lived reducer tasks span the whole stream.
+    assert len(reducer_spans) == job.num_reducers
+    for span in reducer_spans:
+        assert span.end >= max(p.end for p in push_spans) - 1e-6
