@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test bench figures csv examples trace-demo all clean
+.PHONY: install test bench chaos figures csv examples trace-demo all clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -10,6 +10,12 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+chaos:
+	python -m repro.cli chaos all
+	python -m repro.cli chaos all --lose-map-output --seed 2
+	pytest tests/engine/test_recovery.py tests/obs/test_recovery_counters.py \
+		tests/test_chaos.py tests/sim/test_failures.py -q
 
 figures:
 	python -m repro.cli figure fig4 fig5 fig6 fig7 fig8 fig9 fig10

@@ -108,6 +108,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     export.add_argument("directory")
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="run apps under a seeded failure mix and verify recovery",
+    )
+    chaos.add_argument(
+        "app", choices=["grep", "sort", "wc", "knn", "pp", "ga", "bs", "all"]
+    )
+    chaos.add_argument("--records", type=int, default=400,
+                       help="synthetic input size per app")
+    chaos.add_argument("--reducers", type=int, default=2)
+    chaos.add_argument("--maps", type=int, default=3)
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="base seed for every injection decision")
+    chaos.add_argument("--task-failure-p", type=float, default=0.15,
+                       help="probability each map/reduce attempt crashes")
+    chaos.add_argument("--fetch-failure-p", type=float, default=0.1,
+                       help="probability each fetch attempt fails")
+    chaos.add_argument("--drop-p", type=float, default=0.05,
+                       help="probability a served batch is lost in flight")
+    chaos.add_argument("--crash-reducer-after", type=int, default=8,
+                       help="crash reducer 0 after N consumed records "
+                            "(-1 disables)")
+    chaos.add_argument("--lose-map-output", action="store_true",
+                       help="lose mapper 0's output after its first serve "
+                            "(forces re-execution + epoch re-fetch)")
+
     pipeline = sub.add_parser(
         "pipeline", help="run a multi-job application pipeline"
     )
@@ -275,6 +301,123 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    """Seeded chaos runs: inject failures, assert byte-identical output.
+
+    For every selected app and both execution modes, a clean threaded run
+    establishes the expected output; the same input is then re-run under
+    the configured failure mix (task crashes, fetch failures, in-flight
+    drops, a reducer crash, optionally a lost map output) and the outputs
+    must match exactly — recovery visible in the counters, invisible in
+    the result.  Exits non-zero on any divergence or exhausted attempt
+    budget.
+    """
+    from repro.apps.demo import demo_job_and_input, normalized_output
+    from repro.engine import (
+        FaultInjector,
+        FetchFaultInjector,
+        FetchPermanentlyFailedError,
+        TaskPermanentlyFailedError,
+        ThreadedEngine,
+    )
+    from repro.obs import JobObservability
+
+    apps = (
+        ["grep", "sort", "wc", "knn", "pp", "ga", "bs"]
+        if args.app == "all"
+        else [args.app]
+    )
+    header = (
+        f"{'app':<5} {'mode':<12} {'injected':>8} {'retries':>8} "
+        f"{'f.retries':>9} {'timeouts':>8} {'restarts':>8} {'deduped':>8} "
+        f"{'reexec':>6}  output"
+    )
+    print(
+        f"chaos: seed={args.seed} task-p={args.task_failure_p} "
+        f"fetch-p={args.fetch_failure_p} drop-p={args.drop_p} "
+        f"crash-reducer-after={args.crash_reducer_after} "
+        f"lose-map-output={args.lose_map_output}"
+    )
+    print(header)
+    print("-" * len(header))
+    failures = 0
+    for index, app in enumerate(apps):
+        for mode in ExecutionMode:
+            # Seeds vary per (app, mode) so hash-derived decisions differ
+            # across rows instead of hitting the same task ids every time.
+            seed = args.seed + 13 * index + (7 if mode is ExecutionMode.BARRIER else 0)
+
+            def build():
+                return demo_job_and_input(
+                    app,
+                    mode,
+                    records=args.records,
+                    num_reducers=args.reducers,
+                    num_maps=args.maps,
+                    seed=args.seed,
+                )
+
+            job, pairs = build()
+            baseline = normalized_output(
+                app,
+                ThreadedEngine(map_slots=2).run(job, pairs, num_maps=args.maps),
+            )
+
+            injector = FaultInjector(
+                failure_probability=args.task_failure_p, seed=seed
+            )
+            fetch_injector = FetchFaultInjector(
+                fetch_failure_probability=args.fetch_failure_p,
+                drop_probability=args.drop_p,
+                crash_reducer_after=(
+                    {0: args.crash_reducer_after}
+                    if args.crash_reducer_after >= 0
+                    else {}
+                ),
+                lose_output_after={0: 1} if args.lose_map_output else {},
+                seed=seed,
+            )
+            obs = JobObservability()
+            job, pairs = build()
+            engine = ThreadedEngine(
+                map_slots=2,
+                fault_injector=injector,
+                fetch_injector=fetch_injector,
+                obs=obs,
+            )
+            try:
+                result = engine.run(job, pairs, num_maps=args.maps)
+            except (TaskPermanentlyFailedError, FetchPermanentlyFailedError):
+                # The injected failure rate exhausted a bounded attempt
+                # budget — a legitimate chaos outcome, reported per row.
+                verdict = "GAVE-UP"
+            else:
+                verdict = (
+                    "ok"
+                    if normalized_output(app, result) == baseline
+                    else "DIVERGED"
+                )
+            if verdict != "ok":
+                failures += 1
+            counters = obs.counters.as_dict()
+            print(
+                f"{app:<5} {mode.value:<12} "
+                f"{injector.injected + fetch_injector.injected:>8} "
+                f"{counters.get('task.retries', 0):>8} "
+                f"{counters.get('shuffle.fetch.retries', 0):>9} "
+                f"{counters.get('shuffle.fetch.timeouts', 0):>8} "
+                f"{counters.get('reduce.restarts', 0):>8} "
+                f"{counters.get('shuffle.records.deduped', 0):>8} "
+                f"{counters.get('map.reexecutions', 0):>6}  "
+                f"{verdict}"
+            )
+    if failures:
+        print(f"{failures} run(s) diverged or exhausted their attempt budget")
+        return 1
+    print("all outputs identical to fault-free runs")
+    return 0
+
+
 def _cmd_pipeline(args) -> int:
     from repro.engine import LocalEngine
 
@@ -400,6 +543,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         for path in export_all(args.directory):
             print(f"wrote {path}")
         return 0
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     if args.command == "pipeline":
         return _cmd_pipeline(args)
     raise AssertionError(args.command)

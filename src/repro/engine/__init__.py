@@ -34,12 +34,36 @@ from repro.engine.instrument import (
 )
 from repro.engine.local import LocalEngine
 from repro.engine.multiproc import MultiprocessEngine
+from repro.engine.recovery import (
+    BackoffPolicy,
+    FetchAttemptError,
+    FetchFaultInjector,
+    FetchLedger,
+    FetchPermanentlyFailedError,
+    FetchTimeoutError,
+    MapOutputLostError,
+    MapOutputService,
+    RecoveryConfig,
+    ReducerCrashError,
+    run_fetch_stream,
+    stable_fraction,
+)
 from repro.engine.threaded import ThreadedEngine
 
 __all__ = [
     "DEFAULT_MAX_ATTEMPTS",
+    "BackoffPolicy",
     "Engine",
     "FaultInjector",
+    "FetchAttemptError",
+    "FetchFaultInjector",
+    "FetchLedger",
+    "FetchPermanentlyFailedError",
+    "FetchTimeoutError",
+    "MapOutputLostError",
+    "MapOutputService",
+    "RecoveryConfig",
+    "ReducerCrashError",
     "RetryingTaskRunner",
     "TaskAttemptError",
     "TaskPermanentlyFailedError",
@@ -48,6 +72,8 @@ __all__ = [
     "TaskEvent",
     "TaskLog",
     "ThreadedEngine",
+    "run_fetch_stream",
+    "stable_fraction",
     "apply_combiner",
     "barrier_merge_sort",
     "concurrency_series",

@@ -17,11 +17,10 @@ scratch on retry.
 
 from __future__ import annotations
 
+import hashlib
 import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, TypeVar
-
-import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs import JobObservability
@@ -31,6 +30,19 @@ T = TypeVar("T")
 
 #: Hadoop's default mapred.map.max.attempts / reduce.max.attempts.
 DEFAULT_MAX_ATTEMPTS = 4
+
+
+def stable_fraction(*parts: object) -> float:
+    """A uniform-ish fraction in [0, 1) derived only from ``parts``.
+
+    Unlike a draw from a shared RNG stream — whose value depends on how
+    many draws other threads made first — this depends on nothing but its
+    inputs, so concurrent callers get identical decisions regardless of
+    thread scheduling.  Every seeded soak test relies on that property.
+    """
+    payload = "\x1f".join(repr(part) for part in parts).encode("utf-8")
+    digest = hashlib.blake2b(payload, digest_size=8).digest()
+    return int.from_bytes(digest, "big") / 2.0**64
 
 
 class TaskAttemptError(RuntimeError):
@@ -55,20 +67,22 @@ class FaultInjector:
     - ``fail_first_attempt_of`` — a set of task ids whose first attempt
       always crashes (for precise unit tests);
     - ``failure_probability`` — each attempt independently crashes with
-      this probability, driven by a seeded generator (for soak tests).
+      this probability, decided by a seeded hash of ``(task_id, attempt)``
+      (for soak tests).  The decision for a given attempt is a pure
+      function of the injector's seed, never of which *other* attempts
+      ran first, so concurrent engines inject the exact same failures as
+      the sequential reference.
     """
 
     fail_first_attempt_of: frozenset[str] = frozenset()
     failure_probability: float = 0.0
     seed: int = 0
     injected: int = field(default=0, init=False)
-    _rng: np.random.Generator = field(init=False, repr=False)
     _lock: "threading.Lock" = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.failure_probability < 1.0:
             raise ValueError("failure_probability must be in [0, 1)")
-        self._rng = np.random.default_rng(self.seed)
         self._lock = threading.Lock()
 
     def check(self, task_id: str, attempt: int) -> None:
@@ -81,11 +95,13 @@ class FaultInjector:
                 self.injected += 1
             raise TaskAttemptError(f"injected failure: {task_id} attempt 0")
         if self.failure_probability > 0.0:
-            with self._lock:
-                crash = self._rng.random() < self.failure_probability
-                if crash:
-                    self.injected += 1
+            crash = (
+                stable_fraction(self.seed, task_id, attempt)
+                < self.failure_probability
+            )
             if crash:
+                with self._lock:
+                    self.injected += 1
                 raise TaskAttemptError(
                     f"injected failure: {task_id} attempt {attempt}"
                 )

@@ -136,6 +136,11 @@ class LocalEngine(Engine):
                         stream = interleave_arrival(map_outputs)
                     counters.increment("shuffle.records", len(stream))
                     obs.counters.increment("shuffle.records", len(stream))
+                    # Fetch accounting mirrors the threaded engine's
+                    # ledger: sequentially, every record is fetched once
+                    # and consumed once (nothing to dedup).
+                    obs.counters.increment("shuffle.records.fetched", len(stream))
+                    obs.counters.increment("shuffle.records.consumed", len(stream))
                     hook = self._heap_sample_hook
                     on_sample = (
                         (lambda used, _i=reducer_index: hook(_i, used))
@@ -158,10 +163,13 @@ class LocalEngine(Engine):
                     counters.merge(task_counters)
                     obs.counters.merge_counters(task_counters)
                     retries = runner.attempts_made.get(task_id, 1) - 1
-                    if retries > 0 and store_backed:
-                        # Each retried attempt rebuilt the partial store
-                        # from scratch — the barrier-less recovery path.
-                        obs.counters.increment("store.resets", retries)
+                    if retries > 0:
+                        obs.counters.increment("reduce.restarts", retries)
+                        if store_backed:
+                            # Each retried attempt rebuilt the partial
+                            # store from scratch — the barrier-less
+                            # recovery path.
+                            obs.counters.increment("store.resets", retries)
                     output[reducer_index] = produced
                     counters.increment("reduce.tasks")
                     obs.counters.increment("reduce.tasks")

@@ -38,8 +38,14 @@ from repro.engine.base import (
     barrier_merge_sort,
     finish_result,
     interleave_arrival,
+    reducer_is_store_backed,
     run_map_task_partitioned,
     run_reduce_task,
+)
+from repro.engine.faults import (
+    DEFAULT_MAX_ATTEMPTS,
+    FaultInjector,
+    RetryingTaskRunner,
 )
 from repro.obs import JobObservability
 
@@ -69,17 +75,28 @@ def _reduce_task_entry(
 
 
 class MultiprocessEngine(Engine):
-    """Engine running tasks in a ``multiprocessing`` pool."""
+    """Engine running tasks in a ``multiprocessing`` pool.
+
+    ``fault_injector`` enables Hadoop-style task attempts across the
+    process boundary: the injection decision runs in the parent (it is a
+    pure function of ``(task_id, attempt)``), and a crashed attempt is
+    retried by resubmitting the task to the pool — process-level
+    re-execution, the closest analogue of a task JVM being relaunched.
+    """
 
     def __init__(
         self,
         processes: int = 2,
         obs: JobObservability | None = None,
+        fault_injector: FaultInjector | None = None,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
     ) -> None:
         if processes <= 0:
             raise ValueError("processes must be positive")
         self.processes = processes
         self.obs = obs if obs is not None else JobObservability()
+        self._fault_injector = fault_injector
+        self._max_attempts = max_attempts
 
     def _record_task_span(
         self, stage, name: str, timing: tuple[float, float, int]
@@ -116,16 +133,60 @@ class MultiprocessEngine(Engine):
         epoch = obs.epoch
         splits = split_input(pairs, num_maps)
 
+        runner = (
+            RetryingTaskRunner(
+                injector=self._fault_injector,
+                max_attempts=self._max_attempts,
+                obs=obs,
+            )
+            if self._fault_injector is not None
+            else None
+        )
+        self.last_run_attempts: dict[str, int] = {}
+
         job_span = obs.tracer.open(
             job.name, "job", mode=job.mode.value, engine="multiproc"
         )
         times.map_start = watch.elapsed()
         ctx = multiprocessing.get_context("fork")
         with ctx.Pool(processes=self.processes) as pool:
+
+            def run_task(task_id, stage, entry, payload, pending):
+                """Collect one task result, retrying through the pool.
+
+                All first attempts are submitted up front (``pending``)
+                so the pool stays parallel; a retried attempt resubmits
+                the same payload — process-level re-execution.  A pending
+                result survives an injected pre-dispatch crash and is
+                consumed by the next attempt instead of being recomputed.
+                """
+                if runner is None:
+                    return pending.get()
+                state = {"handle": pending}
+
+                def attempt():
+                    handle = state.pop("handle", None)
+                    if handle is None:
+                        handle = pool.apply_async(entry, (payload,))
+                    return handle.get()
+
+                return runner.run(task_id, attempt, parent=stage)
+
             map_stage = obs.tracer.open("map", "stage", parent=job_span)
-            map_results = pool.map(
-                _map_task_entry, [(job, split, epoch) for split in splits]
-            )
+            map_payloads = [(job, split, epoch) for split in splits]
+            map_pending = [
+                pool.apply_async(_map_task_entry, (payload,))
+                for payload in map_payloads
+            ]
+            map_results = [
+                run_task(
+                    f"map-{task_index}", map_stage, _map_task_entry,
+                    payload, pending,
+                )
+                for task_index, (payload, pending) in enumerate(
+                    zip(map_payloads, map_pending)
+                )
+            ]
             times.first_map_done = watch.elapsed()
             times.last_map_done = watch.elapsed()
             counters.increment("map.tasks", len(splits))
@@ -135,8 +196,9 @@ class MultiprocessEngine(Engine):
             ):
                 counters.merge(Counters(dict(task_counters)))
                 obs.counters.merge_dict(task_counters)
-                obs.counters.increment("task.attempts")
-                obs.counters.increment("task.attempts.map")
+                if runner is None:
+                    obs.counters.increment("task.attempts")
+                    obs.counters.increment("task.attempts.map")
                 self._record_task_span(map_stage, f"map-{task_index}", timing)
             obs.tracer.close(map_stage)
 
@@ -158,9 +220,23 @@ class MultiprocessEngine(Engine):
             for stream in streams:
                 counters.increment("shuffle.records", len(stream))
                 obs.counters.increment("shuffle.records", len(stream))
-            reduce_results = pool.map(
-                _reduce_task_entry, [(job, stream, epoch) for stream in streams]
-            )
+                obs.counters.increment("shuffle.records.fetched", len(stream))
+                obs.counters.increment("shuffle.records.consumed", len(stream))
+            reduce_payloads = [(job, stream, epoch) for stream in streams]
+            reduce_pending = [
+                pool.apply_async(_reduce_task_entry, (payload,))
+                for payload in reduce_payloads
+            ]
+            reduce_results = [
+                run_task(
+                    f"reduce-{reducer_index}", reduce_stage, _reduce_task_entry,
+                    payload, pending,
+                )
+                for reducer_index, (payload, pending) in enumerate(
+                    zip(reduce_payloads, reduce_pending)
+                )
+            ]
+        store_backed = reducer_is_store_backed(job)
         output: dict[int, list[Record]] = {}
         for reducer_index, (produced, task_counters, timing) in enumerate(
             reduce_results
@@ -170,9 +246,20 @@ class MultiprocessEngine(Engine):
             obs.counters.merge_dict(task_counters)
             counters.increment("reduce.tasks")
             obs.counters.increment("reduce.tasks")
-            obs.counters.increment("task.attempts")
-            obs.counters.increment("task.attempts.reduce")
+            if runner is None:
+                obs.counters.increment("task.attempts")
+                obs.counters.increment("task.attempts.reduce")
+            else:
+                retries = runner.attempts_made.get(
+                    f"reduce-{reducer_index}", 1
+                ) - 1
+                if retries > 0:
+                    obs.counters.increment("reduce.restarts", retries)
+                    if store_backed:
+                        obs.counters.increment("store.resets", retries)
             self._record_task_span(reduce_stage, f"reduce-{reducer_index}", timing)
+        if runner is not None:
+            self.last_run_attempts = dict(runner.attempts_made)
         obs.tracer.close(reduce_stage)
         obs.tracer.close(job_span)
         times.reduce_done = watch.elapsed()

@@ -18,6 +18,14 @@ a batch run over the concatenated input would produce.
 Each reducer runs ``Reducer.run`` unmodified on its own thread, consuming
 a blocking record queue, so every barrier-less reducer written for the
 batch engines works on streams without change.
+
+Fault tolerance: a crashed reducer (injected through a
+:class:`~repro.engine.recovery.FetchFaultInjector`) is restarted with a
+fresh partial-result store and its partition's *journal* — every record
+ever routed to it — replayed from the start.  This is the streaming form
+of the paper's §8 recovery argument: because the map output is retained
+(here, journalled), a barrier-less reducer can always be rebuilt by
+re-consuming its input, and the stream then continues live.
 """
 
 from __future__ import annotations
@@ -46,6 +54,8 @@ from repro.engine.base import (
     prepare_reducer,
     run_map_task,
 )
+from repro.engine.faults import TaskAttemptError
+from repro.engine.recovery import FetchFaultInjector
 from repro.obs import JobObservability
 
 _SENTINEL = None
@@ -106,12 +116,26 @@ class _LockedStore:
 
 
 class _QueueGroups:
-    """Blocking grouped-record iterable feeding a reducer thread."""
+    """Blocking grouped-record iterable feeding a reducer thread.
 
-    def __init__(self, records: "queue.Queue"):
+    With a fault injector attached it also counts consumed records and
+    raises the injector's :class:`ReducerCrashError` at the configured
+    consumption point — the crash fires *inside* ``Reducer.run``, exactly
+    where a real mid-fold failure would.
+    """
+
+    def __init__(
+        self,
+        records: "queue.Queue",
+        injector: FetchFaultInjector | None = None,
+        reducer_index: int = 0,
+    ):
         self._records = records
+        self._injector = injector
+        self._reducer_index = reducer_index
 
     def __iter__(self) -> Iterator[tuple[Key, list[Value]]]:
+        consumed = 0
         while True:
             item = self._records.get()
             if item is _SENTINEL:
@@ -119,37 +143,79 @@ class _QueueGroups:
             if isinstance(item, _SyncToken):
                 item.arm()
                 continue
+            if self._injector is not None:
+                self._injector.check_reduce(self._reducer_index, consumed)
+            consumed += 1
             yield item.key, [item.value]
 
 
 class _ReducerSession:
-    """One long-lived reducer: its thread, queue, store and context."""
+    """One long-lived reducer: its thread, queue, store and context.
 
-    def __init__(self, job: JobSpec, reducer_index: int):
+    Keeps a *journal* of every record routed to it; on a crash the
+    session is rebuilt from scratch (fresh store, fresh context) and the
+    journal replayed, after which the stream continues where it left off.
+    """
+
+    def __init__(
+        self,
+        job: JobSpec,
+        reducer_index: int,
+        injector: FetchFaultInjector | None = None,
+    ):
+        self._job = job
+        self._index = reducer_index
+        self._injector = injector
+        self.journal: list[Record] = []
+        self.crashed = False
+        self._start()
+
+    def _start(self) -> None:
         self.queue: "queue.Queue" = queue.Queue()
         self.lock = threading.Lock()
         self.counters = Counters()
-        self.reducer = prepare_reducer(job)
+        self.reducer = prepare_reducer(self._job)
         self.store = None
         if isinstance(self.reducer, BarrierlessReducer):
             locked = _LockedStore(self.reducer.store, self.lock)
             self.reducer.attach_store(locked)
             self.store = locked
-        self.context = ReduceContext(_QueueGroups(self.queue), self.counters)
+        self.context = ReduceContext(
+            _QueueGroups(self.queue, self._injector, self._index),
+            self.counters,
+        )
         self.thread = threading.Thread(
-            target=self.reducer.run,
-            args=(self.context,),
-            name=f"stream-reduce-{reducer_index}",
+            target=self._guarded_run,
+            name=f"stream-reduce-{self._index}",
             daemon=True,
         )
         self.thread.start()
+
+    def _guarded_run(self) -> None:
+        try:
+            self.reducer.run(self.context)
+        except TaskAttemptError:
+            # Injected crash: the partial store and any un-drained queue
+            # contents die with this thread; restart() rebuilds both from
+            # the journal.
+            self.crashed = True
+
+    def restart(self) -> None:
+        """Rebuild the reducer and replay its journal from record zero."""
+        self.crashed = False
+        self._start()
+        for record in self.journal:
+            self.queue.put(record)
 
 
 class StreamingEngine:
     """Continuous barrier-less execution with live snapshots."""
 
     def __init__(
-        self, job: JobSpec, obs: JobObservability | None = None
+        self,
+        job: JobSpec,
+        obs: JobObservability | None = None,
+        fault_injector: FetchFaultInjector | None = None,
     ):
         if job.mode is not ExecutionMode.BARRIERLESS:
             raise InvalidJobError(
@@ -160,6 +226,8 @@ class StreamingEngine:
         self.job = job
         self.counters = Counters()
         self.obs = obs if obs is not None else JobObservability()
+        self._fault_injector = fault_injector
+        self._restarts = 0
         # The job span stays open for the stream's whole life; map and
         # reduce stages overlap by construction (reducers consume pushes
         # as they arrive), so both open up front, like the threaded engine.
@@ -173,7 +241,8 @@ class StreamingEngine:
             "reduce", "stage", parent=self._job_span
         )
         self._sessions = [
-            _ReducerSession(job, i) for i in range(job.num_reducers)
+            _ReducerSession(job, i, fault_injector)
+            for i in range(job.num_reducers)
         ]
         self._task_spans = [
             self.obs.tracer.open(f"reduce-{i}", "task", parent=self._reduce_stage)
@@ -182,12 +251,29 @@ class StreamingEngine:
         self._closed = False
         self._pushed_batches = 0
 
+    # -- recovery ------------------------------------------------------------
+
+    def _revive(self, session: _ReducerSession) -> None:
+        """Restart a crashed reducer session and account for it."""
+        self._restarts += 1
+        self.obs.counters.increment("reduce.restarts")
+        if session.store is not None:
+            self.obs.counters.increment("store.resets")
+        session.restart()
+
+    def _ensure_alive(self) -> None:
+        """Restart any session whose reducer thread has crashed."""
+        for session in self._sessions:
+            if session.crashed:
+                self._revive(session)
+
     # -- streaming input ----------------------------------------------------
 
     def push(self, pairs: Sequence[tuple[Key, Value]]) -> None:
         """Feed one micro-batch of input pairs (maps and routes now)."""
         if self._closed:
             raise RuntimeError("stream already closed")
+        self._ensure_alive()
         with self.obs.tracer.span(
             f"push-{self._pushed_batches}", "task", parent=self._map_stage
         ):
@@ -195,8 +281,10 @@ class StreamingEngine:
             partitions = partition_records(self.job, records)
         self.counters.increment("map.tasks")
         for index, part in partitions.items():
+            session = self._sessions[index]
             for record in part:
-                self._sessions[index].queue.put(record)
+                session.journal.append(record)
+                session.queue.put(record)
         self._pushed_batches += 1
 
     # -- live output ----------------------------------------------------------
@@ -212,6 +300,7 @@ class StreamingEngine:
         """
         if self._closed:
             raise RuntimeError("stream already closed")
+        self._ensure_alive()
         # Flush a sync token through every queue: once it arms, every
         # record enqueued before this snapshot has been folded.
         tokens = []
@@ -219,8 +308,17 @@ class StreamingEngine:
             token = _SyncToken()
             session.queue.put(token)
             tokens.append(token)
-        for token in tokens:
-            if not token.wait():
+        for session, token in zip(self._sessions, tokens):
+            for _ in range(200):
+                if token.wait(0.05):
+                    break
+                if session.crashed:
+                    # The reducer died before reaching the token (the
+                    # token died with its queue); restart, replay the
+                    # journal, and re-flush.
+                    self._revive(session)
+                    session.queue.put(token)
+            else:
                 raise RuntimeError("reducer stalled; snapshot timed out")
         current: dict[Key, Value] = {}
         for session in self._sessions:
@@ -238,11 +336,18 @@ class StreamingEngine:
         self._closed = True
         obs = self.obs
         obs.tracer.close(self._map_stage)
+        self._ensure_alive()
         for session in self._sessions:
             session.queue.put(_SENTINEL)
         output: dict[int, list[Record]] = {}
         for index, session in enumerate(self._sessions):
             session.thread.join(timeout=30.0)
+            if session.crashed:
+                # Crashed between the last push and the sentinel: restart,
+                # replay, and re-close the rebuilt session.
+                self._revive(session)
+                session.queue.put(_SENTINEL)
+                session.thread.join(timeout=30.0)
             if session.thread.is_alive():  # pragma: no cover - watchdog
                 raise RuntimeError(f"reducer {index} failed to terminate")
             harvest_store_counters(session.reducer, session.counters)
@@ -254,8 +359,14 @@ class StreamingEngine:
         obs.tracer.close(self._job_span)
         obs.counters.merge_counters(self.counters)
         obs.counters.increment("task.attempts.map", self._pushed_batches)
-        obs.counters.increment("task.attempts.reduce", len(self._sessions))
         obs.counters.increment(
-            "task.attempts", self._pushed_batches + len(self._sessions)
+            "task.attempts.reduce", len(self._sessions) + self._restarts
         )
+        obs.counters.increment(
+            "task.attempts",
+            self._pushed_batches + len(self._sessions) + self._restarts,
+        )
+        if self._restarts:
+            obs.counters.increment("task.retries", self._restarts)
+            obs.counters.increment("task.failed_attempts", self._restarts)
         return finish_result(self.job, output, self.counters, StageTimes())

@@ -19,6 +19,7 @@ from repro.sim.hadoop import (
     HadoopSimulator,
     MemoryTechnique,
     NodeFailure,
+    ReducerFailure,
     ReducerTrace,
     SimJobResult,
     improvement_percent,
@@ -42,6 +43,7 @@ __all__ = [
     "FileLayout",
     "LocalityStats",
     "NodeFailure",
+    "ReducerFailure",
     "HadoopSimulator",
     "JobProfile",
     "MemoryProfile",

@@ -91,6 +91,26 @@ class NodeFailure:
     at_time: float
 
 
+@dataclass(frozen=True, slots=True)
+class ReducerFailure:
+    """Kill one reduce attempt at a virtual time; it restarts elsewhere.
+
+    Models the reducer-side half of the fault story the paper's §8 claim
+    leaves implicit: the attempt's fetched data and partial state die with
+    it, so the restarted attempt re-fetches its whole partition from the
+    retained map outputs.  What that re-fetch *wastes* differs by mode —
+    a barrier reducer that had not yet begun its sort loses only fetch
+    time, while a barrier-less reducer has already folded the fetched
+    records into its partial store and re-pays the fold CPU for all of
+    them (``refolded_records`` on the result).
+    """
+
+    reducer_id: int
+    at_time: float
+    #: Failure-detection + re-scheduling delay before the restart begins.
+    restart_overhead_s: float = 5.0
+
+
 @dataclass(slots=True)
 class ReducerTrace:
     """Per-reducer simulation outcome."""
@@ -103,6 +123,8 @@ class ReducerTrace:
     records: float
     spills: int = 0
     heap_samples: list[tuple[float, float]] = field(default_factory=list)
+    #: Virtual time each mapper's partition finished arriving.
+    arrival_times: list[float] = field(default_factory=list)
 
 
 @dataclass(slots=True)
@@ -125,6 +147,18 @@ class SimJobResult:
     #: Speculative backup attempts launched / that finished first.
     speculative_attempts: int = 0
     speculative_wins: int = 0
+    #: Reduce attempts restarted after an injected reducer failure.
+    reducer_restarts: int = 0
+    #: Map-output MB the aborted attempts had fetched (re-fetched by the
+    #: restarts — identical in both modes: map outputs are retained).
+    refetched_mb: float = 0.0
+    #: Records the aborted attempts had already reduced whose work is
+    #: re-done by the restart — the mode-asymmetric part of the cost
+    #: (barrier-less pays it for everything fetched; barrier only for a
+    #: failure after its sort completed).
+    refolded_records: float = 0.0
+    #: The aborted attempts themselves (finish clamped at the failure).
+    aborted_reducers: list[ReducerTrace] = field(default_factory=list)
 
     @property
     def mapper_slack(self) -> float:
@@ -363,6 +397,7 @@ class HadoopSimulator:
             sort_done=shuffle_done,
             finish=shuffle_done,
             records=records_per_map * len(map_finish_times),
+            arrival_times=list(arrivals),
         )
 
         if mode is ExecutionMode.BARRIER:
@@ -461,18 +496,25 @@ class HadoopSimulator:
         mode: ExecutionMode,
         technique: MemoryTechnique | None = None,
         failure: NodeFailure | None = None,
+        reducer_failure: ReducerFailure | None = None,
         obs: JobObservability | None = None,
     ) -> SimJobResult:
         """Simulate one job; returns timings, traces and failure state.
 
-        ``failure`` optionally kills one node during the map stage; the
-        job still completes (on the surviving nodes) in both modes.
+        ``failure`` optionally kills one node during the map stage;
+        ``reducer_failure`` optionally kills one reduce attempt, which
+        restarts on another node and re-fetches its partition from the
+        retained map outputs.  The job still completes in both modes.
         ``obs`` receives the execution as *virtual-time* spans and
         counters in the same schema the real engines emit, which makes
         simulated and measured traces directly diffable.
         """
         if num_reducers <= 0:
             raise ValueError("num_reducers must be positive")
+        if reducer_failure is not None and not (
+            0 <= reducer_failure.reducer_id < num_reducers
+        ):
+            raise ValueError(f"no reducer {reducer_failure.reducer_id}")
         if technique is None:
             technique = MemoryTechnique()
         task_log = TaskLog()
@@ -485,9 +527,20 @@ class HadoopSimulator:
         waves = math.ceil(num_reducers / slots)
         wave_start = [0.0] * waves
         reducers: list[ReducerTrace] = []
+        aborted_attempts: list[ReducerTrace] = []
+        reducer_restarts = 0
+        refetched_mb = 0.0
+        refolded_records = 0.0
         failed = False
         failure_time: float | None = None
         failure_reason: str | None = None
+
+        def surviving_node(slot_index: int) -> NodeSpec:
+            node = self._nodes[slot_index % len(self._nodes)]
+            while node.node_id in dead_nodes:
+                slot_index += 1
+                node = self._nodes[slot_index % len(self._nodes)]
+            return node
 
         for wave in range(waves):
             lo = wave * slots
@@ -495,11 +548,9 @@ class HadoopSimulator:
             start = wave_start[wave]
             wave_traces: list[ReducerTrace] = []
             for reducer_id in range(lo, hi):
-                node = self._nodes[reducer_id % len(self._nodes)]
-                if node.node_id in dead_nodes:
-                    # Reducers scheduled for the failed node land on the
-                    # next surviving one.
-                    node = self._nodes[(reducer_id + 1) % len(self._nodes)]
+                # Reducers scheduled for a failed node land on the next
+                # surviving one.
+                node = surviving_node(reducer_id)
                 trace = self._simulate_reducer(
                     profile,
                     mode,
@@ -510,6 +561,57 @@ class HadoopSimulator:
                     map_finish_times,
                     num_reducers,
                 )
+                rf = reducer_failure
+                if (
+                    rf is not None
+                    and rf.reducer_id == reducer_id
+                    and trace.spills != -1
+                    and trace.start <= rf.at_time < trace.finish
+                ):
+                    # The attempt dies at at_time; everything it fetched
+                    # (and, barrier-less, folded) is lost with it.
+                    load = self._load_factors(profile, num_reducers)[reducer_id]
+                    per_map_mb = (
+                        load * profile.map_output_mb_per_task / num_reducers
+                    )
+                    fetched_maps = sum(
+                        1 for a in trace.arrival_times if a <= rf.at_time
+                    )
+                    refetched_mb += per_map_mb * fetched_maps
+                    records_per_map = per_map_mb * MB / profile.record_bytes
+                    if mode is ExecutionMode.BARRIER:
+                        # Reduce work only starts after the sort; a failure
+                        # before that loses fetch time alone.
+                        if rf.at_time > trace.sort_done and (
+                            trace.finish > trace.sort_done
+                        ):
+                            frac = (rf.at_time - trace.sort_done) / (
+                                trace.finish - trace.sort_done
+                            )
+                            refolded_records += trace.records * min(1.0, frac)
+                    else:
+                        # Pipelined consume: every arrived partition was
+                        # already folded into the partial store.
+                        refolded_records += records_per_map * fetched_maps
+                    trace.finish = rf.at_time
+                    trace.shuffle_done = min(trace.shuffle_done, rf.at_time)
+                    trace.sort_done = min(trace.sort_done, rf.at_time)
+                    aborted_attempts.append(trace)
+                    reducer_restarts += 1
+                    # Restart elsewhere after the detection delay: a full
+                    # clean re-fetch — map outputs are retained, so no map
+                    # re-executes.
+                    restart_node = surviving_node(reducer_id + 1)
+                    trace = self._simulate_reducer(
+                        profile,
+                        mode,
+                        technique,
+                        reducer_id,
+                        rf.at_time + rf.restart_overhead_s,
+                        restart_node,
+                        map_finish_times,
+                        num_reducers,
+                    )
                 wave_traces.append(trace)
                 if trace.spills == -1:
                     failed = True
@@ -585,6 +687,10 @@ class HadoopSimulator:
             reexecuted_maps=reexecuted,
             speculative_attempts=spec_stats["launched"],
             speculative_wins=spec_stats["wins"],
+            reducer_restarts=reducer_restarts,
+            refetched_mb=refetched_mb,
+            refolded_records=refolded_records,
+            aborted_reducers=aborted_attempts,
         )
         if obs is not None and obs.enabled:
             self._export_observability(profile, mode, result, obs)
@@ -631,13 +737,26 @@ class HadoopSimulator:
                     parent=map_stage,
                 )
         if reducers:
+            # Aborted attempts started before their restarts; the stage
+            # span must cover them for the nesting invariant to hold.
+            all_attempts = reducers + result.aborted_reducers
             reduce_stage = tracer.record(
                 "reduce",
                 "stage",
-                min(t.start for t in reducers),
-                max(t.finish for t in reducers),
+                min(t.start for t in all_attempts),
+                max(t.finish for t in all_attempts),
                 parent=job_span,
             )
+            for trace in result.aborted_reducers:
+                tracer.record(
+                    f"reduce-{trace.reducer_id}/attempt-0",
+                    "attempt",
+                    trace.start,
+                    trace.finish,
+                    parent=reduce_stage,
+                    crashed=True,
+                )
+            restarted_ids = {t.reducer_id for t in result.aborted_reducers}
             for trace in reducers:
                 task_span = tracer.record(
                     f"reduce-{trace.reducer_id}",
@@ -647,6 +766,15 @@ class HadoopSimulator:
                     parent=reduce_stage,
                     oom_killed=trace.spills == -1,
                 )
+                if trace.reducer_id in restarted_ids:
+                    tracer.record(
+                        f"reduce-{trace.reducer_id}/attempt-1",
+                        "attempt",
+                        trace.start,
+                        trace.finish,
+                        parent=task_span,
+                        crashed=False,
+                    )
                 if mode is ExecutionMode.BARRIER:
                     tracer.record(
                         "shuffle", "op", trace.start, trace.shuffle_done,
@@ -682,18 +810,33 @@ class HadoopSimulator:
         counters.increment(
             "task.attempts.map", maps_completed + result.reexecuted_maps
         )
-        counters.increment("task.attempts.reduce", len(reducers))
+        counters.increment(
+            "task.attempts.reduce", len(reducers) + result.reducer_restarts
+        )
         counters.increment(
             "task.attempts",
-            maps_completed + result.reexecuted_maps + len(reducers),
+            maps_completed
+            + result.reexecuted_maps
+            + len(reducers)
+            + result.reducer_restarts,
         )
-        counters.increment("task.retries", result.reexecuted_maps)
+        counters.increment(
+            "task.retries", result.reexecuted_maps + result.reducer_restarts
+        )
         counters.increment(
             "store.spills", sum(t.spills for t in reducers if t.spills > 0)
         )
         counters.increment("sim.reexecuted_maps", result.reexecuted_maps)
         counters.increment("sim.speculative_attempts", result.speculative_attempts)
         counters.increment("sim.speculative_wins", result.speculative_wins)
+        if result.reducer_restarts:
+            counters.increment("reduce.restarts", result.reducer_restarts)
+            counters.increment("task.failed_attempts", result.reducer_restarts)
+        counters.increment("sim.reducer_restarts", result.reducer_restarts)
+        counters.increment("sim.refetched_mb", int(round(result.refetched_mb)))
+        counters.increment(
+            "sim.refolded_records", int(round(result.refolded_records))
+        )
 
 
 def improvement_percent(barrier_time: float, barrierless_time: float) -> float:

@@ -1,11 +1,17 @@
-"""Tests for node-failure injection in the simulator."""
+"""Tests for node- and reducer-failure injection in the simulator."""
 
 from __future__ import annotations
 
 import pytest
 
 from repro.core.types import ExecutionMode
-from repro.sim import HadoopSimulator, NodeFailure, wordcount_profile
+from repro.obs import JobObservability, validate_span_nesting
+from repro.sim import (
+    HadoopSimulator,
+    NodeFailure,
+    ReducerFailure,
+    wordcount_profile,
+)
 
 
 @pytest.fixture(scope="module")
@@ -79,3 +85,140 @@ class TestNodeFailure:
         b = sim.run(wordcount_profile(4.0), 40, ExecutionMode.BARRIER, **kwargs)
         assert a.completion_time == b.completion_time
         assert a.reexecuted_maps == b.reexecuted_maps
+
+
+class TestReducerFailure:
+    """Reducer-side failure: re-fetch is symmetric, re-fold is not.
+
+    Map outputs are retained, so a restarted reduce attempt re-fetches
+    its partition identically in both modes (``refetched_mb``); but only
+    the barrier-less attempt had already *folded* what it fetched, so
+    only it re-does reduce work for a failure during the fetch phase
+    (``refolded_records``) — the cost asymmetry behind the §8 claim.
+    """
+
+    def _mid_fetch_time(self, sim, mode, reducer_id):
+        """A failure instant strictly inside the attempt's fetch phase."""
+        clean = sim.run(wordcount_profile(4.0), 40, mode)
+        trace = clean.reducers[reducer_id]
+        return (trace.start + trace.shuffle_done) / 2.0
+
+    @pytest.mark.parametrize("mode", list(ExecutionMode))
+    def test_job_completes_despite_reducer_failure(self, sim, mode):
+        at_time = self._mid_fetch_time(sim, mode, reducer_id=3)
+        result = sim.run(
+            wordcount_profile(4.0), 40, mode,
+            reducer_failure=ReducerFailure(3, at_time),
+        )
+        assert not result.failed
+        assert result.reducer_restarts == 1
+        assert result.refetched_mb > 0
+        assert len(result.aborted_reducers) == 1
+        assert result.aborted_reducers[0].finish == at_time
+        # No map re-executes: retained outputs serve the re-fetch.
+        assert result.reexecuted_maps == 0
+
+    def test_restart_costs_time(self, sim):
+        # Kill the critical-path reducer deep in its reduce phase: the
+        # restart re-fetches and re-reduces after the detection delay,
+        # pushing job completion out.  (A mid-fetch restart can be free —
+        # the fetch is arrival-bound, and the map outputs are retained —
+        # and a non-critical restart hides in slower reducers' slack.)
+        mode = ExecutionMode.BARRIER
+        clean = sim.run(wordcount_profile(4.0), 40, mode)
+        critical = max(clean.reducers, key=lambda t: t.finish)
+        at_time = critical.sort_done + 0.9 * (
+            critical.finish - critical.sort_done
+        )
+        failed = sim.run(
+            wordcount_profile(4.0), 40, mode,
+            reducer_failure=ReducerFailure(critical.reducer_id, at_time),
+        )
+        assert failed.reducer_restarts == 1
+        assert failed.completion_time > clean.completion_time
+
+    def test_refold_cost_is_mode_asymmetric(self, sim):
+        # Same failure point in the fetch phase: the barrier attempt has
+        # reduced nothing yet (re-fetch only), while the barrier-less
+        # attempt re-folds everything it had already consumed.
+        barrier = sim.run(
+            wordcount_profile(4.0), 40, ExecutionMode.BARRIER,
+            reducer_failure=ReducerFailure(
+                3, self._mid_fetch_time(sim, ExecutionMode.BARRIER, 3)
+            ),
+        )
+        barrierless = sim.run(
+            wordcount_profile(4.0), 40, ExecutionMode.BARRIERLESS,
+            reducer_failure=ReducerFailure(
+                3, self._mid_fetch_time(sim, ExecutionMode.BARRIERLESS, 3)
+            ),
+        )
+        assert barrier.refolded_records == 0
+        assert barrierless.refolded_records > 0
+
+    def test_barrier_failure_after_sort_refolds(self, sim):
+        mode = ExecutionMode.BARRIER
+        clean = sim.run(wordcount_profile(4.0), 40, mode)
+        trace = clean.reducers[3]
+        late = (trace.sort_done + trace.finish) / 2.0
+        result = sim.run(
+            wordcount_profile(4.0), 40, mode,
+            reducer_failure=ReducerFailure(3, late),
+        )
+        assert result.reducer_restarts == 1
+        assert result.refolded_records > 0
+
+    def test_failure_outside_attempt_window_is_a_noop(self, sim):
+        mode = ExecutionMode.BARRIER
+        clean = sim.run(wordcount_profile(4.0), 40, mode)
+        result = sim.run(
+            wordcount_profile(4.0), 40, mode,
+            reducer_failure=ReducerFailure(3, clean.completion_time + 100.0),
+        )
+        assert result.reducer_restarts == 0
+        assert result.completion_time == clean.completion_time
+
+    def test_invalid_reducer_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.run(
+                wordcount_profile(2.0), 10, ExecutionMode.BARRIER,
+                reducer_failure=ReducerFailure(999, 10.0),
+            )
+
+    def test_deterministic(self, sim):
+        failure = ReducerFailure(
+            2, self._mid_fetch_time(sim, ExecutionMode.BARRIERLESS, 2)
+        )
+        a = sim.run(
+            wordcount_profile(4.0), 40, ExecutionMode.BARRIERLESS,
+            reducer_failure=failure,
+        )
+        b = sim.run(
+            wordcount_profile(4.0), 40, ExecutionMode.BARRIERLESS,
+            reducer_failure=failure,
+        )
+        assert a.completion_time == b.completion_time
+        assert a.refolded_records == b.refolded_records
+
+    @pytest.mark.parametrize("mode", list(ExecutionMode))
+    def test_restart_visible_in_observability(self, sim, mode):
+        obs = JobObservability()
+        at_time = self._mid_fetch_time(sim, mode, reducer_id=3)
+        sim.run(
+            wordcount_profile(4.0), 40, mode,
+            reducer_failure=ReducerFailure(3, at_time), obs=obs,
+        )
+        counters = obs.counters
+        assert counters.get("reduce.restarts") == 1
+        assert counters.get("sim.reducer_restarts") == 1
+        assert counters.get("sim.refetched_mb") > 0
+        assert counters.get("task.retries") == 1
+        assert counters.get("task.attempts") == (
+            counters.get("map.tasks") + counters.get("reduce.tasks") + 1
+        )
+        crashed = [
+            span for span in obs.tracer.spans(kind="attempt")
+            if span.attrs.get("crashed")
+        ]
+        assert [span.name for span in crashed] == ["reduce-3/attempt-0"]
+        assert validate_span_nesting(obs.tracer.spans()) == []

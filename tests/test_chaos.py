@@ -17,6 +17,11 @@ from repro.apps import lastfm, sortapp, wordcount
 from repro.core.job import MemoryConfig
 from repro.core.types import ExecutionMode
 from repro.engine.faults import FaultInjector
+from repro.engine.recovery import (
+    BackoffPolicy,
+    FetchFaultInjector,
+    RecoveryConfig,
+)
 from repro.engine.local import LocalEngine
 from repro.engine.threaded import ThreadedEngine
 from repro.workloads.listens import generate_listens, unique_listens_reference
@@ -96,3 +101,43 @@ def test_chaos_sort(mode, num_maps, num_reducers, keys, failure_seed):
     assert [(r.key, r.value) for r in result.all_output()] == (
         sortapp.reference_output(records)
     )
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    mode=st.sampled_from(list(ExecutionMode)),
+    memory=memory_configs,
+    num_maps=st.integers(1, 5),
+    num_reducers=st.integers(1, 4),
+    corpus_seed=st.integers(0, 50),
+    fetch_seed=st.integers(0, 50),
+    fetch_p=st.sampled_from([0.0, 0.1, 0.3]),
+    drop_p=st.sampled_from([0.0, 0.1]),
+    crash_reducer=st.booleans(),
+)
+def test_chaos_shuffle_faults_wordcount(
+    mode, memory, num_maps, num_reducers, corpus_seed, fetch_seed,
+    fetch_p, drop_p, crash_reducer,
+):
+    """Random shuffle-level faults never change the answer.
+
+    The shuffle-recovery counterpart of the task-crash chaos property:
+    probabilistic fetch failures and in-flight drops plus an optional
+    reducer crash, driven through the threaded engine's epoch-tagged
+    fetch protocol, must leave the output equal to the oracle.
+    """
+    corpus = generate_documents(12, words_per_doc=20, vocab_size=40, seed=corpus_seed)
+    job = wordcount.make_job(mode, num_reducers=num_reducers, memory=memory)
+    injector = FetchFaultInjector(
+        fetch_failure_probability=fetch_p,
+        drop_probability=drop_p,
+        crash_reducer_after={0: 5} if crash_reducer else {},
+        seed=fetch_seed,
+    )
+    engine = ThreadedEngine(
+        map_slots=2,
+        fetch_injector=injector,
+        recovery=RecoveryConfig(backoff=BackoffPolicy(base_s=0.0005, cap_s=0.005)),
+    )
+    result = engine.run(job, corpus, num_maps=num_maps)
+    assert result.output_as_dict() == wordcount.reference_output(corpus)
