@@ -1,6 +1,7 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test bench chaos figures csv examples trace-demo all clean
+.PHONY: install test bench bench-quick bench-figures chaos figures csv \
+	examples trace-demo all clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -9,6 +10,13 @@ test:
 	pytest tests/
 
 bench:
+	python -m repro.cli bench --out benchmarks/history
+
+bench-quick:
+	python -m repro.cli bench --quick --out benchmarks/history \
+		--baseline benchmarks/baseline/BENCH_baseline.json --scope counters
+
+bench-figures:
 	pytest benchmarks/ --benchmark-only
 
 chaos:

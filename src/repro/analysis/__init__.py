@@ -52,7 +52,9 @@ from repro.analysis.timeline import (
     BARRIER_STAGES,
     BARRIERLESS_STAGES,
     TimelineSeries,
+    ascii_sparkline,
     ascii_timeline,
+    render_metrics_table,
     stage_summary,
     timeline,
 )
@@ -75,6 +77,7 @@ __all__ = [
     "TimelineSeries",
     "ascii_boxplot",
     "ascii_heap_plot",
+    "ascii_sparkline",
     "ascii_timeline",
     "best_case",
     "class_loc",
@@ -93,6 +96,7 @@ __all__ = [
     "mapper_sweep",
     "overall_average",
     "render_memory_sweep",
+    "render_metrics_table",
     "render_sweep",
     "render_table",
     "size_sweep",

@@ -81,6 +81,73 @@ def ascii_timeline(
     return "\n".join(lines)
 
 
+#: Sparkline intensity ramp, lowest to highest sample value.
+SPARKLINE_LEVELS = " .:-=+*#%@"
+
+
+def ascii_sparkline(values: list[float], width: int = 40) -> str:
+    """Render a value series as a fixed-width ASCII sparkline.
+
+    Values are resampled onto ``width`` columns (nearest sample) and
+    mapped onto :data:`SPARKLINE_LEVELS` between the series min and max;
+    a flat series renders at the lowest level.
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    if not values:
+        return " " * width
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    columns = []
+    last = len(values) - 1
+    for col in range(width):
+        value = values[round(col * last / (width - 1))] if width > 1 else values[0]
+        if span <= 0:
+            level = 0
+        else:
+            level = round((value - lo) / span * (len(SPARKLINE_LEVELS) - 1))
+        columns.append(SPARKLINE_LEVELS[level])
+    return "".join(columns)
+
+
+def render_metrics_table(snapshot: dict, width: int = 40) -> str:
+    """Pretty-print a metrics snapshot as a sparkline table.
+
+    ``snapshot`` is the :meth:`~repro.obs.MetricsRegistry.as_dict` /
+    :func:`~repro.obs.load_metrics` form: ``{"series": {name: {"unit",
+    "points", "summary"}}, "maxima": {...}}``.  One row per series —
+    name, unit, sample count, min/mean/max/last and the sparkline —
+    followed by the recorded high-water marks.
+    """
+    series = snapshot.get("series", {})
+    lines = []
+    name_width = max((len(name) for name in series), default=4)
+    header = (
+        f"{'series':<{name_width}}  {'unit':<9} {'n':>5} "
+        f"{'min':>10} {'mean':>10} {'max':>10} {'last':>10}  trend"
+    )
+    lines.append(header)
+    lines.append("-" * len(header.rstrip()) + "-" * (width + 1))
+    for name in sorted(series):
+        entry = series[name]
+        values = [value for _t, value in entry.get("points", [])]
+        summary = entry.get("summary") or {}
+        lines.append(
+            f"{name:<{name_width}}  {entry.get('unit', ''):<9} "
+            f"{summary.get('n', len(values)):>5} "
+            f"{summary.get('min', 0.0):>10.2f} {summary.get('mean', 0.0):>10.2f} "
+            f"{summary.get('max', 0.0):>10.2f} {summary.get('last', 0.0):>10.2f}  "
+            f"{ascii_sparkline(values, width)}"
+        )
+    maxima = snapshot.get("maxima", {})
+    if maxima:
+        lines.append("")
+        lines.append("high-water marks:")
+        for name in sorted(maxima):
+            lines.append(f"  {name:<{name_width}}  {maxima[name]:.2f}")
+    return "\n".join(lines)
+
+
 def stage_summary(result: SimJobResult) -> dict[str, float]:
     """Key Figure 4 annotations: stage boundaries and mapper slack."""
     st = result.stage_times

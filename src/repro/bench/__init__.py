@@ -1,0 +1,35 @@
+"""Benchmark harness: pinned-seed perf snapshots and regression diffs."""
+
+from repro.bench.harness import (
+    BENCH_SCHEMA_VERSION,
+    TRACKED_COUNTERS,
+    TRACKED_SERIES,
+    BenchConfig,
+    Regression,
+    diff_snapshots,
+    list_snapshots,
+    load_snapshot,
+    previous_snapshot,
+    render_diff,
+    run_bench,
+    run_one,
+    snapshot_path,
+    write_snapshot,
+)
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchConfig",
+    "Regression",
+    "TRACKED_COUNTERS",
+    "TRACKED_SERIES",
+    "diff_snapshots",
+    "list_snapshots",
+    "load_snapshot",
+    "previous_snapshot",
+    "render_diff",
+    "run_bench",
+    "run_one",
+    "snapshot_path",
+    "write_snapshot",
+]

@@ -1,0 +1,367 @@
+"""Perf-regression bench harness: pinned-seed runs, snapshots, diffs.
+
+The paper's evaluation is a set of *relative* timing claims, so the repo
+needs a trajectory of its own performance to judge any future change
+against.  :func:`run_bench` executes the bundled apps under both shuffle
+modes on the threaded engine with pinned seeds, records medians/p95 and
+the sampled time-series summaries into a ``BENCH_<timestamp>.json``
+snapshot, and :func:`diff_snapshots` compares two snapshots and reports
+every tracked quantity that regressed past a threshold.
+
+Two diff scopes exist because the two kinds of tracked quantities fail
+differently:
+
+- ``timing`` — wall-clock medians.  Meaningful on one machine over time;
+  noisy across machines, so guarded by both a relative threshold and an
+  absolute ``min_seconds`` floor.
+- ``counters`` — deterministic work counters (records shuffled, task
+  attempts).  Identical across machines for the same code and seed, so
+  CI diffs them against a committed baseline without wall-clock flake.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict, dataclass
+from typing import Callable, Sequence
+
+from repro.apps.demo import APP_CHOICES, demo_job_and_input
+from repro.core.types import ExecutionMode
+from repro.engine.threaded import ThreadedEngine
+from repro.obs import JobObservability, ensure_parent
+
+#: On-disk schema of a bench snapshot.
+BENCH_SCHEMA_VERSION = 1
+
+#: The sampled series a snapshot must carry for every run (the tentpole's
+#: acceptance set: buffer depth, store size, in-flight fetches, records/s).
+TRACKED_SERIES: tuple[str, ...] = (
+    "shuffle.buffer.depth",
+    "store.bytes",
+    "shuffle.fetch.inflight",
+    "reduce.records_per_s",
+)
+
+#: Deterministic work counters diffed in ``counters`` scope: a >threshold
+#: increase means the same job now does more work, independent of clock.
+TRACKED_COUNTERS: tuple[str, ...] = (
+    "shuffle.records",
+    "shuffle.records.fetched",
+    "shuffle.records.consumed",
+    "map.tasks",
+    "reduce.tasks",
+    "task.attempts",
+)
+
+#: Keep at most this many points per series in the snapshot.
+_MAX_SNAPSHOT_POINTS = 64
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """One bench invocation's workload shape, pinned for reproducibility."""
+
+    apps: tuple[str, ...] = APP_CHOICES
+    modes: tuple[str, ...] = ("barrier", "barrierless")
+    repeats: int = 5
+    records: int = 2000
+    num_reducers: int = 4
+    num_maps: int = 4
+    seed: int = 0
+    store: str = "inmemory"
+
+    def __post_init__(self) -> None:
+        if self.repeats <= 0:
+            raise ValueError("repeats must be positive")
+        unknown = set(self.apps) - set(APP_CHOICES)
+        if unknown:
+            raise ValueError(f"unknown apps: {sorted(unknown)}")
+
+    @classmethod
+    def quick(cls, **overrides) -> "BenchConfig":
+        """The tiny-input shape used by ``repro bench --quick`` and CI."""
+        defaults = {"repeats": 3, "records": 300}
+        defaults.update(overrides)
+        return cls(**defaults)
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One tracked quantity that got worse between two snapshots."""
+
+    run: str
+    metric: str
+    kind: str  # "timing" | "counter"
+    baseline: float
+    current: float
+
+    @property
+    def ratio(self) -> float:
+        """current / baseline (inf when the baseline was zero)."""
+        if self.baseline == 0:
+            return float("inf")
+        return self.current / self.baseline
+
+    def describe(self) -> str:
+        change = (self.ratio - 1.0) * 100.0
+        return (
+            f"{self.run}: {self.metric} {self.baseline:.6g} -> "
+            f"{self.current:.6g} (+{change:.1f}%)"
+        )
+
+
+def _percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, int(-(-fraction * len(sorted_values) // 1)))  # ceil
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+def _median(sorted_values: Sequence[float]) -> float:
+    n = len(sorted_values)
+    if n == 0:
+        return 0.0
+    middle = n // 2
+    if n % 2:
+        return sorted_values[middle]
+    return (sorted_values[middle - 1] + sorted_values[middle]) / 2.0
+
+
+def _thin_points(points: list) -> list:
+    """Downsample a point list to at most ``_MAX_SNAPSHOT_POINTS``."""
+    if len(points) <= _MAX_SNAPSHOT_POINTS:
+        return points
+    last = len(points) - 1
+    return [
+        points[round(index * last / (_MAX_SNAPSHOT_POINTS - 1))]
+        for index in range(_MAX_SNAPSHOT_POINTS)
+    ]
+
+
+def run_one(
+    app: str, mode: str, config: BenchConfig
+) -> tuple[float, JobObservability]:
+    """One timed execution; returns (elapsed seconds, its observability)."""
+    job, pairs = demo_job_and_input(
+        app,
+        ExecutionMode(mode),
+        records=config.records,
+        num_reducers=config.num_reducers,
+        num_maps=config.num_maps,
+        store=config.store,
+        seed=config.seed,
+    )
+    obs = JobObservability()
+    engine = ThreadedEngine(obs=obs, metrics_interval_s=0.005)
+    start = time.perf_counter()
+    engine.run(job, pairs, num_maps=config.num_maps)
+    return time.perf_counter() - start, obs
+
+
+def run_bench(
+    config: BenchConfig | None = None,
+    log: Callable[[str], None] | None = None,
+) -> dict:
+    """Execute the bench matrix; returns the snapshot dict (not written).
+
+    Every ``app/mode`` cell runs ``config.repeats`` times on the same
+    pinned seed; the snapshot keeps the median and p95 of the wall times,
+    the deterministic counter subset, and the tracked time-series of the
+    last repeat (summaries plus thinned points).
+    """
+    config = config if config is not None else BenchConfig()
+    runs: dict[str, dict] = {}
+    for app in config.apps:
+        for mode in config.modes:
+            key = f"{app}/{mode}"
+            durations: list[float] = []
+            obs: JobObservability | None = None
+            for _repeat in range(config.repeats):
+                elapsed, obs = run_one(app, mode, config)
+                durations.append(elapsed)
+            durations.sort()
+            assert obs is not None
+            metrics = obs.metrics.as_dict()
+            series = {}
+            for name in TRACKED_SERIES:
+                entry = metrics["series"].get(name)
+                if entry is None:
+                    continue
+                series[name] = {
+                    "unit": entry["unit"],
+                    "summary": entry["summary"],
+                    "points": _thin_points(entry["points"]),
+                }
+            runs[key] = {
+                "median_s": _median(durations),
+                "p95_s": _percentile(durations, 0.95),
+                "samples": [round(d, 6) for d in durations],
+                "counters": {
+                    name: obs.counters.get(name) for name in TRACKED_COUNTERS
+                },
+                "series": series,
+                "maxima": obs.metrics.maxima(),
+            }
+            if log is not None:
+                log(
+                    f"{key}: median {runs[key]['median_s'] * 1e3:.1f} ms "
+                    f"p95 {runs[key]['p95_s'] * 1e3:.1f} ms "
+                    f"({config.repeats} repeats)"
+                )
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "created": time.strftime("%Y%m%d-%H%M%S", time.gmtime()),
+        "config": asdict(config),
+        "runs": runs,
+    }
+
+
+# ---------------------------------------------------------------------------
+# snapshot persistence
+# ---------------------------------------------------------------------------
+
+
+def snapshot_path(directory: str, snapshot: dict) -> str:
+    """The canonical ``BENCH_<timestamp>.json`` path for a snapshot."""
+    return os.path.join(directory, f"BENCH_{snapshot['created']}.json")
+
+
+def write_snapshot(directory: str, snapshot: dict) -> str:
+    """Write a snapshot into ``directory``; returns the file path.
+
+    Timestamps have one-second resolution, so a second run within the
+    same second gets a ``-N`` suffix instead of clobbering the first.
+    """
+    path = snapshot_path(directory, snapshot)
+    suffix = 1
+    while os.path.exists(path):
+        suffix += 1
+        path = os.path.join(
+            directory, f"BENCH_{snapshot['created']}-{suffix}.json"
+        )
+    ensure_parent(path)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(snapshot, fh, indent=1, sort_keys=True)
+    return path
+
+
+def load_snapshot(path: str) -> dict:
+    """Read a snapshot written by :func:`write_snapshot`."""
+    with open(path, encoding="utf-8") as fh:
+        snapshot = json.load(fh)
+    if "runs" not in snapshot:
+        raise ValueError(f"{path}: not a bench snapshot (no 'runs' key)")
+    return snapshot
+
+
+def list_snapshots(directory: str) -> list[str]:
+    """``BENCH_*.json`` paths in ``directory``, oldest first."""
+    if not os.path.isdir(directory):
+        return []
+    names = sorted(
+        name
+        for name in os.listdir(directory)
+        if name.startswith("BENCH_") and name.endswith(".json")
+    )
+    return [os.path.join(directory, name) for name in names]
+
+
+def previous_snapshot(directory: str) -> dict | None:
+    """The most recent snapshot in ``directory``, or ``None``."""
+    paths = list_snapshots(directory)
+    if not paths:
+        return None
+    return load_snapshot(paths[-1])
+
+
+# ---------------------------------------------------------------------------
+# regression diff
+# ---------------------------------------------------------------------------
+
+
+def diff_snapshots(
+    baseline: dict,
+    current: dict,
+    threshold: float = 0.10,
+    min_seconds: float = 0.02,
+    scope: str = "all",
+) -> list[Regression]:
+    """Tracked quantities that regressed more than ``threshold``.
+
+    Timing regressions require the median to grow by both the relative
+    ``threshold`` and the absolute ``min_seconds`` noise floor; counter
+    regressions are purely relative (the counters are deterministic).
+    Runs present in only one snapshot are skipped — a changed bench
+    matrix is not a regression.
+    """
+    if scope not in {"timing", "counters", "all"}:
+        raise ValueError(f"unknown scope {scope!r}")
+    regressions: list[Regression] = []
+    for key, base_run in baseline.get("runs", {}).items():
+        current_run = current.get("runs", {}).get(key)
+        if current_run is None:
+            continue
+        if scope in {"timing", "all"}:
+            base_median = base_run.get("median_s", 0.0)
+            current_median = current_run.get("median_s", 0.0)
+            if (
+                current_median > base_median * (1.0 + threshold)
+                and current_median - base_median > min_seconds
+            ):
+                regressions.append(
+                    Regression(
+                        key, "median_s", "timing", base_median, current_median
+                    )
+                )
+        if scope in {"counters", "all"}:
+            base_counters = base_run.get("counters", {})
+            for name, base_value in base_counters.items():
+                current_value = current_run.get("counters", {}).get(name)
+                if current_value is None or base_value <= 0:
+                    continue
+                if current_value > base_value * (1.0 + threshold):
+                    regressions.append(
+                        Regression(
+                            key, name, "counter",
+                            float(base_value), float(current_value),
+                        )
+                    )
+    return regressions
+
+
+def render_diff(
+    baseline: dict, current: dict, regressions: list[Regression]
+) -> str:
+    """Human-readable diff report: per-run medians plus the verdict."""
+    lines = [
+        f"baseline: {baseline.get('created', '?')}  "
+        f"current: {current.get('created', '?')}",
+        "",
+        f"{'run':<18} {'base ms':>9} {'cur ms':>9} {'delta':>8}",
+    ]
+    for key in sorted(current.get("runs", {})):
+        current_run = current["runs"][key]
+        base_run = baseline.get("runs", {}).get(key)
+        if base_run is None:
+            lines.append(f"{key:<18} {'-':>9} "
+                         f"{current_run['median_s'] * 1e3:>9.1f} {'new':>8}")
+            continue
+        base_ms = base_run["median_s"] * 1e3
+        current_ms = current_run["median_s"] * 1e3
+        delta = (
+            (current_ms / base_ms - 1.0) * 100.0 if base_ms > 0 else 0.0
+        )
+        lines.append(
+            f"{key:<18} {base_ms:>9.1f} {current_ms:>9.1f} {delta:>+7.1f}%"
+        )
+    lines.append("")
+    if regressions:
+        lines.append(f"REGRESSIONS ({len(regressions)}):")
+        for regression in regressions:
+            lines.append(f"  {regression.describe()}")
+    else:
+        lines.append("no regressions past threshold")
+    return "\n".join(lines)

@@ -143,6 +143,70 @@ def build_parser() -> argparse.ArgumentParser:
                           help="documents (similarity) or sentences (smt)")
     pipeline.add_argument("--seed", type=int, default=0)
     pipeline.add_argument("--top", type=int, default=10)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the perf-regression bench matrix and diff vs a baseline",
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="tiny inputs, fewer repeats (the CI smoke shape)")
+    bench.add_argument("--apps", nargs="+", metavar="APP",
+                       choices=["grep", "sort", "wc", "knn", "pp", "ga", "bs"],
+                       help="subset of apps (default: all seven)")
+    bench.add_argument("--modes", nargs="+", metavar="MODE",
+                       choices=["barrier", "barrierless"],
+                       help="subset of modes (default: both)")
+    bench.add_argument("--repeats", type=int, help="timed runs per cell")
+    bench.add_argument("--records", type=int, help="synthetic input size")
+    bench.add_argument("--reducers", type=int)
+    bench.add_argument("--maps", type=int)
+    bench.add_argument("--seed", type=int)
+    bench.add_argument("--out", metavar="DIR", default="benchmarks/history",
+                       help="snapshot directory (default: benchmarks/history)")
+    bench.add_argument("--no-write", action="store_true",
+                       help="run and diff without writing a snapshot")
+    bench.add_argument("--baseline", metavar="FILE",
+                       help="diff against this snapshot instead of the "
+                            "latest one in --out")
+    bench.add_argument("--threshold", type=float, default=0.10,
+                       help="relative regression threshold (default: 0.10)")
+    bench.add_argument("--min-seconds", type=float, default=0.02,
+                       help="absolute timing noise floor (default: 0.02)")
+    bench.add_argument("--scope", choices=["timing", "counters", "all"],
+                       default="all",
+                       help="which tracked quantities to diff "
+                            "(CI uses 'counters' across machines)")
+    bench.add_argument("--diff", nargs=2, metavar=("OLD", "NEW"),
+                       help="diff two existing snapshots and exit; "
+                            "no bench runs")
+
+    metrics_cmd = sub.add_parser(
+        "metrics",
+        help="record a run's time-series metrics and print sparklines",
+    )
+    metrics_cmd.add_argument(
+        "app", nargs="?",
+        choices=["grep", "sort", "wc", "knn", "pp", "ga", "bs"],
+        help="application to run (omit when using --file)",
+    )
+    metrics_cmd.add_argument("--file", metavar="FILE",
+                             help="render an existing metrics JSON instead "
+                                  "of running an app")
+    metrics_cmd.add_argument("--mode", type=_mode,
+                             default=ExecutionMode.BARRIERLESS)
+    metrics_cmd.add_argument("--records", type=int, default=2000)
+    metrics_cmd.add_argument("--reducers", type=int, default=4)
+    metrics_cmd.add_argument("--maps", type=int, default=4)
+    metrics_cmd.add_argument("--store",
+                             choices=["inmemory", "spillmerge", "kvstore"],
+                             default="inmemory")
+    metrics_cmd.add_argument("--seed", type=int, default=0)
+    metrics_cmd.add_argument("--width", type=int, default=40,
+                             help="sparkline width in columns")
+    metrics_cmd.add_argument("--events", action="store_true",
+                             help="also print structured event counts")
+    metrics_cmd.add_argument("-o", "--output", metavar="FILE",
+                             help="also write the metrics snapshot JSON")
     return parser
 
 
@@ -514,6 +578,108 @@ def _cmd_figure(names: list[str]) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    """Run the bench matrix, snapshot it, diff against the baseline.
+
+    Exit code 1 means at least one tracked quantity regressed past the
+    threshold — the snapshot is still written so the run can be inspected.
+    """
+    from repro.bench import (
+        BenchConfig,
+        diff_snapshots,
+        load_snapshot,
+        previous_snapshot,
+        render_diff,
+        run_bench,
+        write_snapshot,
+    )
+
+    if args.diff:
+        baseline = load_snapshot(args.diff[0])
+        current = load_snapshot(args.diff[1])
+        regressions = diff_snapshots(
+            baseline, current, threshold=args.threshold,
+            min_seconds=args.min_seconds, scope=args.scope,
+        )
+        print(render_diff(baseline, current, regressions))
+        return 1 if regressions else 0
+
+    overrides = {}
+    for cli_name, config_name in (
+        ("repeats", "repeats"),
+        ("records", "records"),
+        ("reducers", "num_reducers"),
+        ("maps", "num_maps"),
+        ("seed", "seed"),
+    ):
+        value = getattr(args, cli_name)
+        if value is not None:
+            overrides[config_name] = value
+    if args.apps:
+        overrides["apps"] = tuple(args.apps)
+    if args.modes:
+        overrides["modes"] = tuple(args.modes)
+    config = (
+        BenchConfig.quick(**overrides) if args.quick
+        else BenchConfig(**overrides)
+    )
+
+    # Resolve the baseline before writing, so a fresh snapshot never
+    # diffs against itself.
+    if args.baseline:
+        baseline = load_snapshot(args.baseline)
+    else:
+        baseline = previous_snapshot(args.out)
+
+    snapshot = run_bench(config, log=print)
+    if not args.no_write:
+        print(f"wrote {write_snapshot(args.out, snapshot)}")
+    if baseline is None:
+        print("no baseline snapshot yet — nothing to diff against")
+        return 0
+    regressions = diff_snapshots(
+        baseline, snapshot, threshold=args.threshold,
+        min_seconds=args.min_seconds, scope=args.scope,
+    )
+    print()
+    print(render_diff(baseline, snapshot, regressions))
+    return 1 if regressions else 0
+
+
+def _cmd_metrics(args) -> int:
+    from repro.analysis import render_metrics_table
+    from repro.obs import load_metrics
+
+    if args.file:
+        print(render_metrics_table(load_metrics(args.file), width=args.width))
+        return 0
+    if not args.app:
+        print("metrics: an app name or --file FILE is required",
+              file=sys.stderr)
+        return 2
+
+    from repro.engine import ThreadedEngine
+    from repro.obs import JobObservability
+
+    obs = JobObservability()
+    job, pairs = _make_app_job_and_input(args)
+    ThreadedEngine(obs=obs).run(job, pairs, num_maps=args.maps)
+    print(
+        f"{args.app} [{args.mode.value}] engine=threaded "
+        f"input={args.records} records"
+    )
+    print(render_metrics_table(obs.metrics.as_dict(), width=args.width))
+    if args.events:
+        print()
+        print("events:")
+        for kind, count in sorted(obs.events.counts().items()):
+            print(f"  {kind:<20} {count:>6}")
+    if args.output:
+        obs.write_metrics(args.output)
+        print(f"wrote {args.output}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -547,6 +713,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_chaos(args)
     if args.command == "pipeline":
         return _cmd_pipeline(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
+    if args.command == "metrics":
+        return _cmd_metrics(args)
     raise AssertionError(args.command)
 
 

@@ -106,11 +106,28 @@ class LocalEngine(Engine):
                         )
                         return produced, attempt_counters
 
+                    obs.events.emit(
+                        "task.start", task=f"map-{task_index}", stage="map"
+                    )
                     with obs.tracer.span(
                         f"map-{task_index}", "task"
                     ) as task_span:
                         partitions, task_counters = runner.run(
                             f"map-{task_index}", map_attempt, parent=task_span
+                        )
+                    obs.events.emit(
+                        "task.finish",
+                        task=f"map-{task_index}",
+                        stage="map",
+                        status="ok",
+                    )
+                    spills = task_counters.values.get("map.output_spills", 0)
+                    if spills:
+                        obs.events.emit(
+                            "spill",
+                            task=f"map-{task_index}",
+                            spills=spills,
+                            bytes=task_counters.values.get("map.spill_bytes", 0),
                         )
                     counters.merge(task_counters)
                     obs.counters.merge_counters(task_counters)
@@ -156,14 +173,21 @@ class LocalEngine(Engine):
                         return produced, attempt_counters
 
                     task_id = f"reduce-{reducer_index}"
+                    obs.events.emit("task.start", task=task_id, stage="reduce")
                     with obs.tracer.span(task_id, "task") as task_span:
                         produced, task_counters = runner.run(
                             task_id, reduce_attempt, parent=task_span
                         )
+                    obs.events.emit(
+                        "task.finish", task=task_id, stage="reduce", status="ok"
+                    )
                     counters.merge(task_counters)
                     obs.counters.merge_counters(task_counters)
                     retries = runner.attempts_made.get(task_id, 1) - 1
                     if retries > 0:
+                        obs.events.emit(
+                            "reduce.restart", task=task_id, restarts=retries
+                        )
                         obs.counters.increment("reduce.restarts", retries)
                         if store_backed:
                             # Each retried attempt rebuilt the partial

@@ -118,6 +118,13 @@ class MultiprocessEngine(Engine):
         obs.tracer.record(
             name, "task", start, end, parent=stage, tid=pid & 0xFFFF, pid=pid
         )
+        # Mirror the span as lifecycle events at the worker-measured
+        # times, so cross-process runs produce the same event shapes as
+        # the in-process engines.
+        obs.events.record("task.start", start, task=name, stage=stage.name)
+        obs.events.record(
+            "task.finish", end, task=name, stage=stage.name, status="ok"
+        )
 
     def run(
         self,
@@ -254,6 +261,11 @@ class MultiprocessEngine(Engine):
                     f"reduce-{reducer_index}", 1
                 ) - 1
                 if retries > 0:
+                    obs.events.emit(
+                        "reduce.restart",
+                        task=f"reduce-{reducer_index}",
+                        restarts=retries,
+                    )
                     obs.counters.increment("reduce.restarts", retries)
                     if store_backed:
                         obs.counters.increment("store.resets", retries)

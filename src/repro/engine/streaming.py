@@ -56,7 +56,7 @@ from repro.engine.base import (
 )
 from repro.engine.faults import TaskAttemptError
 from repro.engine.recovery import FetchFaultInjector
-from repro.obs import JobObservability
+from repro.obs import JobObservability, MetricsTicker
 
 _SENTINEL = None
 
@@ -250,6 +250,37 @@ class StreamingEngine:
         ]
         self._closed = False
         self._pushed_batches = 0
+        self._routed_records = 0
+        for i in range(job.num_reducers):
+            self.obs.events.emit(
+                "task.start", task=f"reduce-{i}", stage="reduce"
+            )
+        # Long-lived gauges: sessions are rebuilt on restart, so the
+        # closures re-read the current queue/store every tick.
+        metrics = self.obs.metrics
+        metrics.register_gauge(
+            "shuffle.buffer.depth", self._queued_records, unit="records"
+        )
+        metrics.register_gauge(
+            "store.bytes", self._store_bytes, unit="bytes"
+        )
+        metrics.register_rate(
+            "reduce.records_per_s",
+            lambda: self._routed_records,
+            unit="records/s",
+        )
+        self._ticker = MetricsTicker(metrics)
+        self._ticker.start()
+
+    def _queued_records(self) -> int:
+        return sum(session.queue.qsize() for session in self._sessions)
+
+    def _store_bytes(self) -> int:
+        return sum(
+            session.store.memory_used()
+            for session in self._sessions
+            if session.store is not None
+        )
 
     # -- recovery ------------------------------------------------------------
 
@@ -257,6 +288,9 @@ class StreamingEngine:
         """Restart a crashed reducer session and account for it."""
         self._restarts += 1
         self.obs.counters.increment("reduce.restarts")
+        self.obs.events.emit(
+            "reduce.restart", task=f"reduce-{session._index}"
+        )
         if session.store is not None:
             self.obs.counters.increment("store.resets")
         session.restart()
@@ -280,11 +314,17 @@ class StreamingEngine:
             records = run_map_task(self.job, pairs, self.counters)
             partitions = partition_records(self.job, records)
         self.counters.increment("map.tasks")
+        routed = 0
         for index, part in partitions.items():
             session = self._sessions[index]
             for record in part:
                 session.journal.append(record)
                 session.queue.put(record)
+            routed += len(part)
+        self._routed_records += routed
+        self.obs.metrics.observe_max(
+            "shuffle.buffer.hwm", self._queued_records()
+        )
         self._pushed_batches += 1
 
     # -- live output ----------------------------------------------------------
@@ -354,7 +394,12 @@ class StreamingEngine:
             output[index] = session.context.drain()
             self.counters.merge(session.counters)
             self.counters.increment("reduce.tasks")
+            obs.events.emit(
+                "task.finish", task=f"reduce-{index}", stage="reduce",
+                status="ok",
+            )
             obs.tracer.close(self._task_spans[index])
+        self._ticker.stop()
         obs.tracer.close(self._reduce_stage)
         obs.tracer.close(self._job_span)
         obs.counters.merge_counters(self.counters)

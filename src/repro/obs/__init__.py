@@ -1,4 +1,4 @@
-"""Unified observability layer: job counters, trace spans and exporters.
+"""Unified observability layer: counters, spans, time-series and events.
 
 The engines, the fault/retry path and the discrete-event simulator all
 report through this package so that *real* and *simulated* executions
@@ -9,6 +9,13 @@ produce diffable artifacts:
   attempts/retries, partial-store builds/resets);
 - :class:`Tracer` / :class:`Span` — nestable spans (job → stage → task →
   attempt) generalising :class:`~repro.engine.instrument.TaskEvent`;
+- :class:`MetricsRegistry` / :class:`TimeSeries` — sampled gauges
+  (buffer depth, store bytes, in-flight fetches, records/sec) on a
+  wall-clock ticker for live engines and virtual-time hooks for the
+  simulator;
+- :class:`EventLog` / :class:`ObsEvent` — append-only structured event
+  log (task transitions, fetch retries, spills, restarts, speculation),
+  persisted as JSONL;
 - :mod:`repro.obs.export` — a Chrome ``trace_event`` JSON exporter
   (open the file in ``chrome://tracing`` or Perfetto) plus a plain-text
   summary;
@@ -17,6 +24,12 @@ produce diffable artifacts:
 """
 
 from repro.obs.counters import CounterRegistry
+from repro.obs.events import (
+    EventLog,
+    ObsEvent,
+    read_event_log,
+    write_event_log,
+)
 from repro.obs.export import (
     render_counters,
     render_trace_summary,
@@ -24,18 +37,38 @@ from repro.obs.export import (
     validate_span_nesting,
     write_chrome_trace,
 )
+from repro.obs.metrics import (
+    LiveGauge,
+    MetricsRegistry,
+    MetricsTicker,
+    TimeSeries,
+    ensure_parent,
+    load_metrics,
+    write_metrics,
+)
 from repro.obs.session import JobObservability
 from repro.obs.trace import KIND_DEPTH, Span, Tracer
 
 __all__ = [
     "CounterRegistry",
+    "EventLog",
     "JobObservability",
     "KIND_DEPTH",
+    "LiveGauge",
+    "MetricsRegistry",
+    "MetricsTicker",
+    "ObsEvent",
     "Span",
+    "TimeSeries",
     "Tracer",
+    "ensure_parent",
+    "load_metrics",
+    "read_event_log",
     "render_counters",
     "render_trace_summary",
     "to_chrome_trace",
     "validate_span_nesting",
     "write_chrome_trace",
+    "write_event_log",
+    "write_metrics",
 ]

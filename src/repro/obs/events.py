@@ -1,0 +1,161 @@
+"""Append-only structured event log (JSONL).
+
+Counters aggregate and series sample; the event log keeps the *discrete
+occurrences* — task transitions, fetch retries, spills, restarts,
+speculation decisions — with their timestamps and context, so a counter
+anomaly ("why 37 fetch retries?") can be drilled into record by record.
+
+Events share the tracer's job-relative clock on live engines and carry
+explicit virtual times from the simulator, the same two-discipline design
+as spans and metrics.  The on-disk form is JSON Lines: one event object
+per line, append-friendly and greppable.
+
+Well-known kinds (engines may add more; consumers must tolerate unknown
+kinds):
+
+- ``task.start`` / ``task.finish`` — task lifecycle (``task``, ``stage``,
+  ``status`` of ``ok`` | ``failed`` on finish);
+- ``task.retry`` — a failed attempt being retried;
+- ``map.reexec`` — a map task re-executed to regenerate lost output;
+- ``fetch.retry`` / ``fetch.timeout`` / ``fetch.drop`` — shuffle-level
+  fetch faults (``reducer``, ``mapper``, ``seq``, ``attempt``);
+- ``epoch.restart`` — a fetch stream restarting after a mapper epoch bump;
+- ``map_output.lost`` — a mapper's retained output disappeared;
+- ``spill`` — a buffer or store spilled to disk (``spills``, ``bytes``);
+- ``reduce.restart`` — a reduce attempt restarted from scratch;
+- ``speculation.launch`` / ``speculation.win`` — straggler backups.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+#: Current on-disk schema of :func:`write_event_log` payload lines.
+EVENTS_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True, slots=True)
+class ObsEvent:
+    """One logged occurrence, in job-relative seconds."""
+
+    t: float
+    kind: str
+    seq: int = 0
+    attrs: dict = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        """The JSONL line object for this event."""
+        payload = {"t": round(self.t, 6), "kind": self.kind, "seq": self.seq}
+        if self.attrs:
+            payload["attrs"] = self.attrs
+        return payload
+
+
+class EventLog:
+    """Thread-safe append-only event collection for one or more jobs.
+
+    ``clock`` is a zero-argument callable returning job-relative seconds;
+    a log constructed with ``enabled=False`` records nothing.  ``seq``
+    numbers give a total order even among events with equal timestamps
+    (virtual-time ties are common in the simulator).
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float] | None = None,
+        enabled: bool = True,
+    ):
+        self.enabled = enabled
+        if clock is None:
+            origin = time.monotonic()
+            clock = lambda: time.monotonic() - origin  # noqa: E731
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._events: list[ObsEvent] = []
+        self._next_seq = 0
+
+    # -- recording --------------------------------------------------------
+
+    def emit(self, kind: str, **attrs) -> None:
+        """Append one event stamped with the log's clock."""
+        self.record(kind, self._clock(), **attrs)
+
+    def record(self, kind: str, t: float, **attrs) -> None:
+        """Append one event with an explicit time (simulator entry point)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._events.append(ObsEvent(t, kind, self._next_seq, dict(attrs)))
+            self._next_seq += 1
+
+    # -- read side --------------------------------------------------------
+
+    def events(self, kind: str | None = None) -> list[ObsEvent]:
+        """Events (optionally by kind), sorted by ``(t, seq)``."""
+        with self._lock:
+            snapshot = list(self._events)
+        if kind is not None:
+            snapshot = [event for event in snapshot if event.kind == kind]
+        return sorted(snapshot, key=lambda event: (event.t, event.seq))
+
+    def counts(self) -> dict[str, int]:
+        """Number of events per kind, sorted by kind name."""
+        totals: dict[str, int] = {}
+        with self._lock:
+            for event in self._events:
+                totals[event.kind] = totals.get(event.kind, 0) + 1
+        return dict(sorted(totals.items()))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+
+# ---------------------------------------------------------------------------
+# persistence
+# ---------------------------------------------------------------------------
+
+
+def write_event_log(path: str, log: "EventLog | Iterable[ObsEvent]") -> str:
+    """Write events as JSON Lines to ``path``; returns the path.
+
+    The first line is a header object carrying the schema version; every
+    following line is one event.  Parent directories are created if
+    missing.
+    """
+    from repro.obs.metrics import ensure_parent
+
+    events = log.events() if isinstance(log, EventLog) else list(log)
+    ensure_parent(path)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps({"schema": EVENTS_SCHEMA_VERSION}) + "\n")
+        for event in events:
+            fh.write(json.dumps(event.to_json()) + "\n")
+    return path
+
+
+def read_event_log(path: str) -> list[ObsEvent]:
+    """Read events written by :func:`write_event_log`, in file order."""
+    events: list[ObsEvent] = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            payload = json.loads(line)
+            if "kind" not in payload:  # the schema header line
+                continue
+            events.append(
+                ObsEvent(
+                    t=payload["t"],
+                    kind=payload["kind"],
+                    seq=payload.get("seq", 0),
+                    attrs=payload.get("attrs", {}),
+                )
+            )
+    return events

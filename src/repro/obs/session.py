@@ -1,10 +1,13 @@
 """The observability bundle every engine accepts.
 
-:class:`JobObservability` pairs one :class:`CounterRegistry` with one
-:class:`Tracer` under a single enabled/disabled switch, and carries the
-wall-clock epoch (``time.time`` at construction) that worker *processes*
-use to express their span times in the parent's trace timeline — the
-cross-process counterpart of the tracer's monotonic clock.
+:class:`JobObservability` pairs one :class:`CounterRegistry`, one
+:class:`Tracer`, one :class:`MetricsRegistry` and one :class:`EventLog`
+under a single enabled/disabled switch, and carries the wall-clock epoch
+(``time.time`` at construction) that worker *processes* use to express
+their span times in the parent's trace timeline — the cross-process
+counterpart of the tracer's monotonic clock.  Metrics and events run on
+the tracer's clock, so samples, events and spans share one job-relative
+timeline.
 """
 
 from __future__ import annotations
@@ -13,18 +16,20 @@ import time
 from typing import Callable
 
 from repro.obs.counters import CounterRegistry
+from repro.obs.events import EventLog, write_event_log
 from repro.obs.export import (
     render_trace_summary,
     to_chrome_trace,
     write_chrome_trace,
 )
+from repro.obs.metrics import MetricsRegistry, write_metrics
 from repro.obs.trace import Tracer
 
 
 class JobObservability:
-    """Counters + tracer for one engine, sharing one on/off switch."""
+    """Counters + tracer + metrics + events, sharing one on/off switch."""
 
-    __slots__ = ("enabled", "counters", "tracer", "epoch")
+    __slots__ = ("enabled", "counters", "tracer", "metrics", "events", "epoch")
 
     def __init__(
         self,
@@ -34,6 +39,8 @@ class JobObservability:
         self.enabled = enabled
         self.counters = CounterRegistry(enabled=enabled)
         self.tracer = Tracer(clock=clock, enabled=enabled)
+        self.metrics = MetricsRegistry(clock=self.tracer.now, enabled=enabled)
+        self.events = EventLog(clock=self.tracer.now, enabled=enabled)
         #: Wall-clock anchor of the tracer's t=0.  Worker processes
         #: compute ``time.time() - epoch`` to produce span times directly
         #: comparable with the parent's monotonic clock (same host, so
@@ -54,6 +61,14 @@ class JobObservability:
     def write_trace(self, path: str, process_name: str = "repro") -> str:
         """Write the Chrome trace JSON to ``path``; returns the path."""
         return write_chrome_trace(path, self.tracer, self.counters, process_name)
+
+    def write_metrics(self, path: str) -> str:
+        """Write the sampled time-series JSON to ``path``; returns it."""
+        return write_metrics(path, self.metrics)
+
+    def write_events(self, path: str) -> str:
+        """Write the structured event log as JSONL to ``path``; returns it."""
+        return write_event_log(path, self.events)
 
     def summary(self) -> str:
         """Plain-text span tree + counter table."""

@@ -166,6 +166,28 @@ class SimJobResult:
         return self.stage_times.mapper_slack
 
 
+def _spill_times(trace: ReducerTrace) -> list[tuple[float, float]]:
+    """Reconstruct ``(virtual_time, spilled_mb)`` flushes from a heap trace.
+
+    The reducer model appends a ``(t, 0.0)`` sample immediately after a
+    spill empties the buffer, so a drop to zero from a positive value
+    marks one flush of that previous value.
+    """
+    flushes: list[tuple[float, float]] = []
+    previous = 0.0
+    for at, current in trace.heap_samples:
+        if current == 0.0 and previous > 0.0:
+            flushes.append((at, previous / MB))
+        previous = current
+    return flushes
+
+
+def _arrival_mb(trace: ReducerTrace, record_bytes: float) -> float:
+    """MB transferred per mapper-partition arrival at this reducer."""
+    per_map = trace.records / max(1, len(trace.arrival_times))
+    return per_map * record_bytes / MB
+
+
 class HadoopSimulator:
     """Simulates barrier and barrier-less executions on one cluster."""
 
@@ -837,6 +859,171 @@ class HadoopSimulator:
         counters.increment(
             "sim.refolded_records", int(round(result.refolded_records))
         )
+        self._export_events(result, obs)
+        self._export_metrics(mode, result, obs, record_bytes=profile.record_bytes)
+
+    def _export_events(
+        self, result: SimJobResult, obs: JobObservability
+    ) -> None:
+        """Mirror the simulated occurrences into the structured event log.
+
+        Same kinds and attribute shapes as the live engines, with virtual
+        timestamps — a simulated run's JSONL is directly diffable against
+        a measured one.
+        """
+        events = obs.events
+        for event in result.task_log.events("map"):
+            events.record(
+                "task.start", event.start, task=event.task_id, stage="map"
+            )
+            events.record(
+                "task.finish", event.end, task=event.task_id, stage="map",
+                status="ok",
+            )
+        restarted_ids = {t.reducer_id for t in result.aborted_reducers}
+        for trace in result.reducers:
+            events.record(
+                "task.start", trace.start,
+                task=f"reduce-{trace.reducer_id}", stage="reduce",
+            )
+            if trace.reducer_id in restarted_ids:
+                events.record(
+                    "reduce.restart", trace.start,
+                    task=f"reduce-{trace.reducer_id}",
+                )
+            for at, mb in _spill_times(trace):
+                events.record(
+                    "spill", at, task=f"reduce-{trace.reducer_id}",
+                    bytes=int(round(mb * MB)),
+                )
+            events.record(
+                "task.finish", trace.finish,
+                task=f"reduce-{trace.reducer_id}", stage="reduce",
+                status="failed" if trace.spills == -1 else "ok",
+            )
+
+    def _export_metrics(
+        self,
+        mode: ExecutionMode,
+        result: SimJobResult,
+        obs: JobObservability,
+        record_bytes: float = 100.0,
+        ticks: int = 64,
+    ) -> None:
+        """Sample the simulated trajectories at evenly spaced virtual times.
+
+        Same series names, units and schema as the live engines' ticker —
+        ``shuffle.fetch.inflight``, ``shuffle.buffer.depth``,
+        ``store.bytes``, ``reduce.records_per_s`` — plus the
+        simulator-only ``sim.network.mb_per_s`` (shuffle ingest) and
+        ``sim.disk.spilled_mb`` (cumulative spill volume).  Everything is
+        a pure function of the result, so two identical runs produce
+        bit-identical series.
+        """
+        metrics = obs.metrics
+        reducers = result.reducers
+        horizon = max(
+            result.completion_time,
+            max((t.finish for t in reducers), default=0.0),
+        )
+        if horizon <= 0.0 or not reducers:
+            return
+        times = [horizon * i / (ticks - 1) for i in range(ticks)]
+
+        def per_map_records(trace: ReducerTrace) -> float:
+            return trace.records / max(1, len(trace.arrival_times))
+
+        def consume_boundary(trace: ReducerTrace) -> float:
+            return min(max(trace.start, trace.shuffle_done), trace.finish)
+
+        def buffer_depth(trace: ReducerTrace, t: float) -> float:
+            """Records sitting fetched-but-not-reduced at virtual ``t``."""
+            arrived = per_map_records(trace) * sum(
+                1 for a in trace.arrival_times if a <= t
+            )
+            if mode is ExecutionMode.BARRIER:
+                # The whole partition buffers until the sort drains it.
+                return arrived if t < trace.sort_done else 0.0
+            boundary = consume_boundary(trace)
+            if t >= boundary:
+                return 0.0
+            span = boundary - trace.start
+            progress = (t - trace.start) / span if span > 0 else 1.0
+            return max(0.0, arrived - trace.records * min(1.0, max(0.0, progress)))
+
+        def consumed(trace: ReducerTrace, t: float) -> float:
+            """Records folded into the reduce path by virtual ``t``."""
+            if mode is ExecutionMode.BARRIER:
+                lo, hi = trace.sort_done, trace.finish
+            else:
+                lo, hi = trace.start, consume_boundary(trace)
+            if t <= lo:
+                return 0.0
+            if t >= hi or hi <= lo:
+                return trace.records
+            return trace.records * (t - lo) / (hi - lo)
+
+        def store_bytes(trace: ReducerTrace, t: float) -> float:
+            value = 0.0
+            for at, current in trace.heap_samples:
+                if at > t:
+                    break
+                value = current
+            return value
+
+        spill_schedule = sorted(
+            (at, mb) for trace in reducers for at, mb in _spill_times(trace)
+        )
+        previous_t: float | None = None
+        previous_consumed = 0.0
+        for t in times:
+            inflight = sum(
+                1 for trace in reducers if trace.start <= t < trace.shuffle_done
+            )
+            depth = sum(buffer_depth(trace, t) for trace in reducers)
+            metrics.sample("shuffle.fetch.inflight", inflight, t=t, unit="streams")
+            metrics.sample("shuffle.buffer.depth", depth, t=t, unit="records")
+            metrics.sample(
+                "store.bytes",
+                sum(store_bytes(trace, t) for trace in reducers),
+                t=t,
+                unit="bytes",
+            )
+            metrics.sample(
+                "sim.disk.spilled_mb",
+                sum(mb for at, mb in spill_schedule if at <= t),
+                t=t,
+                unit="MB",
+            )
+            total_consumed = sum(consumed(trace, t) for trace in reducers)
+            if previous_t is not None and t > previous_t:
+                dt = t - previous_t
+                metrics.sample(
+                    "reduce.records_per_s",
+                    (total_consumed - previous_consumed) / dt,
+                    t=t,
+                    unit="records/s",
+                )
+                metrics.sample(
+                    "sim.network.mb_per_s",
+                    sum(
+                        _arrival_mb(trace, record_bytes)
+                        * sum(1 for a in trace.arrival_times if previous_t < a <= t)
+                        for trace in reducers
+                    )
+                    / dt,
+                    t=t,
+                    unit="MB/s",
+                )
+            previous_t = t
+            previous_consumed = total_consumed
+        # Exact high-water mark: buffer depth peaks at arrival instants,
+        # which a fixed tick grid can straddle.
+        for trace in reducers:
+            for arrival in trace.arrival_times:
+                metrics.observe_max(
+                    "shuffle.buffer.hwm", buffer_depth(trace, arrival)
+                )
 
 
 def improvement_percent(barrier_time: float, barrierless_time: float) -> float:

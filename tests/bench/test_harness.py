@@ -1,0 +1,216 @@
+"""Tests for the perf-regression bench harness (repro.bench)."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.bench import (
+    BenchConfig,
+    TRACKED_SERIES,
+    diff_snapshots,
+    list_snapshots,
+    load_snapshot,
+    previous_snapshot,
+    render_diff,
+    run_bench,
+    write_snapshot,
+)
+from repro.cli import main
+
+QUICK = BenchConfig.quick(apps=("wc",), repeats=2, records=200)
+
+
+@pytest.fixture(scope="module")
+def snapshot():
+    """One tiny real bench run shared by this module's tests."""
+    return run_bench(QUICK)
+
+
+class TestRunBench:
+    def test_snapshot_shape(self, snapshot):
+        assert snapshot["schema"] == 1
+        assert set(snapshot["runs"]) == {"wc/barrier", "wc/barrierless"}
+        for run in snapshot["runs"].values():
+            assert run["median_s"] > 0
+            assert run["p95_s"] >= run["median_s"]
+            assert len(run["samples"]) == QUICK.repeats
+            assert run["counters"]["map.tasks"] == QUICK.num_maps
+
+    def test_all_tracked_series_recorded(self, snapshot):
+        for run in snapshot["runs"].values():
+            assert set(run["series"]) == set(TRACKED_SERIES)
+            for entry in run["series"].values():
+                assert entry["summary"]["n"] >= 1
+                assert entry["points"]
+        assert snapshot["runs"]["wc/barrierless"]["maxima"][
+            "shuffle.buffer.hwm"
+        ] > 0
+
+    def test_counters_deterministic_across_runs(self, snapshot):
+        again = run_bench(QUICK)
+        for key, run in snapshot["runs"].items():
+            assert again["runs"][key]["counters"] == run["counters"]
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            BenchConfig(repeats=0)
+        with pytest.raises(ValueError):
+            BenchConfig(apps=("nosuchapp",))
+
+
+class TestPersistence:
+    def test_write_list_load_previous(self, snapshot, tmp_path):
+        directory = str(tmp_path / "history")
+        first = dict(snapshot, created="20260101-000000")
+        second = dict(snapshot, created="20260102-000000")
+        write_snapshot(directory, first)
+        write_snapshot(directory, second)
+        paths = list_snapshots(directory)
+        assert [p.split("BENCH_")[-1] for p in paths] == [
+            "20260101-000000.json", "20260102-000000.json",
+        ]
+        assert load_snapshot(paths[0])["created"] == "20260101-000000"
+        assert previous_snapshot(directory)["created"] == "20260102-000000"
+
+    def test_previous_of_empty_directory_is_none(self, tmp_path):
+        assert previous_snapshot(str(tmp_path)) is None
+        assert list_snapshots(str(tmp_path / "missing")) == []
+
+    def test_load_rejects_non_snapshot(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{}")
+        with pytest.raises(ValueError):
+            load_snapshot(str(path))
+
+
+def slowed(snapshot: dict, factor: float) -> dict:
+    """A deep copy of ``snapshot`` with every median scaled by ``factor``."""
+    other = copy.deepcopy(snapshot)
+    for run in other["runs"].values():
+        run["median_s"] *= factor
+    return other
+
+
+class TestDiff:
+    def test_identical_snapshots_have_no_regressions(self, snapshot):
+        assert diff_snapshots(snapshot, snapshot) == []
+
+    def test_injected_slowdown_detected(self, snapshot):
+        current = slowed(snapshot, 1.5)
+        regressions = diff_snapshots(
+            snapshot, current, threshold=0.10, min_seconds=0.0
+        )
+        assert {r.run for r in regressions} == set(snapshot["runs"])
+        assert all(r.kind == "timing" for r in regressions)
+        assert all(r.ratio == pytest.approx(1.5) for r in regressions)
+
+    def test_below_threshold_slowdown_ignored(self, snapshot):
+        current = slowed(snapshot, 1.05)
+        assert diff_snapshots(
+            snapshot, current, threshold=0.10, min_seconds=0.0
+        ) == []
+
+    def test_noise_floor_suppresses_small_absolute_deltas(self, snapshot):
+        # 50% slower but far below min_seconds on a millisecond run: a
+        # timing diff across machines must not flag micro-jitter.
+        current = slowed(snapshot, 1.5)
+        assert diff_snapshots(
+            snapshot, current, threshold=0.10, min_seconds=60.0
+        ) == []
+
+    def test_counter_regression_detected(self, snapshot):
+        current = copy.deepcopy(snapshot)
+        run = current["runs"]["wc/barrierless"]
+        run["counters"]["shuffle.records"] *= 2
+        regressions = diff_snapshots(snapshot, current, scope="counters")
+        assert len(regressions) == 1
+        assert regressions[0].metric == "shuffle.records"
+        assert regressions[0].kind == "counter"
+
+    def test_counters_scope_ignores_timing(self, snapshot):
+        current = slowed(snapshot, 10.0)
+        assert diff_snapshots(snapshot, current, scope="counters") == []
+
+    def test_missing_runs_are_not_regressions(self, snapshot):
+        current = copy.deepcopy(snapshot)
+        del current["runs"]["wc/barrier"]
+        slow = slowed(snapshot, 2.0)
+        del slow["runs"]["wc/barrierless"]
+        # Removed from current: skipped.  Disjoint run sets: skipped —
+        # a changed bench matrix is not a regression.
+        assert diff_snapshots(snapshot, current, min_seconds=0.0) == []
+        assert diff_snapshots(current, slow, min_seconds=0.0) == []
+
+    def test_rejects_unknown_scope(self, snapshot):
+        with pytest.raises(ValueError):
+            diff_snapshots(snapshot, snapshot, scope="vibes")
+
+    def test_render_diff_mentions_regressions(self, snapshot):
+        current = slowed(snapshot, 1.5)
+        regressions = diff_snapshots(
+            snapshot, current, min_seconds=0.0
+        )
+        text = render_diff(snapshot, current, regressions)
+        assert "REGRESSIONS" in text
+        assert "wc/barrier" in text
+        clean = render_diff(snapshot, snapshot, [])
+        assert "no regressions" in clean
+
+
+class TestCli:
+    def test_bench_writes_snapshot_and_diffs_clean(self, tmp_path, capsys):
+        out = str(tmp_path / "history")
+        argv = ["bench", "--quick", "--apps", "wc", "--repeats", "2",
+                "--records", "200", "--out", out]
+        assert main(argv) == 0
+        assert "no baseline snapshot" in capsys.readouterr().out
+        assert len(list_snapshots(out)) == 1
+        # Second run diffs against the first; tiny runs sit under the
+        # noise floor, so the exit stays clean.
+        assert main(argv) == 0
+        assert "no regressions" in capsys.readouterr().out
+        assert len(list_snapshots(out)) == 2
+
+    def test_bench_diff_exits_nonzero_on_slowdown(
+        self, snapshot, tmp_path, capsys
+    ):
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        old.write_text(json.dumps(snapshot))
+        new.write_text(json.dumps(slowed(snapshot, 1.5)))
+        assert main(["bench", "--diff", str(old), str(new),
+                     "--min-seconds", "0"]) == 1
+        assert "REGRESSIONS" in capsys.readouterr().out
+        assert main(["bench", "--diff", str(old), str(old)]) == 0
+
+    def test_bench_explicit_baseline_counters_scope(
+        self, snapshot, tmp_path, capsys
+    ):
+        baseline = tmp_path / "BENCH_baseline.json"
+        baseline.write_text(json.dumps(snapshot))
+        assert main(["bench", "--quick", "--apps", "wc", "--repeats", "1",
+                     "--records", "200", "--no-write",
+                     "--out", str(tmp_path / "none"),
+                     "--baseline", str(baseline),
+                     "--scope", "counters"]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_metrics_command_prints_sparklines(self, capsys):
+        assert main(["metrics", "wc", "--records", "300", "--events"]) == 0
+        out = capsys.readouterr().out
+        assert "shuffle.buffer.depth" in out
+        assert "high-water marks" in out
+        assert "task.start" in out
+
+    def test_metrics_file_rendering(self, tmp_path, capsys):
+        path = str(tmp_path / "m.json")
+        assert main(["metrics", "wc", "--records", "300", "-o", path]) == 0
+        capsys.readouterr()
+        assert main(["metrics", "--file", path]) == 0
+        assert "reduce.records_per_s" in capsys.readouterr().out
+
+    def test_metrics_requires_app_or_file(self, capsys):
+        assert main(["metrics"]) == 2

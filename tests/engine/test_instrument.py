@@ -94,6 +94,37 @@ class TestConcurrencySeries:
         _, counts = concurrency_series(events, step=0.5)
         assert max(counts) <= 30
 
+    def test_identical_timestamps_all_counted(self):
+        # Simulator output routinely has many tasks with bit-identical
+        # start/end (virtual-time ties); every one must count.
+        events = [TaskEvent("map", str(i), 1.0, 3.0) for i in range(5)]
+        times, counts = concurrency_series(events, step=1.0)
+        assert counts[times.index(1.0)] == 5
+        assert counts[times.index(2.0)] == 5
+        assert counts[times.index(3.0)] == 0
+
+    def test_identical_zero_duration_timestamps(self):
+        events = [TaskEvent("map", str(i), 2.0, 2.0) for i in range(4)]
+        times, counts = concurrency_series(events, step=1.0)
+        assert counts[times.index(2.0)] == 4
+
+    def test_until_shorter_than_last_event_truncates(self):
+        # A horizon before the last event's end clips sampling at the
+        # horizon; the event still counts while it overlaps the window.
+        events = [
+            TaskEvent("map", "a", 0.0, 10.0),
+            TaskEvent("map", "b", 4.0, 10.0),
+        ]
+        times, counts = concurrency_series(events, step=1.0, until=5.0)
+        assert times == [0.0, 1.0, 2.0, 3.0, 4.0, 5.0]
+        assert counts == [1, 1, 1, 1, 2, 2]
+
+    def test_until_shorter_than_event_start_samples_zeros(self):
+        events = [TaskEvent("map", "late", 8.0, 9.0)]
+        times, counts = concurrency_series(events, step=1.0, until=3.0)
+        assert times[-1] == 3.0
+        assert counts == [0, 0, 0, 0]
+
 
 class TestStageBoundaries:
     def test_min_start_max_end(self):

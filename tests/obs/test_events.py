@@ -1,0 +1,77 @@
+"""Tests for the structured event log (repro.obs.events)."""
+
+from __future__ import annotations
+
+from repro.obs import EventLog, ObsEvent, read_event_log, write_event_log
+
+
+class TestEventLog:
+    def test_emit_uses_clock_and_attrs(self):
+        ticks = iter([1.25, 2.5])
+        log = EventLog(clock=lambda: next(ticks))
+        log.emit("task.start", task="m0", stage="map")
+        log.emit("task.finish", task="m0", status="ok")
+        events = log.events()
+        assert [event.t for event in events] == [1.25, 2.5]
+        assert events[0].attrs == {"task": "m0", "stage": "map"}
+
+    def test_seq_breaks_equal_timestamp_ties(self):
+        log = EventLog()
+        for index in range(5):
+            log.record("fetch.retry", 3.0, attempt=index)
+        attempts = [event.attrs["attempt"] for event in log.events()]
+        assert attempts == [0, 1, 2, 3, 4]
+
+    def test_events_sorted_by_time_then_seq(self):
+        log = EventLog()
+        log.record("late", 9.0)
+        log.record("early", 1.0)
+        log.record("middle", 5.0)
+        assert [event.kind for event in log.events()] == [
+            "early", "middle", "late",
+        ]
+
+    def test_kind_filter_and_counts(self):
+        log = EventLog()
+        log.record("task.start", 0.0, task="m0")
+        log.record("task.start", 1.0, task="m1")
+        log.record("spill", 2.0, bytes=4096)
+        assert len(log.events("task.start")) == 2
+        assert log.counts() == {"spill": 1, "task.start": 2}
+        assert len(log) == 3
+
+    def test_disabled_log_records_nothing(self):
+        log = EventLog(enabled=False)
+        log.emit("task.start", task="m0")
+        log.record("spill", 1.0)
+        assert len(log) == 0
+
+
+class TestPersistence:
+    def test_jsonl_roundtrip_into_missing_directory(self, tmp_path):
+        log = EventLog()
+        log.record("task.start", 0.5, task="m0", stage="map")
+        log.record("spill", 1.5, bytes=4096)
+        path = tmp_path / "deep" / "events.jsonl"
+        write_event_log(str(path), log)
+        lines = path.read_text().splitlines()
+        # Header line carries the schema version, then one event per line.
+        assert '"schema": 1' in lines[0]
+        assert len(lines) == 3
+        events = read_event_log(str(path))
+        assert [event.kind for event in events] == ["task.start", "spill"]
+        assert events[0].attrs == {"task": "m0", "stage": "map"}
+        assert events[1].attrs == {"bytes": 4096}
+
+    def test_write_accepts_plain_event_iterable(self, tmp_path):
+        events = [ObsEvent(1.0, "task.start", 0, {"task": "r0"})]
+        path = tmp_path / "events.jsonl"
+        write_event_log(str(path), events)
+        assert read_event_log(str(path))[0].kind == "task.start"
+
+    def test_read_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"schema": 1}\n\n{"t": 1.0, "kind": "spill"}\n')
+        events = read_event_log(str(path))
+        assert len(events) == 1
+        assert events[0].seq == 0 and events[0].attrs == {}
