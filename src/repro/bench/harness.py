@@ -28,7 +28,13 @@ from dataclasses import asdict, dataclass
 from typing import Callable, Sequence
 
 from repro.apps.demo import APP_CHOICES, demo_job_and_input
-from repro.core.types import ExecutionMode
+from repro.core.types import ExecutionMode, JobResult
+from repro.dfs.wire import (
+    BATCHES_COUNTER,
+    RAW_BYTES_COUNTER,
+    WIRE_BYTES_COUNTER,
+    WireConfig,
+)
 from repro.engine.threaded import ThreadedEngine
 from repro.obs import JobObservability, ensure_parent
 
@@ -36,12 +42,14 @@ from repro.obs import JobObservability, ensure_parent
 BENCH_SCHEMA_VERSION = 1
 
 #: The sampled series a snapshot must carry for every run (the tentpole's
-#: acceptance set: buffer depth, store size, in-flight fetches, records/s).
+#: acceptance set: buffer depth, store size, in-flight fetches, records/s,
+#: plus the wire codec's compression-ratio gauge).
 TRACKED_SERIES: tuple[str, ...] = (
     "shuffle.buffer.depth",
     "store.bytes",
     "shuffle.fetch.inflight",
     "reduce.records_per_s",
+    "shuffle.compress.ratio",
 )
 
 #: Deterministic work counters diffed in ``counters`` scope: a >threshold
@@ -53,7 +61,16 @@ TRACKED_COUNTERS: tuple[str, ...] = (
     "map.tasks",
     "reduce.tasks",
     "task.attempts",
+    RAW_BYTES_COUNTER,
+    WIRE_BYTES_COUNTER,
+    BATCHES_COUNTER,
 )
+
+#: Apps for the ``--wire`` codec comparison (the text-heavy pair the
+#: acceptance criterion names) and the shuffle-byte reduction the wire
+#: codec must deliver over legacy pickle framing on them.
+WIRE_COMPARISON_APPS: tuple[str, ...] = ("wc", "grep")
+WIRE_REDUCTION_THRESHOLD = 0.30
 
 #: Keep at most this many points per series in the snapshot.
 _MAX_SNAPSHOT_POINTS = 64
@@ -71,6 +88,9 @@ class BenchConfig:
     num_maps: int = 4
     seed: int = 0
     store: str = "inmemory"
+    #: Shuffle wire codec: "wire" (framed + compressed), "pickle"
+    #: (legacy batch framing) or "off" (native-object data plane).
+    codec: str = "wire"
 
     def __post_init__(self) -> None:
         if self.repeats <= 0:
@@ -78,6 +98,8 @@ class BenchConfig:
         unknown = set(self.apps) - set(APP_CHOICES)
         if unknown:
             raise ValueError(f"unknown apps: {sorted(unknown)}")
+        if self.codec not in {"wire", "pickle", "off"}:
+            raise ValueError(f"unknown codec {self.codec!r}")
 
     @classmethod
     def quick(cls, **overrides) -> "BenchConfig":
@@ -145,6 +167,14 @@ def run_one(
     app: str, mode: str, config: BenchConfig
 ) -> tuple[float, JobObservability]:
     """One timed execution; returns (elapsed seconds, its observability)."""
+    elapsed, _result, obs = _run_instrumented(app, mode, config, config.codec)
+    return elapsed, obs
+
+
+def _run_instrumented(
+    app: str, mode: str, config: BenchConfig, codec: str
+) -> tuple[float, JobResult, JobObservability]:
+    """One pinned-seed run under ``codec``; keeps the job result too."""
     job, pairs = demo_job_and_input(
         app,
         ExecutionMode(mode),
@@ -155,10 +185,14 @@ def run_one(
         seed=config.seed,
     )
     obs = JobObservability()
-    engine = ThreadedEngine(obs=obs, metrics_interval_s=0.005)
+    engine = ThreadedEngine(
+        obs=obs,
+        metrics_interval_s=0.005,
+        wire=WireConfig.for_codec(codec),
+    )
     start = time.perf_counter()
-    engine.run(job, pairs, num_maps=config.num_maps)
-    return time.perf_counter() - start, obs
+    result = engine.run(job, pairs, num_maps=config.num_maps)
+    return time.perf_counter() - start, result, obs
 
 
 def run_bench(
@@ -364,4 +398,118 @@ def render_diff(
             lines.append(f"  {regression.describe()}")
     else:
         lines.append("no regressions past threshold")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# wire codec comparison
+# ---------------------------------------------------------------------------
+
+
+def _canonical_output(result: JobResult) -> dict[int, list[tuple]]:
+    """A job result's output in a directly comparable form.
+
+    Barrier-less reducers emit in arrival order, which varies run to run
+    with thread scheduling, so each reducer's records are sorted into a
+    canonical order before comparison.
+    """
+    return {
+        reducer: sorted(
+            ((record.key, record.value) for record in records), key=repr
+        )
+        for reducer, records in result.output.items()
+    }
+
+
+def run_wire_comparison(
+    config: BenchConfig | None = None,
+    log: Callable[[str], None] | None = None,
+) -> dict:
+    """Wire codec vs legacy pickle framing on the same pinned workloads.
+
+    Runs every ``app/mode`` cell once under each codec and reports the
+    shuffle-byte reduction (``1 - wire/pickle`` over the
+    ``shuffle.bytes.wire`` counters) plus an output-equivalence check.
+    ``passed`` requires identical outputs in every cell and an overall
+    reduction of at least :data:`WIRE_REDUCTION_THRESHOLD`.
+    """
+    config = (
+        config
+        if config is not None
+        else BenchConfig.quick(apps=WIRE_COMPARISON_APPS)
+    )
+    cells: dict[str, dict] = {}
+    total_wire = 0
+    total_pickle = 0
+    outputs_match = True
+    for app in config.apps:
+        for mode in config.modes:
+            key = f"{app}/{mode}"
+            _, wire_result, wire_obs = _run_instrumented(
+                app, mode, config, "wire"
+            )
+            _, pickle_result, pickle_obs = _run_instrumented(
+                app, mode, config, "pickle"
+            )
+            matches = _canonical_output(wire_result) == _canonical_output(
+                pickle_result
+            )
+            outputs_match = outputs_match and matches
+            wire_bytes = wire_obs.counters.get(WIRE_BYTES_COUNTER)
+            pickle_bytes = pickle_obs.counters.get(WIRE_BYTES_COUNTER)
+            total_wire += wire_bytes
+            total_pickle += pickle_bytes
+            reduction = (
+                1.0 - wire_bytes / pickle_bytes if pickle_bytes else 0.0
+            )
+            cells[key] = {
+                "raw_bytes": wire_obs.counters.get(RAW_BYTES_COUNTER),
+                "wire_bytes": wire_bytes,
+                "pickle_bytes": pickle_bytes,
+                "batches": wire_obs.counters.get(BATCHES_COUNTER),
+                "reduction": reduction,
+                "outputs_match": matches,
+            }
+            if log is not None:
+                log(
+                    f"{key}: pickle {pickle_bytes} B -> wire {wire_bytes} B "
+                    f"({reduction * 100.0:.1f}% smaller, outputs "
+                    f"{'match' if matches else 'DIVERGE'})"
+                )
+    reduction = 1.0 - total_wire / total_pickle if total_pickle else 0.0
+    return {
+        "cells": cells,
+        "total_wire_bytes": total_wire,
+        "total_pickle_bytes": total_pickle,
+        "reduction": reduction,
+        "threshold": WIRE_REDUCTION_THRESHOLD,
+        "outputs_match": outputs_match,
+        "passed": outputs_match and reduction >= WIRE_REDUCTION_THRESHOLD,
+    }
+
+
+def render_wire_comparison(report: dict) -> str:
+    """Human-readable table for a :func:`run_wire_comparison` report."""
+    lines = [
+        f"{'run':<18} {'pickle B':>10} {'wire B':>10} "
+        f"{'smaller':>8} {'outputs':>8}"
+    ]
+    for key in sorted(report["cells"]):
+        cell = report["cells"][key]
+        lines.append(
+            f"{key:<18} {cell['pickle_bytes']:>10} {cell['wire_bytes']:>10} "
+            f"{cell['reduction'] * 100.0:>7.1f}% "
+            f"{'match' if cell['outputs_match'] else 'DIVERGE':>8}"
+        )
+    lines.append("")
+    lines.append(
+        f"overall: {report['total_pickle_bytes']} B -> "
+        f"{report['total_wire_bytes']} B "
+        f"({report['reduction'] * 100.0:.1f}% smaller; "
+        f"threshold {report['threshold'] * 100.0:.0f}%)"
+    )
+    lines.append(
+        "PASS" if report["passed"] else "FAIL: wire codec below threshold "
+        "or outputs diverged"
+    )
     return "\n".join(lines)

@@ -179,6 +179,13 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--diff", nargs=2, metavar=("OLD", "NEW"),
                        help="diff two existing snapshots and exit; "
                             "no bench runs")
+    bench.add_argument("--codec", choices=["wire", "pickle", "off"],
+                       help="shuffle wire codec for the bench runs "
+                            "(default: wire)")
+    bench.add_argument("--wire", action="store_true",
+                       help="compare the wire codec against legacy pickle "
+                            "framing (shuffle bytes + output equivalence) "
+                            "and exit; no snapshot")
 
     metrics_cmd = sub.add_parser(
         "metrics",
@@ -585,14 +592,30 @@ def _cmd_bench(args) -> int:
     threshold — the snapshot is still written so the run can be inspected.
     """
     from repro.bench import (
+        WIRE_COMPARISON_APPS,
         BenchConfig,
         diff_snapshots,
         load_snapshot,
         previous_snapshot,
         render_diff,
+        render_wire_comparison,
         run_bench,
+        run_wire_comparison,
         write_snapshot,
     )
+
+    if args.wire:
+        overrides = {"apps": tuple(args.apps or WIRE_COMPARISON_APPS)}
+        if args.modes:
+            overrides["modes"] = tuple(args.modes)
+        if args.repeats is not None:
+            overrides["repeats"] = args.repeats
+        if args.records is not None:
+            overrides["records"] = args.records
+        config = BenchConfig.quick(**overrides)
+        report = run_wire_comparison(config)
+        print(render_wire_comparison(report))
+        return 0 if report["passed"] else 1
 
     if args.diff:
         baseline = load_snapshot(args.diff[0])
@@ -619,6 +642,8 @@ def _cmd_bench(args) -> int:
         overrides["apps"] = tuple(args.apps)
     if args.modes:
         overrides["modes"] = tuple(args.modes)
+    if args.codec:
+        overrides["codec"] = args.codec
     config = (
         BenchConfig.quick(**overrides) if args.quick
         else BenchConfig(**overrides)

@@ -6,6 +6,9 @@
   text files (boundary lines belong to the split where they start).
 - :mod:`repro.dfs.serialization` — typed binary encoding (the Writable
   substrate; decoding untrusted data is safe, unlike pickle).
+- :mod:`repro.dfs.wire` — framed batch codec over the typed encoding
+  (varint headers, optional zlib, CRC trailer) used by the shuffle data
+  plane; see ``docs/shuffle-wire.md``.
 - :class:`SequenceFileWriter`/:class:`SequenceFileReader` — splittable
   key/value containers with sync markers.
 """
@@ -29,6 +32,15 @@ from repro.dfs.sequencefile import (
     SequenceFileWriter,
 )
 from repro.dfs.serialization import SerializationError, decode, encode
+from repro.dfs.wire import (
+    WireBatch,
+    WireConfig,
+    decode_batch,
+    decode_batches,
+    decode_frame,
+    encode_frame,
+    encode_record_batches,
+)
 
 __all__ = [
     "ChunkInfo",
@@ -40,9 +52,16 @@ __all__ = [
     "SequenceFileWriter",
     "SerializationError",
     "TextInputFormat",
+    "WireBatch",
+    "WireConfig",
     "commit_output",
     "decode",
+    "decode_batch",
+    "decode_batches",
+    "decode_frame",
     "encode",
+    "encode_frame",
+    "encode_record_batches",
     "read_output",
     "run_sequence_job",
     "run_text_job",

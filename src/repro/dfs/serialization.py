@@ -35,9 +35,16 @@ class SerializationError(ValueError):
 
 
 def encode_varint(value: int) -> bytes:
-    """LEB128 unsigned varint."""
+    """LEB128 unsigned varint.
+
+    The decoder caps varints at 11 bytes (77 payload bits) to bound work
+    on malicious input, so the encoder must reject anything wider — an
+    accepted-but-undecodable value would poison a frame permanently.
+    """
     if value < 0:
         raise SerializationError("varints are unsigned")
+    if value >> 77:
+        raise SerializationError("varint too large (max 77 bits)")
     out = bytearray()
     while True:
         byte = value & 0x7F

@@ -1,0 +1,367 @@
+"""Framed batch codec for the shuffle wire format.
+
+Hadoop moves intermediate data as length-framed, optionally compressed
+record batches (IFile segments on the map side, the shuffle HTTP stream
+on the reduce side), not as language-native objects.  This module is the
+equivalent substrate for the repro engines: record batches are encoded
+with the typed serialization in :mod:`repro.dfs.serialization`, framed
+with varint headers, optionally zlib-deflated per batch, and sealed with
+a CRC32 trailer so corruption and truncation are detected before any
+payload is interpreted.
+
+Frame layout (all integers are LEB128 varints except the fixed trailer)::
+
+    +-------+--------------+---------------+-----------+------------+
+    | flags | record_count | payload_bytes |  payload  | CRC32 (4B) |
+    +-------+--------------+---------------+-----------+------------+
+
+- ``flags`` — one byte.  Bit 0 (:data:`FLAG_COMPRESSED`): payload is
+  zlib-deflated.  Bit 1 (:data:`FLAG_PICKLED`): payload is a pickle of
+  the ``[(key, value), ...]`` list — the legacy format kept only so the
+  bench can measure old-vs-new wire volume; decoding it requires an
+  explicit ``allow_pickle=True`` opt-in.  All other bits must be zero.
+- ``payload`` — for the typed codec, the concatenation of
+  ``serialization.encode((key, value))`` for each record.
+- ``CRC32`` — big-endian ``zlib.crc32`` over everything before it
+  (header *and* payload), so a flipped bit anywhere in the frame fails
+  before decoding starts.
+
+Compression is applied per batch and only kept when it actually shrinks
+the payload, so ``shuffle.bytes.raw >= shuffle.bytes.wire`` always holds.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Any, BinaryIO, Iterable, Iterator, Sequence
+
+from repro.core.types import Record
+from repro.dfs.serialization import (
+    SerializationError,
+    decode_at,
+    decode_varint,
+    encode,
+    encode_varint,
+)
+
+#: Payload is zlib-deflated.
+FLAG_COMPRESSED = 0x01
+#: Payload is a pickled record list (legacy-comparison codec only).
+FLAG_PICKLED = 0x02
+
+_KNOWN_FLAGS = FLAG_COMPRESSED | FLAG_PICKLED
+_CRC_BYTES = 4
+
+#: Counter names the codec accounts under (see docs/shuffle-wire.md).
+RAW_BYTES_COUNTER = "shuffle.bytes.raw"
+WIRE_BYTES_COUNTER = "shuffle.bytes.wire"
+BATCHES_COUNTER = "shuffle.batches"
+
+_CODECS = ("wire", "pickle", "off")
+
+
+@dataclass(frozen=True)
+class WireConfig:
+    """Knobs for the shuffle wire format.
+
+    ``codec`` selects the payload encoding: ``"wire"`` is the typed
+    binary codec (the default), ``"pickle"`` frames pickled record lists
+    (legacy volume, measured for the ``repro bench --wire`` comparison),
+    and ``"off"`` disables the wire path entirely — engines hand native
+    objects around exactly as before the wire format existed.
+    """
+
+    codec: str = "wire"
+    max_batch_records: int = 256
+    max_batch_bytes: int = 64 * 1024
+    compress: bool = True
+    compress_min_bytes: int = 64
+    max_inflight_bytes: int = 1 << 20
+
+    def __post_init__(self) -> None:
+        if self.codec not in _CODECS:
+            raise ValueError(f"unknown codec {self.codec!r} (use {_CODECS})")
+        if self.max_batch_records <= 0:
+            raise ValueError("max_batch_records must be positive")
+        if self.max_batch_bytes <= 0:
+            raise ValueError("max_batch_bytes must be positive")
+        if self.compress_min_bytes < 0:
+            raise ValueError("compress_min_bytes must be non-negative")
+        if self.max_inflight_bytes <= 0:
+            raise ValueError("max_inflight_bytes must be positive")
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the wire path is active at all."""
+        return self.codec != "off"
+
+    @property
+    def allow_pickle(self) -> bool:
+        """Whether pickled frames may be decoded (legacy codec only)."""
+        return self.codec == "pickle"
+
+    @classmethod
+    def for_codec(cls, codec: str, **overrides: Any) -> "WireConfig":
+        """A config for one codec name (``wire`` / ``pickle`` / ``off``)."""
+        return cls(codec=codec, **overrides)
+
+
+@dataclass(frozen=True)
+class WireBatch:
+    """One encoded record batch: the frame plus its accounting.
+
+    ``len(batch)`` is the record count, so a :class:`WireBatch` drops
+    into every place the fetch protocol previously handed a record list
+    (``FetchLedger`` sequencing, dedup accounting, flow control).
+    """
+
+    frame: bytes
+    count: int
+    raw_bytes: int
+
+    def __len__(self) -> int:
+        return self.count
+
+    @property
+    def wire_bytes(self) -> int:
+        """Bytes this batch occupies on the wire (whole frame)."""
+        return len(self.frame)
+
+
+# ---------------------------------------------------------------------------
+# frame encode / decode
+# ---------------------------------------------------------------------------
+
+
+def encode_frame(
+    records: Sequence[Record], config: WireConfig | None = None
+) -> WireBatch:
+    """Encode one record batch into a framed :class:`WireBatch`."""
+    config = config if config is not None else WireConfig()
+    if not config.enabled:
+        raise SerializationError("wire codec is disabled (codec='off')")
+    flags = 0
+    if config.codec == "pickle":
+        flags |= FLAG_PICKLED
+        payload = pickle.dumps(
+            [(record.key, record.value) for record in records],
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+    else:
+        payload = b"".join(
+            encode((record.key, record.value)) for record in records
+        )
+    raw_bytes = len(payload)
+    if (
+        config.compress
+        and config.codec == "wire"
+        and raw_bytes >= config.compress_min_bytes
+    ):
+        deflated = zlib.compress(payload)
+        if len(deflated) < raw_bytes:
+            payload = deflated
+            flags |= FLAG_COMPRESSED
+    header = (
+        bytes([flags])
+        + encode_varint(len(records))
+        + encode_varint(len(payload))
+    )
+    body = header + payload
+    frame = body + struct.pack(">I", zlib.crc32(body) & 0xFFFFFFFF)
+    return WireBatch(frame=frame, count=len(records), raw_bytes=raw_bytes)
+
+
+def decode_frame(
+    data: bytes, offset: int = 0, *, allow_pickle: bool = False
+) -> tuple[list[Record], int]:
+    """Decode one frame at ``offset``; returns ``(records, next_offset)``.
+
+    Every malformed input — truncation, unknown flags, bad CRC, payload
+    that does not decode to exactly ``record_count`` key/value tuples —
+    raises :class:`SerializationError`.  Pickled frames additionally
+    require ``allow_pickle=True`` (the CRC is verified first, but pickle
+    can execute code, so the typed codec never accepts it implicitly).
+    """
+    if offset >= len(data):
+        raise SerializationError("truncated frame: missing flags byte")
+    flags = data[offset]
+    if flags & ~_KNOWN_FLAGS:
+        raise SerializationError(f"unknown frame flags 0x{flags:02x}")
+    count, position = decode_varint(data, offset + 1)
+    payload_len, position = decode_varint(data, position)
+    end = position + payload_len + _CRC_BYTES
+    if end > len(data):
+        raise SerializationError("truncated frame: payload or CRC missing")
+    payload = data[position : position + payload_len]
+    (expected,) = struct.unpack(
+        ">I", data[position + payload_len : end]
+    )
+    actual = zlib.crc32(data[offset : position + payload_len]) & 0xFFFFFFFF
+    if actual != expected:
+        raise SerializationError(
+            f"frame CRC mismatch: got 0x{actual:08x}, want 0x{expected:08x}"
+        )
+    if flags & FLAG_COMPRESSED:
+        try:
+            payload = zlib.decompress(payload)
+        except zlib.error as exc:
+            raise SerializationError(f"bad compressed payload: {exc}") from exc
+    if flags & FLAG_PICKLED:
+        if not allow_pickle:
+            raise SerializationError(
+                "pickled frame rejected (allow_pickle=False)"
+            )
+        entries = pickle.loads(payload)
+    else:
+        entries = []
+        cursor = 0
+        while cursor < len(payload):
+            entry, cursor = decode_at(payload, cursor)
+            entries.append(entry)
+    if len(entries) != count:
+        raise SerializationError(
+            f"frame record count mismatch: header says {count}, "
+            f"payload holds {len(entries)}"
+        )
+    records = []
+    for entry in entries:
+        if not isinstance(entry, tuple) or len(entry) != 2:
+            raise SerializationError(f"frame entry is not a pair: {entry!r}")
+        records.append(Record(entry[0], entry[1]))
+    return records, end
+
+
+def decode_batch(batch: WireBatch, config: WireConfig) -> list[Record]:
+    """Decode one :class:`WireBatch` back into records."""
+    records, end = decode_frame(
+        batch.frame, allow_pickle=config.allow_pickle
+    )
+    if end != len(batch.frame):
+        raise SerializationError(f"{len(batch.frame) - end} trailing bytes")
+    return records
+
+
+def decode_batches(
+    batches: Iterable[WireBatch], config: WireConfig
+) -> list[Record]:
+    """Decode a sequence of batches into one flat record list."""
+    records: list[Record] = []
+    for batch in batches:
+        records.extend(decode_batch(batch, config))
+    return records
+
+
+# ---------------------------------------------------------------------------
+# batching
+# ---------------------------------------------------------------------------
+
+
+def encode_record_batches(
+    records: Sequence[Record], config: WireConfig
+) -> list[WireBatch]:
+    """Split ``records`` into framed batches under the config's limits.
+
+    Batches are cut at ``max_batch_records`` records or when the *raw*
+    (pre-compression) typed encoding of a batch would exceed
+    ``max_batch_bytes`` — raw size keeps the split deterministic and
+    codec-independent, so the ``wire`` and ``pickle`` codecs produce
+    identical batch boundaries and comparable ``shuffle.batches`` counts.
+    """
+    if not config.enabled:
+        raise SerializationError("wire codec is disabled (codec='off')")
+    batches: list[WireBatch] = []
+    chunk: list[Record] = []
+    chunk_bytes = 0
+    for record in records:
+        size = len(encode((record.key, record.value)))
+        if chunk and (
+            len(chunk) >= config.max_batch_records
+            or chunk_bytes + size > config.max_batch_bytes
+        ):
+            batches.append(encode_frame(chunk, config))
+            chunk = []
+            chunk_bytes = 0
+        chunk.append(record)
+        chunk_bytes += size
+    if chunk:
+        batches.append(encode_frame(chunk, config))
+    return batches
+
+
+def account_batches(counters: Any, batches: Sequence[WireBatch]) -> None:
+    """Fold a batch list's byte/count totals into a counter registry.
+
+    Always increments all three ``shuffle.*`` wire counters (possibly by
+    zero) so counter dictionaries stay key-identical across engines no
+    matter how records landed in partitions.
+    """
+    counters.increment(RAW_BYTES_COUNTER, sum(b.raw_bytes for b in batches))
+    counters.increment(
+        WIRE_BYTES_COUNTER, sum(b.wire_bytes for b in batches)
+    )
+    counters.increment(BATCHES_COUNTER, len(batches))
+
+
+def compression_ratio(counters: Any) -> float:
+    """``wire / raw`` bytes from a counter registry (0.0 before data)."""
+    raw = counters.get(RAW_BYTES_COUNTER)
+    if not raw:
+        return 0.0
+    return counters.get(WIRE_BYTES_COUNTER) / raw
+
+
+# ---------------------------------------------------------------------------
+# frame streams (spill files, journals)
+# ---------------------------------------------------------------------------
+
+
+def write_batch(fh: BinaryIO, batch: WireBatch) -> int:
+    """Append one frame to a binary stream; returns bytes written."""
+    fh.write(batch.frame)
+    return len(batch.frame)
+
+
+def read_frames(
+    fh: BinaryIO, *, allow_pickle: bool = False
+) -> Iterator[list[Record]]:
+    """Yield record batches from a stream of concatenated frames.
+
+    Stops cleanly at EOF on a frame boundary; raises
+    :class:`SerializationError` if the stream ends mid-frame.
+    """
+    while True:
+        first = fh.read(1)
+        if not first:
+            return
+        flags = first[0]
+        if flags & ~_KNOWN_FLAGS:
+            raise SerializationError(f"unknown frame flags 0x{flags:02x}")
+        header = bytearray(first)
+        _count = _read_stream_varint(fh, header)
+        payload_len = _read_stream_varint(fh, header)
+        rest = fh.read(payload_len + _CRC_BYTES)
+        if len(rest) != payload_len + _CRC_BYTES:
+            raise SerializationError("truncated frame: payload or CRC missing")
+        records, _end = decode_frame(
+            bytes(header) + rest, allow_pickle=allow_pickle
+        )
+        yield records
+
+
+def _read_stream_varint(fh: BinaryIO, sink: bytearray) -> int:
+    """Read one varint byte-by-byte from a stream, appending to ``sink``."""
+    raw = bytearray()
+    while True:
+        byte = fh.read(1)
+        if not byte:
+            raise SerializationError("truncated varint")
+        raw += byte
+        sink += byte
+        if not byte[0] & 0x80:
+            value, _ = decode_varint(bytes(raw))
+            return value
+        if len(raw) > 10:
+            raise SerializationError("varint too long")

@@ -40,6 +40,7 @@ from repro.core.types import (
     StageTimes,
     Value,
 )
+from repro.dfs.wire import WireConfig
 from repro.memory import make_store
 
 
@@ -91,13 +92,16 @@ def run_map_task_partitioned(
     job: JobSpec,
     split: Sequence[tuple[Key, Value]],
     counters: Counters,
+    wire: WireConfig | None = None,
 ) -> dict[int, list[Record]]:
     """Execute one map task, returning per-partition output.
 
     With ``job.map_output_buffer_bytes`` set (and no combiner), emissions
     stream through a bounded :class:`~repro.engine.mapside.MapOutputBuffer`
     that sorts and spills to disk — the Hadoop map side.  Otherwise the
-    classic in-memory path runs.
+    classic in-memory path runs.  ``wire`` selects the spill codec; the
+    buffer is context-managed so spill files are removed even when the
+    map function raises mid-task.
     """
     if job.map_output_buffer_bytes is None or job.combiner_factory is not None:
         records = run_map_task(job, split, counters)
@@ -105,23 +109,28 @@ def run_map_task_partitioned(
 
     from repro.engine.mapside import MapOutputBuffer
 
-    buffer = MapOutputBuffer(
+    with MapOutputBuffer(
         num_partitions=job.num_reducers,
         partition_fn=job.partition_fn,
         buffer_bytes=job.map_output_buffer_bytes,
         spill_dir=job.memory.spill_dir,
-    )
-    mapper: Mapper = job.mapper_factory()
-    context = MapContext(counters, sink=buffer.collect)
-    mapper.setup(context)
-    for key, value in split:
-        mapper.map(key, value, context)
-        counters.increment("map.input_records")
-    mapper.cleanup(context)
-    counters.increment("map.output_spills", buffer.num_spills)
-    counters.increment("map.spill_bytes", buffer.bytes_spilled)
-    partitions = buffer.all_partitions()
-    buffer.close()
+        wire=wire,
+    ) as buffer:
+        mapper: Mapper = job.mapper_factory()
+        context = MapContext(counters, sink=buffer.collect)
+        mapper.setup(context)
+        for key, value in split:
+            mapper.map(key, value, context)
+            counters.increment("map.input_records")
+        mapper.cleanup(context)
+        counters.increment("map.output_spills", buffer.num_spills)
+        counters.increment("map.spill_bytes", buffer.bytes_spilled)
+        if wire is not None and wire.enabled:
+            counters.increment("map.spill_bytes.raw", buffer.raw_bytes_spilled)
+            counters.increment(
+                "map.spill_bytes.wire", buffer.wire_bytes_spilled
+            )
+        partitions = buffer.all_partitions()
     return partitions
 
 

@@ -35,6 +35,12 @@ from repro.engine.base import (
     run_map_task_partitioned,
     run_reduce_task,
 )
+from repro.dfs.wire import (
+    WireConfig,
+    account_batches,
+    decode_batches,
+    encode_record_batches,
+)
 from repro.engine.faults import (
     DEFAULT_MAX_ATTEMPTS,
     FaultInjector,
@@ -60,11 +66,14 @@ class LocalEngine(Engine):
         fault_injector: FaultInjector | None = None,
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
         obs: JobObservability | None = None,
+        wire: WireConfig | None = None,
     ) -> None:
         self._heap_sample_hook = heap_sample_hook
         self._fault_injector = fault_injector
         self._max_attempts = max_attempts
         self.obs = obs if obs is not None else JobObservability()
+        wire = wire if wire is not None else WireConfig()
+        self._wire = wire if wire.enabled else None
         #: Retry bookkeeping of the most recent run() (attempts per task).
         self.last_run_attempts: dict[str, int] = {}
 
@@ -102,7 +111,7 @@ class LocalEngine(Engine):
                     def map_attempt(split=split):
                         attempt_counters = Counters()
                         produced = run_map_task_partitioned(
-                            job, split, attempt_counters
+                            job, split, attempt_counters, wire=self._wire
                         )
                         return produced, attempt_counters
 
@@ -131,6 +140,24 @@ class LocalEngine(Engine):
                         )
                     counters.merge(task_counters)
                     obs.counters.merge_counters(task_counters)
+                    if self._wire is not None:
+                        # Round-trip every partition through the wire
+                        # codec — the sequential stand-in for a publish/
+                        # fetch pair, with identical byte accounting to
+                        # the concurrent engines (the oracle proves the
+                        # codec is lossless on every app's key space).
+                        encoded = {
+                            index: encode_record_batches(part, self._wire)
+                            for index, part in partitions.items()
+                        }
+                        account_batches(
+                            obs.counters,
+                            [b for bs in encoded.values() for b in bs],
+                        )
+                        partitions = {
+                            index: decode_batches(bs, self._wire)
+                            for index, bs in encoded.items()
+                        }
                     for index, part in partitions.items():
                         per_reducer_outputs[index].append(part)
                     counters.increment("map.tasks")

@@ -8,7 +8,10 @@ implements that substrate for the real engines:
 
 - :class:`MapOutputBuffer` — bounded accumulation, sorted spills, and a
   final per-partition merge that streams each partition's records in key
-  order.
+  order.  With a :class:`~repro.dfs.wire.WireConfig` the spill files use
+  the framed wire codec (typed encoding + optional zlib + CRC, Hadoop's
+  IFile analogue) instead of per-entry pickle; either way the buffer is
+  a context manager so spills never outlive a failed map task.
 
 Because every partition segment the reducer fetches is already key-
 sorted, the barrier path's reducer-side "merge sort" becomes a cheap
@@ -27,6 +30,12 @@ import tempfile
 from typing import Iterator
 
 from repro.core.types import Key, PartitionFunction, Record, Value
+from repro.dfs.wire import (
+    WireConfig,
+    encode_record_batches,
+    read_frames,
+    write_batch,
+)
 from repro.memory.estimator import entry_size
 
 
@@ -46,6 +55,7 @@ class MapOutputBuffer:
         partition_fn: PartitionFunction,
         buffer_bytes: int = 1 << 20,
         spill_dir: str | None = None,
+        wire: WireConfig | None = None,
     ):
         if num_partitions <= 0:
             raise ValueError("num_partitions must be positive")
@@ -54,6 +64,7 @@ class MapOutputBuffer:
         self.num_partitions = num_partitions
         self._partition_fn = partition_fn
         self._buffer_bytes = buffer_bytes
+        self._wire = wire if wire is not None and wire.enabled else None
         self._records: list[tuple[int, Key, Value]] = []
         self._used = 0
         self._spills: list[str] = []
@@ -67,6 +78,18 @@ class MapOutputBuffer:
         self.spill_count = 0
         self.records_collected = 0
         self.bytes_spilled = 0
+        self.raw_bytes_spilled = 0
+        self.wire_bytes_spilled = 0
+
+    # -- lifecycle --------------------------------------------------------
+
+    def __enter__(self) -> "MapOutputBuffer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        # Context-managed use guarantees spill files are deleted even
+        # when the map function raises mid-task.
+        self.close()
 
     # -- write side -------------------------------------------------------
 
@@ -87,11 +110,26 @@ class MapOutputBuffer:
         if not self._records:
             return
         self._records.sort(key=lambda item: (item[0], item[1]))
-        path = os.path.join(self._dir, f"map-spill-{self.spill_count:05d}.pkl")
-        with open(path, "wb") as fh:
-            for entry in self._records:
-                pickle.dump(entry, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        suffix = "wire" if self._wire is not None else "pkl"
+        path = os.path.join(
+            self._dir, f"map-spill-{self.spill_count:05d}.{suffix}"
+        )
+        # Track the path before writing so close() removes it even if the
+        # write itself fails partway through.
         self._spills.append(path)
+        with open(path, "wb") as fh:
+            if self._wire is not None:
+                framed = [
+                    Record((partition, key), value)
+                    for partition, key, value in self._records
+                ]
+                for batch in encode_record_batches(framed, self._wire):
+                    write_batch(fh, batch)
+                    self.raw_bytes_spilled += batch.raw_bytes
+                    self.wire_bytes_spilled += batch.wire_bytes
+            else:
+                for entry in self._records:
+                    pickle.dump(entry, fh, protocol=pickle.HIGHEST_PROTOCOL)
         self.spill_count += 1
         self.bytes_spilled += self._used
         self._records = []
@@ -135,14 +173,21 @@ class MapOutputBuffer:
             p: list(self.partition_records(p)) for p in range(self.num_partitions)
         }
 
-    @staticmethod
-    def _read_run(path: str) -> Iterator[tuple[int, Key, Value]]:
+    def _read_run(self, path: str) -> Iterator[tuple[int, Key, Value]]:
         with open(path, "rb") as fh:
-            while True:
-                try:
-                    yield pickle.load(fh)
-                except EOFError:
-                    return
+            if self._wire is not None:
+                for records in read_frames(
+                    fh, allow_pickle=self._wire.allow_pickle
+                ):
+                    for record in records:
+                        partition, key = record.key
+                        yield partition, key, record.value
+            else:
+                while True:
+                    try:
+                        yield pickle.load(fh)
+                    except EOFError:
+                        return
 
     def close(self) -> None:
         """Delete spill files and release temporary storage."""

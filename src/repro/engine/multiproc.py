@@ -42,6 +42,13 @@ from repro.engine.base import (
     run_map_task_partitioned,
     run_reduce_task,
 )
+from repro.dfs.wire import (
+    WireBatch,
+    WireConfig,
+    account_batches,
+    decode_batches,
+    encode_record_batches,
+)
 from repro.engine.faults import (
     DEFAULT_MAX_ATTEMPTS,
     FaultInjector,
@@ -51,13 +58,13 @@ from repro.obs import JobObservability
 
 
 def _map_task_entry(
-    args: tuple[JobSpec, list, float],
+    args: tuple[JobSpec, list, float, WireConfig | None],
 ) -> tuple[dict[int, list[Record]], dict, tuple[float, float, int]]:
     """Worker-side map task: partitioned output, counters, and timing."""
-    job, split, epoch = args
+    job, split, epoch, wire = args
     counters = Counters()
     start = time.time() - epoch
-    partitions = run_map_task_partitioned(job, split, counters)
+    partitions = run_map_task_partitioned(job, split, counters, wire=wire)
     end = time.time() - epoch
     return partitions, counters.as_dict(), (start, end, os.getpid())
 
@@ -69,6 +76,31 @@ def _reduce_task_entry(
     job, stream, epoch = args
     counters = Counters()
     start = time.time() - epoch
+    produced = run_reduce_task(job, stream, counters)
+    end = time.time() - epoch
+    return produced, counters.as_dict(), (start, end, os.getpid())
+
+
+def _reduce_task_entry_wire(
+    args: tuple[JobSpec, list[list[WireBatch]], float, WireConfig],
+) -> tuple[list[Record], dict, tuple[float, float, int]]:
+    """Worker-side reduce task fed encoded per-mapper frame lists.
+
+    The parent ships :class:`~repro.dfs.wire.WireBatch` frames across the
+    process boundary (the inter-process analogue of the shuffle wire);
+    the worker decodes them, assembles the mode's stream order, and runs
+    the reduce task.
+    """
+    job, frames_by_mapper, epoch, wire = args
+    counters = Counters()
+    start = time.time() - epoch
+    map_outputs = [
+        decode_batches(frames, wire) for frames in frames_by_mapper
+    ]
+    if job.mode is ExecutionMode.BARRIER:
+        stream = barrier_merge_sort(map_outputs)
+    else:
+        stream = interleave_arrival(map_outputs)
     produced = run_reduce_task(job, stream, counters)
     end = time.time() - epoch
     return produced, counters.as_dict(), (start, end, os.getpid())
@@ -90,6 +122,7 @@ class MultiprocessEngine(Engine):
         obs: JobObservability | None = None,
         fault_injector: FaultInjector | None = None,
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        wire: WireConfig | None = None,
     ) -> None:
         if processes <= 0:
             raise ValueError("processes must be positive")
@@ -97,6 +130,8 @@ class MultiprocessEngine(Engine):
         self.obs = obs if obs is not None else JobObservability()
         self._fault_injector = fault_injector
         self._max_attempts = max_attempts
+        wire = wire if wire is not None else WireConfig()
+        self._wire = wire if wire.enabled else None
 
     def _record_task_span(
         self, stage, name: str, timing: tuple[float, float, int]
@@ -180,7 +215,7 @@ class MultiprocessEngine(Engine):
                 return runner.run(task_id, attempt, parent=stage)
 
             map_stage = obs.tracer.open("map", "stage", parent=job_span)
-            map_payloads = [(job, split, epoch) for split in splits]
+            map_payloads = [(job, split, epoch, self._wire) for split in splits]
             map_pending = [
                 pool.apply_async(_map_task_entry, (payload,))
                 for payload in map_payloads
@@ -209,34 +244,75 @@ class MultiprocessEngine(Engine):
                 self._record_task_span(map_stage, f"map-{task_index}", timing)
             obs.tracer.close(map_stage)
 
-            # Assemble per-reducer streams according to the shuffle mode.
-            streams: list[list[Record]] = []
-            for reducer_index in range(job.num_reducers):
-                map_outputs = [
-                    partitions.get(reducer_index, [])
-                    for partitions, _, _ in map_results
+            # Assemble the per-reducer transfer according to the wire
+            # config and shuffle mode.  With the wire on, the parent
+            # encodes every mapper's partitions into frames (accounting
+            # byte totals where the bytes cross the process boundary) and
+            # the workers decode, merge and reduce; with it off, decoded
+            # streams are assembled parent-side exactly as before.
+            reduce_lengths: list[int] = []
+            if self._wire is not None:
+                encoded_by_mapper: list[dict[int, list[WireBatch]]] = []
+                for partitions, _, _ in map_results:
+                    encoded = {
+                        reducer: encode_record_batches(
+                            partitions.get(reducer, []), self._wire
+                        )
+                        for reducer in range(job.num_reducers)
+                    }
+                    account_batches(
+                        obs.counters,
+                        [b for bs in encoded.values() for b in bs],
+                    )
+                    encoded_by_mapper.append(encoded)
+                reduce_entry = _reduce_task_entry_wire
+                reduce_payloads = []
+                for reducer_index in range(job.num_reducers):
+                    frames_by_mapper = [
+                        encoded[reducer_index] for encoded in encoded_by_mapper
+                    ]
+                    reduce_lengths.append(
+                        sum(
+                            len(batch)
+                            for frames in frames_by_mapper
+                            for batch in frames
+                        )
+                    )
+                    reduce_payloads.append(
+                        (job, frames_by_mapper, epoch, self._wire)
+                    )
+            else:
+                streams: list[list[Record]] = []
+                for reducer_index in range(job.num_reducers):
+                    map_outputs = [
+                        partitions.get(reducer_index, [])
+                        for partitions, _, _ in map_results
+                    ]
+                    if job.mode is ExecutionMode.BARRIER:
+                        streams.append(barrier_merge_sort(map_outputs))
+                    else:
+                        streams.append(interleave_arrival(map_outputs))
+                reduce_lengths = [len(stream) for stream in streams]
+                reduce_entry = _reduce_task_entry
+                reduce_payloads = [
+                    (job, stream, epoch) for stream in streams
                 ]
-                if job.mode is ExecutionMode.BARRIER:
-                    streams.append(barrier_merge_sort(map_outputs))
-                else:
-                    streams.append(interleave_arrival(map_outputs))
             times.shuffle_done = watch.elapsed()
             times.sort_done = times.shuffle_done
 
             reduce_stage = obs.tracer.open("reduce", "stage", parent=job_span)
-            for stream in streams:
-                counters.increment("shuffle.records", len(stream))
-                obs.counters.increment("shuffle.records", len(stream))
-                obs.counters.increment("shuffle.records.fetched", len(stream))
-                obs.counters.increment("shuffle.records.consumed", len(stream))
-            reduce_payloads = [(job, stream, epoch) for stream in streams]
+            for length in reduce_lengths:
+                counters.increment("shuffle.records", length)
+                obs.counters.increment("shuffle.records", length)
+                obs.counters.increment("shuffle.records.fetched", length)
+                obs.counters.increment("shuffle.records.consumed", length)
             reduce_pending = [
-                pool.apply_async(_reduce_task_entry, (payload,))
+                pool.apply_async(reduce_entry, (payload,))
                 for payload in reduce_payloads
             ]
             reduce_results = [
                 run_task(
-                    f"reduce-{reducer_index}", reduce_stage, _reduce_task_entry,
+                    f"reduce-{reducer_index}", reduce_stage, reduce_entry,
                     payload, pending,
                 )
                 for reducer_index, (payload, pending) in enumerate(

@@ -54,6 +54,14 @@ from repro.engine.base import (
     prepare_reducer,
     run_map_task,
 )
+from repro.dfs.wire import (
+    WireConfig,
+    account_batches,
+    compression_ratio,
+    decode_batch,
+    decode_batches,
+    encode_record_batches,
+)
 from repro.engine.faults import TaskAttemptError
 from repro.engine.recovery import FetchFaultInjector
 from repro.obs import JobObservability, MetricsTicker
@@ -155,6 +163,10 @@ class _ReducerSession:
     Keeps a *journal* of every record routed to it; on a crash the
     session is rebuilt from scratch (fresh store, fresh context) and the
     journal replayed, after which the stream continues where it left off.
+    With a wire config the journal holds encoded
+    :class:`~repro.dfs.wire.WireBatch` frames instead of native records —
+    the journalled bytes are the wire bytes, and a replay decodes them
+    again exactly like a re-fetch.
     """
 
     def __init__(
@@ -162,11 +174,14 @@ class _ReducerSession:
         job: JobSpec,
         reducer_index: int,
         injector: FetchFaultInjector | None = None,
+        wire: WireConfig | None = None,
     ):
         self._job = job
         self._index = reducer_index
         self._injector = injector
-        self.journal: list[Record] = []
+        self._wire = wire
+        #: Wire on: list[WireBatch].  Wire off: list[Record].
+        self.journal: list = []
         self.crashed = False
         self._start()
 
@@ -204,8 +219,13 @@ class _ReducerSession:
         """Rebuild the reducer and replay its journal from record zero."""
         self.crashed = False
         self._start()
-        for record in self.journal:
-            self.queue.put(record)
+        if self._wire is not None:
+            for batch in self.journal:
+                for record in decode_batch(batch, self._wire):
+                    self.queue.put(record)
+        else:
+            for record in self.journal:
+                self.queue.put(record)
 
 
 class StreamingEngine:
@@ -216,6 +236,7 @@ class StreamingEngine:
         job: JobSpec,
         obs: JobObservability | None = None,
         fault_injector: FetchFaultInjector | None = None,
+        wire: WireConfig | None = None,
     ):
         if job.mode is not ExecutionMode.BARRIERLESS:
             raise InvalidJobError(
@@ -227,6 +248,8 @@ class StreamingEngine:
         self.counters = Counters()
         self.obs = obs if obs is not None else JobObservability()
         self._fault_injector = fault_injector
+        wire = wire if wire is not None else WireConfig()
+        self._wire = wire if wire.enabled else None
         self._restarts = 0
         # The job span stays open for the stream's whole life; map and
         # reduce stages overlap by construction (reducers consume pushes
@@ -241,7 +264,7 @@ class StreamingEngine:
             "reduce", "stage", parent=self._job_span
         )
         self._sessions = [
-            _ReducerSession(job, i, fault_injector)
+            _ReducerSession(job, i, fault_injector, wire=self._wire)
             for i in range(job.num_reducers)
         ]
         self._task_spans = [
@@ -268,6 +291,11 @@ class StreamingEngine:
             "reduce.records_per_s",
             lambda: self._routed_records,
             unit="records/s",
+        )
+        metrics.register_gauge(
+            "shuffle.compress.ratio",
+            lambda: compression_ratio(self.obs.counters),
+            unit="ratio",
         )
         self._ticker = MetricsTicker(metrics)
         self._ticker.start()
@@ -317,9 +345,19 @@ class StreamingEngine:
         routed = 0
         for index, part in partitions.items():
             session = self._sessions[index]
-            for record in part:
-                session.journal.append(record)
-                session.queue.put(record)
+            if self._wire is not None:
+                # Each routed partition slice crosses the wire as framed
+                # batches: the journal keeps the frames (replay = decode
+                # again), and the live path consumes the decoded records.
+                batches = encode_record_batches(part, self._wire)
+                account_batches(self.obs.counters, batches)
+                session.journal.extend(batches)
+                for record in decode_batches(batches, self._wire):
+                    session.queue.put(record)
+            else:
+                for record in part:
+                    session.journal.append(record)
+                    session.queue.put(record)
             routed += len(part)
         self._routed_records += routed
         self.obs.metrics.observe_max(

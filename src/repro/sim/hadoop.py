@@ -398,8 +398,18 @@ class HadoopSimulator:
         speed = node.speed_factor
         heap_limit_bytes = cluster.heap_limit_mb * MB
 
+        # Wire-format knobs: frames crossing the network carry
+        # ``wire_compress_ratio`` of the raw bytes, and the reducer pays
+        # a decode cost per batch frame it opens.
+        wire_mb_per_map = bytes_per_map_mb * profile.wire_compress_ratio
+        batches_per_map = math.ceil(
+            max(0.0, records_per_map) / profile.wire_batch_records
+        )
+        decode_cpu_per_map = batches_per_map * profile.wire_batch_cpu_s / speed
+
         # Arrival schedule: fetch each finished mapper's partition through
-        # the reducer's ingest pipe, FIFO.
+        # the reducer's ingest pipe, FIFO.  Transfer time is charged on
+        # the *wire* bytes — compression buys shuffle bandwidth.
         ingest_busy = start
         arrivals: list[float] = []
         for map_done in map_finish_times:
@@ -407,7 +417,7 @@ class HadoopSimulator:
             ingest_busy = (
                 fetch_start
                 + cluster.fetch_latency_s
-                + bytes_per_map_mb / ingest_rate
+                + wire_mb_per_map / ingest_rate
             )
             arrivals.append(ingest_busy)
         shuffle_done = arrivals[-1] if arrivals else start
@@ -423,8 +433,10 @@ class HadoopSimulator:
         )
 
         if mode is ExecutionMode.BARRIER:
+            # Every fetched frame is decoded before the merge sort runs.
+            decode_cpu = decode_cpu_per_map * len(map_finish_times)
             sort_time = profile.sort_cpu_s_per_mb * total_mb / speed
-            trace.sort_done = shuffle_done + sort_time
+            trace.sort_done = shuffle_done + decode_cpu + sort_time
             reduce_cpu = profile.reduce_cpu_s_per_mb * total_mb / speed
             write_time = output_mb / dfs_write_rate
             trace.finish = trace.sort_done + reduce_cpu + write_time
@@ -455,7 +467,7 @@ class HadoopSimulator:
 
         for arrival in arrivals:
             begin = max(arrival, cpu_busy)
-            cpu_busy = begin + per_mb_cost * bytes_per_map_mb
+            cpu_busy = begin + per_mb_cost * bytes_per_map_mb + decode_cpu_per_map
             records_consumed += records_per_map
             if technique.kind in {"inmemory", "spillmerge"}:
                 current = mem.bytes_at(records_consumed - spill_base_records)
@@ -829,6 +841,23 @@ class HadoopSimulator:
         counters.increment(
             "shuffle.records", int(round(sum(t.records for t in reducers)))
         )
+        # Wire-format byte accounting, same names as the live engines
+        # (repro.dfs.wire): raw = records x record size, wire = raw after
+        # per-batch compression, batches = per-arrival frame count (each
+        # arrival rounds up, so batches x batch size >= records).
+        raw_bytes = sum(t.records for t in reducers) * profile.record_bytes
+        total_batches = 0
+        for trace in reducers:
+            per_map = trace.records / max(1, len(trace.arrival_times))
+            total_batches += len(trace.arrival_times) * math.ceil(
+                max(0.0, per_map) / profile.wire_batch_records
+            )
+        counters.increment("shuffle.bytes.raw", int(round(raw_bytes)))
+        counters.increment(
+            "shuffle.bytes.wire",
+            int(round(raw_bytes * profile.wire_compress_ratio)),
+        )
+        counters.increment("shuffle.batches", total_batches)
         counters.increment(
             "task.attempts.map", maps_completed + result.reexecuted_maps
         )
@@ -860,7 +889,13 @@ class HadoopSimulator:
             "sim.refolded_records", int(round(result.refolded_records))
         )
         self._export_events(result, obs)
-        self._export_metrics(mode, result, obs, record_bytes=profile.record_bytes)
+        self._export_metrics(
+            mode,
+            result,
+            obs,
+            record_bytes=profile.record_bytes,
+            wire_ratio=profile.wire_compress_ratio,
+        )
 
     def _export_events(
         self, result: SimJobResult, obs: JobObservability
@@ -909,16 +944,18 @@ class HadoopSimulator:
         obs: JobObservability,
         record_bytes: float = 100.0,
         ticks: int = 64,
+        wire_ratio: float = 1.0,
     ) -> None:
         """Sample the simulated trajectories at evenly spaced virtual times.
 
         Same series names, units and schema as the live engines' ticker —
         ``shuffle.fetch.inflight``, ``shuffle.buffer.depth``,
         ``store.bytes``, ``reduce.records_per_s`` — plus the
-        simulator-only ``sim.network.mb_per_s`` (shuffle ingest) and
-        ``sim.disk.spilled_mb`` (cumulative spill volume).  Everything is
-        a pure function of the result, so two identical runs produce
-        bit-identical series.
+        simulator-only ``sim.network.mb_per_s`` (shuffle ingest, *wire*
+        bytes: arrivals scaled by ``wire_ratio`` so the series reflects
+        what actually crossed the network) and ``sim.disk.spilled_mb``
+        (cumulative spill volume).  Everything is a pure function of the
+        result, so two identical runs produce bit-identical series.
         """
         metrics = obs.metrics
         reducers = result.reducers
@@ -1006,7 +1043,8 @@ class HadoopSimulator:
                 )
                 metrics.sample(
                     "sim.network.mb_per_s",
-                    sum(
+                    wire_ratio
+                    * sum(
                         _arrival_mb(trace, record_bytes)
                         * sum(1 for a in trace.arrival_times if previous_t < a <= t)
                         for trace in reducers

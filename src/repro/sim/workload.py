@@ -102,6 +102,15 @@ class JobProfile:
     #: on few reducers — §5.3's "certain keys are significantly more
     #: common than others" concern, and the straggler-reducer effect.
     partition_skew: float = 0.0
+    #: Shuffle wire-format modelling (the knobs of
+    #: :class:`repro.dfs.wire.WireConfig`, see docs/shuffle-wire.md):
+    #: fraction of raw shuffle bytes left after framing + per-batch
+    #: compression (wire bytes / raw bytes — app-dependent, text
+    #: compresses far better than packed floats), records per wire
+    #: batch, and reducer-side decode CPU per batch.
+    wire_compress_ratio: float = 1.0
+    wire_batch_records: float = 256.0
+    wire_batch_cpu_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.num_maps <= 0:
@@ -116,11 +125,16 @@ class JobProfile:
             "sweep_s_per_mb",
             "final_output_mb",
             "record_bytes",
+            "wire_batch_cpu_s",
         ):
             if getattr(self, attr) < 0:
                 raise ValueError(f"{attr} must be >= 0")
         if self.partition_skew < 0:
             raise ValueError("partition_skew must be >= 0")
+        if not 0.0 < self.wire_compress_ratio <= 1.0:
+            raise ValueError("wire_compress_ratio must be in (0, 1]")
+        if self.wire_batch_records < 1:
+            raise ValueError("wire_batch_records must be >= 1")
 
     @property
     def total_map_output_mb(self) -> float:
@@ -183,6 +197,8 @@ def sort_profile(input_gb: float) -> JobProfile:
         memory=MemoryProfile(
             ReduceClass.SORTING, entry_bytes=48.0, key_cardinality=1e9
         ),
+        wire_compress_ratio=0.75,  # random keys deflate modestly
+        wire_batch_cpu_s=2e-5,
     )
 
 
@@ -218,6 +234,8 @@ def wordcount_profile(input_gb: float) -> JobProfile:
             heaps_k=30.0,
             heaps_beta=0.80,
         ),
+        wire_compress_ratio=0.45,  # natural-language text deflates well
+        wire_batch_cpu_s=2e-5,
     )
 
 
@@ -245,6 +263,8 @@ def knn_profile(input_gb: float, k: int = 10) -> JobProfile:
             heaps_k=4.0,
             heaps_beta=0.7,
         ),
+        wire_compress_ratio=0.85,  # packed distances barely compress
+        wire_batch_cpu_s=2e-5,
     )
 
 
@@ -271,6 +291,8 @@ def lastfm_profile(input_gb: float) -> JobProfile:
             # 50 users x 5000 tracks: sets saturate at 250k entries/reducer
             saturation_records=250_000.0,
         ),
+        wire_compress_ratio=0.60,  # repeated track/user ids
+        wire_batch_cpu_s=2e-5,
     )
 
 
@@ -298,6 +320,8 @@ def genetic_profile(num_mappers: int, window_size: int = 16) -> JobProfile:
         memory=MemoryProfile(
             ReduceClass.CROSS_KEY, entry_bytes=48.0, window_size=window_size
         ),
+        wire_compress_ratio=0.70,  # genomes share long common substrings
+        wire_batch_cpu_s=2e-5,
     )
 
 
@@ -325,6 +349,8 @@ def blackscholes_profile(num_mappers: int) -> JobProfile:
         final_output_mb=0.001,  # mean + stddev only
         record_bytes=16.0,
         memory=MemoryProfile(ReduceClass.SINGLE_REDUCER, entry_bytes=64.0),
+        wire_compress_ratio=0.90,  # high-entropy floats
+        wire_batch_cpu_s=2e-5,
     )
 
 

@@ -3,10 +3,16 @@
 from __future__ import annotations
 
 import pytest
+from hypothesis import settings
 
 from repro.engine.local import LocalEngine
 from repro.engine.threaded import ThreadedEngine
 from repro.workloads.text import generate_documents
+
+# CI runs the wire-codec fuzz suite with this profile: deterministic
+# (derandomized) and bounded, so failures reproduce locally while CI
+# stays fast.  Local runs keep hypothesis's default exploration.
+settings.register_profile("ci", derandomize=True, deadline=None)
 
 
 @pytest.fixture

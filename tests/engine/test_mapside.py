@@ -7,7 +7,10 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.apps import wordcount
+from repro.core.api import Mapper, Reducer
+from repro.core.job import JobSpec, MemoryConfig
 from repro.core.types import Counters, ExecutionMode, default_partition
+from repro.dfs.wire import WireConfig
 from repro.engine.base import run_map_task_partitioned
 from repro.engine.local import LocalEngine
 from repro.engine.mapside import MapOutputBuffer
@@ -147,3 +150,137 @@ class TestAllEnginesWithSpilledMapOutput:
         job.map_output_buffer_bytes = 1024
         result = MultiprocessEngine(processes=2).run(job, corpus, num_maps=3)
         assert result.output_as_dict() == wordcount.reference_output(corpus)
+
+
+class _ExplodingMapper(Mapper):
+    """Emits enough to force spills, then dies mid-task."""
+
+    def map(self, key, value, context):
+        for i in range(40):
+            context.emit(f"{key}-{i:03d}", i)
+        if key >= 2:
+            raise RuntimeError("map task failure after spilling")
+
+
+class TestSpillCleanup:
+    """Spill files must never outlive the buffer, success or failure."""
+
+    def _fill(self, buffer, records=80):
+        for i in range(records):
+            buffer.collect(f"key-{i:03d}", i)
+
+    def test_close_removes_spill_files(self, tmp_path):
+        buffer = MapOutputBuffer(
+            2, default_partition, buffer_bytes=256, spill_dir=str(tmp_path)
+        )
+        self._fill(buffer)
+        assert buffer.num_spills > 0
+        assert any(tmp_path.iterdir())
+        buffer.close()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_context_manager_cleans_on_raise(self, tmp_path):
+        with pytest.raises(RuntimeError, match="mid-spill"):
+            with MapOutputBuffer(
+                2, default_partition, buffer_bytes=256, spill_dir=str(tmp_path)
+            ) as buffer:
+                self._fill(buffer)
+                assert buffer.num_spills > 0
+                raise RuntimeError("failure mid-spill")
+        assert list(tmp_path.iterdir()) == []
+
+    def test_partial_write_failure_is_cleaned_up(self, tmp_path):
+        """A record the wire codec cannot encode aborts the spill midway;
+        the partially written file must still be deleted on close."""
+        buffer = MapOutputBuffer(
+            1,
+            default_partition,
+            buffer_bytes=1 << 20,
+            spill_dir=str(tmp_path),
+            wire=WireConfig(),
+        )
+        buffer.collect("fine", 1)
+        buffer.collect("poison", object())  # unencodable by the typed codec
+        with pytest.raises(Exception):
+            buffer._spill()
+        assert any(tmp_path.iterdir())  # partial file exists pre-close
+        buffer.close()
+        assert list(tmp_path.iterdir()) == []
+
+    @pytest.mark.parametrize("wire", [None, WireConfig()], ids=["pkl", "wire"])
+    def test_failed_map_task_leaves_spill_dir_empty(self, tmp_path, wire):
+        job = JobSpec(
+            name="exploding",
+            mapper_factory=_ExplodingMapper,
+            reducer_factory=Reducer,
+            num_reducers=3,
+            map_output_buffer_bytes=512,
+            memory=MemoryConfig(spill_dir=str(tmp_path)),
+        )
+        with pytest.raises(RuntimeError, match="after spilling"):
+            run_map_task_partitioned(
+                job, [(k, "v") for k in range(5)], Counters(), wire=wire
+            )
+        assert list(tmp_path.iterdir()) == []
+
+    def test_successful_map_task_leaves_spill_dir_empty(self, tmp_path):
+        corpus = generate_documents(10, words_per_doc=30, vocab_size=50, seed=9)
+        job = wordcount.make_job(ExecutionMode.BARRIER, num_reducers=2)
+        job.map_output_buffer_bytes = 512
+        job.memory = MemoryConfig(spill_dir=str(tmp_path))
+        counters = Counters()
+        partitions = run_map_task_partitioned(
+            job, corpus, counters, wire=WireConfig()
+        )
+        assert counters.get("map.output_spills") > 0
+        assert sum(len(records) for records in partitions.values()) > 0
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestWireSpillCodec:
+    """Spills written with the framed wire codec round-trip correctly."""
+
+    def test_wire_spill_files_and_accounting(self, tmp_path):
+        buffer = MapOutputBuffer(
+            3,
+            default_partition,
+            buffer_bytes=300,
+            spill_dir=str(tmp_path),
+            wire=WireConfig(),
+        )
+        expected: dict[int, list] = {p: [] for p in range(3)}
+        for i in range(90):
+            key = f"key-{i % 23:03d}"
+            buffer.collect(key, i)
+            expected[default_partition(key, 3)].append(key)
+        assert buffer.num_spills > 0
+        suffixes = {path.suffix for path in tmp_path.iterdir()}
+        assert suffixes == {".wire"}
+        assert buffer.raw_bytes_spilled > 0
+        assert buffer.wire_bytes_spilled > 0
+        total = 0
+        for partition in range(3):
+            records = list(buffer.partition_records(partition))
+            keys = [record.key for record in records]
+            assert keys == sorted(keys)
+            assert sorted(keys) == sorted(expected[partition])
+            total += len(records)
+        assert total == 90
+        buffer.close()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_wire_and_pickle_spills_agree(self, tmp_path):
+        def run(wire):
+            buffer = MapOutputBuffer(
+                2, default_partition, buffer_bytes=256, wire=wire
+            )
+            for i in range(70):
+                buffer.collect(f"key-{i % 11:02d}", (i, f"v{i}"))
+            out = {
+                p: [(r.key, r.value) for r in buffer.partition_records(p)]
+                for p in range(2)
+            }
+            buffer.close()
+            return out
+
+        assert run(None) == run(WireConfig())

@@ -458,3 +458,124 @@ class TestFetchFaultInjector:
     def test_rejects_bad_probability(self):
         with pytest.raises(ValueError):
             FetchFaultInjector(fetch_failure_probability=1.0)
+
+
+# ---------------------------------------------------------------------------
+# wire format on the fault paths: the ledger invariant holds over frames
+# ---------------------------------------------------------------------------
+
+
+class TestWireFaultPaths:
+    """The batched wire format must not bend the recovery accounting.
+
+    With the wire codec on (the default), the fetch protocol moves
+    :class:`~repro.dfs.wire.WireBatch` frames instead of record lists;
+    ``FetchLedger``'s ``fetched == consumed + deduped`` invariant and the
+    epoch-restart dedup must hold unchanged, frame by frame.
+    """
+
+    def _assert_ledger_reconciles(self, obs):
+        counters = obs.counters
+        fetched = counters.get("shuffle.records.fetched")
+        consumed = counters.get("shuffle.records.consumed")
+        deduped = counters.get("shuffle.records.deduped")
+        assert fetched == consumed + deduped, (
+            f"ledger diverged: {fetched} != {consumed} + {deduped}"
+        )
+        # The run really went over the wire.
+        assert counters.get("shuffle.batches") > 0
+        assert (
+            counters.get("shuffle.bytes.raw")
+            >= counters.get("shuffle.bytes.wire")
+            > 0
+        )
+
+    @pytest.mark.parametrize("mode", list(ExecutionMode))
+    def test_ledger_invariant_under_drops(self, mode):
+        obs = _run_wc(
+            mode, FetchFaultInjector(drop_probability=0.3, seed=11)
+        )
+        assert obs.counters.get("shuffle.fetch.drops") >= 1
+        self._assert_ledger_reconciles(obs)
+
+    @pytest.mark.parametrize("mode", list(ExecutionMode))
+    def test_ledger_invariant_under_timeouts(self, mode):
+        no_speculation = RecoveryConfig(
+            fetch_timeout_s=0.02,
+            speculative_fetch=False,
+            backoff=BackoffPolicy(base_s=0.0005, cap_s=0.005),
+        )
+        obs = _run_wc(
+            mode,
+            FetchFaultInjector(
+                stall_first_fetch_of=frozenset({(0, 0)}),
+                stall_seconds=0.05,
+            ),
+            recovery=no_speculation,
+        )
+        assert obs.counters.get("shuffle.fetch.timeouts") >= 1
+        self._assert_ledger_reconciles(obs)
+
+    @pytest.mark.parametrize("mode", list(ExecutionMode))
+    def test_ledger_invariant_under_epoch_restart(self, mode):
+        obs = _run_wc(mode, FetchFaultInjector(lose_output_after={0: 1}))
+        counters = obs.counters
+        assert counters.get("shuffle.epoch_restarts") >= 1
+        # The restarted stream re-served whole frames; every duplicate
+        # record arrived inside a frame and was discarded by the ledger.
+        assert counters.get("shuffle.records.deduped") >= 1
+        self._assert_ledger_reconciles(obs)
+
+    def test_service_serves_wire_frames(self):
+        from repro.dfs.wire import WireBatch, WireConfig, decode_batch
+
+        wire = WireConfig(max_batch_records=2)
+        service = MapOutputService(
+            num_maps=1, num_reducers=1, wire=wire
+        )
+        service.publish(0, {0: _records(5)})
+        frames = []
+        seq = 0
+        while True:
+            epoch, batch = service.read(0, 0, seq)
+            assert epoch == 0
+            if batch is None:
+                break
+            assert isinstance(batch, WireBatch)
+            frames.append(batch)
+            seq += 1
+        assert [len(frame) for frame in frames] == [2, 2, 1]
+        decoded = [
+            record for frame in frames for record in decode_batch(frame, wire)
+        ]
+        assert decoded == _records(5)
+
+    def test_ledger_invariant_over_frames(self):
+        from repro.dfs.wire import WireConfig, encode_record_batches
+
+        wire = WireConfig(max_batch_records=2)
+        frames = encode_record_batches(_records(5), wire)
+        ledger = FetchLedger()
+        for seq, frame in enumerate(frames):
+            assert ledger.admit(0, seq, frame) is not None
+        # A re-fetched frame (same mapper, same seq) is deduped whole.
+        assert ledger.admit(0, 0, frames[0]) is None
+        assert ledger.fetched == 5 + len(frames[0])
+        assert ledger.consumed == 5
+        assert ledger.deduped == len(frames[0])
+        assert ledger.fetched == ledger.consumed + ledger.deduped
+
+    def test_barrier_reset_then_seal_over_frames(self):
+        from repro.dfs.wire import WireConfig, encode_record_batches
+
+        wire = WireConfig(max_batch_records=4)
+        frames = encode_record_batches(_records(4), wire)
+        ledger = FetchLedger(consume_on_admit=False)
+        ledger.admit(0, 0, frames[0])
+        ledger.reset(0, discarded_records=len(frames[0]))
+        ledger.admit(0, 0, frames[0])  # clean re-fetch after the epoch bump
+        ledger.seal(4)
+        assert ledger.fetched == 8
+        assert ledger.consumed == 4
+        assert ledger.deduped == 4
+        assert ledger.fetched == ledger.consumed + ledger.deduped
