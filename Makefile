@@ -22,8 +22,10 @@ bench-figures:
 chaos:
 	python -m repro.cli chaos all
 	python -m repro.cli chaos all --lose-map-output --seed 2
+	python -m repro.cli chaos all --checkpoint --crash-reducer-after 100 --seed 3
 	pytest tests/engine/test_recovery.py tests/obs/test_recovery_counters.py \
-		tests/test_chaos.py tests/sim/test_failures.py -q
+		tests/engine/test_checkpoint_recovery.py tests/memory/test_checkpoint.py \
+		tests/test_chaos.py tests/sim/test_failures.py tests/sim/test_checkpoint_sim.py -q
 
 figures:
 	python -m repro.cli figure fig4 fig5 fig6 fig7 fig8 fig9 fig10

@@ -64,6 +64,15 @@ TRACKED_COUNTERS: tuple[str, ...] = (
     RAW_BYTES_COUNTER,
     WIRE_BYTES_COUNTER,
     BATCHES_COUNTER,
+    # Memory-substrate counters: zero under the default in-memory store
+    # and fault-free runs, but tracked so store or checkpoint regressions
+    # surface in the diff when benches run with other configurations.
+    "memory.spill.files",
+    "memory.spill.bytes",
+    "memory.kvstore.cache_hits",
+    "memory.kvstore.cache_misses",
+    "reduce.checkpoint.writes",
+    "reduce.checkpoint.bytes",
 )
 
 #: Apps for the ``--wire`` codec comparison (the text-heavy pair the

@@ -133,6 +133,14 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--lose-map-output", action="store_true",
                        help="lose mapper 0's output after its first serve "
                             "(forces re-execution + epoch re-fetch)")
+    chaos.add_argument("--checkpoint", action="store_true",
+                       help="enable partial-result checkpointing: crashed "
+                            "reducers resume from their last snapshot, and "
+                            "each barrier-less app also runs a streaming "
+                            "kill/resume scenario")
+    chaos.add_argument("--checkpoint-every", type=int, default=25,
+                       help="snapshot the reducer store every N folded "
+                            "records (with --checkpoint)")
 
     pipeline = sub.add_parser(
         "pipeline", help="run a multi-job application pipeline"
@@ -380,10 +388,13 @@ def _cmd_chaos(args) -> int:
     the configured failure mix (task crashes, fetch failures, in-flight
     drops, a reducer crash, optionally a lost map output) and the outputs
     must match exactly — recovery visible in the counters, invisible in
-    the result.  Exits non-zero on any divergence or exhausted attempt
-    budget.
+    the result.  With ``--checkpoint``, crashed reducers resume from
+    periodic store snapshots instead of refolding, and every barrier-less
+    app gains a streaming kill/resume row driven by the same policy.
+    Exits non-zero on any divergence or exhausted attempt budget.
     """
     from repro.apps.demo import demo_job_and_input, normalized_output
+    from repro.dfs.wire import WireConfig
     from repro.engine import (
         FaultInjector,
         FetchFaultInjector,
@@ -391,6 +402,9 @@ def _cmd_chaos(args) -> int:
         TaskPermanentlyFailedError,
         ThreadedEngine,
     )
+    from repro.engine.recovery import RecoveryConfig
+    from repro.engine.streaming import StreamingEngine
+    from repro.memory.checkpoint import CheckpointPolicy
     from repro.obs import JobObservability
 
     apps = (
@@ -398,20 +412,61 @@ def _cmd_chaos(args) -> int:
         if args.app == "all"
         else [args.app]
     )
+    checkpointing = args.checkpoint
+    recovery = (
+        RecoveryConfig(
+            checkpoint=CheckpointPolicy(every_records=args.checkpoint_every)
+        )
+        if checkpointing
+        else None
+    )
+    # Snapshots are cut at wire-batch boundaries; small batches keep the
+    # policy's record trigger meaningful at chaos input sizes.
+    wire = WireConfig(max_batch_records=16) if checkpointing else None
     header = (
         f"{'app':<5} {'mode':<12} {'injected':>8} {'retries':>8} "
         f"{'f.retries':>9} {'timeouts':>8} {'restarts':>8} {'deduped':>8} "
-        f"{'reexec':>6}  output"
+        f"{'reexec':>6}"
     )
+    if checkpointing:
+        header += f" {'ckpts':>6} {'resumes':>7} {'replayed':>8}"
+    header += "  output"
     print(
         f"chaos: seed={args.seed} task-p={args.task_failure_p} "
         f"fetch-p={args.fetch_failure_p} drop-p={args.drop_p} "
         f"crash-reducer-after={args.crash_reducer_after} "
         f"lose-map-output={args.lose_map_output}"
+        + (
+            f" checkpoint-every={args.checkpoint_every}"
+            if checkpointing
+            else ""
+        )
     )
     print(header)
     print("-" * len(header))
     failures = 0
+
+    def report(app, label, injected, obs, verdict):
+        counters = obs.counters.as_dict()
+        row = (
+            f"{app:<5} {label:<12} "
+            f"{injected:>8} "
+            f"{counters.get('task.retries', 0):>8} "
+            f"{counters.get('shuffle.fetch.retries', 0):>9} "
+            f"{counters.get('shuffle.fetch.timeouts', 0):>8} "
+            f"{counters.get('reduce.restarts', 0):>8} "
+            f"{counters.get('shuffle.records.deduped', 0):>8} "
+            f"{counters.get('map.reexecutions', 0):>6}"
+        )
+        if checkpointing:
+            row += (
+                f" {counters.get('reduce.checkpoint.writes', 0):>6}"
+                f" {counters.get('reduce.checkpoint.restores', 0):>7}"
+                f" {counters.get('reduce.replayed_records', 0):>8}"
+            )
+        print(row + f"  {verdict}")
+        return verdict != "ok"
+
     for index, app in enumerate(apps):
         for mode in ExecutionMode:
             # Seeds vary per (app, mode) so hash-derived decisions differ
@@ -455,6 +510,11 @@ def _cmd_chaos(args) -> int:
                 fault_injector=injector,
                 fetch_injector=fetch_injector,
                 obs=obs,
+                **(
+                    {"recovery": recovery, "wire": wire}
+                    if checkpointing
+                    else {}
+                ),
             )
             try:
                 result = engine.run(job, pairs, num_maps=args.maps)
@@ -468,20 +528,48 @@ def _cmd_chaos(args) -> int:
                     if normalized_output(app, result) == baseline
                     else "DIVERGED"
                 )
-            if verdict != "ok":
+            if report(
+                app, mode.value, injector.injected + fetch_injector.injected,
+                obs, verdict,
+            ):
                 failures += 1
-            counters = obs.counters.as_dict()
-            print(
-                f"{app:<5} {mode.value:<12} "
-                f"{injector.injected + fetch_injector.injected:>8} "
-                f"{counters.get('task.retries', 0):>8} "
-                f"{counters.get('shuffle.fetch.retries', 0):>9} "
-                f"{counters.get('shuffle.fetch.timeouts', 0):>8} "
-                f"{counters.get('reduce.restarts', 0):>8} "
-                f"{counters.get('shuffle.records.deduped', 0):>8} "
-                f"{counters.get('map.reexecutions', 0):>6}  "
-                f"{verdict}"
+
+            if not (checkpointing and mode is ExecutionMode.BARRIERLESS):
+                continue
+            # Streaming kill/resume: same crash, same policy, pushed as
+            # micro-batches; the resumed stream must close to the same
+            # bytes the uninterrupted batch run produced.
+            stream_injector = FetchFaultInjector(
+                crash_reducer_after=(
+                    {0: args.crash_reducer_after}
+                    if args.crash_reducer_after >= 0
+                    else {}
+                ),
+                seed=seed,
             )
+            stream_obs = JobObservability()
+            job, pairs = build()
+            stream = StreamingEngine(
+                job,
+                obs=stream_obs,
+                fault_injector=stream_injector,
+                recovery=recovery,
+                wire=wire,
+            )
+            step = max(1, len(pairs) // 10)
+            for at in range(0, len(pairs), step):
+                stream.push(pairs[at : at + step])
+            stream_result = stream.close()
+            verdict = (
+                "ok"
+                if normalized_output(app, stream_result) == baseline
+                else "DIVERGED"
+            )
+            if report(
+                app, "streaming", stream_injector.injected, stream_obs,
+                verdict,
+            ):
+                failures += 1
     if failures:
         print(f"{failures} run(s) diverged or exhausted their attempt budget")
         return 1

@@ -34,6 +34,13 @@ class BarrierlessReducer(Reducer):
     #: Which of the paper's seven classes this reducer belongs to.
     reduce_class: ReduceClass = ReduceClass.AGGREGATION
 
+    #: Whether the store is the reducer's *complete* state, making
+    #: checkpoint/resume sound.  True for the default ``run`` shape (fold
+    #: everything, emit only at the end); subclasses that emit output
+    #: during folding or keep state outside the store must set False —
+    #: restoring their store would silently drop already-written output.
+    checkpointable: bool = True
+
     def __init__(self) -> None:
         self._store: PartialResultStore | None = None
 
@@ -100,6 +107,10 @@ class IdentityBarrierlessReducer(BarrierlessReducer):
     """
 
     reduce_class = ReduceClass.IDENTITY
+
+    #: Output is written during folding, so a store snapshot does not
+    #: capture the reducer's real progress — resume would drop output.
+    checkpointable = False
 
     def fold(self, key: Key, partial: Value, value: Value) -> Value:  # pragma: no cover
         raise AssertionError("identity reducers keep no partial results")
@@ -227,6 +238,10 @@ class CrossKeyWindowReducer(BarrierlessReducer):
     """
 
     reduce_class = ReduceClass.CROSS_KEY
+
+    #: Windows are processed (and written) mid-stream and live outside
+    #: the store, so a store snapshot misses both — not resumable.
+    checkpointable = False
 
     def __init__(self, window_size: int) -> None:
         super().__init__()

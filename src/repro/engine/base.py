@@ -238,6 +238,33 @@ def harvest_store_counters(reducer: Reducer, counters: Counters) -> None:
         counters.increment(
             "store.spilled_entries", getattr(inner, "spilled_entries", 0)
         )
+    # memory.* namespace: the substrate-level statistics the bench
+    # harness tracks across runs (spill file churn, cache effectiveness).
+    files = getattr(inner, "num_spill_files", None)
+    if isinstance(files, int):
+        counters.increment("memory.spill.files", files)
+        counters.increment(
+            "memory.spill.bytes", getattr(inner, "spill_bytes_written", 0)
+        )
+    if isinstance(hits, int):
+        counters.increment("memory.kvstore.cache_hits", hits)
+        counters.increment("memory.kvstore.cache_misses", inner.cache_misses)
+        counters.increment(
+            "memory.kvstore.log_bytes", getattr(inner, "bytes_written", 0)
+        )
+
+
+def reducer_is_checkpointable(job: JobSpec) -> bool:
+    """Whether this job's reducers can soundly checkpoint/resume.
+
+    True only when the reducer declares its partial-result store to be its
+    *complete* state (``checkpointable`` on
+    :class:`~repro.core.patterns.BarrierlessReducer`): reducers that emit
+    output during folding (identity, cross-key windows) or keep state
+    outside the store would silently lose work if resumed from a store
+    snapshot, so they refold instead.
+    """
+    return bool(getattr(job.reducer_factory(), "checkpointable", False))
 
 
 def reducer_is_store_backed(job: JobSpec) -> bool:

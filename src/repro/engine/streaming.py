@@ -26,12 +26,24 @@ ever routed to it — replayed from the start.  This is the streaming form
 of the paper's §8 recovery argument: because the map output is retained
 (here, journalled), a barrier-less reducer can always be rebuilt by
 re-consuming its input, and the stream then continues live.
+
+With a :class:`~repro.engine.recovery.RecoveryConfig` carrying a
+:class:`~repro.memory.checkpoint.CheckpointPolicy`, each session also
+snapshots its store periodically (on the reduce thread, at record
+boundaries, so the snapshot's ``records`` count is exact).  A restart
+then restores the snapshot and replays only the journal *tail* past it —
+resume instead of refold.  A torn snapshot, or one whose record count
+exceeds the journal (a leftover from some other stream's life), fails
+closed to a full journal replay.
 """
 
 from __future__ import annotations
 
+import os
 import queue
+import tempfile
 import threading
+import time
 from typing import Iterator, Sequence
 
 from repro.core.api import ReduceContext
@@ -52,6 +64,8 @@ from repro.engine.base import (
     harvest_store_counters,
     partition_records,
     prepare_reducer,
+    reducer_is_checkpointable,
+    reducer_is_store_backed,
     run_map_task,
 )
 from repro.dfs.wire import (
@@ -63,7 +77,14 @@ from repro.dfs.wire import (
     encode_record_batches,
 )
 from repro.engine.faults import TaskAttemptError
-from repro.engine.recovery import FetchFaultInjector
+from repro.engine.recovery import FetchFaultInjector, RecoveryConfig
+from repro.memory.checkpoint import (
+    CheckpointError,
+    CheckpointPolicy,
+    checkpoint_exists,
+    discard_checkpoint,
+    peek_checkpoint_meta,
+)
 from repro.obs import JobObservability, MetricsTicker
 
 _SENTINEL = None
@@ -118,6 +139,14 @@ class _LockedStore:
         with self._lock:
             return self._inner.memory_used()
 
+    def checkpoint(self, directory, *, meta=None):
+        with self._lock:
+            return self._inner.checkpoint(directory, meta=meta)
+
+    def restore(self, directory):
+        with self._lock:
+            return self._inner.restore(directory)
+
     def __len__(self):
         with self._lock:
             return len(self._inner)
@@ -137,10 +166,12 @@ class _QueueGroups:
         records: "queue.Queue",
         injector: FetchFaultInjector | None = None,
         reducer_index: int = 0,
+        on_folded=None,
     ):
         self._records = records
         self._injector = injector
         self._reducer_index = reducer_index
+        self._on_folded = on_folded
 
     def __iter__(self) -> Iterator[tuple[Key, list[Value]]]:
         consumed = 0
@@ -155,6 +186,11 @@ class _QueueGroups:
                 self._injector.check_reduce(self._reducer_index, consumed)
             consumed += 1
             yield item.key, [item.value]
+            # The generator resumes only once the reducer asks for the
+            # next group, i.e. the yielded record is fully folded into
+            # the store — a valid snapshot point on the reduce thread.
+            if self._on_folded is not None:
+                self._on_folded()
 
 
 class _ReducerSession:
@@ -175,11 +211,22 @@ class _ReducerSession:
         reducer_index: int,
         injector: FetchFaultInjector | None = None,
         wire: WireConfig | None = None,
+        obs: JobObservability | None = None,
+        policy: CheckpointPolicy | None = None,
+        checkpoint_dir: str | None = None,
     ):
         self._job = job
         self._index = reducer_index
         self._injector = injector
         self._wire = wire
+        self._obs = obs
+        self._policy = policy
+        self._ckpt_dir = checkpoint_dir
+        #: Records fully folded by the current incarnation (including any
+        #: restored from a snapshot) — the journal replay cursor.
+        self.folded = 0
+        self._since_records = 0
+        self._since_t = time.monotonic()
         #: Wire on: list[WireBatch].  Wire off: list[Record].
         self.journal: list = []
         self.crashed = False
@@ -195,8 +242,22 @@ class _ReducerSession:
             locked = _LockedStore(self.reducer.store, self.lock)
             self.reducer.attach_store(locked)
             self.store = locked
+        self.folded = 0
+        self._since_records = 0
+        self._since_t = time.monotonic()
+        can_ckpt = (
+            self._policy is not None
+            and self._ckpt_dir is not None
+            and self.store is not None
+            and hasattr(self.store._inner, "checkpoint")
+        )
         self.context = ReduceContext(
-            _QueueGroups(self.queue, self._injector, self._index),
+            _QueueGroups(
+                self.queue,
+                self._injector,
+                self._index,
+                on_folded=self._on_folded if can_ckpt else self._count_folded,
+            ),
             self.counters,
         )
         self.thread = threading.Thread(
@@ -212,19 +273,122 @@ class _ReducerSession:
         except TaskAttemptError:
             # Injected crash: the partial store and any un-drained queue
             # contents die with this thread; restart() rebuilds both from
-            # the journal.
+            # the journal (or its tail, with a checkpoint).
             self.crashed = True
 
+    # -- checkpointing (reduce thread) ---------------------------------------
+
+    def _count_folded(self) -> None:
+        self.folded += 1
+
+    def _on_folded(self) -> None:
+        self.folded += 1
+        self._since_records += 1
+        if self._policy.due(
+            self._since_records, 0, time.monotonic() - self._since_t
+        ):
+            self._write_snapshot()
+
+    def _write_snapshot(self) -> None:
+        stats = self.store.checkpoint(
+            self._ckpt_dir, meta={"records": self.folded}
+        )
+        if self._obs is not None:
+            counters = self._obs.counters
+            counters.increment("reduce.checkpoint.writes")
+            counters.increment("reduce.checkpoint.bytes", stats.bytes)
+            counters.increment("reduce.checkpoint.records", stats.records)
+            self._obs.events.emit(
+                "checkpoint.write",
+                task=f"reduce-{self._index}",
+                records=stats.records,
+                bytes=stats.bytes,
+            )
+        self._since_records = 0
+        self._since_t = time.monotonic()
+
+    # -- recovery ------------------------------------------------------------
+
+    def journal_records(self) -> int:
+        """Total records the journal holds (across wire batch frames)."""
+        if self._wire is not None:
+            return sum(batch.count for batch in self.journal)
+        return len(self.journal)
+
     def restart(self) -> None:
-        """Rebuild the reducer and replay its journal from record zero."""
+        """Rebuild the reducer; resume from a snapshot or replay in full."""
+        prior = self.folded  # the dead incarnation's fold cursor
         self.crashed = False
         self._start()
+        total = self.journal_records()
+        replay_from = 0
+        counters = self._obs.counters if self._obs is not None else None
+        if self._ckpt_dir is not None and checkpoint_exists(self._ckpt_dir):
+            try:
+                meta = peek_checkpoint_meta(self._ckpt_dir)
+                records = int(meta.get("records", 0))
+                if 0 < records <= total:
+                    self.store.restore(self._ckpt_dir)
+                    replay_from = records
+                    if counters is not None:
+                        counters.increment("reduce.checkpoint.restores")
+                        counters.increment(
+                            "reduce.checkpoint.restored_records", records
+                        )
+                        # Classification bucket, mirroring the threaded
+                        # engine: restored records were neither replayed
+                        # nor refolded by the restarted incarnation.
+                        counters.increment("reduce.restored_records", records)
+                        self._obs.events.emit(
+                            "checkpoint.restore",
+                            task=f"reduce-{self._index}",
+                            records=records,
+                        )
+                else:
+                    # Claims more folds than this stream ever routed: a
+                    # snapshot from some other life of the directory.
+                    if counters is not None:
+                        counters.increment("reduce.checkpoint.stale")
+                        self._obs.events.emit(
+                            "checkpoint.stale",
+                            task=f"reduce-{self._index}",
+                            records=records,
+                        )
+                    discard_checkpoint(self._ckpt_dir)
+            except CheckpointError as exc:
+                # Torn or corrupted snapshot: fail closed to full replay.
+                if counters is not None:
+                    counters.increment("reduce.checkpoint.invalid")
+                    self._obs.events.emit(
+                        "checkpoint.invalid",
+                        task=f"reduce-{self._index}",
+                        reason=str(exc),
+                    )
+                discard_checkpoint(self._ckpt_dir)
+        self.folded = replay_from
+        if counters is not None:
+            # Only folds the dead incarnation had already done count as
+            # re-done work; the rest of the journal is pending regardless.
+            if replay_from:
+                counters.increment(
+                    "reduce.replayed_records", max(0, prior - replay_from)
+                )
+            else:
+                counters.increment("reduce.refolded_records", prior)
+        skip = replay_from
         if self._wire is not None:
             for batch in self.journal:
-                for record in decode_batch(batch, self._wire):
+                if skip >= batch.count:
+                    skip -= batch.count
+                    continue
+                records = decode_batch(batch, self._wire)
+                if skip:
+                    records = records[skip:]
+                    skip = 0
+                for record in records:
                     self.queue.put(record)
         else:
-            for record in self.journal:
+            for record in self.journal[skip:]:
                 self.queue.put(record)
 
 
@@ -237,6 +401,7 @@ class StreamingEngine:
         obs: JobObservability | None = None,
         fault_injector: FetchFaultInjector | None = None,
         wire: WireConfig | None = None,
+        recovery: RecoveryConfig | None = None,
     ):
         if job.mode is not ExecutionMode.BARRIERLESS:
             raise InvalidJobError(
@@ -251,6 +416,22 @@ class StreamingEngine:
         wire = wire if wire is not None else WireConfig()
         self._wire = wire if wire.enabled else None
         self._restarts = 0
+        # Checkpoint/resume: only sound for reducers whose store is their
+        # complete state (see CheckpointPolicy / reducer_is_checkpointable).
+        self._ckpt_owned: tempfile.TemporaryDirectory | None = None
+        ckpt_root: str | None = None
+        if (
+            recovery is not None
+            and recovery.checkpoint_enabled
+            and reducer_is_store_backed(job)
+            and reducer_is_checkpointable(job)
+        ):
+            ckpt_root = recovery.checkpoint_dir
+            if ckpt_root is None:
+                self._ckpt_owned = tempfile.TemporaryDirectory(
+                    prefix="repro-ckpt-"
+                )
+                ckpt_root = self._ckpt_owned.name
         # The job span stays open for the stream's whole life; map and
         # reduce stages overlap by construction (reducers consume pushes
         # as they arrive), so both open up front, like the threaded engine.
@@ -264,7 +445,19 @@ class StreamingEngine:
             "reduce", "stage", parent=self._job_span
         )
         self._sessions = [
-            _ReducerSession(job, i, fault_injector, wire=self._wire)
+            _ReducerSession(
+                job,
+                i,
+                fault_injector,
+                wire=self._wire,
+                obs=self.obs,
+                policy=recovery.checkpoint if ckpt_root is not None else None,
+                checkpoint_dir=(
+                    os.path.join(ckpt_root, f"reduce-{i}")
+                    if ckpt_root is not None
+                    else None
+                ),
+            )
             for i in range(job.num_reducers)
         ]
         self._task_spans = [
@@ -438,6 +631,9 @@ class StreamingEngine:
             )
             obs.tracer.close(self._task_spans[index])
         self._ticker.stop()
+        if self._ckpt_owned is not None:
+            self._ckpt_owned.cleanup()
+            self._ckpt_owned = None
         obs.tracer.close(self._reduce_stage)
         obs.tracer.close(self._job_span)
         obs.counters.merge_counters(self.counters)

@@ -9,6 +9,10 @@ implementations:
 - :class:`SpillingKVStore` — LRU-cached log-backed KV store, the
   BerkeleyDB stand-in (§5.2).
 
+All three stores support atomic, CRC-verified ``checkpoint``/``restore``
+(:mod:`repro.memory.checkpoint`) so a restarted reduce attempt can resume
+from its last snapshot instead of refolding the partition from zero.
+
 Plus the building blocks: :class:`TreeMap` (the red-black tree itself),
 byte estimation (:mod:`repro.memory.estimator`) and eviction policies
 (:mod:`repro.memory.policies`).
@@ -16,6 +20,16 @@ byte estimation (:mod:`repro.memory.estimator`) and eviction policies
 
 from repro.core.job import MemoryConfig
 from repro.core.partial import MergeFunction
+from repro.memory.checkpoint import (
+    CheckpointError,
+    CheckpointPolicy,
+    CheckpointStats,
+    checkpoint_exists,
+    discard_checkpoint,
+    peek_checkpoint_meta,
+    read_checkpoint,
+    write_checkpoint,
+)
 from repro.memory.estimator import (
     ENTRY_OVERHEAD_BYTES,
     MemoryTracker,
@@ -31,6 +45,9 @@ from repro.memory.treemap import TreeMap
 
 __all__ = [
     "ENTRY_OVERHEAD_BYTES",
+    "CheckpointError",
+    "CheckpointPolicy",
+    "CheckpointStats",
     "FIFOCache",
     "LRUCache",
     "MemoryTracker",
@@ -38,10 +55,15 @@ __all__ = [
     "SpillingKVStore",
     "TreeMap",
     "TreeMapStore",
+    "checkpoint_exists",
     "deep_size",
+    "discard_checkpoint",
     "entry_size",
     "make_store",
+    "peek_checkpoint_meta",
+    "read_checkpoint",
     "shallow_size",
+    "write_checkpoint",
 ]
 
 

@@ -5,7 +5,9 @@ off-the-shelf key/value store with an in-memory cache that evicts to disk
 under LRU.  We implement the same architecture from scratch, in the style
 of Bitcask/BerkeleyDB JE:
 
-- an append-only on-disk **log file** holding pickled records;
+- an append-only on-disk **log file** of CRC-framed records
+  (:mod:`repro.dfs.wire` frames, one record per frame, so a truncated or
+  bit-flipped log raises instead of yielding corrupt partial results);
 - an in-memory **index** mapping key → (offset, length) of the latest
   version in the log;
 - a byte-bounded **LRU cache** of deserialised entries in front of the log;
@@ -22,11 +24,18 @@ statistics the simulator's cost model and the benches consume.
 from __future__ import annotations
 
 import os
-import pickle
 import tempfile
-from typing import Callable, Iterator
+from typing import Any, Callable, Iterator
 
-from repro.core.types import Key, Value
+from repro.core.types import Key, Record, Value
+from repro.dfs.serialization import SerializationError
+from repro.dfs.wire import decode_frame
+from repro.memory.checkpoint import (
+    CheckpointStats,
+    encode_entry_frame,
+    read_checkpoint,
+    write_checkpoint,
+)
 from repro.memory.estimator import entry_size
 from repro.memory.policies import LRUCache
 
@@ -167,14 +176,36 @@ class SpillingKVStore:
         self._log = open(self._log_path, "w+b")
         self._index.clear()
         for key, value in live:
-            payload = pickle.dumps((key, value), protocol=pickle.HIGHEST_PROTOCOL)
-            offset = self._log.tell()
-            self._log.write(payload)
-            self._index[key] = (offset, len(payload))
+            self._append_entry(key, value, account=False)
         self._log.flush()
         new_size = self._log.tell()
         self.compactions += 1
         return max(0, old_size - new_size)
+
+    def checkpoint(
+        self, directory: str, *, meta: dict[str, Any] | None = None
+    ) -> CheckpointStats:
+        """Atomically snapshot all entries in ascending key order.
+
+        Flushes dirty cache state and the write buffer first (via
+        :meth:`items`), so the snapshot reflects every ``put`` so far; the
+        store stays fully usable afterwards.
+        """
+        return write_checkpoint(directory, self.items(), meta=meta)
+
+    def restore(self, directory: str) -> dict[str, Any]:
+        """Load a verified snapshot straight into the log; returns its meta.
+
+        Entries are appended to the data log with a cold cache — exactly
+        the state after an eviction pass — so restored keys behave like
+        any other spilled key (visible to ``get`` at disk-read cost).
+        """
+        meta, entries = read_checkpoint(directory)
+        self._log.seek(0, os.SEEK_END)
+        for key, value in entries:
+            self._append_entry(key, value)
+        self._log.flush()
+        return meta
 
     def log_size_bytes(self) -> int:
         """Current on-disk size of the data log."""
@@ -214,15 +245,20 @@ class SpillingKVStore:
             return
         self._log.seek(0, os.SEEK_END)
         for key, value in self._write_buffer:
-            payload = pickle.dumps((key, value), protocol=pickle.HIGHEST_PROTOCOL)
-            offset = self._log.tell()
-            self._log.write(payload)
-            self._index[key] = (offset, len(payload))
-            self.disk_writes += 1
-            self.bytes_written += len(payload)
+            self._append_entry(key, value)
         self._log.flush()
         self._write_buffer.clear()
         self._write_buffer_bytes = 0
+
+    def _append_entry(self, key: Key, value: Value, account: bool = True) -> None:
+        """Append one framed entry at the log's current end position."""
+        frame = encode_entry_frame([Record(key, value)]).frame
+        offset = self._log.tell()
+        self._log.write(frame)
+        self._index[key] = (offset, len(frame))
+        if account:
+            self.disk_writes += 1
+            self.bytes_written += len(frame)
 
     def _read_log(self, location: tuple[int, int]) -> Value:
         offset, length = location
@@ -230,5 +266,9 @@ class SpillingKVStore:
         payload = self._log.read(length)
         self.disk_reads += 1
         self.bytes_read += length
-        _key, value = pickle.loads(payload)
-        return value
+        if len(payload) != length:
+            raise SerializationError("truncated kvstore log entry")
+        records, _end = decode_frame(payload, allow_pickle=True)
+        if len(records) != 1:
+            raise SerializationError("kvstore log frame must hold one record")
+        return records[0].value

@@ -8,40 +8,53 @@ across all spill files plus the residual in-memory buffer, combining the
 partial results of equal keys with a user ``merge_fn`` (functionally the
 combiner) and yielding each key exactly once in ascending order.
 
-Spill files are real files: entries are pickled sequentially, so the merge
-streams from disk with O(#files) resident entries rather than reloading
-spills wholesale.
+Spill files are real files in the :mod:`repro.dfs.wire` framed format
+(varint batch headers, optional zlib, CRC32 trailer per frame), so a
+truncated or bit-flipped spill raises :class:`SerializationError` instead
+of silently yielding corrupt partial results, and the merge streams from
+disk with O(#files) resident batches rather than reloading spills
+wholesale.
 """
 
 from __future__ import annotations
 
 import heapq
 import os
-import pickle
 import tempfile
-from typing import BinaryIO, Callable, Iterator
+from typing import Any, BinaryIO, Callable, Iterable, Iterator
 
 from repro.core.partial import MergeFunction
 from repro.core.types import Key, Value
+from repro.memory.checkpoint import (
+    CheckpointStats,
+    encode_entry_frames,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.dfs.wire import read_frames, write_batch
 from repro.memory.estimator import MemoryTracker, entry_size
 from repro.memory.treemap import TreeMap
 
 
 class _SpillFileReader:
-    """Sequential reader over one pickled spill file."""
+    """Sequential reader over one wire-framed spill file."""
 
     def __init__(self, path: str):
         self.path = path
         self._fh: BinaryIO | None = open(path, "rb")
 
     def __iter__(self) -> Iterator[tuple[Key, Value]]:
-        assert self._fh is not None
-        while True:
-            try:
-                yield pickle.load(self._fh)
-            except EOFError:
-                break
-        self.close()
+        # The finally clause runs on GeneratorExit too, so a consumer that
+        # abandons the merge early (an exception mid-reduce, a closed
+        # generator) still releases the descriptor.
+        try:
+            if self._fh is None:
+                return
+            for records in read_frames(self._fh, allow_pickle=True):
+                for record in records:
+                    yield record.key, record.value
+        finally:
+            self.close()
 
     def close(self) -> None:
         if self._fh is not None:
@@ -89,6 +102,7 @@ class SpillMergeStore:
         self._finalized = False
         self.spill_count = 0
         self.spilled_entries = 0
+        self.spill_bytes_written = 0
 
     # -- PartialResultStore protocol ----------------------------------------
 
@@ -162,6 +176,34 @@ class SpillMergeStore:
         """How many spill files exist so far."""
         return len(self._spill_paths)
 
+    def checkpoint(
+        self, directory: str, *, meta: dict[str, Any] | None = None
+    ) -> CheckpointStats:
+        """Atomically snapshot the merged view (spills + buffer).
+
+        Uses the non-destructive k-way merge, so the store keeps working —
+        this is exactly the state a restarted attempt needs: each key's
+        partial results already combined with ``merge_fn``.
+        """
+        return write_checkpoint(directory, self._merged_stream(), meta=meta)
+
+    def restore(self, directory: str) -> dict[str, Any]:
+        """Load a verified snapshot as one pre-sorted run; returns its meta.
+
+        The snapshot becomes an extra sorted run for the final merge
+        instead of being folded through the buffer, so restoring never
+        triggers cascading spills and costs one sequential write.
+        """
+        meta, entries = read_checkpoint(directory)
+        if entries:
+            path = os.path.join(
+                self._dir, f"restore-{len(self._spill_paths):05d}.wire"
+            )
+            count, _written = self._write_run(path, entries)
+            self._spill_paths.append(path)
+            self.spilled_entries += count
+        return meta
+
     def close(self) -> None:
         """Delete spill files and release the temporary directory."""
         for path in self._spill_paths:
@@ -176,15 +218,26 @@ class SpillMergeStore:
 
     # -- internals ------------------------------------------------------------------
 
+    def _write_run(
+        self, path: str, entries: Iterable[tuple[Key, Value]]
+    ) -> tuple[int, int]:
+        """Write one sorted run of wire frames; returns (entries, bytes)."""
+        count = 0
+        written = 0
+        with open(path, "wb") as fh:
+            for batch in encode_entry_frames(entries):
+                written += write_batch(fh, batch)
+                count += batch.count
+        return count, written
+
     def _spill(self) -> None:
         """Drain the buffer to a new spill file, sorted by key."""
         if len(self._buffer) == 0:
             return
-        path = os.path.join(self._dir, f"spill-{self.spill_count:05d}.pkl")
-        with open(path, "wb") as fh:
-            for key, value in self._buffer.items():
-                pickle.dump((key, value), fh, protocol=pickle.HIGHEST_PROTOCOL)
-                self.spilled_entries += 1
+        path = os.path.join(self._dir, f"spill-{self.spill_count:05d}.wire")
+        count, written = self._write_run(path, self._buffer.items())
+        self.spilled_entries += count
+        self.spill_bytes_written += written
         self._spill_paths.append(path)
         self.spill_count += 1
         self._buffer.clear()
@@ -195,24 +248,31 @@ class SpillMergeStore:
 
     def _merged_stream(self) -> Iterator[tuple[Key, Value]]:
         """K-way merge over spill files + buffer, merging equal keys."""
-        streams: list[Iterator[tuple[Key, Value]]] = [
-            iter(_SpillFileReader(path)) for path in self._spill_paths
-        ]
-        streams.append(self._buffer.items())
+        readers = [_SpillFileReader(path) for path in self._spill_paths]
+        try:
+            streams: list[Iterator[tuple[Key, Value]]] = [
+                iter(reader) for reader in readers
+            ]
+            streams.append(self._buffer.items())
 
-        # heapq.merge performs the "repeatedly read the globally lowest
-        # key" loop of §5.1 across all sorted runs.
-        merged = heapq.merge(*streams, key=lambda entry: entry[0])
-        current_key: Key = None
-        current_value: Value = None
-        have_current = False
-        for key, value in merged:
-            if have_current and key == current_key:
-                current_value = self._merge_fn(current_value, value)
-            else:
-                if have_current:
-                    yield current_key, current_value
-                current_key, current_value = key, value
-                have_current = True
-        if have_current:
-            yield current_key, current_value
+            # heapq.merge performs the "repeatedly read the globally lowest
+            # key" loop of §5.1 across all sorted runs.
+            merged = heapq.merge(*streams, key=lambda entry: entry[0])
+            current_key: Key = None
+            current_value: Value = None
+            have_current = False
+            for key, value in merged:
+                if have_current and key == current_key:
+                    current_value = self._merge_fn(current_value, value)
+                else:
+                    if have_current:
+                        yield current_key, current_value
+                    current_key, current_value = key, value
+                    have_current = True
+            if have_current:
+                yield current_key, current_value
+        finally:
+            # Deterministic descriptor release even when the merge is
+            # abandoned mid-stream (close() is idempotent).
+            for reader in readers:
+                reader.close()

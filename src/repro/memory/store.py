@@ -10,9 +10,14 @@ in Figure 5(a).
 
 from __future__ import annotations
 
-from typing import Callable, Iterator
+from typing import Any, Callable, Iterator
 
 from repro.core.types import Key, ReducerOutOfMemoryError, Value
+from repro.memory.checkpoint import (
+    CheckpointStats,
+    read_checkpoint,
+    write_checkpoint,
+)
 from repro.memory.estimator import MemoryTracker, entry_size
 from repro.memory.treemap import TreeMap
 
@@ -94,6 +99,23 @@ class TreeMapStore:
         self._tracker.discharge(self._sizes.get(key, 0))
         self._sizes.remove(key)
         return key, value
+
+    def checkpoint(
+        self, directory: str, *, meta: dict[str, Any] | None = None
+    ) -> CheckpointStats:
+        """Atomically snapshot every entry (see :mod:`repro.memory.checkpoint`)."""
+        return write_checkpoint(directory, self._tree.items(), meta=meta)
+
+    def restore(self, directory: str) -> dict[str, Any]:
+        """Load a verified snapshot into this (fresh) store; returns its meta.
+
+        Entries pass through :meth:`put`, so footprint accounting and the
+        heap-limit model see restored state exactly like folded state.
+        """
+        meta, entries = read_checkpoint(directory)
+        for key, value in entries:
+            self.put(key, value)
+        return meta
 
     def _check_heap(self) -> None:
         if self._heap_limit is not None and self._tracker.used > self._heap_limit:

@@ -16,6 +16,7 @@ from repro.sim.dfs import (
     schedule_with_locality,
 )
 from repro.sim.hadoop import (
+    CheckpointPlan,
     HadoopSimulator,
     MemoryTechnique,
     NodeFailure,
@@ -37,6 +38,7 @@ from repro.sim.workload import (
 )
 
 __all__ = [
+    "CheckpointPlan",
     "Chunk",
     "ClusterSpec",
     "DistributedFileSystem",

@@ -92,6 +92,27 @@ class NodeFailure:
 
 
 @dataclass(frozen=True, slots=True)
+class CheckpointPlan:
+    """Periodic partial-store snapshots for barrier-less reducers.
+
+    Every ``interval_s`` of virtual time, a reducer pauses to write its
+    partial-result store to local disk (at the node's ``disk_mb_s``), so
+    failure-free completion grows with checkpoint frequency.  When a
+    :class:`ReducerFailure` strikes, the restart restores the last
+    snapshot instead of re-fetching and refolding the whole partition:
+    only the arrivals after the snapshot are re-fetched and *replayed*
+    (``replayed_records``), and recovery time shrinks as the snapshot
+    interval does — the recovery-time-vs-checkpoint-frequency trade-off.
+    """
+
+    interval_s: float
+
+    def __post_init__(self) -> None:
+        if self.interval_s <= 0.0:
+            raise ValueError("interval_s must be positive")
+
+
+@dataclass(frozen=True, slots=True)
 class ReducerFailure:
     """Kill one reduce attempt at a virtual time; it restarts elsewhere.
 
@@ -159,6 +180,18 @@ class SimJobResult:
     refolded_records: float = 0.0
     #: The aborted attempts themselves (finish clamped at the failure).
     aborted_reducers: list[ReducerTrace] = field(default_factory=list)
+    #: Records re-folded from the last snapshot's tail by a resumed
+    #: restart (checkpointing on) — the cheap counterpart of
+    #: ``refolded_records``.
+    replayed_records: float = 0.0
+    #: Records recovered directly from the restored snapshot (neither
+    #: re-fetched nor re-folded).
+    restored_records: float = 0.0
+    #: Snapshot writes performed across all attempts, and their volume.
+    checkpoint_writes: int = 0
+    checkpoint_mb: float = 0.0
+    #: ``(virtual_time, MB)`` per snapshot write, for disk-series export.
+    checkpoint_schedule: list[tuple[float, float]] = field(default_factory=list)
 
     @property
     def mapper_slack(self) -> float:
@@ -531,6 +564,7 @@ class HadoopSimulator:
         technique: MemoryTechnique | None = None,
         failure: NodeFailure | None = None,
         reducer_failure: ReducerFailure | None = None,
+        checkpoint: CheckpointPlan | None = None,
         obs: JobObservability | None = None,
     ) -> SimJobResult:
         """Simulate one job; returns timings, traces and failure state.
@@ -539,9 +573,13 @@ class HadoopSimulator:
         ``reducer_failure`` optionally kills one reduce attempt, which
         restarts on another node and re-fetches its partition from the
         retained map outputs.  The job still completes in both modes.
-        ``obs`` receives the execution as *virtual-time* spans and
-        counters in the same schema the real engines emit, which makes
-        simulated and measured traces directly diffable.
+        ``checkpoint`` adds periodic partial-store snapshots (barrier-less
+        mode only): snapshot writes are charged as disk time on the
+        folding reducer, and a killed reducer resumes from its last
+        snapshot instead of refolding.  ``obs`` receives the execution as
+        *virtual-time* spans and counters in the same schema the real
+        engines emit, which makes simulated and measured traces directly
+        diffable.
         """
         if num_reducers <= 0:
             raise ValueError("num_reducers must be positive")
@@ -565,9 +603,15 @@ class HadoopSimulator:
         reducer_restarts = 0
         refetched_mb = 0.0
         refolded_records = 0.0
+        replayed_records = 0.0
+        restored_records = 0.0
+        checkpoint_writes = 0
+        checkpoint_mb = 0.0
+        checkpoint_schedule: list[tuple[float, float]] = []
         failed = False
         failure_time: float | None = None
         failure_reason: str | None = None
+        plan = checkpoint if mode is ExecutionMode.BARRIERLESS else None
 
         def surviving_node(slot_index: int) -> NodeSpec:
             node = self._nodes[slot_index % len(self._nodes)]
@@ -575,6 +619,50 @@ class HadoopSimulator:
                 slot_index += 1
                 node = self._nodes[slot_index % len(self._nodes)]
             return node
+
+        def fold_window(trace: ReducerTrace) -> tuple[float, float]:
+            """The pipelined consume interval of a barrier-less attempt."""
+            boundary = min(max(trace.start, trace.shuffle_done), trace.finish)
+            return trace.start, boundary
+
+        def consumed_at(trace: ReducerTrace, t: float) -> float:
+            lo, hi = fold_window(trace)
+            if t <= lo:
+                return 0.0
+            if t >= hi or hi <= lo:
+                return trace.records
+            return trace.records * (t - lo) / (hi - lo)
+
+        def store_mb_at(trace: ReducerTrace, t: float) -> float:
+            return consumed_at(trace, t) * profile.record_bytes / MB
+
+        def snapshot_instants(
+            trace: ReducerTrace, until: float | None = None
+        ) -> list[float]:
+            """Virtual times this attempt cuts snapshots (fold phase only)."""
+            lo, hi = fold_window(trace)
+            if until is not None:
+                hi = min(hi, until)
+            instants: list[float] = []
+            k = 1
+            while lo + k * plan.interval_s < hi:
+                instants.append(lo + k * plan.interval_s)
+                k += 1
+            return instants
+
+        def charge_snapshots(
+            trace: ReducerTrace, node: NodeSpec, until: float | None = None
+        ) -> float:
+            """Record an attempt's snapshot writes; returns their disk time."""
+            nonlocal checkpoint_writes, checkpoint_mb
+            cost = 0.0
+            for at in snapshot_instants(trace, until):
+                mb = store_mb_at(trace, at)
+                checkpoint_writes += 1
+                checkpoint_mb += mb
+                checkpoint_schedule.append((at, mb))
+                cost += mb / node.disk_mb_s
+            return cost
 
         for wave in range(waves):
             lo = wave * slots
@@ -596,6 +684,7 @@ class HadoopSimulator:
                     num_reducers,
                 )
                 rf = reducer_failure
+                attempt_node = node
                 if (
                     rf is not None
                     and rf.reducer_id == reducer_id
@@ -603,7 +692,8 @@ class HadoopSimulator:
                     and trace.start <= rf.at_time < trace.finish
                 ):
                     # The attempt dies at at_time; everything it fetched
-                    # (and, barrier-less, folded) is lost with it.
+                    # (and, barrier-less, folded) is lost with it — unless
+                    # a snapshot survives on disk.
                     load = self._load_factors(profile, num_reducers)[reducer_id]
                     per_map_mb = (
                         load * profile.map_output_mb_per_task / num_reducers
@@ -611,9 +701,11 @@ class HadoopSimulator:
                     fetched_maps = sum(
                         1 for a in trace.arrival_times if a <= rf.at_time
                     )
-                    refetched_mb += per_map_mb * fetched_maps
                     records_per_map = per_map_mb * MB / profile.record_bytes
+                    saved_s = 0.0
+                    restore_read_s = 0.0
                     if mode is ExecutionMode.BARRIER:
+                        refetched_mb += per_map_mb * fetched_maps
                         # Reduce work only starts after the sort; a failure
                         # before that loses fetch time alone.
                         if rf.at_time > trace.sort_done and (
@@ -623,7 +715,32 @@ class HadoopSimulator:
                                 trace.finish - trace.sort_done
                             )
                             refolded_records += trace.records * min(1.0, frac)
+                    elif plan is not None:
+                        # The dead attempt wrote snapshots until it died;
+                        # the restart resumes from the last one.
+                        charge_snapshots(trace, attempt_node, until=rf.at_time)
+                        instants = snapshot_instants(trace, until=rf.at_time)
+                        last_snap = instants[-1] if instants else None
+                        covered_maps = (
+                            sum(1 for a in trace.arrival_times if a <= last_snap)
+                            if last_snap is not None
+                            else 0
+                        )
+                        refetched_mb += per_map_mb * (fetched_maps - covered_maps)
+                        restored_records += records_per_map * covered_maps
+                        # Arrivals after the snapshot were folded by the
+                        # dead attempt and must be re-consumed: the tail
+                        # replay, the cheap half of the trade-off.
+                        replayed_records += records_per_map * (
+                            fetched_maps - covered_maps
+                        )
+                        if last_snap is not None:
+                            saved_s = last_snap - trace.start
+                            restore_read_s = store_mb_at(
+                                trace, last_snap
+                            ) / surviving_node(reducer_id + 1).disk_mb_s
                     else:
+                        refetched_mb += per_map_mb * fetched_maps
                         # Pipelined consume: every arrived partition was
                         # already folded into the partial store.
                         refolded_records += records_per_map * fetched_maps
@@ -632,10 +749,12 @@ class HadoopSimulator:
                     trace.sort_done = min(trace.sort_done, rf.at_time)
                     aborted_attempts.append(trace)
                     reducer_restarts += 1
-                    # Restart elsewhere after the detection delay: a full
-                    # clean re-fetch — map outputs are retained, so no map
-                    # re-executes.
+                    # Restart elsewhere after the detection delay: a clean
+                    # re-fetch — map outputs are retained, so no map
+                    # re-executes.  With a restored snapshot the covered
+                    # prefix of the pipeline is skipped instead of redone.
                     restart_node = surviving_node(reducer_id + 1)
+                    attempt_node = restart_node
                     trace = self._simulate_reducer(
                         profile,
                         mode,
@@ -646,6 +765,21 @@ class HadoopSimulator:
                         map_finish_times,
                         num_reducers,
                     )
+                    if trace.spills != -1 and saved_s > 0.0:
+                        trace.shuffle_done = max(
+                            trace.start, trace.shuffle_done - saved_s
+                        )
+                        trace.sort_done = max(
+                            trace.start, trace.sort_done - saved_s
+                        )
+                        trace.finish = max(
+                            trace.shuffle_done,
+                            trace.finish - saved_s + restore_read_s,
+                        )
+                if plan is not None and trace.spills != -1:
+                    # Failure-free cost of the committing attempt's own
+                    # snapshots: periodic store writes at disk rate.
+                    trace.finish += charge_snapshots(trace, attempt_node)
                 wave_traces.append(trace)
                 if trace.spills == -1:
                     failed = True
@@ -725,6 +859,11 @@ class HadoopSimulator:
             refetched_mb=refetched_mb,
             refolded_records=refolded_records,
             aborted_reducers=aborted_attempts,
+            replayed_records=replayed_records,
+            restored_records=restored_records,
+            checkpoint_writes=checkpoint_writes,
+            checkpoint_mb=checkpoint_mb,
+            checkpoint_schedule=sorted(checkpoint_schedule),
         )
         if obs is not None and obs.enabled:
             self._export_observability(profile, mode, result, obs)
@@ -888,6 +1027,16 @@ class HadoopSimulator:
         counters.increment(
             "sim.refolded_records", int(round(result.refolded_records))
         )
+        counters.increment(
+            "sim.replayed_records", int(round(result.replayed_records))
+        )
+        counters.increment(
+            "sim.restored_records", int(round(result.restored_records))
+        )
+        counters.increment("sim.checkpoint_writes", result.checkpoint_writes)
+        counters.increment(
+            "sim.disk.checkpoint_mb", int(round(result.checkpoint_mb))
+        )
         self._export_events(result, obs)
         self._export_metrics(
             mode,
@@ -1011,6 +1160,7 @@ class HadoopSimulator:
         spill_schedule = sorted(
             (at, mb) for trace in reducers for at, mb in _spill_times(trace)
         )
+        checkpoint_schedule = result.checkpoint_schedule
         previous_t: float | None = None
         previous_consumed = 0.0
         for t in times:
@@ -1032,6 +1182,13 @@ class HadoopSimulator:
                 t=t,
                 unit="MB",
             )
+            if checkpoint_schedule:
+                metrics.sample(
+                    "sim.disk.checkpoint_mb",
+                    sum(mb for at, mb in checkpoint_schedule if at <= t),
+                    t=t,
+                    unit="MB",
+                )
             total_consumed = sum(consumed(trace, t) for trace in reducers)
             if previous_t is not None and t > previous_t:
                 dt = t - previous_t

@@ -171,3 +171,89 @@ class TestReplacementDuringSpill:
         store.finalize()
         assert dict(store.items()) == {"a": 10, "b": 10}
         store.close()
+
+
+class TestWireFormatIntegrity:
+    """Spill files are CRC-framed wire batches: defects fail loudly."""
+
+    def _spilled(self, tmp_path):
+        store = SpillMergeStore(
+            add, spill_threshold_bytes=300, spill_dir=str(tmp_path)
+        )
+        for i in range(60):
+            store.put(f"key-{i:03d}", i)
+        assert store.num_spill_files >= 1
+        return store
+
+    def test_bit_flip_in_spill_file_raises(self, tmp_path):
+        from repro.dfs.serialization import SerializationError
+
+        store = self._spilled(tmp_path)
+        path = store._spill_paths[0]
+        with open(path, "r+b") as fh:
+            data = bytearray(fh.read())
+            data[len(data) // 2] ^= 0x10
+            fh.seek(0)
+            fh.write(data)
+        store.finalize()
+        with pytest.raises(SerializationError):
+            dict(store.items())
+        store.close()
+
+    def test_truncated_spill_file_raises(self, tmp_path):
+        from repro.dfs.serialization import SerializationError
+
+        store = self._spilled(tmp_path)
+        path = store._spill_paths[0]
+        size = os.path.getsize(path)
+        with open(path, "r+b") as fh:
+            fh.truncate(size - 3)
+        store.finalize()
+        with pytest.raises(SerializationError):
+            dict(store.items())
+        store.close()
+
+
+class TestNoLeakedDescriptors:
+    """The k-way merge must release every spill-file descriptor, even
+    when the consumer abandons the stream mid-merge."""
+
+    @staticmethod
+    def _open_fds() -> int:
+        return len(os.listdir("/proc/self/fd"))
+
+    def _spilled_store(self):
+        store = SpillMergeStore(add, spill_threshold_bytes=300)
+        for i in range(120):
+            store.put(f"key-{i:03d}", 1)
+        assert store.num_spill_files >= 2
+        return store
+
+    def test_full_merge_releases_descriptors(self):
+        store = self._spilled_store()
+        store.finalize()
+        before = self._open_fds()
+        dict(store.items())
+        assert self._open_fds() == before
+        store.close()
+
+    def test_abandoned_merge_releases_descriptors(self):
+        store = self._spilled_store()
+        store.finalize()
+        before = self._open_fds()
+        stream = store.items()
+        next(stream)  # readers now hold their descriptors
+        stream.close()  # consumer walks away mid-merge
+        assert self._open_fds() == before
+        store.close()
+
+    def test_exception_mid_merge_releases_descriptors(self):
+        store = self._spilled_store()
+        store.finalize()
+        before = self._open_fds()
+        with pytest.raises(RuntimeError):
+            for index, _entry in enumerate(store.items()):
+                if index == 3:
+                    raise RuntimeError("consumer died")
+        assert self._open_fds() == before
+        store.close()

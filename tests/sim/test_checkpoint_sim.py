@@ -1,0 +1,133 @@
+"""Tests for checkpoint modelling in the simulator (repro.sim.hadoop).
+
+The model under test is the checkpoint-frequency trade-off: snapshot
+writes cost disk time on every clean run, but bound the refetch/refold
+work a killed reducer must repeat.  Shrinking the interval must
+monotonically raise clean-run cost (more writes) while shrinking the
+replayed tail after a failure — and a checkpointed failure run must beat
+the refold baseline end to end.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.types import ExecutionMode
+from repro.obs import JobObservability
+from repro.sim import CheckpointPlan, HadoopSimulator, ReducerFailure, sort_profile
+
+PROFILE = sort_profile(10.0)
+REDUCERS = 16
+
+#: Both intervals sit well inside the fold window (~40 s for this
+#: profile); coarser plans would never snapshot before the sort ends.
+COARSE = CheckpointPlan(interval_s=30.0)
+FINE = CheckpointPlan(interval_s=8.0)
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return HadoopSimulator()
+
+
+@pytest.fixture(scope="module")
+def base(sim):
+    return sim.run(PROFILE, REDUCERS, ExecutionMode.BARRIERLESS)
+
+
+def _failure(base):
+    return ReducerFailure(reducer_id=3, at_time=base.completion_time * 0.6)
+
+
+class TestPlan:
+    def test_rejects_non_positive_interval(self):
+        with pytest.raises(ValueError):
+            CheckpointPlan(interval_s=0.0)
+
+    def test_barrier_mode_ignores_plan(self, sim):
+        # Barrier reducers hold no partial store during the shuffle;
+        # there is nothing to snapshot.
+        result = sim.run(PROFILE, REDUCERS, ExecutionMode.BARRIER, checkpoint=FINE)
+        assert result.checkpoint_writes == 0
+        assert result.checkpoint_mb == 0.0
+
+
+class TestCleanRunCost:
+    def test_no_plan_writes_nothing(self, base):
+        assert base.checkpoint_writes == 0
+        assert base.checkpoint_schedule == []
+
+    def test_plan_charges_snapshot_writes(self, sim, base):
+        result = sim.run(PROFILE, REDUCERS, ExecutionMode.BARRIERLESS, checkpoint=FINE)
+        assert result.checkpoint_writes > 0
+        assert result.checkpoint_mb > 0.0
+        assert result.completion_time >= base.completion_time
+        # Schedule entries are (time, cumulative MB), time-ordered.
+        times = [t for t, _mb in result.checkpoint_schedule]
+        assert times == sorted(times)
+
+    def test_finer_interval_costs_more(self, sim):
+        coarse = sim.run(
+            PROFILE, REDUCERS, ExecutionMode.BARRIERLESS, checkpoint=COARSE
+        )
+        fine = sim.run(PROFILE, REDUCERS, ExecutionMode.BARRIERLESS, checkpoint=FINE)
+        assert fine.checkpoint_writes > coarse.checkpoint_writes
+        assert fine.checkpoint_mb > coarse.checkpoint_mb
+        assert fine.completion_time >= coarse.completion_time
+
+
+class TestFailureRecovery:
+    def test_resume_beats_refold(self, sim, base):
+        refold = sim.run(
+            PROFILE, REDUCERS, ExecutionMode.BARRIERLESS,
+            reducer_failure=_failure(base),
+        )
+        resumed = sim.run(
+            PROFILE, REDUCERS, ExecutionMode.BARRIERLESS,
+            reducer_failure=_failure(base), checkpoint=FINE,
+        )
+        assert resumed.restored_records > 0
+        # The snapshot bounds the refetched tail and the repeated fold.
+        assert resumed.refetched_mb < refold.refetched_mb
+        assert resumed.completion_time < refold.completion_time
+
+    def test_tradeoff_is_monotone(self, sim, base):
+        failure = _failure(base)
+        coarse = sim.run(
+            PROFILE, REDUCERS, ExecutionMode.BARRIERLESS,
+            reducer_failure=failure, checkpoint=COARSE,
+        )
+        fine = sim.run(
+            PROFILE, REDUCERS, ExecutionMode.BARRIERLESS,
+            reducer_failure=failure, checkpoint=FINE,
+        )
+        # More frequent snapshots: shorter replayed tail, more restored.
+        assert fine.replayed_records <= coarse.replayed_records
+        assert fine.restored_records >= coarse.restored_records
+        assert fine.completion_time <= coarse.completion_time
+
+    def test_restored_plus_replayed_covers_partition(self, sim, base):
+        # Accounting: everything the dead attempt had consumed is either
+        # restored from the snapshot or replayed from map outputs.
+        result = sim.run(
+            PROFILE, REDUCERS, ExecutionMode.BARRIERLESS,
+            reducer_failure=_failure(base), checkpoint=FINE,
+        )
+        assert result.restored_records > 0
+        per_reducer = PROFILE.records_per_reducer(REDUCERS)
+        assert (
+            result.restored_records + result.replayed_records
+            <= per_reducer * 1.01
+        )
+
+
+class TestObservabilityExport:
+    def test_counters_and_metrics_exported(self, sim, base):
+        obs = JobObservability()
+        sim.run(
+            PROFILE, REDUCERS, ExecutionMode.BARRIERLESS,
+            reducer_failure=_failure(base), checkpoint=FINE, obs=obs,
+        )
+        assert obs.counters.get("sim.checkpoint_writes") > 0
+        assert obs.counters.get("sim.disk.checkpoint_mb") > 0
+        assert obs.counters.get("sim.restored_records") > 0

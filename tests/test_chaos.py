@@ -10,13 +10,13 @@ configuration knobs may change an answer.
 from __future__ import annotations
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.apps import lastfm, sortapp, wordcount
 from repro.core.job import MemoryConfig
 from repro.core.types import ExecutionMode
-from repro.engine.faults import FaultInjector
+from repro.engine.faults import FaultInjector, TaskPermanentlyFailedError
 from repro.engine.recovery import (
     BackoffPolicy,
     FetchFaultInjector,
@@ -66,7 +66,13 @@ def test_chaos_wordcount(
     corpus = generate_documents(12, words_per_doc=20, vocab_size=40, seed=corpus_seed)
     job = wordcount.make_job(mode, num_reducers=num_reducers, memory=memory)
     engine = _engine(engine_kind, failure_seed)
-    result = engine.run(job, corpus, num_maps=num_maps)
+    try:
+        result = engine.run(job, corpus, num_maps=num_maps)
+    except TaskPermanentlyFailedError:
+        # An unlucky seed can legitimately fail one task max_attempts
+        # times in a row (p = 0.15**4 per task); the oracle property is
+        # vacuous when the modeled retry budget is genuinely exhausted.
+        assume(False)
     assert result.output_as_dict() == wordcount.reference_output(corpus)
 
 
@@ -97,7 +103,12 @@ def test_chaos_sort(mode, num_maps, num_reducers, keys, failure_seed):
     records = [(k, k) for k in keys]
     job = sortapp.make_job(mode, num_reducers=num_reducers)
     engine = _engine("local", failure_seed)
-    result = engine.run(job, records, num_maps=num_maps)
+    try:
+        result = engine.run(job, records, num_maps=num_maps)
+    except TaskPermanentlyFailedError:
+        # See test_chaos_wordcount: a legitimately exhausted retry
+        # budget is modeled behavior, not a wrong answer.
+        assume(False)
     assert [(r.key, r.value) for r in result.all_output()] == (
         sortapp.reference_output(records)
     )
