@@ -1,7 +1,7 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test bench bench-quick bench-figures chaos figures csv \
-	examples trace-demo all clean
+.PHONY: install test bench bench-quick bench-figures chaos cluster figures \
+	csv examples trace-demo all clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -26,6 +26,11 @@ chaos:
 	pytest tests/engine/test_recovery.py tests/obs/test_recovery_counters.py \
 		tests/engine/test_checkpoint_recovery.py tests/memory/test_checkpoint.py \
 		tests/test_chaos.py tests/sim/test_failures.py tests/sim/test_checkpoint_sim.py -q
+
+cluster:
+	python -m repro.cli cluster all --workers 2
+	python -m repro.cli cluster wc --workers 2 --chaos --checkpoint
+	pytest tests/cluster -q
 
 figures:
 	python -m repro.cli figure fig4 fig5 fig6 fig7 fig8 fig9 fig10

@@ -73,6 +73,12 @@ TRACKED_COUNTERS: tuple[str, ...] = (
     "memory.kvstore.cache_misses",
     "reduce.checkpoint.writes",
     "reduce.checkpoint.bytes",
+    # Cluster-runtime counters: zero for the in-process engines the bench
+    # matrix runs today, but tracked so a future cluster bench row diffs
+    # worker churn and task reassignment alongside the work counters.
+    "cluster.jobs",
+    "cluster.workers.lost",
+    "cluster.tasks.reassigned",
 )
 
 #: Apps for the ``--wire`` codec comparison (the text-heavy pair the

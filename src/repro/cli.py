@@ -142,6 +142,33 @@ def build_parser() -> argparse.ArgumentParser:
                        help="snapshot the reducer store every N folded "
                             "records (with --checkpoint)")
 
+    cluster = sub.add_parser(
+        "cluster",
+        help="run apps on the networked multi-process cluster runtime",
+    )
+    cluster.add_argument(
+        "app", choices=["grep", "sort", "wc", "knn", "pp", "ga", "bs", "all"]
+    )
+    cluster.add_argument("--workers", type=int, default=2,
+                         help="worker processes to fork")
+    cluster.add_argument("--mode", type=_mode, default=ExecutionMode.BARRIERLESS)
+    cluster.add_argument("--records", type=int, default=300,
+                         help="synthetic input size per app")
+    cluster.add_argument("--reducers", type=int, default=2)
+    cluster.add_argument("--maps", type=int, default=3)
+    cluster.add_argument("--seed", type=int, default=0)
+    cluster.add_argument("--chaos", action="store_true",
+                         help="also SIGKILL a worker mid-shuffle and "
+                              "mid-reduce and verify recovery")
+    cluster.add_argument("--checkpoint", action="store_true",
+                         help="enable partial-result checkpointing so a "
+                              "killed reducer resumes from its snapshot")
+    cluster.add_argument("--checkpoint-every", type=int, default=25,
+                         help="snapshot the reducer store every N folded "
+                              "records (with --checkpoint)")
+    cluster.add_argument("--deadline", type=float, default=60.0,
+                         help="per-job completion deadline in seconds")
+
     pipeline = sub.add_parser(
         "pipeline", help="run a multi-job application pipeline"
     )
@@ -577,6 +604,118 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _cmd_cluster(args) -> int:
+    """Run apps on the real multi-process cluster and verify the output.
+
+    For every selected app a clean threaded run establishes the expected
+    output; the same input then runs on ``--workers`` forked worker
+    processes shuffling over TCP, and the outputs must match exactly.
+    With ``--chaos`` two more rows run per app: a worker SIGKILLed
+    mid-shuffle (its map outputs die with its shuffle server, forcing
+    re-execution under a new epoch) and one SIGKILLed mid-reduce (the
+    reduce attempt is reassigned; with ``--checkpoint`` it resumes from
+    the dead attempt's last snapshot instead of refolding).  Exits
+    non-zero on any divergence or exhausted retry budget.
+    """
+    from repro.apps.demo import demo_job_and_input, normalized_output
+    from repro.cluster import ClusterJobError, ClusterRuntime, cluster_recovery
+    from repro.dfs.wire import WireConfig
+    from repro.engine import ThreadedEngine
+    from repro.memory.checkpoint import CheckpointPolicy
+    from repro.obs import JobObservability
+
+    apps = (
+        ["grep", "sort", "wc", "knn", "pp", "ga", "bs"]
+        if args.app == "all"
+        else [args.app]
+    )
+    recovery = cluster_recovery(
+        checkpoint=(
+            CheckpointPolicy(every_records=args.checkpoint_every)
+            if args.checkpoint
+            else None
+        ),
+    )
+    # Snapshots (and kill triggers) land at wire-batch boundaries; small
+    # batches keep both meaningful at demo input sizes.
+    wire = WireConfig(max_batch_records=16)
+    scenarios = [("clean", None)]
+    if args.chaos:
+        victim = f"w{args.workers - 1}"
+        scenarios += [
+            ("kill-shuffle", {"worker": victim, "trigger": "serves",
+                              "count": 2}),
+            ("kill-reduce", {"worker": victim, "trigger": "reduce-records",
+                             "count": args.records // 4 or 1}),
+        ]
+    header = (
+        f"{'app':<5} {'scenario':<13} {'lost':>4} {'reassigned':>10} "
+        f"{'f.retries':>9} {'restored':>8} {'replayed':>8} {'refolded':>8}"
+        "  output"
+    )
+    print(
+        f"cluster: workers={args.workers} mode={args.mode.value} "
+        f"records={args.records} seed={args.seed} chaos={args.chaos} "
+        f"checkpoint={args.checkpoint}"
+    )
+    print(header)
+    print("-" * len(header))
+    failures = 0
+    for app in apps:
+        job, pairs = demo_job_and_input(
+            app, args.mode, records=args.records, seed=args.seed,
+            num_reducers=args.reducers, num_maps=args.maps,
+        )
+        expected = normalized_output(
+            app, ThreadedEngine().run(job, pairs, num_maps=args.maps)
+        )
+        for scenario, kill in scenarios:
+            job, pairs = demo_job_and_input(
+                app, args.mode, records=args.records, seed=args.seed,
+                num_reducers=args.reducers, num_maps=args.maps,
+            )
+            obs = JobObservability()
+            verdict = "ok"
+            try:
+                # kill-reduce wants the victim reduce-only so its own map
+                # outputs survive the SIGKILL and a checkpoint can resume.
+                with ClusterRuntime(
+                    args.workers,
+                    obs=obs,
+                    wire=wire,
+                    recovery=recovery,
+                    placement=(
+                        "maps-first" if scenario == "kill-reduce" else "spread"
+                    ),
+                    deadline_s=args.deadline,
+                ) as runtime:
+                    result = runtime.run_job(
+                        job, pairs, num_maps=args.maps, kill=kill
+                    )
+                if normalized_output(app, result) != expected:
+                    verdict = "DIVERGED"
+            except ClusterJobError:
+                verdict = "GAVE-UP"
+            counters = obs.counters.as_dict()
+            print(
+                f"{app:<5} {scenario:<13} "
+                f"{counters.get('cluster.workers.lost', 0):>4} "
+                f"{counters.get('cluster.tasks.reassigned', 0):>10} "
+                f"{counters.get('shuffle.fetch.retries', 0):>9} "
+                f"{counters.get('reduce.restored_records', 0):>8} "
+                f"{counters.get('reduce.replayed_records', 0):>8} "
+                f"{counters.get('reduce.refolded_records', 0):>8}"
+                f"  {verdict}"
+            )
+            if verdict != "ok":
+                failures += 1
+    if failures:
+        print(f"{failures} run(s) diverged or exhausted their retry budget")
+        return 1
+    print("all outputs identical to the threaded engine")
+    return 0
+
+
 def _cmd_pipeline(args) -> int:
     from repro.engine import LocalEngine
 
@@ -824,6 +963,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "cluster":
+        return _cmd_cluster(args)
     if args.command == "pipeline":
         return _cmd_pipeline(args)
     if args.command == "bench":

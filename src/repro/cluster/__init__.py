@@ -1,0 +1,26 @@
+"""Real networked cluster runtime: TCP shuffle, worker processes, RPC.
+
+The in-process engines model lossy transport; this package makes it
+real.  A :class:`~repro.cluster.engine.ClusterRuntime` forks worker
+processes, each hosting a TCP :class:`~repro.cluster.shuffle.ShuffleServer`
+and a task executor, coordinated over a framed RPC protocol
+(:mod:`repro.cluster.rpc`) that reuses the shuffle wire codec for
+message framing.  Map outputs travel between processes as
+:class:`~repro.dfs.wire.WireBatch` frames over sockets, fetched through
+the same :func:`~repro.engine.recovery.run_fetch_stream` retry/backoff/
+dedup protocol the threaded engine uses — so a SIGKILLed worker is
+recovered by the existing epoch-restart and checkpoint-resume machinery,
+just over real TCP.
+"""
+
+from repro.cluster.engine import ClusterEngine, ClusterRuntime, cluster_recovery
+from repro.cluster.coordinator import ClusterJobError
+from repro.cluster.rpc import RpcError
+
+__all__ = [
+    "ClusterEngine",
+    "ClusterJobError",
+    "ClusterRuntime",
+    "RpcError",
+    "cluster_recovery",
+]

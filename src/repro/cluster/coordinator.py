@@ -1,0 +1,439 @@
+"""Cluster coordinator: registration, scheduling, failure recovery.
+
+The control-plane brain of the cluster runtime.  The coordinator owns a
+listening socket; each worker connects once and keeps that connection
+for its lifetime (a receiver thread per worker feeds an inbox queue, so
+worker death is observed as EOF the moment the OS tears the socket
+down).  :meth:`Coordinator.submit` runs one job end-to-end:
+
+1. broadcast the ``job`` message (pickled spec + configs + kill spec);
+2. assign map tasks (placement policy), then reduce tasks;
+3. consume the inbox: ``map-done`` publishes the mapper's location to
+   every worker, ``reduce-done`` commits first-wins, ``heartbeat``
+   snapshots fold progress, ``worker-dead`` triggers recovery;
+4. on worker death, every map task the dead worker owned is reassigned
+   under a **bumped epoch** (in-flight fetch streams see the new epoch
+   and restart, deduping through their ledgers) and every uncommitted
+   reduce task is reassigned with the dead attempt's last heartbeat
+   progress as ``prior`` — the new attempt resumes from its checkpoint
+   if one is valid, and classifies re-done records as replayed/refolded;
+5. an overall deadline bounds the whole job, so a wedged cluster fails
+   loudly instead of hanging the caller.
+
+Everything the coordinator observes lands in the session's
+:class:`~repro.obs.JobObservability` under ``cluster.*`` counters and
+events, alongside the per-task counters merged from workers.
+"""
+
+from __future__ import annotations
+
+import pickle
+import queue
+import socket
+import threading
+import time
+from typing import Sequence
+
+from repro.core.job import JobSpec, split_input
+from repro.core.types import Counters, JobResult, Key, Record, StageTimes, Value
+from repro.dfs.wire import WireConfig
+from repro.engine.base import Stopwatch, finish_result
+from repro.engine.recovery import RecoveryConfig
+from repro.obs import JobObservability
+from repro.cluster.rpc import RpcError, recv_message, send_message
+
+__all__ = ["ClusterJobError", "Coordinator"]
+
+#: Placement policies for :meth:`Coordinator.submit`.  ``spread`` round-
+#: robins maps and reduces over every worker.  ``maps-first`` keeps map
+#: tasks off the *last* worker (when there are at least two), so chaos
+#: tests can kill a reduce-only worker and exercise checkpoint resume
+#: without the victim's own map outputs going stale.
+PLACEMENTS = ("spread", "maps-first")
+
+
+class ClusterJobError(RuntimeError):
+    """A cluster job failed: task error, no workers, or deadline."""
+
+
+class _WorkerHandle:
+    __slots__ = (
+        "name", "conn", "send_lock", "pid",
+        "shuffle_host", "shuffle_port", "alive", "last_heartbeat",
+    )
+
+    def __init__(self, name: str, conn: socket.socket, fields: dict) -> None:
+        self.name = name
+        self.conn = conn
+        self.send_lock = threading.Lock()
+        self.pid = int(fields.get("pid", 0))
+        self.shuffle_host = str(fields["shuffle_host"])
+        self.shuffle_port = int(fields["shuffle_port"])
+        self.alive = True
+        self.last_heartbeat = time.monotonic()
+
+
+class Coordinator:
+    """Accepts worker registrations and runs jobs over them."""
+
+    def __init__(
+        self, obs: JobObservability | None = None, host: str = "127.0.0.1"
+    ) -> None:
+        self.obs = obs if obs is not None else JobObservability()
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, 0))
+        self._listener.listen(64)
+        self.host, self.port = self._listener.getsockname()
+        self._workers: dict[str, _WorkerHandle] = {}
+        self._workers_lock = threading.Lock()
+        self._inbox: "queue.Queue[tuple[str, dict]]" = queue.Queue()
+        self._closing = threading.Event()
+        self._job_seq = 0
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="coordinator-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    # -- registration ------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._closing.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                return
+            threading.Thread(
+                target=self._serve_worker, args=(conn,),
+                name="coordinator-recv", daemon=True,
+            ).start()
+
+    def _serve_worker(self, conn: socket.socket) -> None:
+        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        try:
+            kind, fields = recv_message(conn)
+        except (RpcError, OSError):
+            conn.close()
+            return
+        if kind != "register":
+            conn.close()
+            return
+        name = str(fields["worker"])
+        handle = _WorkerHandle(name, conn, fields)
+        with self._workers_lock:
+            self._workers[name] = handle
+        self.obs.counters.increment("cluster.workers")
+        self.obs.events.emit(
+            "cluster.worker.register", worker=name, pid=handle.pid,
+            shuffle_port=handle.shuffle_port,
+        )
+        while not self._closing.is_set():
+            try:
+                kind, fields = recv_message(conn)
+            except (RpcError, OSError):
+                break
+            self.obs.counters.increment("cluster.rpc.messages")
+            self._inbox.put((kind, fields))
+        handle.alive = False
+        if not self._closing.is_set():
+            self._inbox.put(("worker-dead", {"worker": name}))
+
+    def wait_for_workers(self, count: int, timeout: float = 30.0) -> None:
+        """Block until ``count`` workers have registered."""
+        deadline = time.monotonic() + timeout
+        while True:
+            with self._workers_lock:
+                if len(self._workers) >= count:
+                    return
+            if time.monotonic() >= deadline:
+                with self._workers_lock:
+                    have = len(self._workers)
+                raise ClusterJobError(
+                    f"only {have}/{count} workers registered "
+                    f"within {timeout}s"
+                )
+            time.sleep(0.01)
+
+    # -- messaging ---------------------------------------------------------
+
+    def _send_to(self, handle: _WorkerHandle, kind: str, fields: dict) -> bool:
+        if not handle.alive:
+            return False
+        try:
+            with handle.send_lock:
+                send_message(handle.conn, kind, fields)
+            return True
+        except OSError:
+            handle.alive = False
+            return False
+
+    def _broadcast(self, kind: str, fields: dict) -> None:
+        for handle in self._alive_workers():
+            self._send_to(handle, kind, fields)
+
+    def _alive_workers(self) -> list[_WorkerHandle]:
+        with self._workers_lock:
+            return [h for h in self._workers.values() if h.alive]
+
+    # -- job execution -----------------------------------------------------
+
+    def submit(
+        self,
+        job: JobSpec,
+        pairs: Sequence[tuple[Key, Value]],
+        num_maps: int = 4,
+        *,
+        wire: WireConfig,
+        recovery: RecoveryConfig,
+        checkpoint_root: str | None = None,
+        kill: dict | None = None,
+        placement: str = "spread",
+        deadline_s: float = 60.0,
+    ) -> JobResult:
+        if placement not in PLACEMENTS:
+            raise ValueError(f"unknown placement {placement!r}")
+        job.validate()
+        workers = self._alive_workers()
+        if not workers:
+            raise ClusterJobError("no live workers")
+        self._job_seq += 1
+        job_id = f"job-{self._job_seq}"
+        obs = self.obs
+        watch = Stopwatch()
+        times = StageTimes()
+        counters = Counters()
+        splits = [list(split) for split in split_input(pairs, num_maps)]
+        actual_maps = len(splits)
+        obs.counters.increment("cluster.jobs")
+        job_span = obs.tracer.open(
+            job.name, "job", mode=job.mode.value, engine="cluster"
+        )
+
+        self._broadcast(
+            "job",
+            {
+                "job_id": job_id,
+                "job": pickle.dumps(job),
+                "wire": pickle.dumps(wire),
+                "recovery": pickle.dumps(recovery),
+                "checkpoint_root": checkpoint_root or "",
+                "kill": kill or {},
+            },
+        )
+
+        # -- initial placement --------------------------------------------
+        if placement == "maps-first" and len(workers) > 1:
+            map_pool = workers[:-1]
+            reduce_pool = list(reversed(workers))
+        else:
+            map_pool = workers
+            reduce_pool = workers
+        map_owner: dict[int, str] = {}
+        map_epoch: dict[int, int] = {mapper: 0 for mapper in range(actual_maps)}
+        reduce_owner: dict[int, str] = {}
+        reduce_attempt: dict[int, int] = {r: 0 for r in range(job.num_reducers)}
+
+        def assign_map(mapper: int, handle: _WorkerHandle) -> None:
+            map_owner[mapper] = handle.name
+            self._send_to(
+                handle,
+                "assign-map",
+                {
+                    "job_id": job_id,
+                    "mapper": mapper,
+                    "epoch": map_epoch[mapper],
+                    "split": pickle.dumps(splits[mapper]),
+                },
+            )
+
+        def assign_reduce(
+            reducer: int, handle: _WorkerHandle, prior: dict
+        ) -> None:
+            reduce_owner[reducer] = handle.name
+            self._send_to(
+                handle,
+                "assign-reduce",
+                {
+                    "job_id": job_id,
+                    "reducer": reducer,
+                    "attempt": reduce_attempt[reducer],
+                    "num_maps": actual_maps,
+                    "prior": {int(m): int(c) for m, c in prior.items()},
+                },
+            )
+
+        times.map_start = watch.elapsed()
+        for mapper in range(actual_maps):
+            assign_map(mapper, map_pool[mapper % len(map_pool)])
+        for reducer in range(job.num_reducers):
+            assign_reduce(reducer, reduce_pool[reducer % len(reduce_pool)], {})
+
+        # -- event loop ----------------------------------------------------
+        output: dict[int, list[Record]] = {}
+        merged_maps: set[int] = set()
+        map_done_times: list[float] = []
+        #: reducer -> {mapper: records folded} from the owner's heartbeats.
+        progress: dict[int, dict[int, int]] = {}
+        dead_handled: set[str] = set()
+        deadline = time.monotonic() + deadline_s
+
+        def commit_reduce(reducer: int, fields: dict) -> None:
+            if reducer in output:
+                return  # a stale attempt lost the race
+            output[reducer] = pickle.loads(fields["output"])
+            counters.merge(Counters(dict(fields.get("counters", {}))))
+            counters.increment("reduce.tasks")
+            obs.counters.merge_dict(fields.get("counters", {}))
+            obs.counters.increment("reduce.tasks")
+            obs.counters.increment("shuffle.records.fetched", 0)
+            obs.counters.increment("shuffle.records.consumed", 0)
+
+        def handle_worker_dead(name: str) -> None:
+            if name in dead_handled:
+                return
+            dead_handled.add(name)
+            obs.counters.increment("cluster.workers.lost")
+            obs.events.emit("cluster.worker.lost", worker=name, job=job_id)
+            alive = self._alive_workers()
+            if not alive:
+                raise ClusterJobError(
+                    f"worker {name} died and no workers remain"
+                )
+            # Re-execute every map task the dead worker owned under a new
+            # epoch; its outputs died with its shuffle server.  In-flight
+            # fetch streams observe the bumped epoch on the replacement
+            # worker and restart from sequence 0 (ledger dedup applies).
+            reassigned = 0
+            for mapper, owner in list(map_owner.items()):
+                if owner != name:
+                    continue
+                map_epoch[mapper] += 1
+                assign_map(mapper, alive[reassigned % len(alive)])
+                reassigned += 1
+            # Reassign uncommitted reduce tasks with the dead attempt's
+            # last reported fold progress as prior, so the replacement
+            # attempt classifies re-done records (replayed after a
+            # checkpoint resume, refolded otherwise).
+            for reducer, owner in list(reduce_owner.items()):
+                if owner != name or reducer in output:
+                    continue
+                reduce_attempt[reducer] += 1
+                assign_reduce(
+                    reducer,
+                    alive[reassigned % len(alive)],
+                    progress.get(reducer, {}),
+                )
+                reassigned += 1
+            if reassigned:
+                obs.counters.increment("cluster.tasks.reassigned", reassigned)
+
+        try:
+            while len(output) < job.num_reducers:
+                if time.monotonic() >= deadline:
+                    raise ClusterJobError(
+                        f"{job_id} missed its {deadline_s}s deadline "
+                        f"({len(output)}/{job.num_reducers} reducers done)"
+                    )
+                try:
+                    kind, fields = self._inbox.get(timeout=0.05)
+                except queue.Empty:
+                    continue
+                if kind == "worker-dead":
+                    handle_worker_dead(str(fields["worker"]))
+                    continue
+                if str(fields.get("job_id", job_id)) != job_id:
+                    continue  # stale message from a previous job
+                if kind == "map-done":
+                    mapper = int(fields["mapper"])
+                    epoch = int(fields["epoch"])
+                    if epoch != map_epoch[mapper]:
+                        continue  # superseded by a reassignment
+                    owner = str(fields["worker"])
+                    with self._workers_lock:
+                        handle = self._workers.get(owner)
+                    if handle is None:
+                        continue
+                    if mapper not in merged_maps:
+                        # First completion of this map task: merge its
+                        # counters once (re-executions repeat the work
+                        # but must not double the record totals).
+                        merged_maps.add(mapper)
+                        counters.merge(
+                            Counters(dict(fields.get("counters", {})))
+                        )
+                        counters.increment("map.tasks")
+                        obs.counters.merge_dict(fields.get("counters", {}))
+                        obs.counters.increment("map.tasks")
+                        map_done_times.append(watch.elapsed())
+                    else:
+                        obs.counters.increment("map.reexecutions")
+                    self._broadcast(
+                        "location",
+                        {
+                            "job_id": job_id,
+                            "mapper": mapper,
+                            "epoch": epoch,
+                            "host": handle.shuffle_host,
+                            "port": handle.shuffle_port,
+                        },
+                    )
+                elif kind == "reduce-done":
+                    reducer = int(fields["reducer"])
+                    if int(fields["attempt"]) != reduce_attempt[reducer]:
+                        continue  # superseded attempt
+                    commit_reduce(reducer, fields)
+                elif kind == "heartbeat":
+                    obs.counters.increment("cluster.heartbeats")
+                    worker = str(fields["worker"])
+                    with self._workers_lock:
+                        handle = self._workers.get(worker)
+                    if handle is not None:
+                        handle.last_heartbeat = time.monotonic()
+                    for reducer, folded in dict(
+                        fields.get("progress", {})
+                    ).items():
+                        snapshot = progress.setdefault(int(reducer), {})
+                        for mapper, count in dict(folded).items():
+                            mapper = int(mapper)
+                            if int(count) > snapshot.get(mapper, 0):
+                                snapshot[mapper] = int(count)
+                elif kind == "task-failed":
+                    if (
+                        fields.get("kind") == "reduce"
+                        and int(fields.get("attempt", 0))
+                        != reduce_attempt[int(fields["index"])]
+                    ):
+                        continue  # a superseded attempt failing late
+                    raise ClusterJobError(
+                        f"{job_id} {fields.get('kind')}-{fields.get('index')} "
+                        f"failed on {fields.get('worker')}: "
+                        f"{fields.get('error')}"
+                    )
+        finally:
+            self._broadcast("job-done", {"job_id": job_id})
+            obs.tracer.close(job_span)
+
+        times.first_map_done = min(map_done_times, default=watch.elapsed())
+        times.last_map_done = max(map_done_times, default=watch.elapsed())
+        times.shuffle_done = watch.elapsed()
+        times.sort_done = times.shuffle_done
+        times.reduce_done = watch.elapsed()
+        times.job_done = watch.elapsed()
+        return finish_result(job, output, counters, times)
+
+    # -- shutdown ----------------------------------------------------------
+
+    def shutdown(self) -> None:
+        self._closing.set()
+        self._broadcast("shutdown", {})
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._workers_lock:
+            handles = list(self._workers.values())
+        for handle in handles:
+            try:
+                handle.conn.close()
+            except OSError:
+                pass

@@ -1,0 +1,228 @@
+"""Cluster runtime: fork workers, run jobs, tear everything down.
+
+:class:`ClusterRuntime` is the user-facing entry point.  It starts a
+:class:`~repro.cluster.coordinator.Coordinator`, forks N worker
+processes (``fork`` start method — fast, and job specs still travel
+pickled over the control plane so workers never depend on inherited
+state for correctness), waits for registration, and then runs any
+number of jobs through :meth:`run_job` before :meth:`shutdown`.
+
+:func:`cluster_recovery` returns a :class:`~repro.engine.recovery.
+RecoveryConfig` tuned for real sockets: a worker death is detected by
+the coordinator as connection EOF, map tasks are re-executed and their
+locations re-broadcast, and the surviving reducers' in-flight fetch
+streams ride out the gap on their retry budget — so the budget must
+cover detection + re-execution latency, not just an in-memory blip.
+
+:class:`ClusterEngine` adapts the runtime to the :class:`~repro.engine.
+base.Engine` interface (one runtime per ``run`` call), so differential
+tests can swap it in wherever a threaded engine runs today.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import tempfile
+from typing import Sequence
+
+from repro.core.job import JobSpec
+from repro.core.types import JobResult, Key, Value
+from repro.dfs.wire import WireConfig
+from repro.engine.base import Engine
+from repro.engine.recovery import BackoffPolicy, RecoveryConfig
+from repro.obs import JobObservability
+from repro.cluster.coordinator import ClusterJobError, Coordinator
+from repro.cluster.worker import worker_main
+
+__all__ = ["ClusterEngine", "ClusterRuntime", "cluster_recovery"]
+
+
+def cluster_recovery(**overrides) -> RecoveryConfig:
+    """A :class:`RecoveryConfig` sized for cross-process recovery.
+
+    The in-memory defaults assume faults are injected and resolve in
+    microseconds; over real sockets a fetch must survive the coordinator
+    noticing a dead peer (EOF), re-executing its map tasks and
+    re-broadcasting locations.  The budget here (60 attempts backed off
+    to a 50ms cap ≈ 3s of patience per batch) covers that window with
+    a wide margin while keeping healthy-path retries snappy.  Keyword
+    overrides replace individual fields.
+    """
+    config = {
+        "fetch_timeout_s": 1.0,
+        "max_fetch_attempts": 60,
+        "backoff": BackoffPolicy(base_s=0.002, cap_s=0.05),
+        "straggler_threshold_s": 0.25,
+        "speculative_fetch": True,
+        "speculative_reduce": False,
+        "publish_timeout_s": 30.0,
+    }
+    config.update(overrides)
+    return RecoveryConfig(**config)
+
+
+class ClusterRuntime:
+    """N worker processes + a coordinator, reusable across jobs."""
+
+    def __init__(
+        self,
+        workers: int = 2,
+        *,
+        obs: JobObservability | None = None,
+        wire: WireConfig | None = None,
+        recovery: RecoveryConfig | None = None,
+        placement: str = "spread",
+        deadline_s: float = 60.0,
+        start_timeout_s: float = 30.0,
+    ) -> None:
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        wire = wire if wire is not None else WireConfig()
+        if not wire.enabled:
+            raise ValueError(
+                "the cluster data plane is framed; wire codec must be enabled"
+            )
+        self.obs = obs if obs is not None else JobObservability()
+        self._wire = wire
+        self._recovery = recovery if recovery is not None else cluster_recovery()
+        self._placement = placement
+        self._deadline_s = deadline_s
+        self._coordinator = Coordinator(self.obs)
+        self._checkpoint_tmp: tempfile.TemporaryDirectory | None = None
+        self._job_count = 0
+        context = multiprocessing.get_context("fork")
+        self._processes = [
+            context.Process(
+                target=worker_main,
+                args=(
+                    f"w{index}",
+                    self._coordinator.host,
+                    self._coordinator.port,
+                ),
+                daemon=True,
+            )
+            for index in range(workers)
+        ]
+        for process in self._processes:
+            process.start()
+        try:
+            self._coordinator.wait_for_workers(workers, start_timeout_s)
+        except ClusterJobError:
+            self.shutdown()
+            raise
+
+    @property
+    def worker_pids(self) -> list[int]:
+        """PIDs of the forked worker processes (for chaos/leak checks)."""
+        return [process.pid for process in self._processes if process.pid]
+
+    # -- checkpoint root ---------------------------------------------------
+
+    def _checkpoint_root(self) -> str | None:
+        if not self._recovery.checkpoint_enabled:
+            return None
+        root = self._recovery.checkpoint_dir
+        if root is None:
+            if self._checkpoint_tmp is None:
+                self._checkpoint_tmp = tempfile.TemporaryDirectory(
+                    prefix="repro-cluster-ckpt-"
+                )
+            root = self._checkpoint_tmp.name
+        # One subdirectory per job so back-to-back jobs through the same
+        # runtime never see each other's snapshots.
+        path = os.path.join(root, f"job-{self._job_count}")
+        os.makedirs(path, exist_ok=True)
+        return path
+
+    # -- job execution -----------------------------------------------------
+
+    def run_job(
+        self,
+        job: JobSpec,
+        pairs: Sequence[tuple[Key, Value]],
+        num_maps: int = 4,
+        *,
+        kill: dict | None = None,
+    ) -> JobResult:
+        """Run one job on the cluster; raises :class:`ClusterJobError`.
+
+        ``kill`` is the chaos spec forwarded to workers verbatim:
+        ``{"worker": "w1", "trigger": "serves" | "reduce-records" |
+        "map-done", "count": N}`` SIGKILLs the named worker when the
+        trigger fires.  The job must still complete correctly via
+        reassignment — that is the point.
+        """
+        self._job_count += 1
+        return self._coordinator.submit(
+            job,
+            pairs,
+            num_maps,
+            wire=self._wire,
+            recovery=self._recovery,
+            checkpoint_root=self._checkpoint_root(),
+            kill=kill,
+            placement=self._placement,
+            deadline_s=self._deadline_s,
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Stop workers and the coordinator; idempotent."""
+        self._coordinator.shutdown()
+        for process in self._processes:
+            process.join(timeout=2.0)
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=2.0)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=2.0)
+        if self._checkpoint_tmp is not None:
+            self._checkpoint_tmp.cleanup()
+            self._checkpoint_tmp = None
+
+    def __enter__(self) -> "ClusterRuntime":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+class ClusterEngine(Engine):
+    """:class:`Engine` adapter: a fresh cluster per ``run`` call."""
+
+    def __init__(
+        self,
+        workers: int = 2,
+        *,
+        obs: JobObservability | None = None,
+        wire: WireConfig | None = None,
+        recovery: RecoveryConfig | None = None,
+        placement: str = "spread",
+        deadline_s: float = 60.0,
+    ) -> None:
+        self.obs = obs if obs is not None else JobObservability()
+        self._workers = workers
+        self._wire = wire
+        self._recovery = recovery
+        self._placement = placement
+        self._deadline_s = deadline_s
+
+    def run(
+        self,
+        job: JobSpec,
+        pairs: Sequence[tuple[Key, Value]],
+        num_maps: int = 4,
+    ) -> JobResult:
+        with ClusterRuntime(
+            self._workers,
+            obs=self.obs,
+            wire=self._wire,
+            recovery=self._recovery,
+            placement=self._placement,
+            deadline_s=self._deadline_s,
+        ) as runtime:
+            return runtime.run_job(job, pairs, num_maps)

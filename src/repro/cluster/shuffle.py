@@ -1,0 +1,369 @@
+"""TCP shuffle service: serving and fetching map output over sockets.
+
+The worker-local half of the cluster data plane:
+
+- :class:`ShuffleStore` holds the map outputs this worker produced, as
+  epoch-tagged per-reducer lists of encoded
+  :class:`~repro.dfs.wire.WireBatch` frames — the socket-served analogue
+  of Hadoop's mapper-local output files (and of the in-process
+  :class:`~repro.engine.recovery.MapOutputService`'s batch streams).
+- :class:`ShuffleServer` serves those frames over TCP as length-prefixed
+  RPC messages (``fetch`` → ``batch``/``end``/``gone``), one thread per
+  connection, sequenced exactly like the in-memory service so the
+  reducer-side :class:`~repro.engine.recovery.FetchLedger` semantics
+  carry over unchanged.
+- :class:`RemoteMapOutputSource` is the reducer-side client: it
+  implements the ``wait_available`` / ``read`` / ``epoch_of`` protocol
+  that :func:`~repro.engine.recovery.run_fetch_stream` drives, backed by
+  a :class:`LocationTable` of where each mapper's output currently
+  lives.  Socket failures surface as the retryable
+  :class:`~repro.engine.recovery.FetchAttemptError` /
+  :class:`~repro.engine.recovery.FetchTimeoutError`, so the existing
+  backoff/timeout/dedup policies apply verbatim to real network faults.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import threading
+import time
+from typing import Callable
+
+from repro.dfs.wire import WireBatch
+from repro.engine.recovery import FetchAttemptError, FetchTimeoutError
+from repro.cluster.rpc import RpcError, recv_message, send_message
+
+__all__ = [
+    "LocationTable",
+    "RemoteMapOutputSource",
+    "ShuffleServer",
+    "ShuffleStore",
+    "kill_after_serves",
+]
+
+
+class ShuffleStore:
+    """Map outputs held by one worker: (job, mapper) -> epoch + frames."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        # (job_id, mapper) -> (epoch, {reducer: [WireBatch, ...]})
+        self._outputs: dict[tuple[str, int], tuple[int, dict]] = {}
+
+    def publish(
+        self,
+        job_id: str,
+        mapper: int,
+        epoch: int,
+        batches: dict[int, list[WireBatch]],
+    ) -> None:
+        with self._lock:
+            self._outputs[(job_id, mapper)] = (epoch, batches)
+
+    def read(
+        self, job_id: str, mapper: int, reducer: int, seq: int
+    ) -> tuple[int, WireBatch | None] | None:
+        """Serve one batch; ``(epoch, None)`` = stream end; ``None`` = gone."""
+        with self._lock:
+            held = self._outputs.get((job_id, mapper))
+            if held is None:
+                return None
+            epoch, batches = held
+            stream = batches.get(reducer, [])
+            return epoch, (stream[seq] if seq < len(stream) else None)
+
+    def drop_job(self, job_id: str) -> None:
+        """Release every output of a finished job (FD/memory hygiene)."""
+        with self._lock:
+            for key in [k for k in self._outputs if k[0] == job_id]:
+                del self._outputs[key]
+
+
+class ShuffleServer:
+    """Thread-per-connection TCP server over a :class:`ShuffleStore`.
+
+    Speaks the data-plane subset of the RPC protocol: a reducer sends
+    ``fetch {job_id, mapper, reducer, seq}`` and receives ``batch``
+    (one encoded frame + its epoch), ``end`` (stream exhausted at that
+    epoch) or ``gone`` (this worker does not hold that output — the
+    client treats it as a transient fault and retries, by which time the
+    coordinator has usually republished the location elsewhere).
+
+    ``on_serve`` fires after every successfully written ``batch`` reply;
+    the chaos harness uses it to SIGKILL the hosting process after N
+    serves — a worker dying mid-shuffle with its sockets mid-stream.
+    """
+
+    def __init__(
+        self,
+        store: ShuffleStore,
+        host: str = "127.0.0.1",
+        on_serve: Callable[[int], None] | None = None,
+    ) -> None:
+        self._store = store
+        self._on_serve = on_serve
+        self._serves = 0
+        self._serves_lock = threading.Lock()
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, 0))
+        self._listener.listen(64)
+        self.host, self.port = self._listener.getsockname()
+        self._closing = threading.Event()
+        self._thread = threading.Thread(
+            target=self._accept_loop, name="shuffle-server", daemon=True
+        )
+        self._thread.start()
+
+    def _accept_loop(self) -> None:
+        while not self._closing.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            threading.Thread(
+                target=self._serve_connection, args=(conn,),
+                name="shuffle-conn", daemon=True,
+            ).start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        with conn:
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            while True:
+                try:
+                    kind, fields = recv_message(conn)
+                except (RpcError, OSError):
+                    return  # client went away / garbage: drop the link
+                if kind != "fetch":
+                    return  # protocol violation: hang up
+                try:
+                    self._answer_fetch(conn, fields)
+                except OSError:
+                    return
+
+    def _answer_fetch(self, conn: socket.socket, fields: dict) -> None:
+        held = self._store.read(
+            str(fields["job_id"]), int(fields["mapper"]),
+            int(fields["reducer"]), int(fields["seq"]),
+        )
+        if held is None:
+            send_message(conn, "gone", {})
+            return
+        epoch, batch = held
+        if batch is None:
+            send_message(conn, "end", {"epoch": epoch})
+            return
+        send_message(
+            conn,
+            "batch",
+            {
+                "epoch": epoch,
+                "frame": batch.frame,
+                "count": batch.count,
+                "raw": batch.raw_bytes,
+            },
+        )
+        with self._serves_lock:
+            self._serves += 1
+            serves = self._serves
+        if self._on_serve is not None:
+            self._on_serve(serves)
+
+    def close(self) -> None:
+        self._closing.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        self._thread.join(timeout=2.0)
+
+
+def kill_after_serves(threshold: int) -> Callable[[int], None]:
+    """An ``on_serve`` hook that SIGKILLs this process at serve N.
+
+    The signal is raised from the serving thread, mid-conversation with
+    a reducer — the most adversarial timing for the fetch protocol.
+    """
+
+    def on_serve(serves: int) -> None:
+        if serves >= threshold:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    return on_serve
+
+
+class LocationTable:
+    """Where each mapper's output currently lives: mapper -> host, port, epoch.
+
+    Updated by ``location`` broadcasts from the coordinator (initial
+    publication and every re-execution after a worker death); readers
+    block in :meth:`wait_for` until a mapper is published.  One table per
+    (worker, job), shared by all reduce tasks on that worker.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._locations: dict[int, tuple[str, int, int]] = {}
+
+    def update(self, mapper: int, host: str, port: int, epoch: int) -> None:
+        with self._cond:
+            current = self._locations.get(mapper)
+            if current is not None and current[2] > epoch:
+                return  # stale broadcast arriving out of order
+            self._locations[mapper] = (host, port, epoch)
+            self._cond.notify_all()
+
+    def get(self, mapper: int) -> tuple[str, int, int] | None:
+        with self._cond:
+            return self._locations.get(mapper)
+
+    def epoch_of(self, mapper: int) -> int:
+        with self._cond:
+            held = self._locations.get(mapper)
+            return held[2] if held is not None else -1
+
+    def wait_for(
+        self,
+        mapper: int,
+        timeout: float,
+        cancelled: threading.Event | None = None,
+    ) -> None:
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while mapper not in self._locations:
+                if cancelled is not None and cancelled.is_set():
+                    return
+                if time.monotonic() >= deadline:
+                    raise FetchTimeoutError(
+                        f"map-{mapper} location not published "
+                        f"within {timeout}s"
+                    )
+                self._cond.wait(timeout=0.01)
+
+
+class RemoteMapOutputSource:
+    """Socket-backed map-output source for one reduce attempt.
+
+    Implements the read protocol :func:`~repro.engine.recovery.
+    run_fetch_stream` drives against :class:`~repro.engine.recovery.
+    MapOutputService` — ``wait_available`` / ``read`` / ``epoch_of`` —
+    over TCP connections to peer shuffle servers.  One cached connection
+    per peer address; any socket-level failure closes the cached link
+    and surfaces as a retryable fetch error, letting the caller's
+    backoff policy pace reconnection (by which time a dead peer's
+    outputs have usually moved, via a ``location`` update).
+    """
+
+    def __init__(
+        self, job_id: str, locations: LocationTable, fetch_timeout_s: float
+    ) -> None:
+        self._job_id = job_id
+        self._locations = locations
+        self._timeout = fetch_timeout_s
+        # address -> (socket, request lock).  Several fetch streams (one
+        # per mapper) may target the same peer; the per-connection lock
+        # keeps each request/response pair atomic on the shared socket.
+        self._conns: dict[
+            tuple[str, int], tuple[socket.socket, threading.Lock]
+        ] = {}
+        self._lock = threading.Lock()
+
+    # -- MapOutputService read protocol -----------------------------------
+
+    def wait_available(
+        self,
+        mapper: int,
+        timeout: float,
+        cancelled: threading.Event | None = None,
+    ) -> None:
+        self._locations.wait_for(mapper, timeout, cancelled)
+
+    def epoch_of(self, mapper: int) -> int:
+        return self._locations.epoch_of(mapper)
+
+    def read(
+        self, mapper: int, reducer: int, seq: int
+    ) -> tuple[int, WireBatch | None]:
+        held = self._locations.get(mapper)
+        if held is None:
+            raise FetchAttemptError(f"map-{mapper} has no known location")
+        host, port, _epoch = held
+        address = (host, port)
+        try:
+            conn, request_lock = self._connection(address)
+            with request_lock:
+                send_message(
+                    conn,
+                    "fetch",
+                    {
+                        "job_id": self._job_id,
+                        "mapper": mapper,
+                        "reducer": reducer,
+                        "seq": seq,
+                    },
+                )
+                kind, fields = recv_message(conn, timeout=self._timeout)
+        except socket.timeout as exc:
+            self._drop(address)
+            raise FetchTimeoutError(
+                f"fetch map-{mapper} seq {seq} from {host}:{port} "
+                f"stalled past {self._timeout}s"
+            ) from exc
+        except (RpcError, OSError) as exc:
+            self._drop(address)
+            raise FetchAttemptError(
+                f"fetch map-{mapper} seq {seq} from {host}:{port}: {exc}"
+            ) from exc
+        if kind == "gone":
+            # The peer is alive but no longer holds this output (e.g. a
+            # job raced its cleanup).  Retryable: the location table will
+            # be updated when the output is republished.
+            raise FetchAttemptError(
+                f"map-{mapper} output gone from {host}:{port}"
+            )
+        if kind == "end":
+            return int(fields["epoch"]), None
+        if kind != "batch":
+            self._drop(address)
+            raise FetchAttemptError(f"unexpected {kind} reply to fetch")
+        return int(fields["epoch"]), WireBatch(
+            frame=bytes(fields["frame"]),
+            count=int(fields["count"]),
+            raw_bytes=int(fields["raw"]),
+        )
+
+    # -- connection cache --------------------------------------------------
+
+    def _connection(
+        self, address: tuple[str, int]
+    ) -> tuple[socket.socket, threading.Lock]:
+        with self._lock:
+            held = self._conns.get(address)
+            if held is None:
+                conn = socket.create_connection(address, timeout=self._timeout)
+                conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                held = (conn, threading.Lock())
+                self._conns[address] = held
+            return held
+
+    def _drop(self, address: tuple[str, int]) -> None:
+        with self._lock:
+            held = self._conns.pop(address, None)
+        if held is not None:
+            try:
+                held[0].close()
+            except OSError:
+                pass
+
+    def close(self) -> None:
+        """Close every cached connection (end of the reduce attempt)."""
+        with self._lock:
+            held = list(self._conns.values())
+            self._conns.clear()
+        for conn, _lock in held:
+            try:
+                conn.close()
+            except OSError:
+                pass

@@ -1,0 +1,373 @@
+"""Cluster worker process: task executor + shuffle server + heartbeats.
+
+A worker is one OS process (forked by :class:`~repro.cluster.engine.
+ClusterRuntime`) hosting:
+
+- a :class:`~repro.cluster.shuffle.ShuffleServer` that serves this
+  worker's map outputs to peers over TCP;
+- a control-plane connection to the coordinator, whose receive loop
+  dispatches task assignments onto executor threads (the socket thread
+  never blocks on task work, so reassignments and location updates keep
+  flowing while tasks run);
+- map tasks — :func:`~repro.engine.base.run_map_task_partitioned`, the
+  output encoded into wire frames and published to the local store under
+  the assigned epoch;
+- reduce tasks — the *same* attempt executors the threaded engine uses
+  (:func:`~repro.engine.runtime.run_pipelined_reduce_attempt` /
+  :func:`~repro.engine.runtime.run_barrier_reduce_attempt`), pointed at
+  a socket-backed :class:`~repro.cluster.shuffle.RemoteMapOutputSource`
+  instead of the in-memory service;
+- a heartbeat thread reporting per-reducer fold progress, which the
+  coordinator snapshots so a reassigned attempt can classify the dead
+  attempt's work as replayed/refolded.
+
+Chaos hooks: a job may carry a *kill spec* naming this worker as the
+victim.  ``serves`` SIGKILLs the process after N shuffle batches served
+(death mid-shuffle, sockets mid-stream); ``reduce-records`` SIGKILLs
+after N records folded (death mid-reduce, checkpoint files left on
+disk); ``map-done`` SIGKILLs after N completed map tasks.  SIGKILL is
+deliberate — no atexit, no socket shutdown, no flush — because that is
+the failure the recovery machinery claims to survive.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import signal
+import socket
+import threading
+import time
+
+from repro.core.types import Counters, ExecutionMode
+from repro.dfs.wire import account_batches, encode_record_batches
+from repro.engine.base import (
+    Stopwatch,
+    reducer_is_checkpointable,
+    reducer_is_store_backed,
+    run_map_task_partitioned,
+)
+from repro.engine.recovery import FetchFaultInjector
+from repro.engine.runtime import (
+    ATTEMPT_STRIDE,
+    ReduceTaskRecovery,
+    run_barrier_reduce_attempt,
+    run_pipelined_reduce_attempt,
+)
+from repro.obs import JobObservability
+from repro.cluster.rpc import RpcError, recv_message, send_message
+from repro.cluster.shuffle import (
+    LocationTable,
+    RemoteMapOutputSource,
+    ShuffleServer,
+    ShuffleStore,
+)
+
+__all__ = ["worker_main"]
+
+_HEARTBEAT_INTERVAL_S = 0.05
+
+
+class _SigkillReduceInjector(FetchFaultInjector):
+    """Fault injector that SIGKILLs the process mid-reduce.
+
+    Rides the same ``check_reduce`` hook the in-process chaos suites use
+    to raise :class:`~repro.engine.recovery.ReducerCrashError` — except
+    here the whole worker dies, taking its shuffle server, its control
+    socket and every thread with it.
+    """
+
+    def __init__(self, after_records: int) -> None:
+        super().__init__()
+        self._after = after_records
+
+    def check_reduce(self, reducer: int, consumed: int) -> None:
+        if consumed >= self._after:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+
+class _JobContext:
+    """Everything a worker holds for one active job."""
+
+    def __init__(self, job_id: str, fields: dict) -> None:
+        self.job_id = job_id
+        self.job = pickle.loads(fields["job"])
+        self.wire = pickle.loads(fields["wire"])
+        self.recovery = pickle.loads(fields["recovery"])
+        self.checkpoint_root = fields.get("checkpoint_root") or None
+        self.locations = LocationTable()
+        self.kill = fields.get("kill") or None
+        #: reducer -> live ReduceTaskRecovery (heartbeats read progress).
+        self.active: dict[int, ReduceTaskRecovery] = {}
+        self.map_dones = 0
+
+
+class _Worker:
+    def __init__(self, name: str, coord_host: str, coord_port: int) -> None:
+        self.name = name
+        self._store = ShuffleStore()
+        self._server = ShuffleServer(self._store, on_serve=self._on_serve)
+        self._kill_serves: int | None = None
+        self._jobs: dict[str, _JobContext] = {}
+        self._jobs_lock = threading.Lock()
+        self._closing = threading.Event()
+        self._conn = socket.create_connection((coord_host, coord_port))
+        self._conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._send_lock = threading.Lock()
+
+    # -- outbound ----------------------------------------------------------
+
+    def _send(self, kind: str, fields: dict) -> None:
+        with self._send_lock:
+            send_message(self._conn, kind, fields)
+
+    # -- chaos hooks -------------------------------------------------------
+
+    def _on_serve(self, serves: int) -> None:
+        threshold = self._kill_serves
+        if threshold is not None and serves >= threshold:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    def _install_kill(self, ctx: _JobContext) -> None:
+        kill = ctx.kill
+        if not kill or kill.get("worker") != self.name:
+            ctx.kill = None
+            return
+        if kill.get("trigger") == "serves":
+            self._kill_serves = int(kill.get("count", 1))
+
+    def _reduce_injector(self, ctx: _JobContext) -> FetchFaultInjector | None:
+        kill = ctx.kill
+        if kill and kill.get("trigger") == "reduce-records":
+            return _SigkillReduceInjector(int(kill.get("count", 1)))
+        return None
+
+    # -- tasks -------------------------------------------------------------
+
+    def _run_map(self, ctx: _JobContext, mapper: int, epoch: int, split) -> None:
+        try:
+            counters = Counters()
+            partitions = run_map_task_partitioned(
+                ctx.job, split, counters, wire=ctx.wire
+            )
+            batches = {
+                reducer: encode_record_batches(
+                    partitions.get(reducer, []), ctx.wire
+                )
+                for reducer in range(ctx.job.num_reducers)
+            }
+            account_batches(
+                counters, [b for bs in batches.values() for b in bs]
+            )
+            self._store.publish(ctx.job_id, mapper, epoch, batches)
+            self._send(
+                "map-done",
+                {
+                    "job_id": ctx.job_id,
+                    "mapper": mapper,
+                    "epoch": epoch,
+                    "worker": self.name,
+                    "counters": counters.as_dict(),
+                },
+            )
+            kill = ctx.kill
+            if kill and kill.get("trigger") == "map-done":
+                ctx.map_dones += 1
+                if ctx.map_dones >= int(kill.get("count", 1)):
+                    os.kill(os.getpid(), signal.SIGKILL)
+        except BaseException as exc:  # noqa: BLE001 - reported upstream
+            self._task_failed(ctx, "map", mapper, 0, exc)
+
+    def _run_reduce(
+        self,
+        ctx: _JobContext,
+        reducer: int,
+        attempt: int,
+        num_maps: int,
+        prior: dict,
+    ) -> None:
+        job = ctx.job
+        obs = JobObservability()
+        source = RemoteMapOutputSource(
+            ctx.job_id, ctx.locations, ctx.recovery.fetch_timeout_s
+        )
+        # Checkpoint gating mirrors ThreadedEngine.run: barrier-less mode,
+        # a store-backed reducer that opted in, an enabled policy, and a
+        # snapshot directory on the (shared) filesystem.
+        checkpointing = (
+            ctx.recovery.checkpoint_enabled
+            and ctx.checkpoint_root is not None
+            and job.mode is ExecutionMode.BARRIERLESS
+            and reducer_is_store_backed(job)
+            and reducer_is_checkpointable(job)
+        )
+        rec = ReduceTaskRecovery(
+            policy=ctx.recovery.checkpoint if checkpointing else None,
+            directory=(
+                os.path.join(ctx.checkpoint_root, f"reduce-{reducer}")
+                if checkpointing
+                else None
+            ),
+        )
+        rec.prior_records = {
+            int(mapper): int(count) for mapper, count in (prior or {}).items()
+        }
+        ctx.active[reducer] = rec
+        attempt_base = attempt * ATTEMPT_STRIDE
+        watch = Stopwatch()
+        injector = self._reduce_injector(ctx)
+        try:
+            if job.mode is ExecutionMode.BARRIER:
+                produced, local_counters, _timeline = run_barrier_reduce_attempt(
+                    job, source, reducer, num_maps, watch, None, attempt_base,
+                    obs=obs, config=ctx.recovery, injector=injector,
+                    wire=ctx.wire,
+                )
+            else:
+                produced, local_counters, _timeline = run_pipelined_reduce_attempt(
+                    job, source, reducer, num_maps, watch, None, attempt_base,
+                    obs=obs, config=ctx.recovery, injector=injector,
+                    wire=ctx.wire, recovery=rec,
+                )
+            obs.counters.merge_counters(local_counters)
+            self._send(
+                "reduce-done",
+                {
+                    "job_id": ctx.job_id,
+                    "reducer": reducer,
+                    "attempt": attempt,
+                    "worker": self.name,
+                    "output": pickle.dumps(produced),
+                    "counters": obs.counters.as_dict(),
+                },
+            )
+        except BaseException as exc:  # noqa: BLE001 - reported upstream
+            self._task_failed(ctx, "reduce", reducer, attempt, exc)
+        finally:
+            source.close()
+            ctx.active.pop(reducer, None)
+
+    def _task_failed(
+        self, ctx: _JobContext, kind: str, index: int, attempt: int,
+        exc: BaseException,
+    ) -> None:
+        try:
+            self._send(
+                "task-failed",
+                {
+                    "job_id": ctx.job_id,
+                    "kind": kind,
+                    "index": index,
+                    "attempt": attempt,
+                    "worker": self.name,
+                    "error": f"{type(exc).__name__}: {exc}",
+                },
+            )
+        except OSError:
+            pass  # coordinator gone; the process is about to exit anyway
+
+    # -- heartbeats --------------------------------------------------------
+
+    def _heartbeat_loop(self) -> None:
+        while not self._closing.wait(_HEARTBEAT_INTERVAL_S):
+            with self._jobs_lock:
+                contexts = list(self._jobs.values())
+            for ctx in contexts:
+                progress = {
+                    reducer: dict(rec.prior_records)
+                    for reducer, rec in list(ctx.active.items())
+                }
+                try:
+                    self._send(
+                        "heartbeat",
+                        {
+                            "worker": self.name,
+                            "job_id": ctx.job_id,
+                            "progress": progress,
+                        },
+                    )
+                except OSError:
+                    return  # coordinator gone
+
+    # -- control loop ------------------------------------------------------
+
+    def run(self) -> None:
+        self._send(
+            "register",
+            {
+                "worker": self.name,
+                "pid": os.getpid(),
+                "shuffle_host": self._server.host,
+                "shuffle_port": self._server.port,
+            },
+        )
+        heartbeat = threading.Thread(
+            target=self._heartbeat_loop, name="heartbeat", daemon=True
+        )
+        heartbeat.start()
+        try:
+            while True:
+                try:
+                    kind, fields = recv_message(self._conn)
+                except (RpcError, OSError):
+                    return  # coordinator died: nothing left to serve
+                if kind == "shutdown":
+                    return
+                self._dispatch(kind, fields)
+        finally:
+            self._closing.set()
+            self._server.close()
+            try:
+                self._conn.close()
+            except OSError:
+                pass
+
+    def _dispatch(self, kind: str, fields: dict) -> None:
+        job_id = str(fields.get("job_id", ""))
+        if kind == "job":
+            ctx = _JobContext(job_id, fields)
+            self._install_kill(ctx)
+            with self._jobs_lock:
+                self._jobs[job_id] = ctx
+            return
+        with self._jobs_lock:
+            ctx = self._jobs.get(job_id)
+        if ctx is None:
+            return  # stale message for a finished job
+        if kind == "assign-map":
+            split = pickle.loads(fields["split"])
+            threading.Thread(
+                target=self._run_map,
+                args=(ctx, int(fields["mapper"]), int(fields["epoch"]), split),
+                name=f"map-{fields['mapper']}",
+                daemon=True,
+            ).start()
+        elif kind == "assign-reduce":
+            threading.Thread(
+                target=self._run_reduce,
+                args=(
+                    ctx,
+                    int(fields["reducer"]),
+                    int(fields["attempt"]),
+                    int(fields["num_maps"]),
+                    fields.get("prior") or {},
+                ),
+                name=f"reduce-{fields['reducer']}",
+                daemon=True,
+            ).start()
+        elif kind == "location":
+            ctx.locations.update(
+                int(fields["mapper"]),
+                str(fields["host"]),
+                int(fields["port"]),
+                int(fields["epoch"]),
+            )
+        elif kind == "job-done":
+            with self._jobs_lock:
+                self._jobs.pop(job_id, None)
+            self._store.drop_job(job_id)
+
+
+def worker_main(name: str, coord_host: str, coord_port: int) -> None:
+    """Process entry point: connect to the coordinator and serve."""
+    _Worker(name, coord_host, coord_port).run()

@@ -1,0 +1,1 @@
+"""Tests for the networked multi-process cluster runtime."""

@@ -1,0 +1,174 @@
+"""Process-kill chaos: SIGKILL real workers, require identical output.
+
+The failure mode the cluster runtime exists to survive: a worker
+process killed with SIGKILL — no exception path, no socket shutdown,
+no flush — mid-shuffle (its map outputs die with its shuffle server)
+and mid-reduce (its in-flight fold vanishes).  In every scenario the
+job must still complete with output byte-identical to a fault-free
+threaded run, recovery visible only in the counters: workers lost,
+tasks reassigned, and (with checkpointing) the four-way record
+classification reconciling to the full partition total.
+
+The retry budget in :func:`~repro.cluster.engine.cluster_recovery` is
+deliberately generous: a legitimately exhausted budget surfaces as
+:class:`~repro.cluster.ClusterJobError` ("GAVE-UP"), which fails these
+tests — recovery that merely errors out politely is not recovery.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.demo import demo_job_and_input, normalized_output
+from repro.cluster import ClusterRuntime, cluster_recovery
+from repro.core.types import ExecutionMode
+from repro.dfs.wire import WireConfig
+from repro.engine.threaded import ThreadedEngine
+from repro.memory.checkpoint import CheckpointPolicy
+
+RECORDS = 300
+NUM_MAPS = 3
+NUM_REDUCERS = 2
+
+#: Small batches: kill triggers and checkpoint policies both land at
+#: wire-batch boundaries, so 16-record batches keep them meaningful.
+WIRE = WireConfig(max_batch_records=16)
+
+#: Snapshot every 20 folded records; the victim dies at ~60, so at
+#: least two snapshots exist before the SIGKILL.
+KILL_AFTER_RECORDS = 60
+CHECKPOINT_EVERY = 20
+
+_baselines: dict = {}
+
+
+def _demo(app: str):
+    return demo_job_and_input(
+        app, ExecutionMode.BARRIERLESS, records=RECORDS,
+        num_reducers=NUM_REDUCERS, num_maps=NUM_MAPS,
+    )
+
+
+def _baseline(app: str):
+    if app not in _baselines:
+        job, pairs = _demo(app)
+        result = ThreadedEngine(map_slots=2, wire=WIRE).run(
+            job, pairs, num_maps=NUM_MAPS
+        )
+        _baselines[app] = normalized_output(app, result)
+    return _baselines[app]
+
+
+def _buckets(obs):
+    return {
+        name: obs.counters.get(f"reduce.{name}_records")
+        for name in ("restored", "replayed", "refolded", "live")
+    }
+
+
+def test_sigkill_mid_shuffle_recovers():
+    """Worker killed while serving shuffle batches: map re-execution.
+
+    The victim dies with sockets mid-stream; its map outputs are gone,
+    so the coordinator must re-execute them under a bumped epoch and
+    the surviving reducers' fetch streams must epoch-restart — all over
+    real TCP.
+    """
+    job, pairs = _demo("wc")
+    with ClusterRuntime(2, wire=WIRE) as runtime:
+        result = runtime.run_job(
+            job, pairs, num_maps=NUM_MAPS,
+            kill={"worker": "w1", "trigger": "serves", "count": 2},
+        )
+        counters = runtime.obs.counters
+        assert normalized_output("wc", result) == _baseline("wc")
+        assert counters.get("cluster.workers.lost") == 1
+        assert counters.get("cluster.tasks.reassigned") >= 1
+
+
+def test_sigkill_after_map_done_forces_reexecution():
+    """Worker killed right after completing a map task.
+
+    Its map-done already reached the coordinator and was broadcast; the
+    re-execution path must supersede the stale location with a higher
+    epoch rather than leaving reducers fetching from a corpse.
+    """
+    job, pairs = _demo("wc")
+    with ClusterRuntime(2, wire=WIRE) as runtime:
+        result = runtime.run_job(
+            job, pairs, num_maps=NUM_MAPS,
+            kill={"worker": "w1", "trigger": "map-done", "count": 1},
+        )
+        counters = runtime.obs.counters
+        assert normalized_output("wc", result) == _baseline("wc")
+        assert counters.get("cluster.workers.lost") == 1
+        assert counters.get("map.reexecutions") >= 1
+
+
+def test_sigkill_mid_reduce_refolds_without_checkpoint():
+    """Worker killed mid-fold, no checkpointing: full refold elsewhere."""
+    job, pairs = _demo("wc")
+    with ClusterRuntime(2, wire=WIRE) as runtime:
+        result = runtime.run_job(
+            job, pairs, num_maps=NUM_MAPS,
+            kill={
+                "worker": "w1", "trigger": "reduce-records",
+                "count": KILL_AFTER_RECORDS,
+            },
+        )
+        counters = runtime.obs.counters
+        assert normalized_output("wc", result) == _baseline("wc")
+        assert counters.get("cluster.workers.lost") == 1
+        # Nothing to resume from: restores must not be fabricated.
+        assert counters.get("reduce.restored_records") == 0
+        assert counters.get("reduce.checkpoint.restores") == 0
+
+
+@pytest.mark.parametrize("app", ("wc", "sort"))
+def test_sigkill_mid_reduce_resumes_from_checkpoint(app):
+    """Worker killed mid-fold with checkpointing: resume over TCP.
+
+    ``maps-first`` placement keeps every map task off the victim, so no
+    epoch changes when it dies and the replacement attempt's snapshot
+    is valid — the restore path, not the refold fallback, must carry
+    the partition.  The four-way classification must reconcile to the
+    job's full map output.
+    """
+    recovery = cluster_recovery(
+        checkpoint=CheckpointPolicy(every_records=CHECKPOINT_EVERY)
+    )
+    job, pairs = _demo(app)
+    with ClusterRuntime(
+        2, wire=WIRE, recovery=recovery, placement="maps-first"
+    ) as runtime:
+        result = runtime.run_job(
+            job, pairs, num_maps=NUM_MAPS,
+            kill={
+                "worker": "w1", "trigger": "reduce-records",
+                "count": KILL_AFTER_RECORDS,
+            },
+        )
+        obs = runtime.obs
+        assert normalized_output(app, result) == _baseline(app)
+        assert obs.counters.get("cluster.workers.lost") == 1
+        buckets = _buckets(obs)
+        assert buckets["restored"] > 0
+        # Checkpointing was active on every committed attempt, so the
+        # classification covers every partition record exactly once.
+        assert sum(buckets.values()) == obs.counters.get("map.output_records")
+
+
+def test_back_to_back_chaos_jobs_reuse_nothing_stale():
+    """A runtime that lost a worker still runs the next job correctly."""
+    with ClusterRuntime(3, wire=WIRE) as runtime:
+        job, pairs = _demo("wc")
+        first = runtime.run_job(
+            job, pairs, num_maps=NUM_MAPS,
+            kill={"worker": "w2", "trigger": "serves", "count": 2},
+        )
+        assert normalized_output("wc", first) == _baseline("wc")
+        # w2 is dead; the follow-up job must run on the survivors and
+        # must not inherit locations or outputs from the chaos job.
+        job, pairs = _demo("grep")
+        second = runtime.run_job(job, pairs, num_maps=NUM_MAPS)
+        assert normalized_output("grep", second) == _baseline("grep")

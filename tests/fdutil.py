@@ -1,0 +1,42 @@
+"""Portable open-file-descriptor counting for leak assertions.
+
+Tests that assert "N jobs later, no descriptors leaked" need a current
+FD count — for this process or for a child (cluster workers).
+``/proc/<pid>/fd`` only exists on Linux; this helper falls back to
+psutil (if the optional dependency is installed) and then, for the
+calling process only, to ``/dev/fd`` (BSD/macOS).  On platforms with no
+counting mechanism at all it cleanly skips the calling test — a missing
+``/proc`` must read as "cannot measure here", not as a leak or a crash.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+__all__ = ["open_fd_count"]
+
+
+def open_fd_count(pid: int | None = None) -> int:
+    """Open file descriptors held by ``pid`` (default: this process)."""
+    fd_dir = f"/proc/{pid}/fd" if pid is not None else "/proc/self/fd"
+    try:
+        return len(os.listdir(fd_dir))
+    except OSError:
+        pass
+    try:
+        import psutil
+    except ImportError:
+        pass
+    else:
+        try:
+            return int(psutil.Process(pid).num_fds())
+        except Exception:  # noqa: BLE001 - process gone or unsupported
+            pass
+    if pid is None:
+        try:
+            return len(os.listdir("/dev/fd"))
+        except OSError:
+            pass
+    pytest.skip("no mechanism to count open file descriptors here")

@@ -10,6 +10,7 @@ from hypothesis import strategies as st
 
 from repro.memory.spill import SpillMergeStore
 from repro.memory.store import TreeMapStore
+from tests.fdutil import open_fd_count
 
 
 def add(a, b):
@@ -220,7 +221,7 @@ class TestNoLeakedDescriptors:
 
     @staticmethod
     def _open_fds() -> int:
-        return len(os.listdir("/proc/self/fd"))
+        return open_fd_count()
 
     def _spilled_store(self):
         store = SpillMergeStore(add, spill_threshold_bytes=300)
