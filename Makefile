@@ -1,7 +1,7 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test bench bench-quick bench-figures chaos cluster figures \
-	csv examples trace-demo all clean
+.PHONY: install test bench bench-quick bench-figures chaos cluster netchaos \
+	figures csv examples trace-demo all clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -31,6 +31,10 @@ cluster:
 	python -m repro.cli cluster all --workers 2
 	python -m repro.cli cluster wc --workers 2 --chaos --checkpoint
 	pytest tests/cluster -q
+
+netchaos:
+	python -m repro.cli cluster all --workers 2 --chaos net
+	pytest tests/cluster/test_netchaos.py tests/cluster/test_coordinator_recovery.py -q
 
 figures:
 	python -m repro.cli figure fig4 fig5 fig6 fig7 fig8 fig9 fig10

@@ -79,6 +79,18 @@ TRACKED_COUNTERS: tuple[str, ...] = (
     "cluster.jobs",
     "cluster.workers.lost",
     "cluster.tasks.reassigned",
+    # Coordinator-recovery / liveness / network-chaos counters: all zero
+    # on the in-process bench matrix, tracked so journal, lease or proxy
+    # regressions diff loudly once cluster bench rows exist.
+    "cluster.journal.records",
+    "cluster.journal.replayed",
+    "cluster.resume.jobs",
+    "cluster.resume.maps.reused",
+    "cluster.lease.expired",
+    "cluster.workers.rejoined",
+    "netchaos.links",
+    "netchaos.corrupted_bytes",
+    "netchaos.resets",
 )
 
 #: Apps for the ``--wire`` codec comparison (the text-heavy pair the

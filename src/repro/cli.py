@@ -157,9 +157,13 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--reducers", type=int, default=2)
     cluster.add_argument("--maps", type=int, default=3)
     cluster.add_argument("--seed", type=int, default=0)
-    cluster.add_argument("--chaos", action="store_true",
-                         help="also SIGKILL a worker mid-shuffle and "
-                              "mid-reduce and verify recovery")
+    cluster.add_argument("--chaos", nargs="?", const="kill", default=None,
+                         choices=["kill", "net", "all"],
+                         help="add failure scenarios: 'kill' SIGKILLs a "
+                              "worker mid-shuffle and mid-reduce, 'net' "
+                              "degrades the links (latency, partition, "
+                              "corruption) through a chaos proxy, 'all' "
+                              "runs both; bare --chaos means 'kill'")
     cluster.add_argument("--checkpoint", action="store_true",
                          help="enable partial-result checkpointing so a "
                               "killed reducer resumes from its snapshot")
@@ -610,15 +614,26 @@ def _cmd_cluster(args) -> int:
     For every selected app a clean threaded run establishes the expected
     output; the same input then runs on ``--workers`` forked worker
     processes shuffling over TCP, and the outputs must match exactly.
-    With ``--chaos`` two more rows run per app: a worker SIGKILLed
+    With ``--chaos kill`` two more rows run per app: a worker SIGKILLed
     mid-shuffle (its map outputs die with its shuffle server, forcing
     re-execution under a new epoch) and one SIGKILLed mid-reduce (the
     reduce attempt is reassigned; with ``--checkpoint`` it resumes from
-    the dead attempt's last snapshot instead of refolding).  Exits
-    non-zero on any divergence or exhausted retry budget.
+    the dead attempt's last snapshot instead of refolding).  With
+    ``--chaos net`` three rows degrade the network instead, through the
+    seedable chaos proxy: added latency + a bandwidth cap, a transient
+    black-hole partition on the shuffle links, and per-chunk bit
+    corruption — which must surface as CRC errors and fetch retries,
+    never as divergent output.  ``--chaos all`` runs both families.
+    Exits non-zero on any divergence or exhausted retry budget.
     """
     from repro.apps.demo import demo_job_and_input, normalized_output
-    from repro.cluster import ClusterJobError, ClusterRuntime, cluster_recovery
+    from repro.cluster import (
+        ChaosPolicy,
+        ClusterJobError,
+        ClusterRuntime,
+        NetChaosConfig,
+        cluster_recovery,
+    )
     from repro.dfs.wire import WireConfig
     from repro.engine import ThreadedEngine
     from repro.memory.checkpoint import CheckpointPolicy
@@ -639,19 +654,36 @@ def _cmd_cluster(args) -> int:
     # Snapshots (and kill triggers) land at wire-batch boundaries; small
     # batches keep both meaningful at demo input sizes.
     wire = WireConfig(max_batch_records=16)
-    scenarios = [("clean", None)]
-    if args.chaos:
+    # (name, kill spec, netchaos config) per scenario row.
+    scenarios: list[tuple[str, dict | None, object]] = [("clean", None, None)]
+    if args.chaos in ("kill", "all"):
         victim = f"w{args.workers - 1}"
         scenarios += [
             ("kill-shuffle", {"worker": victim, "trigger": "serves",
-                              "count": 2}),
+                              "count": 2}, None),
             ("kill-reduce", {"worker": victim, "trigger": "reduce-records",
-                             "count": args.records // 4 or 1}),
+                             "count": args.records // 4 or 1}, None),
+        ]
+    if args.chaos in ("net", "all"):
+        scenarios += [
+            ("net-latency", None, NetChaosConfig(
+                shuffle=ChaosPolicy(
+                    latency_s=0.002, bandwidth_bytes_per_s=2_000_000,
+                    seed=args.seed,
+                ),
+                rpc=ChaosPolicy(latency_s=0.001, seed=args.seed),
+            )),
+            ("net-partition", None, NetChaosConfig(
+                shuffle=ChaosPolicy(partition_s=0.4, seed=args.seed),
+            )),
+            ("net-corrupt", None, NetChaosConfig(
+                shuffle=ChaosPolicy(corrupt_every_bytes=2048, seed=args.seed),
+            )),
         ]
     header = (
         f"{'app':<5} {'scenario':<13} {'lost':>4} {'reassigned':>10} "
-        f"{'f.retries':>9} {'restored':>8} {'replayed':>8} {'refolded':>8}"
-        "  output"
+        f"{'f.retries':>9} {'restored':>8} {'replayed':>8} {'refolded':>8} "
+        f"{'corrupt':>7}  output"
     )
     print(
         f"cluster: workers={args.workers} mode={args.mode.value} "
@@ -669,7 +701,7 @@ def _cmd_cluster(args) -> int:
         expected = normalized_output(
             app, ThreadedEngine().run(job, pairs, num_maps=args.maps)
         )
-        for scenario, kill in scenarios:
+        for scenario, kill, netchaos in scenarios:
             job, pairs = demo_job_and_input(
                 app, args.mode, records=args.records, seed=args.seed,
                 num_reducers=args.reducers, num_maps=args.maps,
@@ -688,6 +720,7 @@ def _cmd_cluster(args) -> int:
                         "maps-first" if scenario == "kill-reduce" else "spread"
                     ),
                     deadline_s=args.deadline,
+                    netchaos=netchaos,
                 ) as runtime:
                     result = runtime.run_job(
                         job, pairs, num_maps=args.maps, kill=kill
@@ -704,7 +737,8 @@ def _cmd_cluster(args) -> int:
                 f"{counters.get('shuffle.fetch.retries', 0):>9} "
                 f"{counters.get('reduce.restored_records', 0):>8} "
                 f"{counters.get('reduce.replayed_records', 0):>8} "
-                f"{counters.get('reduce.refolded_records', 0):>8}"
+                f"{counters.get('reduce.refolded_records', 0):>8} "
+                f"{counters.get('netchaos.corrupted_bytes', 0):>7}"
                 f"  {verdict}"
             )
             if verdict != "ok":

@@ -11,16 +11,33 @@ the same :func:`~repro.engine.recovery.run_fetch_stream` retry/backoff/
 dedup protocol the threaded engine uses — so a SIGKILLed worker is
 recovered by the existing epoch-restart and checkpoint-resume machinery,
 just over real TCP.
+
+Robustness extensions (PR 7): the coordinator write-ahead journals all
+scheduling state (:mod:`repro.cluster.journal`) and a restarted
+coordinator resumes in-flight jobs on surviving worker state; leases
+expire wedged-but-connected workers; and a seedable network-chaos proxy
+(:mod:`repro.cluster.netchaos`) degrades shuffle/RPC links with
+latency, throttling, resets, partitions and bit corruption to prove the
+CRC-or-nothing integrity story under a hostile network.
 """
 
 from repro.cluster.engine import ClusterEngine, ClusterRuntime, cluster_recovery
-from repro.cluster.coordinator import ClusterJobError
+from repro.cluster.coordinator import ClusterJobError, Coordinator
+from repro.cluster.journal import Journal, JournalError, replay_journal
+from repro.cluster.netchaos import ChaosPolicy, NetChaosConfig, NetChaosProxy
 from repro.cluster.rpc import RpcError
 
 __all__ = [
+    "ChaosPolicy",
     "ClusterEngine",
     "ClusterJobError",
     "ClusterRuntime",
+    "Coordinator",
+    "Journal",
+    "JournalError",
+    "NetChaosConfig",
+    "NetChaosProxy",
     "RpcError",
     "cluster_recovery",
+    "replay_journal",
 ]

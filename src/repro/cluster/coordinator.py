@@ -1,24 +1,41 @@
-"""Cluster coordinator: registration, scheduling, failure recovery.
+"""Cluster coordinator: registration, scheduling, journaling, recovery.
 
 The control-plane brain of the cluster runtime.  The coordinator owns a
-listening socket; each worker connects once and keeps that connection
-for its lifetime (a receiver thread per worker feeds an inbox queue, so
-worker death is observed as EOF the moment the OS tears the socket
-down).  :meth:`Coordinator.submit` runs one job end-to-end:
+listening socket; each worker connects and keeps that connection for as
+long as it lives (a receiver thread per connection feeds an inbox
+queue, so worker death is observed as EOF the moment the OS tears the
+socket down, and a worker that reconnects after a coordinator restart
+re-registers on a fresh connection).  :meth:`Coordinator.submit` runs
+one job end-to-end:
 
-1. broadcast the ``job`` message (pickled spec + configs + kill spec);
-2. assign map tasks (placement policy), then reduce tasks;
-3. consume the inbox: ``map-done`` publishes the mapper's location to
-   every worker, ``reduce-done`` commits first-wins, ``heartbeat``
-   snapshots fold progress, ``worker-dead`` triggers recovery;
+1. journal the submission (write-ahead), broadcast the ``job`` message;
+2. assign map tasks (placement policy), then reduce tasks — every grant
+   journaled before the assignment is sent;
+3. consume the inbox: ``map-done`` journals and publishes the mapper's
+   location to every worker, ``reduce-done`` journals and commits
+   first-wins, ``heartbeat`` snapshots fold progress, ``worker-dead``
+   triggers recovery, ``worker-joined`` re-syncs a (re)registered
+   worker with the active job's spec and locations;
 4. on worker death, every map task the dead worker owned is reassigned
    under a **bumped epoch** (in-flight fetch streams see the new epoch
    and restart, deduping through their ledgers) and every uncommitted
    reduce task is reassigned with the dead attempt's last heartbeat
-   progress as ``prior`` — the new attempt resumes from its checkpoint
-   if one is valid, and classifies re-done records as replayed/refolded;
-5. an overall deadline bounds the whole job, so a wedged cluster fails
+   progress as ``prior``;
+5. a **lease sweep** expires workers whose heartbeats stop arriving —
+   a SIGSTOP'd or wedged process is indistinguishable from a healthy
+   one at the socket layer, so silence past ``lease_s`` is treated as
+   death (``cluster.lease.expired``) and its tasks are reassigned
+   within the lease interval instead of stalling to the job deadline;
+6. an overall deadline bounds the whole job, so a wedged cluster fails
    loudly instead of hanging the caller.
+
+Crash recovery: constructed over a :class:`~repro.cluster.journal.
+Journal` whose file already holds records, the coordinator replays the
+longest valid prefix into per-job state; :meth:`resume` then finishes
+every incomplete job — surviving map outputs (re-advertised by workers
+in their ``register`` message) are reused via a fresh ``location``
+broadcast, everything else is re-granted, and in-flight reduce attempts
+that the owning worker reports as still active are simply awaited.
 
 Everything the coordinator observes lands in the session's
 :class:`~repro.obs.JobObservability` under ``cluster.*`` counters and
@@ -32,7 +49,7 @@ import queue
 import socket
 import threading
 import time
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.core.job import JobSpec, split_input
 from repro.core.types import Counters, JobResult, Key, Record, StageTimes, Value
@@ -40,9 +57,10 @@ from repro.dfs.wire import WireConfig
 from repro.engine.base import Stopwatch, finish_result
 from repro.engine.recovery import RecoveryConfig
 from repro.obs import JobObservability
+from repro.cluster.journal import Journal, replay_journal
 from repro.cluster.rpc import RpcError, recv_message, send_message
 
-__all__ = ["ClusterJobError", "Coordinator"]
+__all__ = ["ClusterJobError", "Coordinator", "DEFAULT_LEASE_S"]
 
 #: Placement policies for :meth:`Coordinator.submit`.  ``spread`` round-
 #: robins maps and reduces over every worker.  ``maps-first`` keeps map
@@ -50,6 +68,12 @@ __all__ = ["ClusterJobError", "Coordinator"]
 #: tests can kill a reduce-only worker and exercise checkpoint resume
 #: without the victim's own map outputs going stale.
 PLACEMENTS = ("spread", "maps-first")
+
+#: Heartbeats arrive every ~50ms; a worker silent for this long is
+#: treated as dead even while its socket stays connected (SIGSTOP,
+#: livelock).  Generous enough that scheduler jitter on a loaded host
+#: cannot expire a healthy worker.
+DEFAULT_LEASE_S = 2.0
 
 
 class ClusterJobError(RuntimeError):
@@ -60,9 +84,12 @@ class _WorkerHandle:
     __slots__ = (
         "name", "conn", "send_lock", "pid",
         "shuffle_host", "shuffle_port", "alive", "last_heartbeat",
+        "gen", "held", "active_reduces",
     )
 
-    def __init__(self, name: str, conn: socket.socket, fields: dict) -> None:
+    def __init__(
+        self, name: str, conn: socket.socket, fields: dict, gen: int
+    ) -> None:
         self.name = name
         self.conn = conn
         self.send_lock = threading.Lock()
@@ -71,29 +98,202 @@ class _WorkerHandle:
         self.shuffle_port = int(fields["shuffle_port"])
         self.alive = True
         self.last_heartbeat = time.monotonic()
+        #: Registration generation: each (re)connection of a name gets a
+        #: fresh one, so a stale connection's death cannot be mistaken
+        #: for the death of its successor.
+        self.gen = gen
+        #: Map outputs the worker re-advertised at registration:
+        #: {(job_id, mapper, epoch)} — resume reuses these.
+        self.held: set[tuple[str, int, int]] = {
+            (str(j), int(m), int(e))
+            for j, m, e in fields.get("held", [])
+        }
+        #: Reduce attempts the worker reported as still running:
+        #: {(job_id, reducer, attempt)} — resume awaits these.
+        self.active_reduces: set[tuple[str, int, int]] = {
+            (str(j), int(r), int(a))
+            for j, r, a in fields.get("active", [])
+        }
+
+
+class _JobState:
+    """Everything the coordinator must remember to finish one job.
+
+    Built either by :meth:`Coordinator.submit` or by journal replay;
+    :meth:`Coordinator._run_job` drives it to completion either way.
+    """
+
+    def __init__(
+        self,
+        job_id: str,
+        job: JobSpec,
+        splits: list[list],
+        wire: WireConfig,
+        recovery: RecoveryConfig,
+        checkpoint_root: str | None,
+        placement: str,
+        deadline_s: float,
+    ) -> None:
+        self.job_id = job_id
+        self.job = job
+        self.splits = splits
+        self.wire = wire
+        self.recovery = recovery
+        self.checkpoint_root = checkpoint_root
+        self.placement = placement
+        self.deadline_s = deadline_s
+        self.map_owner: dict[int, str] = {}
+        self.map_epoch: dict[int, int] = {m: 0 for m in range(len(splits))}
+        self.reduce_owner: dict[int, str] = {}
+        self.reduce_attempt: dict[int, int] = {
+            r: 0 for r in range(job.num_reducers)
+        }
+        #: mapper -> (worker, epoch) of the last accepted completion.
+        self.map_locations: dict[int, tuple[str, int]] = {}
+        self.merged_maps: set[int] = set()
+        self.output: dict[int, list[Record]] = {}
+        self.counters = Counters()
+        #: reducer -> {mapper: records folded}, from owner heartbeats.
+        self.progress: dict[int, dict[int, int]] = {}
+        self.done = False
+
+    @property
+    def num_maps(self) -> int:
+        return len(self.splits)
 
 
 class Coordinator:
     """Accepts worker registrations and runs jobs over them."""
 
     def __init__(
-        self, obs: JobObservability | None = None, host: str = "127.0.0.1"
+        self,
+        obs: JobObservability | None = None,
+        host: str = "127.0.0.1",
+        *,
+        port: int = 0,
+        journal: "Journal | str | None" = None,
+        lease_s: float | None = DEFAULT_LEASE_S,
+        shuffle_proxy: Callable[[str, int], tuple[str, int]] | None = None,
     ) -> None:
         self.obs = obs if obs is not None else JobObservability()
+        if isinstance(journal, str):
+            journal = Journal(journal)
+        self._journal = journal
+        self._lease_s = lease_s
+        self._shuffle_proxy = shuffle_proxy
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        self._listener.bind((host, 0))
+        self._listener.bind((host, port))
         self._listener.listen(64)
         self.host, self.port = self._listener.getsockname()
         self._workers: dict[str, _WorkerHandle] = {}
-        self._workers_lock = threading.Lock()
+        self._workers_cond = threading.Condition()
+        self._gen = 0
         self._inbox: "queue.Queue[tuple[str, dict]]" = queue.Queue()
         self._closing = threading.Event()
         self._job_seq = 0
+        #: job_id -> _JobState recovered from the journal (incomplete
+        #: jobs only become results via :meth:`resume`).
+        self._recovered: dict[str, _JobState] = {}
+        if self._journal is not None:
+            self._replay()
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name="coordinator-accept", daemon=True
         )
         self._accept_thread.start()
+
+    # -- journal -----------------------------------------------------------
+
+    def _log(self, kind: str, fields: dict) -> None:
+        """Write-ahead: journal a transition before acting on it."""
+        if self._journal is None:
+            return
+        written = self._journal.append(kind, fields)
+        self.obs.counters.increment("cluster.journal.records")
+        self.obs.counters.increment("cluster.journal.bytes", written)
+
+    def _replay(self) -> None:
+        records, stats = replay_journal(self._journal.path)
+        for kind, fields in records:
+            self._apply(kind, fields)
+        if stats.records or stats.torn_bytes:
+            self.obs.counters.increment(
+                "cluster.journal.replayed", stats.records
+            )
+            self.obs.counters.increment(
+                "cluster.journal.torn_bytes", stats.torn_bytes
+            )
+            self.obs.events.emit(
+                "cluster.journal.replay",
+                records=stats.records,
+                torn_bytes=stats.torn_bytes,
+                jobs=len(self._recovered),
+                incomplete=sum(
+                    1 for s in self._recovered.values() if not s.done
+                ),
+            )
+        # Never reuse a replayed job id for a fresh submission.
+        for job_id in self._recovered:
+            try:
+                self._job_seq = max(self._job_seq, int(job_id.rsplit("-", 1)[1]))
+            except (IndexError, ValueError):
+                pass
+
+    def _apply(self, kind: str, fields: dict) -> None:
+        """Fold one replayed journal record into recovered job state."""
+        if kind == "job-submit":
+            state = _JobState(
+                str(fields["job_id"]),
+                pickle.loads(fields["job"]),
+                pickle.loads(fields["splits"]),
+                pickle.loads(fields["wire"]),
+                pickle.loads(fields["recovery"]),
+                str(fields.get("checkpoint_root", "")) or None,
+                str(fields.get("placement", "spread")),
+                float(fields.get("deadline_s", 60.0)),
+            )
+            self._recovered[state.job_id] = state
+            return
+        state = self._recovered.get(str(fields.get("job_id", "")))
+        if state is None:
+            return  # grant for a submission lost to the torn tail
+        if kind == "map-grant":
+            mapper = int(fields["mapper"])
+            state.map_owner[mapper] = str(fields["worker"])
+            state.map_epoch[mapper] = int(fields["epoch"])
+        elif kind == "epoch-bump":
+            mapper = int(fields["mapper"])
+            state.map_epoch[mapper] = int(fields["epoch"])
+            held = state.map_locations.get(mapper)
+            if held is not None and held[1] < state.map_epoch[mapper]:
+                del state.map_locations[mapper]
+        elif kind == "reduce-grant":
+            reducer = int(fields["reducer"])
+            state.reduce_owner[reducer] = str(fields["worker"])
+            state.reduce_attempt[reducer] = int(fields["attempt"])
+        elif kind == "map-location":
+            mapper = int(fields["mapper"])
+            epoch = int(fields["epoch"])
+            if epoch == state.map_epoch.get(mapper):
+                state.map_locations[mapper] = (str(fields["worker"]), epoch)
+            if fields.get("first") and mapper not in state.merged_maps:
+                state.merged_maps.add(mapper)
+                task_counters = dict(fields.get("counters", {}))
+                state.counters.merge(Counters(task_counters))
+                state.counters.increment("map.tasks")
+                self.obs.counters.merge_dict(task_counters)
+                self.obs.counters.increment("map.tasks")
+        elif kind == "reduce-commit":
+            reducer = int(fields["reducer"])
+            if reducer not in state.output:
+                state.output[reducer] = pickle.loads(fields["output"])
+                task_counters = dict(fields.get("counters", {}))
+                state.counters.merge(Counters(task_counters))
+                state.counters.increment("reduce.tasks")
+                self.obs.counters.merge_dict(task_counters)
+                self.obs.counters.increment("reduce.tasks")
+        elif kind == "job-done":
+            state.done = True
 
     # -- registration ------------------------------------------------------
 
@@ -119,40 +319,65 @@ class Coordinator:
             conn.close()
             return
         name = str(fields["worker"])
-        handle = _WorkerHandle(name, conn, fields)
-        with self._workers_lock:
+        if self._shuffle_proxy is not None:
+            # Interpose the chaos proxy: every location broadcast for
+            # this worker's outputs points at the proxy, not the worker.
+            fields = dict(fields)
+            proxied = self._shuffle_proxy(
+                str(fields["shuffle_host"]), int(fields["shuffle_port"])
+            )
+            fields["shuffle_host"], fields["shuffle_port"] = proxied
+        with self._workers_cond:
+            self._gen += 1
+            handle = _WorkerHandle(name, conn, fields, self._gen)
+            rejoined = name in self._workers
             self._workers[name] = handle
-        self.obs.counters.increment("cluster.workers")
-        self.obs.events.emit(
-            "cluster.worker.register", worker=name, pid=handle.pid,
-            shuffle_port=handle.shuffle_port,
-        )
+            self._workers_cond.notify_all()
+        if rejoined:
+            self.obs.counters.increment("cluster.workers.rejoined")
+            self.obs.events.emit(
+                "cluster.worker.rejoin", worker=name, pid=handle.pid,
+                held=len(handle.held), active=len(handle.active_reduces),
+            )
+        else:
+            self.obs.counters.increment("cluster.workers")
+            self.obs.events.emit(
+                "cluster.worker.register", worker=name, pid=handle.pid,
+                shuffle_port=handle.shuffle_port,
+            )
+        self._inbox.put(("worker-joined", {"worker": name, "gen": handle.gen}))
         while not self._closing.is_set():
             try:
                 kind, fields = recv_message(conn)
             except (RpcError, OSError):
                 break
             self.obs.counters.increment("cluster.rpc.messages")
+            if kind == "heartbeat":
+                # Updated here, not in the job loop: leases must stay
+                # fresh even while no job is draining the inbox.
+                handle.last_heartbeat = time.monotonic()
             self._inbox.put((kind, fields))
         handle.alive = False
         if not self._closing.is_set():
-            self._inbox.put(("worker-dead", {"worker": name}))
+            self._inbox.put(("worker-dead", {"worker": name, "gen": handle.gen}))
 
     def wait_for_workers(self, count: int, timeout: float = 30.0) -> None:
-        """Block until ``count`` workers have registered."""
+        """Block until ``count`` workers have registered.
+
+        Condition-based: returns the moment the Nth registration lands
+        rather than on the next poll tick, and raises precisely at
+        ``timeout`` otherwise.
+        """
         deadline = time.monotonic() + timeout
-        while True:
-            with self._workers_lock:
-                if len(self._workers) >= count:
-                    return
-            if time.monotonic() >= deadline:
-                with self._workers_lock:
-                    have = len(self._workers)
-                raise ClusterJobError(
-                    f"only {have}/{count} workers registered "
-                    f"within {timeout}s"
-                )
-            time.sleep(0.01)
+        with self._workers_cond:
+            while len(self._workers) < count:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise ClusterJobError(
+                        f"only {len(self._workers)}/{count} workers "
+                        f"registered within {timeout}s"
+                    )
+                self._workers_cond.wait(timeout=remaining)
 
     # -- messaging ---------------------------------------------------------
 
@@ -172,8 +397,12 @@ class Coordinator:
             self._send_to(handle, kind, fields)
 
     def _alive_workers(self) -> list[_WorkerHandle]:
-        with self._workers_lock:
+        with self._workers_cond:
             return [h for h in self._workers.values() if h.alive]
+
+    def _handle_of(self, name: str) -> _WorkerHandle | None:
+        with self._workers_cond:
+            return self._workers.get(name)
 
     # -- job execution -----------------------------------------------------
 
@@ -193,105 +422,165 @@ class Coordinator:
         if placement not in PLACEMENTS:
             raise ValueError(f"unknown placement {placement!r}")
         job.validate()
+        self._job_seq += 1
+        job_id = f"job-{self._job_seq}"
+        splits = [list(split) for split in split_input(pairs, num_maps)]
+        state = _JobState(
+            job_id, job, splits, wire, recovery, checkpoint_root,
+            placement, deadline_s,
+        )
+        self._log(
+            "job-submit",
+            {
+                "job_id": job_id,
+                "job": pickle.dumps(job),
+                "splits": pickle.dumps(splits),
+                "wire": pickle.dumps(wire),
+                "recovery": pickle.dumps(recovery),
+                "checkpoint_root": checkpoint_root or "",
+                "placement": placement,
+                "deadline_s": float(deadline_s),
+            },
+        )
+        return self._run_job(state, kill=kill, resuming=False)
+
+    def resume(self) -> dict[str, JobResult]:
+        """Finish every journal-recovered job that never committed.
+
+        Callers should :meth:`wait_for_workers` first so the surviving
+        workers' re-registrations (with their held outputs and active
+        attempts) are on the books before placement decisions are made.
+        """
+        results: dict[str, JobResult] = {}
+        for job_id, state in list(self._recovered.items()):
+            if state.done:
+                continue
+            self.obs.counters.increment("cluster.resume.jobs")
+            results[job_id] = self._run_job(state, kill=None, resuming=True)
+        return results
+
+    def _run_job(
+        self, state: _JobState, *, kill: dict | None, resuming: bool
+    ) -> JobResult:
         workers = self._alive_workers()
         if not workers:
             raise ClusterJobError("no live workers")
-        self._job_seq += 1
-        job_id = f"job-{self._job_seq}"
+        job = state.job
+        job_id = state.job_id
         obs = self.obs
         watch = Stopwatch()
         times = StageTimes()
-        counters = Counters()
-        splits = [list(split) for split in split_input(pairs, num_maps)]
-        actual_maps = len(splits)
         obs.counters.increment("cluster.jobs")
         job_span = obs.tracer.open(
             job.name, "job", mode=job.mode.value, engine="cluster"
         )
 
-        self._broadcast(
-            "job",
-            {
-                "job_id": job_id,
-                "job": pickle.dumps(job),
-                "wire": pickle.dumps(wire),
-                "recovery": pickle.dumps(recovery),
-                "checkpoint_root": checkpoint_root or "",
-                "kill": kill or {},
-            },
-        )
+        job_fields = {
+            "job_id": job_id,
+            "job": pickle.dumps(job),
+            "wire": pickle.dumps(state.wire),
+            "recovery": pickle.dumps(state.recovery),
+            "checkpoint_root": state.checkpoint_root or "",
+            "kill": kill or {},
+        }
+        self._broadcast("job", job_fields)
 
-        # -- initial placement --------------------------------------------
-        if placement == "maps-first" and len(workers) > 1:
-            map_pool = workers[:-1]
-            reduce_pool = list(reversed(workers))
-        else:
-            map_pool = workers
-            reduce_pool = workers
-        map_owner: dict[int, str] = {}
-        map_epoch: dict[int, int] = {mapper: 0 for mapper in range(actual_maps)}
-        reduce_owner: dict[int, str] = {}
-        reduce_attempt: dict[int, int] = {r: 0 for r in range(job.num_reducers)}
-
-        def assign_map(mapper: int, handle: _WorkerHandle) -> None:
-            map_owner[mapper] = handle.name
+        def grant_map(mapper: int, handle: _WorkerHandle) -> None:
+            state.map_owner[mapper] = handle.name
+            self._log(
+                "map-grant",
+                {
+                    "job_id": job_id, "mapper": mapper,
+                    "epoch": state.map_epoch[mapper], "worker": handle.name,
+                },
+            )
             self._send_to(
                 handle,
                 "assign-map",
                 {
                     "job_id": job_id,
                     "mapper": mapper,
-                    "epoch": map_epoch[mapper],
-                    "split": pickle.dumps(splits[mapper]),
+                    "epoch": state.map_epoch[mapper],
+                    "split": pickle.dumps(state.splits[mapper]),
                 },
             )
 
-        def assign_reduce(
+        def grant_reduce(
             reducer: int, handle: _WorkerHandle, prior: dict
         ) -> None:
-            reduce_owner[reducer] = handle.name
+            state.reduce_owner[reducer] = handle.name
+            self._log(
+                "reduce-grant",
+                {
+                    "job_id": job_id, "reducer": reducer,
+                    "attempt": state.reduce_attempt[reducer],
+                    "worker": handle.name,
+                },
+            )
             self._send_to(
                 handle,
                 "assign-reduce",
                 {
                     "job_id": job_id,
                     "reducer": reducer,
-                    "attempt": reduce_attempt[reducer],
-                    "num_maps": actual_maps,
+                    "attempt": state.reduce_attempt[reducer],
+                    "num_maps": state.num_maps,
                     "prior": {int(m): int(c) for m, c in prior.items()},
                 },
             )
 
+        def location_fields(mapper: int) -> dict | None:
+            held = state.map_locations.get(mapper)
+            if held is None:
+                return None
+            owner = self._handle_of(held[0])
+            if owner is None:
+                return None
+            return {
+                "job_id": job_id,
+                "mapper": mapper,
+                "epoch": held[1],
+                "host": owner.shuffle_host,
+                "port": owner.shuffle_port,
+            }
+
         times.map_start = watch.elapsed()
-        for mapper in range(actual_maps):
-            assign_map(mapper, map_pool[mapper % len(map_pool)])
-        for reducer in range(job.num_reducers):
-            assign_reduce(reducer, reduce_pool[reducer % len(reduce_pool)], {})
+        if resuming:
+            self._place_resumed(state, grant_map, grant_reduce)
+        else:
+            self._place_fresh(state, workers, grant_map, grant_reduce)
 
         # -- event loop ----------------------------------------------------
-        output: dict[int, list[Record]] = {}
-        merged_maps: set[int] = set()
+        output = state.output
         map_done_times: list[float] = []
-        #: reducer -> {mapper: records folded} from the owner's heartbeats.
-        progress: dict[int, dict[int, int]] = {}
-        dead_handled: set[str] = set()
-        deadline = time.monotonic() + deadline_s
+        handled_gens: set[int] = set()
+        deadline = time.monotonic() + state.deadline_s
 
         def commit_reduce(reducer: int, fields: dict) -> None:
             if reducer in output:
                 return  # a stale attempt lost the race
+            self._log(
+                "reduce-commit",
+                {
+                    "job_id": job_id,
+                    "reducer": reducer,
+                    "attempt": int(fields["attempt"]),
+                    "output": bytes(fields["output"]),
+                    "counters": dict(fields.get("counters", {})),
+                },
+            )
             output[reducer] = pickle.loads(fields["output"])
-            counters.merge(Counters(dict(fields.get("counters", {}))))
-            counters.increment("reduce.tasks")
+            state.counters.merge(Counters(dict(fields.get("counters", {}))))
+            state.counters.increment("reduce.tasks")
             obs.counters.merge_dict(fields.get("counters", {}))
             obs.counters.increment("reduce.tasks")
             obs.counters.increment("shuffle.records.fetched", 0)
             obs.counters.increment("shuffle.records.consumed", 0)
 
-        def handle_worker_dead(name: str) -> None:
-            if name in dead_handled:
+        def handle_worker_dead(name: str, gen: int) -> None:
+            if gen in handled_gens:
                 return
-            dead_handled.add(name)
+            handled_gens.add(gen)
             obs.counters.increment("cluster.workers.lost")
             obs.events.emit("cluster.worker.lost", worker=name, job=job_id)
             alive = self._alive_workers()
@@ -304,104 +593,161 @@ class Coordinator:
             # fetch streams observe the bumped epoch on the replacement
             # worker and restart from sequence 0 (ledger dedup applies).
             reassigned = 0
-            for mapper, owner in list(map_owner.items()):
+            for mapper, owner in list(state.map_owner.items()):
                 if owner != name:
                     continue
-                map_epoch[mapper] += 1
-                assign_map(mapper, alive[reassigned % len(alive)])
+                state.map_epoch[mapper] += 1
+                state.map_locations.pop(mapper, None)
+                self._log(
+                    "epoch-bump",
+                    {
+                        "job_id": job_id, "mapper": mapper,
+                        "epoch": state.map_epoch[mapper],
+                    },
+                )
+                grant_map(mapper, alive[reassigned % len(alive)])
                 reassigned += 1
             # Reassign uncommitted reduce tasks with the dead attempt's
             # last reported fold progress as prior, so the replacement
             # attempt classifies re-done records (replayed after a
             # checkpoint resume, refolded otherwise).
-            for reducer, owner in list(reduce_owner.items()):
+            for reducer, owner in list(state.reduce_owner.items()):
                 if owner != name or reducer in output:
                     continue
-                reduce_attempt[reducer] += 1
-                assign_reduce(
+                state.reduce_attempt[reducer] += 1
+                grant_reduce(
                     reducer,
                     alive[reassigned % len(alive)],
-                    progress.get(reducer, {}),
+                    state.progress.get(reducer, {}),
                 )
                 reassigned += 1
             if reassigned:
                 obs.counters.increment("cluster.tasks.reassigned", reassigned)
 
+        def handle_worker_joined(name: str) -> None:
+            # A worker that (re)connected mid-job: give it everything it
+            # needs to participate — the job spec (ignored if it already
+            # holds the context) and every current output location.
+            handle = self._handle_of(name)
+            if handle is None or not handle.alive:
+                return
+            self._send_to(handle, "job", job_fields)
+            for mapper in list(state.map_locations):
+                fields = location_fields(mapper)
+                if fields is not None:
+                    self._send_to(handle, "location", fields)
+
+        def sweep_leases() -> None:
+            if self._lease_s is None:
+                return
+            now = time.monotonic()
+            for handle in self._alive_workers():
+                idle = now - handle.last_heartbeat
+                if idle <= self._lease_s:
+                    continue
+                # Wedged but connected: treat silence as death.  Closing
+                # the socket makes the worker reconnect and re-register
+                # if it ever wakes up (SIGCONT).
+                handle.alive = False
+                obs.counters.increment("cluster.lease.expired")
+                obs.events.emit(
+                    "cluster.lease.expired", worker=handle.name,
+                    job=job_id, idle_s=round(idle, 3),
+                )
+                try:
+                    handle.conn.close()
+                except OSError:
+                    pass
+                self._inbox.put(
+                    ("worker-dead", {"worker": handle.name, "gen": handle.gen})
+                )
+
         try:
             while len(output) < job.num_reducers:
                 if time.monotonic() >= deadline:
                     raise ClusterJobError(
-                        f"{job_id} missed its {deadline_s}s deadline "
+                        f"{job_id} missed its {state.deadline_s}s deadline "
                         f"({len(output)}/{job.num_reducers} reducers done)"
                     )
+                sweep_leases()
                 try:
                     kind, fields = self._inbox.get(timeout=0.05)
                 except queue.Empty:
                     continue
                 if kind == "worker-dead":
-                    handle_worker_dead(str(fields["worker"]))
+                    handle_worker_dead(
+                        str(fields["worker"]), int(fields.get("gen", 0))
+                    )
+                    continue
+                if kind == "worker-joined":
+                    handle_worker_joined(str(fields["worker"]))
+                    continue
+                if kind == "heartbeat":
+                    obs.counters.increment("cluster.heartbeats")
+                    if str(fields.get("job_id", "")) == job_id:
+                        for reducer, folded in dict(
+                            fields.get("progress", {})
+                        ).items():
+                            snapshot = state.progress.setdefault(
+                                int(reducer), {}
+                            )
+                            for mapper, count in dict(folded).items():
+                                mapper = int(mapper)
+                                if int(count) > snapshot.get(mapper, 0):
+                                    snapshot[mapper] = int(count)
                     continue
                 if str(fields.get("job_id", job_id)) != job_id:
                     continue  # stale message from a previous job
                 if kind == "map-done":
                     mapper = int(fields["mapper"])
                     epoch = int(fields["epoch"])
-                    if epoch != map_epoch[mapper]:
+                    if epoch != state.map_epoch[mapper]:
                         continue  # superseded by a reassignment
                     owner = str(fields["worker"])
-                    with self._workers_lock:
-                        handle = self._workers.get(owner)
+                    handle = self._handle_of(owner)
                     if handle is None:
                         continue
-                    if mapper not in merged_maps:
+                    first = mapper not in state.merged_maps
+                    self._log(
+                        "map-location",
+                        {
+                            "job_id": job_id,
+                            "mapper": mapper,
+                            "epoch": epoch,
+                            "worker": owner,
+                            "counters": (
+                                dict(fields.get("counters", {}))
+                                if first else {}
+                            ),
+                            "first": first,
+                        },
+                    )
+                    state.map_locations[mapper] = (owner, epoch)
+                    if first:
                         # First completion of this map task: merge its
                         # counters once (re-executions repeat the work
                         # but must not double the record totals).
-                        merged_maps.add(mapper)
-                        counters.merge(
+                        state.merged_maps.add(mapper)
+                        state.counters.merge(
                             Counters(dict(fields.get("counters", {})))
                         )
-                        counters.increment("map.tasks")
+                        state.counters.increment("map.tasks")
                         obs.counters.merge_dict(fields.get("counters", {}))
                         obs.counters.increment("map.tasks")
                         map_done_times.append(watch.elapsed())
                     else:
                         obs.counters.increment("map.reexecutions")
-                    self._broadcast(
-                        "location",
-                        {
-                            "job_id": job_id,
-                            "mapper": mapper,
-                            "epoch": epoch,
-                            "host": handle.shuffle_host,
-                            "port": handle.shuffle_port,
-                        },
-                    )
+                    self._broadcast("location", location_fields(mapper))
                 elif kind == "reduce-done":
                     reducer = int(fields["reducer"])
-                    if int(fields["attempt"]) != reduce_attempt[reducer]:
+                    if int(fields["attempt"]) != state.reduce_attempt[reducer]:
                         continue  # superseded attempt
                     commit_reduce(reducer, fields)
-                elif kind == "heartbeat":
-                    obs.counters.increment("cluster.heartbeats")
-                    worker = str(fields["worker"])
-                    with self._workers_lock:
-                        handle = self._workers.get(worker)
-                    if handle is not None:
-                        handle.last_heartbeat = time.monotonic()
-                    for reducer, folded in dict(
-                        fields.get("progress", {})
-                    ).items():
-                        snapshot = progress.setdefault(int(reducer), {})
-                        for mapper, count in dict(folded).items():
-                            mapper = int(mapper)
-                            if int(count) > snapshot.get(mapper, 0):
-                                snapshot[mapper] = int(count)
                 elif kind == "task-failed":
                     if (
                         fields.get("kind") == "reduce"
                         and int(fields.get("attempt", 0))
-                        != reduce_attempt[int(fields["index"])]
+                        != state.reduce_attempt[int(fields["index"])]
                     ):
                         continue  # a superseded attempt failing late
                     raise ClusterJobError(
@@ -409,6 +755,8 @@ class Coordinator:
                         f"failed on {fields.get('worker')}: "
                         f"{fields.get('error')}"
                     )
+            self._log("job-done", {"job_id": job_id})
+            state.done = True
         finally:
             self._broadcast("job-done", {"job_id": job_id})
             obs.tracer.close(job_span)
@@ -419,7 +767,108 @@ class Coordinator:
         times.sort_done = times.shuffle_done
         times.reduce_done = watch.elapsed()
         times.job_done = watch.elapsed()
-        return finish_result(job, output, counters, times)
+        return finish_result(job, output, state.counters, times)
+
+    # -- placement ---------------------------------------------------------
+
+    def _place_fresh(
+        self,
+        state: _JobState,
+        workers: list[_WorkerHandle],
+        grant_map,
+        grant_reduce,
+    ) -> None:
+        if state.placement == "maps-first" and len(workers) > 1:
+            map_pool = workers[:-1]
+            reduce_pool = list(reversed(workers))
+        else:
+            map_pool = workers
+            reduce_pool = workers
+        for mapper in range(state.num_maps):
+            grant_map(mapper, map_pool[mapper % len(map_pool)])
+        for reducer in range(state.job.num_reducers):
+            grant_reduce(reducer, reduce_pool[reducer % len(reduce_pool)], {})
+
+    def _place_resumed(self, state: _JobState, grant_map, grant_reduce) -> None:
+        """Resume placement: reuse surviving work, re-grant the rest.
+
+        A map output counts as surviving when its journaled location's
+        owner re-registered advertising exactly that (job, mapper,
+        epoch); anything less forces a re-execution under a bumped
+        epoch — resume must never fabricate a location nobody serves.
+        An uncommitted reduce attempt is left alone when its owner
+        reports it still running (the attempt's reduce-done will arrive
+        over the new connection); otherwise it is re-granted with a
+        fresh attempt number, superseding the orphan.
+        """
+        job_id = state.job_id
+        targets = self._alive_workers()
+        index = 0
+        reused = maps_reassigned = 0
+        for mapper in range(state.num_maps):
+            held = state.map_locations.get(mapper)
+            owner = self._handle_of(held[0]) if held is not None else None
+            if (
+                held is not None
+                and owner is not None
+                and owner.alive
+                and (job_id, mapper, held[1]) in owner.held
+            ):
+                self._broadcast(
+                    "location",
+                    {
+                        "job_id": job_id,
+                        "mapper": mapper,
+                        "epoch": held[1],
+                        "host": owner.shuffle_host,
+                        "port": owner.shuffle_port,
+                    },
+                )
+                reused += 1
+                continue
+            state.map_epoch[mapper] += 1
+            state.map_locations.pop(mapper, None)
+            self._log(
+                "epoch-bump",
+                {
+                    "job_id": job_id, "mapper": mapper,
+                    "epoch": state.map_epoch[mapper],
+                },
+            )
+            grant_map(mapper, targets[index % len(targets)])
+            index += 1
+            maps_reassigned += 1
+        kept = reduces_reassigned = 0
+        for reducer in range(state.job.num_reducers):
+            if reducer in state.output:
+                continue
+            owner = self._handle_of(state.reduce_owner.get(reducer, ""))
+            if (
+                owner is not None
+                and owner.alive
+                and (job_id, reducer, state.reduce_attempt[reducer])
+                in owner.active_reduces
+            ):
+                kept += 1
+                continue
+            state.reduce_attempt[reducer] += 1
+            grant_reduce(
+                reducer,
+                targets[index % len(targets)],
+                state.progress.get(reducer, {}),
+            )
+            index += 1
+            reduces_reassigned += 1
+        self.obs.counters.increment("cluster.resume.maps.reused", reused)
+        self.obs.counters.increment(
+            "cluster.resume.tasks.reassigned",
+            maps_reassigned + reduces_reassigned,
+        )
+        self.obs.events.emit(
+            "cluster.resume.job", job=job_id, maps_reused=reused,
+            maps_reassigned=maps_reassigned, reduces_kept=kept,
+            reduces_reassigned=reduces_reassigned,
+        )
 
     # -- shutdown ----------------------------------------------------------
 
@@ -430,10 +879,12 @@ class Coordinator:
             self._listener.close()
         except OSError:
             pass
-        with self._workers_lock:
+        with self._workers_cond:
             handles = list(self._workers.values())
         for handle in handles:
             try:
                 handle.conn.close()
             except OSError:
                 pass
+        if self._journal is not None:
+            self._journal.close()

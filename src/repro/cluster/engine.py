@@ -24,6 +24,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import tempfile
+import threading
 from typing import Sequence
 
 from repro.core.job import JobSpec
@@ -32,7 +33,13 @@ from repro.dfs.wire import WireConfig
 from repro.engine.base import Engine
 from repro.engine.recovery import BackoffPolicy, RecoveryConfig
 from repro.obs import JobObservability
-from repro.cluster.coordinator import ClusterJobError, Coordinator
+from repro.cluster.coordinator import (
+    DEFAULT_LEASE_S,
+    ClusterJobError,
+    Coordinator,
+)
+from repro.cluster.journal import Journal
+from repro.cluster.netchaos import NetChaosConfig, NetChaosProxy
 from repro.cluster.worker import worker_main
 
 __all__ = ["ClusterEngine", "ClusterRuntime", "cluster_recovery"]
@@ -75,6 +82,10 @@ class ClusterRuntime:
         placement: str = "spread",
         deadline_s: float = 60.0,
         start_timeout_s: float = 30.0,
+        journal: "Journal | str | None" = None,
+        lease_s: float | None = DEFAULT_LEASE_S,
+        netchaos: NetChaosConfig | None = None,
+        coordinator_port: int = 0,
     ) -> None:
         if workers <= 0:
             raise ValueError("workers must be positive")
@@ -88,18 +99,38 @@ class ClusterRuntime:
         self._recovery = recovery if recovery is not None else cluster_recovery()
         self._placement = placement
         self._deadline_s = deadline_s
-        self._coordinator = Coordinator(self.obs)
+        self._netchaos = netchaos
+        self._proxies: dict[tuple[str, int], NetChaosProxy] = {}
+        self._proxies_lock = threading.Lock()
+        self._coordinator = Coordinator(
+            self.obs,
+            port=coordinator_port,
+            journal=journal,
+            lease_s=lease_s,
+            shuffle_proxy=(
+                self._shuffle_proxy
+                if netchaos is not None and netchaos.shuffle is not None
+                else None
+            ),
+        )
+        # Workers dial the chaos proxy instead of the coordinator when an
+        # RPC policy is set, so control-plane frames cross the degraded
+        # link too (registration, assignments, heartbeats, commits).
+        control_host, control_port = self._coordinator.host, self._coordinator.port
+        if netchaos is not None and netchaos.rpc is not None:
+            rpc_proxy = NetChaosProxy(
+                (control_host, control_port), netchaos.rpc,
+                obs=self.obs, label="rpc",
+            )
+            self._proxies[(control_host, control_port)] = rpc_proxy
+            control_host, control_port = rpc_proxy.address
         self._checkpoint_tmp: tempfile.TemporaryDirectory | None = None
         self._job_count = 0
         context = multiprocessing.get_context("fork")
         self._processes = [
             context.Process(
                 target=worker_main,
-                args=(
-                    f"w{index}",
-                    self._coordinator.host,
-                    self._coordinator.port,
-                ),
+                args=(f"w{index}", control_host, control_port),
                 daemon=True,
             )
             for index in range(workers)
@@ -116,6 +147,28 @@ class ClusterRuntime:
     def worker_pids(self) -> list[int]:
         """PIDs of the forked worker processes (for chaos/leak checks)."""
         return [process.pid for process in self._processes if process.pid]
+
+    # -- network chaos -----------------------------------------------------
+
+    def _shuffle_proxy(self, host: str, port: int) -> tuple[str, int]:
+        """Coordinator hook: front a worker's shuffle server with chaos.
+
+        Called once per registration; the returned address replaces the
+        real one in every ``location`` broadcast, so all reducer fetch
+        traffic crosses the degraded link.  Proxies are cached per
+        target (a re-registering worker keeps its proxy).
+        """
+        assert self._netchaos is not None and self._netchaos.shuffle is not None
+        target = (host, port)
+        with self._proxies_lock:
+            proxy = self._proxies.get(target)
+            if proxy is None:
+                proxy = NetChaosProxy(
+                    target, self._netchaos.shuffle,
+                    obs=self.obs, label=f"shuffle:{port}",
+                )
+                self._proxies[target] = proxy
+        return proxy.address
 
     # -- checkpoint root ---------------------------------------------------
 
@@ -180,6 +233,11 @@ class ClusterRuntime:
             if process.is_alive():
                 process.kill()
                 process.join(timeout=2.0)
+        with self._proxies_lock:
+            proxies = list(self._proxies.values())
+            self._proxies.clear()
+        for proxy in proxies:
+            proxy.close()
         if self._checkpoint_tmp is not None:
             self._checkpoint_tmp.cleanup()
             self._checkpoint_tmp = None
@@ -203,6 +261,7 @@ class ClusterEngine(Engine):
         recovery: RecoveryConfig | None = None,
         placement: str = "spread",
         deadline_s: float = 60.0,
+        netchaos: NetChaosConfig | None = None,
     ) -> None:
         self.obs = obs if obs is not None else JobObservability()
         self._workers = workers
@@ -210,6 +269,7 @@ class ClusterEngine(Engine):
         self._recovery = recovery
         self._placement = placement
         self._deadline_s = deadline_s
+        self._netchaos = netchaos
 
     def run(
         self,
@@ -224,5 +284,6 @@ class ClusterEngine(Engine):
             recovery=self._recovery,
             placement=self._placement,
             deadline_s=self._deadline_s,
+            netchaos=self._netchaos,
         ) as runtime:
             return runtime.run_job(job, pairs, num_maps)

@@ -56,7 +56,10 @@ _LENGTH_BYTES = 4
 #: message in docs/cluster.md.
 MESSAGE_KINDS = (
     # worker -> coordinator
-    "register",      # worker, pid, shuffle_port
+    "register",      # worker, pid, shuffle_host, shuffle_port,
+                     # held [(job_id, mapper, epoch)], active [(job_id,
+                     # reducer, attempt)] — surviving state re-advertised
+                     # on every (re)connection
     "map-done",      # job_id, mapper, epoch, worker, counters
     "reduce-done",   # job_id, reducer, attempt, worker, output(bytes), counters
     "task-failed",   # job_id, kind, index, attempt, worker, error

@@ -32,7 +32,11 @@ import time
 from typing import Callable
 
 from repro.dfs.wire import WireBatch
-from repro.engine.recovery import FetchAttemptError, FetchTimeoutError
+from repro.engine.recovery import (
+    BackoffPolicy,
+    FetchAttemptError,
+    FetchTimeoutError,
+)
 from repro.cluster.rpc import RpcError, recv_message, send_message
 
 __all__ = [
@@ -73,6 +77,19 @@ class ShuffleStore:
             epoch, batches = held
             stream = batches.get(reducer, [])
             return epoch, (stream[seq] if seq < len(stream) else None)
+
+    def held(self) -> list[tuple[str, int, int]]:
+        """Every output held, as sorted ``(job_id, mapper, epoch)``.
+
+        Re-advertised in the worker's register message so a restarted
+        coordinator can reuse surviving map outputs instead of
+        re-executing their tasks.
+        """
+        with self._lock:
+            return sorted(
+                (job_id, mapper, epoch)
+                for (job_id, mapper), (epoch, _batches) in self._outputs.items()
+            )
 
     def drop_job(self, job_id: str) -> None:
         """Release every output of a finished job (FD/memory hygiene)."""
@@ -251,10 +268,22 @@ class RemoteMapOutputSource:
     MapOutputService` — ``wait_available`` / ``read`` / ``epoch_of`` —
     over TCP connections to peer shuffle servers.  One cached connection
     per peer address; any socket-level failure closes the cached link
-    and surfaces as a retryable fetch error, letting the caller's
-    backoff policy pace reconnection (by which time a dead peer's
-    outputs have usually moved, via a ``location`` update).
+    and **evicts it from the cache**, so the next fetch dials a fresh
+    connection instead of reusing a poisoned socket (a link reset by
+    network chaos would otherwise fail every retry).  Dialing itself
+    retries under a :class:`~repro.engine.recovery.BackoffPolicy` —
+    outside the cache lock, so one peer riding out a reset never stalls
+    fetch streams bound for healthy peers — and failures surface as the
+    retryable fetch errors, letting the caller's fetch-level backoff
+    pace the attempt (by which time a dead peer's outputs have usually
+    moved, via a ``location`` update).
     """
+
+    #: Dial retries per fetch attempt: brief, because the fetch-level
+    #: retry/backoff loop above this already paces long outages; this
+    #: only absorbs transient refusals (listener backlog, chaos reset).
+    _DIAL_BACKOFF = BackoffPolicy(base_s=0.01, cap_s=0.1)
+    _DIAL_ATTEMPTS = 3
 
     def __init__(
         self, job_id: str, locations: LocationTable, fetch_timeout_s: float
@@ -341,12 +370,43 @@ class RemoteMapOutputSource:
     ) -> tuple[socket.socket, threading.Lock]:
         with self._lock:
             held = self._conns.get(address)
+        if held is not None:
+            return held
+        # Dial outside the cache lock: a slow or chaos-degraded peer
+        # must not serialize fetches bound for every other peer.
+        conn = self._dial(address)
+        with self._lock:
+            held = self._conns.get(address)
             if held is None:
-                conn = socket.create_connection(address, timeout=self._timeout)
-                conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
                 held = (conn, threading.Lock())
                 self._conns[address] = held
-            return held
+                conn = None
+        if conn is not None:
+            # Lost the insert race to a concurrent stream: keep the
+            # winner's socket, close the spare.
+            try:
+                conn.close()
+            except OSError:
+                pass
+        return held
+
+    def _dial(self, address: tuple[str, int]) -> socket.socket:
+        last_error: OSError | None = None
+        for attempt in range(self._DIAL_ATTEMPTS):
+            try:
+                conn = socket.create_connection(address, timeout=self._timeout)
+                conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                return conn
+            except OSError as exc:
+                last_error = exc
+                if attempt + 1 < self._DIAL_ATTEMPTS:
+                    time.sleep(
+                        self._DIAL_BACKOFF.delay(
+                            (self._job_id, address), attempt
+                        )
+                    )
+        assert last_error is not None
+        raise last_error
 
     def _drop(self, address: tuple[str, int]) -> None:
         with self._lock:

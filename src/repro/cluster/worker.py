@@ -19,7 +19,21 @@ ClusterRuntime`) hosting:
   instead of the in-memory service;
 - a heartbeat thread reporting per-reducer fold progress, which the
   coordinator snapshots so a reassigned attempt can classify the dead
-  attempt's work as replayed/refolded.
+  attempt's work as replayed/refolded.  Heartbeats flow even between
+  jobs — they are the lease-keeping signal that distinguishes an idle
+  worker from a wedged one.
+
+The control connection is *resilient*: registration retries with
+:class:`~repro.engine.recovery.BackoffPolicy` (closing the fork-time
+race where a worker starts before the coordinator listens), and a
+connection that drops mid-life — coordinator crash, chaos proxy reset,
+lease-expiry eviction — triggers reconnect + re-register rather than
+worker exit.  The register message re-advertises every map output the
+shuffle store still holds and every reduce attempt still running, which
+is exactly what a restarted coordinator needs to resume a journaled job
+on surviving work.  Task-completion messages that cannot be delivered
+are queued and flushed after the next successful re-register, so a
+reduce that finishes during a coordinator outage still commits.
 
 Chaos hooks: a job may carry a *kill spec* naming this worker as the
 victim.  ``serves`` SIGKILLs the process after N shuffle batches served
@@ -38,6 +52,7 @@ import signal
 import socket
 import threading
 import time
+from collections import deque
 
 from repro.core.types import Counters, ExecutionMode
 from repro.dfs.wire import account_batches, encode_record_batches
@@ -47,7 +62,7 @@ from repro.engine.base import (
     reducer_is_store_backed,
     run_map_task_partitioned,
 )
-from repro.engine.recovery import FetchFaultInjector
+from repro.engine.recovery import BackoffPolicy, FetchFaultInjector
 from repro.engine.runtime import (
     ATTEMPT_STRIDE,
     ReduceTaskRecovery,
@@ -66,6 +81,12 @@ from repro.cluster.shuffle import (
 __all__ = ["worker_main"]
 
 _HEARTBEAT_INTERVAL_S = 0.05
+
+#: Control-connection (re)establishment: capped exponential backoff with
+#: deterministic jitter.  ~60 attempts at a 0.5s cap rides out a
+#: multi-second coordinator restart without hammering the port.
+_CONNECT_BACKOFF = BackoffPolicy(base_s=0.05, cap_s=0.5)
+_CONNECT_ATTEMPTS = 60
 
 
 class _SigkillReduceInjector(FetchFaultInjector):
@@ -97,29 +118,106 @@ class _JobContext:
         self.checkpoint_root = fields.get("checkpoint_root") or None
         self.locations = LocationTable()
         self.kill = fields.get("kill") or None
-        #: reducer -> live ReduceTaskRecovery (heartbeats read progress).
-        self.active: dict[int, ReduceTaskRecovery] = {}
+        #: reducer -> (attempt, live ReduceTaskRecovery); heartbeats read
+        #: fold progress from it, re-registration advertises the attempt.
+        self.active: dict[int, tuple[int, ReduceTaskRecovery]] = {}
         self.map_dones = 0
 
 
 class _Worker:
     def __init__(self, name: str, coord_host: str, coord_port: int) -> None:
         self.name = name
+        self._coord = (coord_host, coord_port)
         self._store = ShuffleStore()
         self._server = ShuffleServer(self._store, on_serve=self._on_serve)
         self._kill_serves: int | None = None
         self._jobs: dict[str, _JobContext] = {}
         self._jobs_lock = threading.Lock()
         self._closing = threading.Event()
-        self._conn = socket.create_connection((coord_host, coord_port))
-        self._conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._conn: socket.socket | None = None
         self._send_lock = threading.Lock()
+        #: Messages that failed to send while disconnected; flushed FIFO
+        #: right after the next successful re-register (socket FIFO
+        #: guarantees the coordinator sees register first).
+        self._pending: deque[tuple[str, dict]] = deque()
 
     # -- outbound ----------------------------------------------------------
 
-    def _send(self, kind: str, fields: dict) -> None:
+    def _send(
+        self, kind: str, fields: dict, *, queue_on_failure: bool = True
+    ) -> bool:
+        """Send one control message; queue it if the link is down.
+
+        Never raises on connection trouble: a broken socket is marked
+        down (the control loop notices via its own recv error and
+        reconnects) and, for messages that must not be lost — task
+        completions, failures — the message waits in ``_pending``.
+        """
         with self._send_lock:
-            send_message(self._conn, kind, fields)
+            conn = self._conn
+            if conn is not None:
+                try:
+                    send_message(conn, kind, fields)
+                    return True
+                except OSError:
+                    self._conn = None
+            if queue_on_failure:
+                self._pending.append((kind, fields))
+            return False
+
+    def _register_fields(self) -> dict:
+        with self._jobs_lock:
+            active = [
+                (ctx.job_id, reducer, attempt)
+                for ctx in self._jobs.values()
+                for reducer, (attempt, _rec) in list(ctx.active.items())
+            ]
+        return {
+            "worker": self.name,
+            "pid": os.getpid(),
+            "shuffle_host": self._server.host,
+            "shuffle_port": self._server.port,
+            "held": self._store.held(),
+            "active": sorted(active),
+        }
+
+    def _connect_and_register(self) -> socket.socket | None:
+        """(Re)establish the control link; returns None when giving up.
+
+        Retries with deterministic backoff: closes the fork-time race
+        where the worker process starts before the coordinator's
+        listener exists, and rides out a coordinator restart.  On
+        success the register message — carrying held map outputs and
+        active reduce attempts — is already on the wire, and any queued
+        messages are flushed behind it.
+        """
+        for attempt in range(_CONNECT_ATTEMPTS):
+            if self._closing.is_set():
+                return None
+            try:
+                conn = socket.create_connection(self._coord, timeout=5.0)
+                conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                conn.settimeout(None)
+                send_message(conn, "register", self._register_fields())
+            except OSError:
+                time.sleep(
+                    _CONNECT_BACKOFF.delay((self.name, "register"), attempt)
+                )
+                continue
+            with self._send_lock:
+                self._conn = conn
+                while self._pending:
+                    kind, fields = self._pending[0]
+                    try:
+                        send_message(conn, kind, fields)
+                    except OSError:
+                        self._conn = None
+                        break
+                    self._pending.popleft()
+                if self._conn is None:
+                    continue  # link died mid-flush; retry from scratch
+            return conn
+        return None
 
     # -- chaos hooks -------------------------------------------------------
 
@@ -212,7 +310,7 @@ class _Worker:
         rec.prior_records = {
             int(mapper): int(count) for mapper, count in (prior or {}).items()
         }
-        ctx.active[reducer] = rec
+        ctx.active[reducer] = (attempt, rec)
         attempt_base = attempt * ATTEMPT_STRIDE
         watch = Stopwatch()
         injector = self._reduce_injector(ctx)
@@ -245,26 +343,25 @@ class _Worker:
             self._task_failed(ctx, "reduce", reducer, attempt, exc)
         finally:
             source.close()
-            ctx.active.pop(reducer, None)
+            held = ctx.active.get(reducer)
+            if held is not None and held[0] == attempt:
+                ctx.active.pop(reducer, None)
 
     def _task_failed(
         self, ctx: _JobContext, kind: str, index: int, attempt: int,
         exc: BaseException,
     ) -> None:
-        try:
-            self._send(
-                "task-failed",
-                {
-                    "job_id": ctx.job_id,
-                    "kind": kind,
-                    "index": index,
-                    "attempt": attempt,
-                    "worker": self.name,
-                    "error": f"{type(exc).__name__}: {exc}",
-                },
-            )
-        except OSError:
-            pass  # coordinator gone; the process is about to exit anyway
+        self._send(
+            "task-failed",
+            {
+                "job_id": ctx.job_id,
+                "kind": kind,
+                "index": index,
+                "attempt": attempt,
+                "worker": self.name,
+                "error": f"{type(exc).__name__}: {exc}",
+            },
+        )
 
     # -- heartbeats --------------------------------------------------------
 
@@ -272,62 +369,81 @@ class _Worker:
         while not self._closing.wait(_HEARTBEAT_INTERVAL_S):
             with self._jobs_lock:
                 contexts = list(self._jobs.values())
+            if not contexts:
+                # Idle lease-keeping beat: proves this worker is alive
+                # (not SIGSTOP'd) even when no job is running.  Not
+                # queued — a missed heartbeat is stale the moment the
+                # next one fires.
+                self._send(
+                    "heartbeat",
+                    {"worker": self.name, "job_id": "", "progress": {}},
+                    queue_on_failure=False,
+                )
+                continue
             for ctx in contexts:
                 progress = {
                     reducer: dict(rec.prior_records)
-                    for reducer, rec in list(ctx.active.items())
+                    for reducer, (_attempt, rec) in list(ctx.active.items())
                 }
-                try:
-                    self._send(
-                        "heartbeat",
-                        {
-                            "worker": self.name,
-                            "job_id": ctx.job_id,
-                            "progress": progress,
-                        },
-                    )
-                except OSError:
-                    return  # coordinator gone
+                self._send(
+                    "heartbeat",
+                    {
+                        "worker": self.name,
+                        "job_id": ctx.job_id,
+                        "progress": progress,
+                    },
+                    queue_on_failure=False,
+                )
 
     # -- control loop ------------------------------------------------------
 
     def run(self) -> None:
-        self._send(
-            "register",
-            {
-                "worker": self.name,
-                "pid": os.getpid(),
-                "shuffle_host": self._server.host,
-                "shuffle_port": self._server.port,
-            },
-        )
         heartbeat = threading.Thread(
             target=self._heartbeat_loop, name="heartbeat", daemon=True
         )
         heartbeat.start()
         try:
-            while True:
+            conn = self._connect_and_register()
+            while conn is not None:
                 try:
-                    kind, fields = recv_message(self._conn)
+                    kind, fields = recv_message(conn)
                 except (RpcError, OSError):
-                    return  # coordinator died: nothing left to serve
+                    if self._closing.is_set():
+                        return
+                    # Coordinator gone (crash, restart, lease eviction):
+                    # reconnect and re-register.  Held outputs and active
+                    # attempts ride along in the register message.
+                    with self._send_lock:
+                        if self._conn is conn:
+                            self._conn = None
+                    try:
+                        conn.close()
+                    except OSError:
+                        pass
+                    conn = self._connect_and_register()
+                    continue
                 if kind == "shutdown":
                     return
                 self._dispatch(kind, fields)
         finally:
             self._closing.set()
             self._server.close()
-            try:
-                self._conn.close()
-            except OSError:
-                pass
+            with self._send_lock:
+                conn, self._conn = self._conn, None
+            if conn is not None:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
 
     def _dispatch(self, kind: str, fields: dict) -> None:
         job_id = str(fields.get("job_id", ""))
         if kind == "job":
-            ctx = _JobContext(job_id, fields)
-            self._install_kill(ctx)
             with self._jobs_lock:
+                if job_id in self._jobs:
+                    return  # re-sync after reconnect: context survives
+                ctx = _JobContext(job_id, fields)
+                self._install_kill(ctx)
                 self._jobs[job_id] = ctx
             return
         with self._jobs_lock:

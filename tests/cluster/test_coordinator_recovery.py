@@ -1,0 +1,231 @@
+"""Coordinator crash recovery and lease-based liveness, end to end.
+
+Two failure classes PR 6 could not survive:
+
+- **Coordinator SIGKILL mid-job.**  The coordinator runs in its own
+  forked process over a write-ahead journal and kills itself (SIGKILL,
+  from inside ``Journal.append``) right after journaling the second
+  ``map-location`` — the record is durable but its broadcast never
+  happens, so the job is provably mid-flight.  A second coordinator
+  process binds the same port, replays the journal, waits for the
+  surviving workers to reconnect and re-register (re-advertising held
+  map outputs and still-running reduce attempts), and ``resume()``
+  finishes the job.  The output must be byte-identical to a threaded
+  run, journaled map outputs must be *reused* (strictly fewer map
+  re-grants than a from-scratch run), and ``cluster.journal.replayed``
+  must show the replay happened.
+
+- **SIGSTOP'd (wedged) worker.**  The process is alive, its socket
+  connected, but nothing moves.  With leases enabled the coordinator
+  expires it within ``lease_s`` and reassigns its tasks, finishing the
+  job far inside the whole-job deadline; after SIGCONT the worker
+  reconnects, re-registers, and serves the next job.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import signal
+import socket
+import time
+
+import pytest
+
+from repro.apps.demo import demo_job_and_input, normalized_output
+from repro.cluster import ClusterRuntime
+from repro.cluster.coordinator import Coordinator
+from repro.cluster.engine import cluster_recovery
+from repro.cluster.journal import Journal
+from repro.cluster.worker import worker_main
+from repro.core.types import ExecutionMode
+from repro.dfs.wire import WireConfig
+from repro.engine.threaded import ThreadedEngine
+
+RECORDS = 300
+NUM_MAPS = 3
+NUM_REDUCERS = 2
+WIRE = WireConfig(max_batch_records=16)
+
+_CTX = multiprocessing.get_context("fork")
+
+
+def _demo():
+    return demo_job_and_input(
+        "wc", ExecutionMode.BARRIERLESS, records=RECORDS,
+        num_reducers=NUM_REDUCERS, num_maps=NUM_MAPS,
+    )
+
+
+def _baseline():
+    job, pairs = _demo()
+    result = ThreadedEngine(map_slots=2, wire=WIRE).run(
+        job, pairs, num_maps=NUM_MAPS
+    )
+    return normalized_output("wc", result)
+
+
+def _free_port() -> int:
+    """A port the coordinator children can (re)bind with SO_REUSEADDR."""
+    probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return port
+
+
+class _SuicidalJournal(Journal):
+    """SIGKILLs the owning process after N ``map-location`` appends.
+
+    The append completes first — the record is durably on disk — but
+    the coordinator dies before acting on it (no broadcast, no state
+    update), the sharpest possible write-ahead crash point.
+    """
+
+    def __init__(self, path: str, kill_after_locations: int) -> None:
+        super().__init__(path)
+        self._locations = 0
+        self._kill_after = kill_after_locations
+
+    def append(self, kind: str, fields: dict) -> int:
+        written = super().append(kind, fields)
+        if kind == "map-location":
+            self._locations += 1
+            if self._locations >= self._kill_after:
+                os.kill(os.getpid(), signal.SIGKILL)
+        return written
+
+
+def _doomed_coordinator(port: int, journal_path: str) -> None:
+    """Child 1: run the job until the journal SIGKILLs this process."""
+    coordinator = Coordinator(
+        port=port, journal=_SuicidalJournal(journal_path, 2)
+    )
+    coordinator.wait_for_workers(2, timeout=20.0)
+    job, pairs = _demo()
+    coordinator.submit(
+        job, pairs, NUM_MAPS,
+        wire=WIRE, recovery=cluster_recovery(), deadline_s=30.0,
+    )
+    os._exit(1)  # unreachable when the chaos fires
+
+
+def _resuming_coordinator(port: int, journal_path: str, out_path: str) -> None:
+    """Child 2: replay the journal, resume the job, report to parent."""
+    coordinator = Coordinator(port=port, journal=Journal(journal_path))
+    try:
+        coordinator.wait_for_workers(2, timeout=25.0)
+        results = coordinator.resume()
+        payload = {
+            "results": results,
+            "counters": coordinator.obs.counters.as_dict(),
+        }
+    finally:
+        coordinator.shutdown()
+    with open(out_path, "wb") as fh:
+        pickle.dump(payload, fh)
+
+
+def test_coordinator_sigkill_then_resume_is_byte_identical(tmp_path):
+    journal_path = str(tmp_path / "coordinator.journal")
+    out_path = str(tmp_path / "resume.pickle")
+    port = _free_port()
+
+    workers = [
+        _CTX.Process(
+            target=worker_main, args=(f"w{i}", "127.0.0.1", port), daemon=True
+        )
+        for i in range(2)
+    ]
+    for process in workers:
+        process.start()
+    try:
+        doomed = _CTX.Process(
+            target=_doomed_coordinator, args=(port, journal_path)
+        )
+        doomed.start()
+        doomed.join(timeout=30.0)
+        # SIGKILL from inside Journal.append: negative signal exit, and
+        # never the os._exit(1) a completed submit would have reached.
+        assert doomed.exitcode == -signal.SIGKILL
+
+        resumed = _CTX.Process(
+            target=_resuming_coordinator, args=(port, journal_path, out_path)
+        )
+        resumed.start()
+        resumed.join(timeout=60.0)
+        assert resumed.exitcode == 0, "resume coordinator failed"
+
+        with open(out_path, "rb") as fh:
+            payload = pickle.load(fh)
+        counters = payload["counters"]
+        results = payload["results"]
+
+        assert list(results) == ["job-1"]
+        assert normalized_output("wc", results["job-1"]) == _baseline()
+        # The journal actually drove recovery...
+        assert counters.get("cluster.journal.replayed", 0) > 0
+        assert counters.get("cluster.resume.jobs") == 1
+        # ...and surviving map outputs were reused: strictly fewer maps
+        # re-granted than the from-scratch NUM_MAPS.
+        assert counters.get("cluster.resume.maps.reused", 0) >= 1
+        reassigned = counters.get("cluster.resume.tasks.reassigned", 0)
+        assert reassigned < NUM_MAPS + NUM_REDUCERS
+        # Counter integrity survives the splice of replayed + live work:
+        # every map task counted exactly once.
+        assert counters.get("map.tasks") == NUM_MAPS
+    finally:
+        for process in workers:
+            process.terminate()
+            process.join(timeout=5.0)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=5.0)
+
+
+def test_sigstopped_worker_expires_lease_and_rejoins():
+    job, pairs = _demo()
+    baseline = _baseline()
+    with ClusterRuntime(
+        3, wire=WIRE, lease_s=0.4, deadline_s=30.0
+    ) as runtime:
+        victim = runtime.worker_pids[-1]
+        os.kill(victim, signal.SIGSTOP)
+        try:
+            started = time.monotonic()
+            result = runtime.run_job(job, pairs, num_maps=NUM_MAPS)
+            elapsed = time.monotonic() - started
+        finally:
+            os.kill(victim, signal.SIGCONT)
+        counters = runtime.obs.counters
+        assert normalized_output("wc", result) == baseline
+        # The lease, not the 30s job deadline, drove the reassignment.
+        assert elapsed < 10.0
+        assert counters.get("cluster.lease.expired") == 1
+        assert counters.get("cluster.tasks.reassigned") >= 1
+
+        # SIGCONT'd: the worker's closed socket forces a reconnect and
+        # re-register, after which it serves jobs again.
+        deadline = time.monotonic() + 10.0
+        while (
+            counters.get("cluster.workers.rejoined") < 1
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.05)
+        assert counters.get("cluster.workers.rejoined") >= 1
+
+        job, pairs = _demo()
+        second = runtime.run_job(job, pairs, num_maps=NUM_MAPS)
+        assert normalized_output("wc", second) == baseline
+
+
+def test_healthy_cluster_never_expires_leases():
+    """Leases are generous enough that healthy workers never trip them."""
+    job, pairs = _demo()
+    with ClusterRuntime(2, wire=WIRE) as runtime:
+        result = runtime.run_job(job, pairs, num_maps=NUM_MAPS)
+        assert normalized_output("wc", result) == _baseline()
+        assert runtime.obs.counters.get("cluster.lease.expired") == 0
+        assert runtime.obs.counters.get("cluster.workers.lost") == 0

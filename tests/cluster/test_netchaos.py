@@ -1,0 +1,326 @@
+"""Network-chaos proxy: unit policies + differential runs under chaos.
+
+The unit half drives :class:`~repro.cluster.netchaos.NetChaosProxy`
+against a real :class:`~repro.cluster.shuffle.ShuffleServer` and
+asserts each policy produces its intended failure *as seen by the
+client protocol*: corruption surfaces as CRC/codec errors (the
+retryable fetch faults — never silently different bytes), resets
+surface as connection errors and evict the poisoned cached socket,
+partitions stall and then heal.
+
+The differential half runs demo apps through a cluster whose links all
+cross the proxy, requiring byte-identical output to the threaded
+engine under latency+throttle, a black-hole partition, and per-chunk
+bit corruption — plus an FD soak under the reset policy, since every
+reset must evict (and close) a cached per-peer socket rather than leak
+it.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.apps.demo import APP_CHOICES, demo_job_and_input, normalized_output
+from repro.cluster import (
+    ChaosPolicy,
+    ClusterRuntime,
+    NetChaosConfig,
+    NetChaosProxy,
+)
+from repro.cluster.shuffle import (
+    LocationTable,
+    RemoteMapOutputSource,
+    ShuffleServer,
+    ShuffleStore,
+)
+from repro.core.types import ExecutionMode, Record
+from repro.dfs.wire import WireConfig, encode_record_batches
+from repro.engine.recovery import FetchAttemptError, FetchTimeoutError
+from repro.engine.threaded import ThreadedEngine
+from repro.obs import JobObservability
+from tests.fdutil import open_fd_count
+
+RECORDS = 300
+NUM_MAPS = 3
+NUM_REDUCERS = 2
+WIRE = WireConfig(max_batch_records=16)
+
+_baselines: dict = {}
+
+
+def _demo(app: str):
+    return demo_job_and_input(
+        app, ExecutionMode.BARRIERLESS, records=RECORDS,
+        num_reducers=NUM_REDUCERS, num_maps=NUM_MAPS,
+    )
+
+
+def _baseline(app: str):
+    if app not in _baselines:
+        job, pairs = _demo(app)
+        result = ThreadedEngine(map_slots=2, wire=WIRE).run(
+            job, pairs, num_maps=NUM_MAPS
+        )
+        _baselines[app] = normalized_output(app, result)
+    return _baselines[app]
+
+
+# -- unit: one proxied shuffle link ---------------------------------------
+
+
+@pytest.fixture()
+def shuffle_stack():
+    """A shuffle server holding one map output, plus client plumbing."""
+    store = ShuffleStore()
+    records = [Record(f"k{i}", i) for i in range(64)]
+    batches = encode_record_batches(records, WIRE)
+    store.publish("job-1", 0, 0, {0: batches})
+    server = ShuffleServer(store)
+    built = []
+
+    def client_through(proxy: NetChaosProxy, timeout: float = 2.0):
+        locations = LocationTable()
+        locations.update(0, proxy.host, proxy.port, 0)
+        source = RemoteMapOutputSource("job-1", locations, timeout)
+        built.append(source)
+        return source
+
+    try:
+        yield server, client_through
+    finally:
+        for source in built:
+            source.close()
+        server.close()
+
+
+def _drain(source: RemoteMapOutputSource) -> list:
+    """Fetch the whole mapper-0/reducer-0 stream through the source."""
+    out = []
+    seq = 0
+    while True:
+        _epoch, batch = source.read(0, 0, seq)
+        if batch is None:
+            return out
+        out.append(batch.frame)
+        seq += 1
+
+
+def test_clean_policy_forwards_byte_identical(shuffle_stack):
+    server, client_through = shuffle_stack
+    obs = JobObservability()
+    proxy = NetChaosProxy((server.host, server.port), ChaosPolicy(), obs=obs)
+    try:
+        direct = RemoteMapOutputSource("job-1", LocationTable(), 2.0)
+        direct._locations.update(0, server.host, server.port, 0)
+        try:
+            expected = _drain(direct)
+        finally:
+            direct.close()
+        assert _drain(client_through(proxy)) == expected
+        assert obs.counters.get("netchaos.bytes") > 0
+        assert obs.counters.get("netchaos.corrupted_bytes") == 0
+    finally:
+        proxy.close()
+
+
+def test_latency_policy_delays_the_exchange(shuffle_stack):
+    server, client_through = shuffle_stack
+    proxy = NetChaosProxy(
+        (server.host, server.port), ChaosPolicy(latency_s=0.05)
+    )
+    try:
+        source = client_through(proxy)
+        started = time.monotonic()
+        source.read(0, 0, 0)
+        # Request and reply each cross the proxy once: >= 2 * latency.
+        assert time.monotonic() - started >= 0.1
+    finally:
+        proxy.close()
+
+
+def test_corruption_surfaces_as_crc_errors_never_silent(shuffle_stack):
+    """Every corrupted chunk must fail loudly through the CRC layer."""
+    server, client_through = shuffle_stack
+    obs = JobObservability()
+    proxy = NetChaosProxy(
+        (server.host, server.port),
+        ChaosPolicy(corrupt_every_bytes=1, seed=3),  # corrupt every chunk
+        obs=obs,
+    )
+    try:
+        source = client_through(proxy)
+        with pytest.raises((FetchAttemptError, FetchTimeoutError)):
+            source.read(0, 0, 0)
+        assert obs.counters.get("netchaos.corrupted_bytes") > 0
+    finally:
+        proxy.close()
+
+
+def test_reset_policy_evicts_cached_socket_and_redials(shuffle_stack):
+    server, client_through = shuffle_stack
+    obs = JobObservability()
+    proxy = NetChaosProxy(
+        (server.host, server.port),
+        ChaosPolicy(reset_after_bytes=1),
+        obs=obs,
+    )
+    try:
+        source = client_through(proxy)
+        with pytest.raises(FetchAttemptError):
+            source.read(0, 0, 0)
+        links_after_first = obs.counters.get("netchaos.links")
+        assert links_after_first == 1
+        # The poisoned socket was evicted: the next attempt dials a
+        # fresh connection (observable as a new proxied link) instead of
+        # failing forever on the dead cached one.
+        with pytest.raises(FetchAttemptError):
+            source.read(0, 0, 0)
+        assert obs.counters.get("netchaos.links") == links_after_first + 1
+        assert obs.counters.get("netchaos.resets") >= 1
+    finally:
+        proxy.close()
+
+
+def test_partition_blackholes_then_heals(shuffle_stack):
+    server, client_through = shuffle_stack
+    proxy = NetChaosProxy(
+        (server.host, server.port), ChaosPolicy(partition_s=0.3)
+    )
+    try:
+        source = client_through(proxy, timeout=5.0)
+        started = time.monotonic()
+        _epoch, batch = source.read(0, 0, 0)
+        elapsed = time.monotonic() - started
+        assert batch is not None  # healed: bytes flow after the window
+        assert elapsed >= 0.2  # ...but only after riding out the hole
+    finally:
+        proxy.close()
+
+
+def test_determinism_same_seed_same_corruption_counts():
+    """One seed, one traffic shape → one corruption schedule."""
+    counts = []
+    for _run in range(2):
+        obs = JobObservability()
+        upstream = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        upstream.bind(("127.0.0.1", 0))
+        upstream.listen(4)
+
+        def echo_once(listener=upstream):
+            conn, _ = listener.accept()
+            with conn:
+                data = conn.recv(1 << 16)
+                conn.sendall(data)
+
+        thread = threading.Thread(target=echo_once, daemon=True)
+        thread.start()
+        proxy = NetChaosProxy(
+            upstream.getsockname(),
+            ChaosPolicy(corrupt_every_bytes=64, seed=42),
+            obs=obs,
+        )
+        try:
+            client = socket.create_connection(proxy.address, timeout=5.0)
+            client.sendall(b"x" * 4096)
+            received = bytearray()
+            client.settimeout(2.0)
+            try:
+                while len(received) < 4096:
+                    chunk = client.recv(1 << 16)
+                    if not chunk:
+                        break
+                    received += chunk
+            except socket.timeout:
+                pass
+            client.close()
+            thread.join(timeout=5.0)
+            counts.append(obs.counters.get("netchaos.corrupted_bytes"))
+        finally:
+            proxy.close()
+            upstream.close()
+    assert counts[0] == counts[1]
+    assert counts[0] > 0
+
+
+# -- differential: demo apps through a degraded cluster -------------------
+
+
+@pytest.mark.parametrize("app", APP_CHOICES)
+def test_all_apps_survive_corruption_with_identical_output(app):
+    """The acceptance oracle: corrupted links, byte-identical output."""
+    netchaos = NetChaosConfig(
+        shuffle=ChaosPolicy(corrupt_every_bytes=2048, seed=11),
+    )
+    job, pairs = _demo(app)
+    with ClusterRuntime(2, wire=WIRE, netchaos=netchaos) as runtime:
+        result = runtime.run_job(job, pairs, num_maps=NUM_MAPS)
+        assert normalized_output(app, result) == _baseline(app)
+        counters = runtime.obs.counters
+        if counters.get("netchaos.corrupted_bytes") > 0:
+            # Corruption that happened must have been *caught*: each bad
+            # frame fails its CRC and is retried, never folded.
+            assert counters.get("shuffle.fetch.retries") > 0
+
+
+def test_latency_and_throttle_on_all_links():
+    netchaos = NetChaosConfig(
+        shuffle=ChaosPolicy(latency_s=0.002, bandwidth_bytes_per_s=2_000_000),
+        rpc=ChaosPolicy(latency_s=0.001),
+    )
+    for app in ("wc", "sort", "grep"):
+        job, pairs = _demo(app)
+        with ClusterRuntime(2, wire=WIRE, netchaos=netchaos) as runtime:
+            result = runtime.run_job(job, pairs, num_maps=NUM_MAPS)
+            assert normalized_output(app, result) == _baseline(app)
+            assert runtime.obs.counters.get("netchaos.links") > 0
+
+
+def test_partition_window_rides_the_fetch_budget():
+    """A 0.4s black hole on shuffle links stalls fetches, then heals."""
+    netchaos = NetChaosConfig(shuffle=ChaosPolicy(partition_s=0.4))
+    job, pairs = _demo("wc")
+    with ClusterRuntime(2, wire=WIRE, netchaos=netchaos) as runtime:
+        result = runtime.run_job(job, pairs, num_maps=NUM_MAPS)
+        assert normalized_output("wc", result) == _baseline("wc")
+
+
+def test_reset_soak_keeps_descriptor_counts_flat():
+    """Repeated resets must not leak sockets anywhere.
+
+    Every reset kills a proxied link and poisons the client's cached
+    connection; the eviction path must close both ends.  Descriptor
+    counts across coordinator and workers must settle back to baseline
+    after a burst of reset-heavy jobs.
+    """
+    # Demo-sized shuffle links carry ~1-2KB each; 512 bytes guarantees
+    # every link dies mid-conversation at least once.
+    netchaos = NetChaosConfig(
+        shuffle=ChaosPolicy(reset_after_bytes=512),
+    )
+    job, pairs = _demo("wc")
+    with ClusterRuntime(2, wire=WIRE, netchaos=netchaos) as runtime:
+        first = runtime.run_job(job, pairs, num_maps=NUM_MAPS)
+        assert normalized_output("wc", first) == _baseline("wc")
+        pids: list = [None, *runtime.worker_pids]
+        baseline = {pid: open_fd_count(pid) for pid in pids}
+        for _ in range(5):
+            job, pairs = _demo("wc")
+            result = runtime.run_job(job, pairs, num_maps=NUM_MAPS)
+            assert normalized_output("wc", result) == _baseline("wc")
+        assert runtime.obs.counters.get("netchaos.resets") > 0
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            counts = {pid: open_fd_count(pid) for pid in pids}
+            if all(counts[pid] <= baseline[pid] + 3 for pid in pids):
+                break
+            time.sleep(0.05)
+        for pid in pids:
+            who = "coordinator" if pid is None else f"worker pid {pid}"
+            assert counts[pid] <= baseline[pid] + 3, (
+                f"{who} climbed from {baseline[pid]} to {counts[pid]} "
+                f"descriptors across reset-chaos jobs"
+            )
