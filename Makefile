@@ -1,7 +1,8 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test bench bench-quick bench-figures chaos cluster netchaos \
-	figures csv examples trace-demo all clean
+.PHONY: install test bench bench-quick bench-figures chaos cluster \
+	cluster-trace netchaos figures csv scoreboard examples trace-demo \
+	all clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -31,6 +32,15 @@ cluster:
 	python -m repro.cli cluster all --workers 2
 	python -m repro.cli cluster wc --workers 2 --chaos --checkpoint
 	pytest tests/cluster -q
+
+cluster-trace:
+	python -m repro.cli cluster wc --workers 2 \
+		--trace results/cluster.trace.json \
+		--metrics-out results/cluster.metrics.json \
+		--status-json results/cluster.status.json
+	python -m repro.cli top --once --file results/cluster.status.json
+	python -m repro.cli metrics --file results/cluster.metrics.json
+	pytest tests/cluster/test_telemetry.py -q
 
 netchaos:
 	python -m repro.cli cluster all --workers 2 --chaos net

@@ -50,6 +50,13 @@ TRACKED_SERIES: tuple[str, ...] = (
     "shuffle.fetch.inflight",
     "reduce.records_per_s",
     "shuffle.compress.ratio",
+    # Cluster-telemetry series: absent on the in-process bench matrix
+    # (absent series are skipped, not zero-filled), tracked so cluster
+    # bench rows diff skew and worker-side load once they exist.
+    "cluster.telemetry.clock_skew_ms",
+    "worker.store.bytes",
+    "worker.fetch.inflight",
+    "worker.records_per_s",
 )
 
 #: Deterministic work counters diffed in ``counters`` scope: a >threshold
@@ -91,6 +98,12 @@ TRACKED_COUNTERS: tuple[str, ...] = (
     "netchaos.links",
     "netchaos.corrupted_bytes",
     "netchaos.resets",
+    # Telemetry-plane counters: frames/bytes shipped over heartbeats,
+    # corrupt frames dropped, workers whose stream was cut by a SIGKILL.
+    "cluster.telemetry.frames",
+    "cluster.telemetry.bytes",
+    "cluster.telemetry.dropped",
+    "cluster.telemetry.truncated",
 )
 
 #: Apps for the ``--wire`` codec comparison (the text-heavy pair the

@@ -147,7 +147,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="run apps on the networked multi-process cluster runtime",
     )
     cluster.add_argument(
-        "app", choices=["grep", "sort", "wc", "knn", "pp", "ga", "bs", "all"]
+        "app", nargs="?", default="wc",
+        choices=["grep", "sort", "wc", "knn", "pp", "ga", "bs", "all"],
+        help="application to run (default: wc)",
     )
     cluster.add_argument("--workers", type=int, default=2,
                          help="worker processes to fork")
@@ -172,6 +174,35 @@ def build_parser() -> argparse.ArgumentParser:
                               "records (with --checkpoint)")
     cluster.add_argument("--deadline", type=float, default=60.0,
                          help="per-job completion deadline in seconds")
+    cluster.add_argument("--trace", metavar="FILE",
+                         help="write the coordinator-merged multi-process "
+                              "Chrome trace (clean rows) to FILE")
+    cluster.add_argument("--metrics-out", metavar="FILE",
+                         help="write merged coordinator+worker time-series "
+                              "metrics JSON (render with 'repro metrics "
+                              "--file')")
+    cluster.add_argument("--status-json", metavar="FILE",
+                         help="write the final live-status snapshot (render "
+                              "with 'repro top --file')")
+
+    top = sub.add_parser(
+        "top",
+        help="ASCII dashboard over a cluster's live status plane",
+    )
+    top.add_argument("target", nargs="?", metavar="HOST:PORT",
+                     help="coordinator control address to poll over the "
+                          "RPC status verb (omit when using --file)")
+    top.add_argument("--file", metavar="FILE",
+                     help="render a status snapshot JSON (e.g. from "
+                          "'repro cluster --status-json') instead of "
+                          "polling a live coordinator")
+    top.add_argument("--once", action="store_true",
+                     help="print a single snapshot and exit (default "
+                          "refreshes every --interval seconds)")
+    top.add_argument("--interval", type=float, default=1.0,
+                     help="refresh period in seconds (default: 1.0)")
+    top.add_argument("--width", type=int, default=40,
+                     help="sparkline width (default: 40)")
 
     pipeline = sub.add_parser(
         "pipeline", help="run a multi-job application pipeline"
@@ -625,7 +656,17 @@ def _cmd_cluster(args) -> int:
     corruption — which must surface as CRC errors and fetch retries,
     never as divergent output.  ``--chaos all`` runs both families.
     Exits non-zero on any divergence or exhausted retry budget.
+
+    All *clean* rows share one long-lived runtime, whose coordinator
+    accumulates the merged telemetry plane: ``--trace`` dumps the
+    multi-process Chrome trace, ``--metrics-out`` the combined
+    coordinator+worker time-series, ``--status-json`` the final live
+    status snapshot (the same dict the RPC ``status`` verb serves).
+    Chaos rows keep a fresh runtime each — they kill workers or
+    interpose proxies, and must not poison the shared one.
     """
+    import json
+
     from repro.apps.demo import demo_job_and_input, normalized_output
     from repro.cluster import (
         ChaosPolicy,
@@ -693,56 +734,132 @@ def _cmd_cluster(args) -> int:
     print(header)
     print("-" * len(header))
     failures = 0
-    for app in apps:
-        job, pairs = demo_job_and_input(
-            app, args.mode, records=args.records, seed=args.seed,
-            num_reducers=args.reducers, num_maps=args.maps,
-        )
-        expected = normalized_output(
-            app, ThreadedEngine().run(job, pairs, num_maps=args.maps)
-        )
-        for scenario, kill, netchaos in scenarios:
+    # All clean rows share one runtime so the coordinator accumulates a
+    # single telemetry plane across apps; built lazily, torn down last.
+    shared_obs = JobObservability()
+    shared_runtime: "ClusterRuntime | None" = None
+
+    def clean_runtime() -> "ClusterRuntime":
+        nonlocal shared_runtime
+        if shared_runtime is None:
+            shared_runtime = ClusterRuntime(
+                args.workers,
+                obs=shared_obs,
+                wire=wire,
+                recovery=recovery,
+                deadline_s=args.deadline,
+            )
+        return shared_runtime
+
+    try:
+        for app in apps:
             job, pairs = demo_job_and_input(
                 app, args.mode, records=args.records, seed=args.seed,
                 num_reducers=args.reducers, num_maps=args.maps,
             )
-            obs = JobObservability()
-            verdict = "ok"
-            try:
-                # kill-reduce wants the victim reduce-only so its own map
-                # outputs survive the SIGKILL and a checkpoint can resume.
-                with ClusterRuntime(
-                    args.workers,
-                    obs=obs,
-                    wire=wire,
-                    recovery=recovery,
-                    placement=(
-                        "maps-first" if scenario == "kill-reduce" else "spread"
-                    ),
-                    deadline_s=args.deadline,
-                    netchaos=netchaos,
-                ) as runtime:
-                    result = runtime.run_job(
-                        job, pairs, num_maps=args.maps, kill=kill
-                    )
-                if normalized_output(app, result) != expected:
-                    verdict = "DIVERGED"
-            except ClusterJobError:
-                verdict = "GAVE-UP"
-            counters = obs.counters.as_dict()
-            print(
-                f"{app:<5} {scenario:<13} "
-                f"{counters.get('cluster.workers.lost', 0):>4} "
-                f"{counters.get('cluster.tasks.reassigned', 0):>10} "
-                f"{counters.get('shuffle.fetch.retries', 0):>9} "
-                f"{counters.get('reduce.restored_records', 0):>8} "
-                f"{counters.get('reduce.replayed_records', 0):>8} "
-                f"{counters.get('reduce.refolded_records', 0):>8} "
-                f"{counters.get('netchaos.corrupted_bytes', 0):>7}"
-                f"  {verdict}"
+            expected = normalized_output(
+                app, ThreadedEngine().run(job, pairs, num_maps=args.maps)
             )
-            if verdict != "ok":
-                failures += 1
+            for scenario, kill, netchaos in scenarios:
+                job, pairs = demo_job_and_input(
+                    app, args.mode, records=args.records, seed=args.seed,
+                    num_reducers=args.reducers, num_maps=args.maps,
+                )
+                verdict = "ok"
+                if scenario == "clean":
+                    obs = shared_obs
+                    before = obs.counters.as_dict()
+                    try:
+                        result = clean_runtime().run_job(
+                            job, pairs, num_maps=args.maps
+                        )
+                        if normalized_output(app, result) != expected:
+                            verdict = "DIVERGED"
+                    except ClusterJobError:
+                        verdict = "GAVE-UP"
+                    counters = {
+                        name: total - before.get(name, 0)
+                        for name, total in obs.counters.as_dict().items()
+                    }
+                else:
+                    obs = JobObservability()
+                    try:
+                        # kill-reduce wants the victim reduce-only so its
+                        # own map outputs survive the SIGKILL and a
+                        # checkpoint can resume.
+                        with ClusterRuntime(
+                            args.workers,
+                            obs=obs,
+                            wire=wire,
+                            recovery=recovery,
+                            placement=(
+                                "maps-first"
+                                if scenario == "kill-reduce"
+                                else "spread"
+                            ),
+                            deadline_s=args.deadline,
+                            netchaos=netchaos,
+                        ) as runtime:
+                            result = runtime.run_job(
+                                job, pairs, num_maps=args.maps, kill=kill
+                            )
+                        if normalized_output(app, result) != expected:
+                            verdict = "DIVERGED"
+                    except ClusterJobError:
+                        verdict = "GAVE-UP"
+                    counters = obs.counters.as_dict()
+                print(
+                    f"{app:<5} {scenario:<13} "
+                    f"{counters.get('cluster.workers.lost', 0):>4} "
+                    f"{counters.get('cluster.tasks.reassigned', 0):>10} "
+                    f"{counters.get('shuffle.fetch.retries', 0):>9} "
+                    f"{counters.get('reduce.restored_records', 0):>8} "
+                    f"{counters.get('reduce.replayed_records', 0):>8} "
+                    f"{counters.get('reduce.refolded_records', 0):>8} "
+                    f"{counters.get('netchaos.corrupted_bytes', 0):>7}"
+                    f"  {verdict}"
+                )
+                if verdict != "ok":
+                    failures += 1
+        # Telemetry artifacts come from the shared runtime, captured
+        # while it is still alive (status reads live worker handles).
+        if shared_runtime is not None:
+            from repro.obs import ensure_parent
+
+            if args.trace:
+                ensure_parent(args.trace)
+                trace = shared_runtime.telemetry.chrome_trace()
+                with open(args.trace, "w", encoding="utf-8") as fh:
+                    json.dump(trace, fh, indent=1)
+                pids = sorted(
+                    {event["pid"] for event in trace["traceEvents"]}
+                )
+                print(
+                    f"trace -> {args.trace} "
+                    f"({len(trace['traceEvents'])} events, pids {pids})"
+                )
+            if args.metrics_out:
+                ensure_parent(args.metrics_out)
+                snapshot = shared_runtime.telemetry.metrics_snapshot()
+                with open(args.metrics_out, "w", encoding="utf-8") as fh:
+                    json.dump(snapshot, fh, indent=1, sort_keys=True)
+                print(
+                    f"metrics -> {args.metrics_out} "
+                    f"({len(snapshot['series'])} series)"
+                )
+            if args.status_json:
+                ensure_parent(args.status_json)
+                status = shared_runtime.status()
+                with open(args.status_json, "w", encoding="utf-8") as fh:
+                    json.dump(status, fh, indent=1, sort_keys=True)
+                print(
+                    f"status -> {args.status_json} "
+                    f"({len(status['workers'])} workers, "
+                    f"{len(status['jobs'])} jobs)"
+                )
+    finally:
+        if shared_runtime is not None:
+            shared_runtime.shutdown()
     if failures:
         print(f"{failures} run(s) diverged or exhausted their retry budget")
         return 1
@@ -966,6 +1083,110 @@ def _cmd_metrics(args) -> int:
     return 0
 
 
+def _render_cluster_status(status: dict, width: int = 40) -> str:
+    """ASCII dashboard over one :meth:`Coordinator.status` snapshot."""
+    import time as _time
+
+    from repro.analysis.timeline import ascii_sparkline
+
+    coord = status.get("coordinator", {})
+    wall = float(status.get("wall", 0.0))
+    stamp = _time.strftime("%H:%M:%S", _time.localtime(wall)) if wall else "?"
+    lines = [
+        f"cluster status @ {stamp}  "
+        f"coordinator {coord.get('host', '?')}:{coord.get('port', '?')} "
+        f"pid {coord.get('pid', '?')}  lease {coord.get('lease_s', 0.0)}s"
+    ]
+    jobs = status.get("jobs", {})
+    lines.append(f"jobs ({len(jobs)}):")
+    for job_id, job in sorted(jobs.items()):
+        epochs = sum(int(e) for e in job.get("map_epochs", {}).values())
+        attempts = sum(
+            int(a) for a in job.get("reduce_attempts", {}).values()
+        )
+        lines.append(
+            f"  {job_id:<8} {job.get('name', '?'):<12} "
+            f"[{job.get('mode', '?')}] "
+            f"maps {job.get('maps_done', 0)}/{job.get('num_maps', 0)}  "
+            f"reduces {job.get('reduces_done', 0)}"
+            f"/{job.get('num_reducers', 0)}  "
+            f"epoch-bumps {epochs}  re-attempts {attempts}  "
+            f"{'done' if job.get('done') else 'running'}"
+        )
+    if not jobs:
+        lines.append("  (none)")
+    workers = status.get("workers", {})
+    lines.append(f"workers ({len(workers)}):")
+    name_width = max((len(name) for name in workers), default=4)
+    for name, worker in sorted(workers.items()):
+        flags = []
+        if not worker.get("alive", False):
+            flags.append("DEAD")
+        if worker.get("truncated"):
+            flags.append("truncated")
+        lines.append(
+            f"  {name:<{name_width}} pid {worker.get('pid', 0):<7} "
+            f"hb {worker.get('heartbeat_age_s', 0.0):>6.2f}s  "
+            f"skew {worker.get('clock_skew_ms', 0.0):>+7.2f}ms  "
+            f"frames {worker.get('frames', 0):>4}  "
+            f"{' '.join(flags) if flags else 'alive'}"
+        )
+        series = worker.get("series", {})
+        series_width = max((len(s) for s in series), default=0)
+        for series_name, entry in sorted(series.items()):
+            values = [value for _t, value in entry.get("points", [])]
+            if not values:
+                continue
+            last = values[-1]
+            shown = (
+                f"{last:,.0f}" if abs(last) >= 10 else f"{last:.2f}"
+            )
+            lines.append(
+                f"    {series_name:<{series_width}} "
+                f"{ascii_sparkline(values, width=width)} "
+                f"{shown} {entry.get('unit', '')}".rstrip()
+            )
+    if not workers:
+        lines.append("  (none)")
+    return "\n".join(lines)
+
+
+def _cmd_top(args) -> int:
+    """Render the live status plane, from a file or over the RPC verb."""
+    import json
+    import time as _time
+
+    if args.file:
+        with open(args.file, encoding="utf-8") as fh:
+            status = json.load(fh)
+        print(_render_cluster_status(status, width=args.width))
+        return 0
+    if not args.target or ":" not in args.target:
+        print("top: a HOST:PORT target or --file FILE is required",
+              file=sys.stderr)
+        return 2
+    host, _, port_text = args.target.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        print(f"top: bad port in target {args.target!r}", file=sys.stderr)
+        return 2
+
+    from repro.cluster import RpcError, request_status
+
+    while True:
+        try:
+            status = request_status(host, port)
+        except (OSError, RpcError) as exc:
+            print(f"top: {host}:{port} unreachable: {exc}", file=sys.stderr)
+            return 1
+        print(_render_cluster_status(status, width=args.width))
+        if args.once:
+            return 0
+        _time.sleep(max(args.interval, 0.1))
+        print()
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -1005,6 +1226,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_bench(args)
     if args.command == "metrics":
         return _cmd_metrics(args)
+    if args.command == "top":
+        return _cmd_top(args)
     raise AssertionError(args.command)
 
 

@@ -19,6 +19,14 @@ expire wedged-but-connected workers; and a seedable network-chaos proxy
 (:mod:`repro.cluster.netchaos`) degrades shuffle/RPC links with
 latency, throttling, resets, partitions and bit corruption to prove the
 CRC-or-nothing integrity story under a hostile network.
+
+Telemetry plane (PR 8, :mod:`repro.cluster.telemetry`): the coordinator
+stamps every grant with a :class:`~repro.cluster.telemetry.TraceContext`,
+workers ship span/event/counter/series deltas as CRC'd wire frames on
+their heartbeats, and the coordinator merges everything — clock-aligned
+— into one multi-process Chrome trace, a totally-ordered event stream,
+and the live status snapshot served over the RPC ``status`` verb
+(rendered by ``repro top``).
 """
 
 from repro.cluster.engine import ClusterEngine, ClusterRuntime, cluster_recovery
@@ -26,18 +34,30 @@ from repro.cluster.coordinator import ClusterJobError, Coordinator
 from repro.cluster.journal import Journal, JournalError, replay_journal
 from repro.cluster.netchaos import ChaosPolicy, NetChaosConfig, NetChaosProxy
 from repro.cluster.rpc import RpcError
+from repro.cluster.telemetry import (
+    ClusterTelemetry,
+    TelemetryBuffer,
+    TraceContext,
+    decode_telemetry,
+    request_status,
+)
 
 __all__ = [
     "ChaosPolicy",
     "ClusterEngine",
     "ClusterJobError",
     "ClusterRuntime",
+    "ClusterTelemetry",
     "Coordinator",
     "Journal",
     "JournalError",
     "NetChaosConfig",
     "NetChaosProxy",
     "RpcError",
+    "TelemetryBuffer",
+    "TraceContext",
     "cluster_recovery",
+    "decode_telemetry",
     "replay_journal",
+    "request_status",
 ]

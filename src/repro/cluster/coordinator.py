@@ -40,10 +40,22 @@ that the owning worker reports as still active are simply awaited.
 Everything the coordinator observes lands in the session's
 :class:`~repro.obs.JobObservability` under ``cluster.*`` counters and
 events, alongside the per-task counters merged from workers.
+
+Telemetry plane: every map/reduce grant is stamped with a
+:class:`~repro.cluster.telemetry.TraceContext`, and telemetry frames
+riding on heartbeats and completion messages are ingested into
+:attr:`Coordinator.telemetry` directly on the per-connection receiver
+threads — so spans, events and gauge series keep merging even while no
+job loop is draining the inbox.  Ingested counters never touch the job
+counter path; completion messages remain the only authoritative source.
+A fresh connection may also open with a ``status`` message instead of
+``register``: the coordinator answers with one JSON-able snapshot
+(:meth:`Coordinator.status`) and closes — the ``repro top`` wire verb.
 """
 
 from __future__ import annotations
 
+import os
 import pickle
 import queue
 import socket
@@ -59,6 +71,7 @@ from repro.engine.recovery import RecoveryConfig
 from repro.obs import JobObservability
 from repro.cluster.journal import Journal, replay_journal
 from repro.cluster.rpc import RpcError, recv_message, send_message
+from repro.cluster.telemetry import ClusterTelemetry, TraceContext
 
 __all__ = ["ClusterJobError", "Coordinator", "DEFAULT_LEASE_S"]
 
@@ -192,6 +205,12 @@ class Coordinator:
         self._inbox: "queue.Queue[tuple[str, dict]]" = queue.Queue()
         self._closing = threading.Event()
         self._job_seq = 0
+        #: Merged worker telemetry (spans, events, series, skew) keyed
+        #: by worker name; fed by the receiver threads.
+        self.telemetry = ClusterTelemetry(self.obs)
+        #: job_id -> _JobState for every job this coordinator has seen
+        #: (running or finished); the live-status snapshot reads it.
+        self._jobs: dict[str, _JobState] = {}
         #: job_id -> _JobState recovered from the journal (incomplete
         #: jobs only become results via :meth:`resume`).
         self._recovered: dict[str, _JobState] = {}
@@ -315,6 +334,14 @@ class Coordinator:
         except (RpcError, OSError):
             conn.close()
             return
+        if kind == "status":
+            # One-shot status client (`repro top`): answer and hang up.
+            try:
+                send_message(conn, "status-reply", {"status": self.status()})
+            except (RpcError, OSError):
+                pass
+            conn.close()
+            return
         if kind != "register":
             conn.close()
             return
@@ -356,6 +383,12 @@ class Coordinator:
                 # Updated here, not in the job loop: leases must stay
                 # fresh even while no job is draining the inbox.
                 handle.last_heartbeat = time.monotonic()
+            frame = fields.get("telemetry")
+            if isinstance(frame, (bytes, bytearray)):
+                # Merged here, on the receiver thread, for the same
+                # reason as the heartbeat stamp: telemetry must keep
+                # flowing into the status plane between jobs too.
+                self.telemetry.ingest(bytes(frame))
             self._inbox.put((kind, fields))
         handle.alive = False
         if not self._closing.is_set():
@@ -471,6 +504,7 @@ class Coordinator:
         watch = Stopwatch()
         times = StageTimes()
         obs.counters.increment("cluster.jobs")
+        self._jobs[job_id] = state
         job_span = obs.tracer.open(
             job.name, "job", mode=job.mode.value, engine="cluster"
         )
@@ -502,6 +536,12 @@ class Coordinator:
                     "mapper": mapper,
                     "epoch": state.map_epoch[mapper],
                     "split": pickle.dumps(state.splits[mapper]),
+                    "ctx": TraceContext(
+                        job_id=job_id,
+                        task_id=f"map-{mapper}",
+                        attempt=0,
+                        epoch=state.map_epoch[mapper],
+                    ).as_fields(),
                 },
             )
 
@@ -526,6 +566,12 @@ class Coordinator:
                     "attempt": state.reduce_attempt[reducer],
                     "num_maps": state.num_maps,
                     "prior": {int(m): int(c) for m, c in prior.items()},
+                    "ctx": TraceContext(
+                        job_id=job_id,
+                        task_id=f"reduce-{reducer}",
+                        attempt=state.reduce_attempt[reducer],
+                        epoch=0,
+                    ).as_fields(),
                 },
             )
 
@@ -583,6 +629,9 @@ class Coordinator:
             handled_gens.add(gen)
             obs.counters.increment("cluster.workers.lost")
             obs.events.emit("cluster.worker.lost", worker=name, job=job_id)
+            # Whatever the dead worker shipped up to its last heartbeat
+            # stays, flagged truncated; nothing beyond it is fabricated.
+            self.telemetry.mark_truncated(name)
             alive = self._alive_workers()
             if not alive:
                 raise ClusterJobError(
@@ -869,6 +918,66 @@ class Coordinator:
             maps_reassigned=maps_reassigned, reduces_kept=kept,
             reduces_reassigned=reduces_reassigned,
         )
+
+    # -- live status -------------------------------------------------------
+
+    def status(self) -> dict:
+        """One JSON-able snapshot of the whole cluster, for ``repro top``.
+
+        Composes control-plane state (workers, leases, per-job progress)
+        with the merged telemetry's per-worker gauges and series tails.
+        Everything in it is typed-codec- and JSON-serialisable, so the
+        same dict answers the RPC ``status`` verb and lands in
+        ``repro cluster --status-json`` dumps unchanged.
+        """
+        now = time.monotonic()
+        with self._workers_cond:
+            handles = dict(self._workers)
+        telemetry = self.telemetry.status_snapshot()
+        workers: dict[str, dict] = {}
+        for name, handle in sorted(handles.items()):
+            entry = {
+                "pid": handle.pid,
+                "alive": handle.alive,
+                "heartbeat_age_s": round(now - handle.last_heartbeat, 3),
+                "held_outputs": len(handle.held),
+                "active_reduces": len(handle.active_reduces),
+            }
+            entry.update(telemetry.get(name, {"pid": handle.pid}))
+            workers[name] = entry
+        # Telemetry may know workers the control plane has dropped.
+        for name, entry in telemetry.items():
+            workers.setdefault(name, {"alive": False, **entry})
+        jobs: dict[str, dict] = {}
+        for job_id, state in sorted(self._jobs.items()):
+            jobs[job_id] = {
+                "name": state.job.name,
+                "mode": state.job.mode.value,
+                "num_maps": state.num_maps,
+                "maps_done": len(state.merged_maps),
+                "num_reducers": state.job.num_reducers,
+                "reduces_done": len(state.output),
+                "map_epochs": {
+                    str(m): e for m, e in sorted(state.map_epoch.items())
+                },
+                "reduce_attempts": {
+                    str(r): a
+                    for r, a in sorted(state.reduce_attempt.items())
+                },
+                "done": state.done,
+            }
+        return {
+            "wall": time.time(),
+            "coordinator": {
+                "host": self.host,
+                "port": self.port,
+                "pid": os.getpid(),
+                "lease_s": float(self._lease_s or 0.0),
+                "counters": self.obs.counters.as_dict(),
+            },
+            "workers": workers,
+            "jobs": jobs,
+        }
 
     # -- shutdown ----------------------------------------------------------
 

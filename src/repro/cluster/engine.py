@@ -86,6 +86,7 @@ class ClusterRuntime:
         lease_s: float | None = DEFAULT_LEASE_S,
         netchaos: NetChaosConfig | None = None,
         coordinator_port: int = 0,
+        ship_telemetry: bool = True,
     ) -> None:
         if workers <= 0:
             raise ValueError("workers must be positive")
@@ -130,7 +131,9 @@ class ClusterRuntime:
         self._processes = [
             context.Process(
                 target=worker_main,
-                args=(f"w{index}", control_host, control_port),
+                args=(
+                    f"w{index}", control_host, control_port, ship_telemetry,
+                ),
                 daemon=True,
             )
             for index in range(workers)
@@ -147,6 +150,25 @@ class ClusterRuntime:
     def worker_pids(self) -> list[int]:
         """PIDs of the forked worker processes (for chaos/leak checks)."""
         return [process.pid for process in self._processes if process.pid]
+
+    @property
+    def telemetry(self):
+        """The coordinator's merged :class:`ClusterTelemetry` plane."""
+        return self._coordinator.telemetry
+
+    @property
+    def coordinator_address(self) -> tuple[str, int]:
+        """``(host, port)`` of the coordinator's control listener.
+
+        This is the address the RPC ``status`` verb answers on — hand it
+        to :func:`repro.cluster.telemetry.request_status` or ``repro
+        top``.
+        """
+        return (self._coordinator.host, self._coordinator.port)
+
+    def status(self) -> dict:
+        """Live cluster snapshot (see :meth:`Coordinator.status`)."""
+        return self._coordinator.status()
 
     # -- network chaos -----------------------------------------------------
 

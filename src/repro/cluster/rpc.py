@@ -61,14 +61,22 @@ MESSAGE_KINDS = (
                      # reducer, attempt)] — surviving state re-advertised
                      # on every (re)connection
     "map-done",      # job_id, mapper, epoch, worker, counters
-    "reduce-done",   # job_id, reducer, attempt, worker, output(bytes), counters
+                     # [, telemetry(bytes)]
+    "reduce-done",   # job_id, reducer, attempt, worker, output(bytes),
+                     # counters [, telemetry(bytes)]
     "task-failed",   # job_id, kind, index, attempt, worker, error
-    "heartbeat",     # worker, job_id, progress
+    "heartbeat",     # worker, job_id, progress [, telemetry(bytes) — one
+                     # repro.cluster.telemetry delta frame]
+    # status client -> coordinator (first and only message on a fresh
+    # connection; any client, not just workers — see `repro top`)
+    "status",        # (no fields)
+    # coordinator -> status client
+    "status-reply",  # status (nested snapshot dict)
     # coordinator -> worker
     "registered",    # worker
     "job",           # job_id, job(bytes), wire(bytes), recovery(bytes), ...
-    "assign-map",    # job_id, mapper, epoch, split(bytes)
-    "assign-reduce", # job_id, reducer, attempt, num_maps, prior
+    "assign-map",    # job_id, mapper, epoch, split(bytes), ctx
+    "assign-reduce", # job_id, reducer, attempt, num_maps, prior, ctx
     "location",      # job_id, mapper, epoch, host, port  (broadcast)
     "job-done",      # job_id
     "shutdown",      # (no fields)

@@ -91,6 +91,20 @@ class ShuffleStore:
                 for (job_id, mapper), (epoch, _batches) in self._outputs.items()
             )
 
+    def bytes_held(self) -> int:
+        """Total encoded frame bytes currently held across all outputs.
+
+        Sampled by the worker's ``worker.store.bytes`` telemetry gauge —
+        the per-link "bytes parked here" view the status plane renders.
+        """
+        with self._lock:
+            return sum(
+                len(batch.frame)
+                for _epoch, batches in self._outputs.values()
+                for batch_list in batches.values()
+                for batch in batch_list
+            )
+
     def drop_job(self, job_id: str) -> None:
         """Release every output of a finished job (FD/memory hygiene)."""
         with self._lock:

@@ -1,0 +1,627 @@
+"""Cluster-wide telemetry: trace propagation, shipping and merging.
+
+The in-process engines report spans, events, counters and sampled
+series into one :class:`~repro.obs.JobObservability`; the cluster
+runtime spreads that state across N worker processes.  This module is
+the plane that brings it back together:
+
+- :class:`TraceContext` — the ``(job_id, task_id, attempt, epoch)``
+  identity the coordinator stamps on every map/reduce grant, carried
+  over the framed RPC and attached to every span and event a worker
+  records for that task;
+- :class:`TelemetryBuffer` — the worker side.  Wraps a per-job
+  observability bundle and, on every heartbeat (plus a final flush on
+  each task completion), encodes the *delta* since the last ship —
+  newly completed spans, new events, counter increments, new
+  metrics-series points thinned to a per-frame cap — as one wire-codec
+  frame (:func:`repro.dfs.wire.encode_frame`), inheriting the shuffle
+  wire's CRC-or-nothing integrity.  Only completed spans ship: a
+  SIGKILLed worker leaves everything up to its last heartbeat on the
+  coordinator and nothing fabricated beyond it;
+- :class:`ClusterTelemetry` — the coordinator side.  Decodes frames,
+  estimates each worker's clock offset from heartbeat delivery delays
+  (the minimum of ``recv_wall - send_wall`` over samples bounds skew
+  from above because network delay is non-negative), and merges
+  everything onto the coordinator's timeline: a multi-process Chrome
+  trace (coordinator as pid 0, one pid per worker), an event stream
+  totally ordered by ``(t_adjusted, worker, seq)``, a combined metrics
+  snapshot, and the per-worker status used by the ``status`` RPC verb
+  and the ``repro top`` dashboard.
+
+Shipped telemetry is *presentation* state: the coordinator never merges
+a telemetry frame's counters into the job's counter registry — task
+completion messages remain the single authoritative source, merged
+first-wins exactly as before, so re-executions and duplicate attempts
+cannot double-count through the telemetry path.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.core.types import Record
+from repro.dfs.serialization import SerializationError
+from repro.dfs.wire import WireConfig, decode_frame, encode_frame
+from repro.obs import JobObservability, ObsEvent, Span, to_chrome_trace_multi
+from repro.obs.metrics import METRICS_SCHEMA_VERSION
+from repro.cluster.rpc import RpcError, recv_message, send_message
+
+__all__ = [
+    "ClusterTelemetry",
+    "TELEMETRY_SCHEMA_VERSION",
+    "TelemetryBuffer",
+    "TraceContext",
+    "decode_telemetry",
+    "request_status",
+]
+
+#: Version tag carried in every telemetry frame payload.
+TELEMETRY_SCHEMA_VERSION = 1
+
+#: At most this many new points per series per frame; the rest are
+#: thinned (evenly, keeping the newest point) and counted as dropped.
+MAX_SERIES_POINTS_PER_FRAME = 32
+
+#: Per-series cap on points retained coordinator-side; the oldest are
+#: discarded (and counted dropped) so a long-lived cluster cannot grow
+#: its status plane without bound.
+MAX_SERIES_POINTS_RETAINED = 2048
+
+#: Telemetry frames use the same fixed framing as RPC messages: typed
+#: codec, CRC32, compression only when it pays.
+_TELEMETRY_WIRE = WireConfig()
+
+
+@dataclass(frozen=True, slots=True)
+class TraceContext:
+    """Task identity propagated from the coordinator with every grant.
+
+    ``task_id`` is ``map-<i>`` or ``reduce-<i>``; ``attempt`` counts
+    reduce reassignments (always 0 for maps, whose re-executions are
+    identified by ``epoch`` instead); ``epoch`` is the map-output epoch
+    (always 0 for reduces).  Workers tag every span and event they
+    record for the task with these four fields plus their own
+    ``(worker, pid)``, so a merged trace can be sliced by grant.
+    """
+
+    job_id: str
+    task_id: str
+    attempt: int
+    epoch: int
+
+    def as_fields(self) -> dict:
+        """The RPC-safe dict carried on ``assign-map``/``assign-reduce``."""
+        return {
+            "job_id": self.job_id,
+            "task_id": self.task_id,
+            "attempt": self.attempt,
+            "epoch": self.epoch,
+        }
+
+    @classmethod
+    def from_fields(cls, fields: dict | None) -> "TraceContext | None":
+        """Rebuild a context from grant fields; ``None`` when absent."""
+        if not fields:
+            return None
+        return cls(
+            job_id=str(fields.get("job_id", "")),
+            task_id=str(fields.get("task_id", "")),
+            attempt=int(fields.get("attempt", 0)),
+            epoch=int(fields.get("epoch", 0)),
+        )
+
+
+def _codec_safe(value):
+    """Coerce arbitrary attr values into the typed codec's vocabulary."""
+    if value is None or isinstance(value, (bool, int, float, str, bytes)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_codec_safe(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _codec_safe(item) for key, item in value.items()}
+    return str(value)
+
+
+def _thin_points(
+    points: list[tuple[float, float]], limit: int
+) -> tuple[list[list[float]], int]:
+    """Keep at most ``limit`` points, evenly spaced, newest always kept."""
+    if len(points) <= limit:
+        return [[float(t), float(v)] for t, v in points], 0
+    last = len(points) - 1
+    picks = sorted({round(i * last / (limit - 1)) for i in range(limit)})
+    return (
+        [[float(points[i][0]), float(points[i][1])] for i in picks],
+        len(points) - len(picks),
+    )
+
+
+class TelemetryBuffer:
+    """Worker-side delta encoder over one per-job observability bundle.
+
+    :meth:`collect` snapshots everything recorded since the previous
+    collect and returns it as one encoded frame; cursors advance
+    immediately, and :meth:`rollback` restores the previous cursors when
+    the caller failed to put the frame on the wire (only valid while no
+    newer collect has happened — a stale rollback is a no-op, and the
+    uncollected state is simply re-shipped after reconnection).
+    """
+
+    def __init__(
+        self,
+        obs: JobObservability,
+        *,
+        job_id: str,
+        worker: str,
+        pid: int,
+        max_points: int = MAX_SERIES_POINTS_PER_FRAME,
+    ) -> None:
+        self._obs = obs
+        self._job_id = job_id
+        self._worker = worker
+        self._pid = pid
+        self._max_points = max_points
+        self._lock = threading.Lock()
+        self._shipped_spans: set[int] = set()
+        self._event_cursor = 0
+        self._counter_base: dict[str, int] = {}
+        self._series_cursor: dict[str, int] = {}
+        self._generation = 0
+        self._undo: tuple | None = None
+
+    def collect(self) -> bytes:
+        """Encode the delta since the last collect as one wire frame."""
+        obs = self._obs
+        with self._lock:
+            undo = (
+                set(self._shipped_spans),
+                self._event_cursor,
+                dict(self._counter_base),
+                dict(self._series_cursor),
+            )
+            spans = []
+            for span in obs.tracer.spans():
+                if span.span_id in self._shipped_spans:
+                    continue
+                self._shipped_spans.add(span.span_id)
+                spans.append(
+                    {
+                        "id": span.span_id,
+                        "parent": span.parent_id,
+                        "name": span.name,
+                        "kind": span.kind,
+                        "start": float(span.start),
+                        "end": float(span.end),
+                        "tid": span.tid,
+                        "attrs": _codec_safe(span.attrs),
+                    }
+                )
+            events = []
+            for event in obs.events.events():
+                if event.seq < self._event_cursor:
+                    continue
+                events.append(
+                    {
+                        "t": float(event.t),
+                        "kind": event.kind,
+                        "seq": event.seq,
+                        "attrs": _codec_safe(event.attrs),
+                    }
+                )
+            if events:
+                self._event_cursor = (
+                    max(event["seq"] for event in events) + 1
+                )
+            totals = obs.counters.as_dict()
+            counter_delta = {
+                name: total - self._counter_base.get(name, 0)
+                for name, total in totals.items()
+                if total != self._counter_base.get(name, 0)
+            }
+            self._counter_base = totals
+            series = {}
+            for name in obs.metrics.names():
+                recorded = obs.metrics.series(name)
+                if recorded is None:
+                    continue
+                points = recorded.points()
+                sent = self._series_cursor.get(name, 0)
+                fresh = points[sent:]
+                if not fresh:
+                    continue
+                self._series_cursor[name] = len(points)
+                shipped, dropped = _thin_points(fresh, self._max_points)
+                series[name] = {
+                    "unit": recorded.unit,
+                    "points": shipped,
+                    "dropped": dropped,
+                }
+            self._generation += 1
+            self._undo = (self._generation, undo)
+        payload = {
+            "v": TELEMETRY_SCHEMA_VERSION,
+            "job_id": self._job_id,
+            "worker": self._worker,
+            "pid": self._pid,
+            "epoch0": float(obs.epoch),
+            "wall": time.time(),
+            "spans": spans,
+            "events": events,
+            "counters": counter_delta,
+            "series": series,
+        }
+        return encode_frame(
+            [Record("telemetry", payload)], _TELEMETRY_WIRE
+        ).frame
+
+    def rollback(self) -> None:
+        """Undo the most recent collect (frame never made it out).
+
+        A no-op when a newer collect has happened since — that frame's
+        cursors already include this one's state, so the delta is not
+        lost, merely re-shipped later.
+        """
+        with self._lock:
+            if self._undo is None or self._undo[0] != self._generation:
+                return
+            (
+                self._shipped_spans,
+                self._event_cursor,
+                self._counter_base,
+                self._series_cursor,
+            ) = self._undo[1]
+            self._undo = None
+
+
+def decode_telemetry(frame: bytes) -> dict:
+    """Decode one telemetry frame; inverse of :meth:`TelemetryBuffer.collect`.
+
+    Raises :class:`~repro.dfs.serialization.SerializationError` on any
+    defect — truncation, bit corruption (CRC), trailing bytes, or a
+    payload that is not the single ``("telemetry", dict)`` record.
+    """
+    records, end = decode_frame(frame)
+    if end != len(frame):
+        raise SerializationError(
+            f"{len(frame) - end} trailing bytes after telemetry frame"
+        )
+    if len(records) != 1 or records[0].key != "telemetry":
+        raise SerializationError("telemetry frame must hold one record")
+    payload = records[0].value
+    if not isinstance(payload, dict):
+        raise SerializationError("telemetry payload must be a dict")
+    return payload
+
+
+class _WorkerTelemetry:
+    """Everything the coordinator has merged from one worker."""
+
+    __slots__ = (
+        "name", "pid", "truncated", "delay_min_s", "frames", "bytes",
+        "spans", "events", "counters", "series", "last_wall",
+    )
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.pid = 0
+        self.truncated = False
+        #: Minimum observed (coordinator recv wall − worker send wall):
+        #: an upper bound on clock skew, tight on a quiet loopback link.
+        self.delay_min_s: float | None = None
+        self.frames = 0
+        self.bytes = 0
+        #: Spans and event times are stored on the *worker's wall clock*
+        #: (job epoch + job-relative time) and shifted onto the
+        #: coordinator timeline at export, so a refined skew estimate
+        #: retroactively improves alignment.
+        self.spans: list[Span] = []
+        self.events: list[tuple[float, int, str, dict]] = []
+        self.counters: dict[str, int] = {}
+        self.series: dict[str, dict] = {}
+        self.last_wall = 0.0
+
+    @property
+    def skew_s(self) -> float:
+        return self.delay_min_s if self.delay_min_s is not None else 0.0
+
+
+class ClusterTelemetry:
+    """Coordinator-side merge of every worker's shipped telemetry.
+
+    Thread-safe: frames are ingested from per-connection receiver
+    threads while the job loop (and ``status`` connections) read merged
+    views.  ``obs`` is the coordinator's own bundle — its tracer/event
+    timeline is the merge target, and ``cluster.telemetry.*`` counters
+    and the ``cluster.telemetry.clock_skew_ms`` series land in it.
+    """
+
+    def __init__(self, obs: JobObservability) -> None:
+        self.obs = obs
+        self._lock = threading.Lock()
+        self._workers: dict[str, _WorkerTelemetry] = {}
+        #: (worker, job_id) -> {worker-local span id: merged span id}.
+        #: Allocated on first sight (a span may reference its parent
+        #: before that parent's frame arrives), stable thereafter.
+        self._id_maps: dict[tuple[str, str], dict[int, int]] = {}
+        self._next_span_id = 0
+
+    # -- ingest ------------------------------------------------------------
+
+    def _merged_id(self, key: tuple[str, str], local_id: int) -> int:
+        id_map = self._id_maps.setdefault(key, {})
+        merged = id_map.get(local_id)
+        if merged is None:
+            merged = self._next_span_id
+            self._next_span_id += 1
+            id_map[local_id] = merged
+        return merged
+
+    def ingest(self, frame: bytes, recv_wall: float | None = None) -> bool:
+        """Merge one telemetry frame; returns False on a corrupt frame."""
+        if recv_wall is None:
+            recv_wall = time.time()
+        try:
+            payload = decode_telemetry(frame)
+        except SerializationError:
+            self.obs.counters.increment("cluster.telemetry.dropped")
+            return False
+        name = str(payload.get("worker", ""))
+        job_id = str(payload.get("job_id", ""))
+        epoch0 = float(payload.get("epoch0", recv_wall))
+        with self._lock:
+            wt = self._workers.get(name)
+            if wt is None:
+                wt = _WorkerTelemetry(name)
+                self._workers[name] = wt
+            wt.pid = int(payload.get("pid", wt.pid))
+            wt.frames += 1
+            wt.bytes += len(frame)
+            wt.last_wall = float(payload.get("wall", recv_wall))
+            delay = recv_wall - wt.last_wall
+            if wt.delay_min_s is None or delay < wt.delay_min_s:
+                wt.delay_min_s = delay
+            key = (name, job_id)
+            for span in payload.get("spans", ()):
+                parent = span.get("parent")
+                wt.spans.append(
+                    Span(
+                        span_id=self._merged_id(key, int(span["id"])),
+                        parent_id=(
+                            self._merged_id(key, int(parent))
+                            if parent is not None
+                            else None
+                        ),
+                        name=str(span.get("name", "")),
+                        kind=str(span.get("kind", "op")),
+                        start=epoch0 + float(span.get("start", 0.0)),
+                        end=epoch0 + float(span.get("end", 0.0)),
+                        tid=int(span.get("tid", 0)),
+                        attrs=dict(span.get("attrs", {})),
+                    )
+                )
+            for event in payload.get("events", ()):
+                wt.events.append(
+                    (
+                        epoch0 + float(event.get("t", 0.0)),
+                        int(event.get("seq", 0)),
+                        str(event.get("kind", "")),
+                        dict(event.get("attrs", {})),
+                    )
+                )
+            for counter, delta in dict(payload.get("counters", {})).items():
+                wt.counters[counter] = (
+                    wt.counters.get(counter, 0) + int(delta)
+                )
+            dropped = 0
+            for series_name, shipped in dict(
+                payload.get("series", {})
+            ).items():
+                entry = wt.series.setdefault(
+                    series_name,
+                    {"unit": str(shipped.get("unit", "")), "points": [],
+                     "dropped": 0},
+                )
+                entry["points"].extend(
+                    [epoch0 + float(t), float(v)]
+                    for t, v in shipped.get("points", ())
+                )
+                entry["dropped"] += int(shipped.get("dropped", 0))
+                dropped += int(shipped.get("dropped", 0))
+                excess = len(entry["points"]) - MAX_SERIES_POINTS_RETAINED
+                if excess > 0:
+                    del entry["points"][:excess]
+                    entry["dropped"] += excess
+                    dropped += excess
+            skew_ms = wt.skew_s * 1e3
+        counters = self.obs.counters
+        counters.increment("cluster.telemetry.frames")
+        counters.increment("cluster.telemetry.bytes", len(frame))
+        if dropped:
+            counters.increment("cluster.telemetry.dropped", dropped)
+        self.obs.metrics.sample(
+            "cluster.telemetry.clock_skew_ms", skew_ms, unit="ms"
+        )
+        return True
+
+    def mark_truncated(self, name: str) -> None:
+        """Flag a dead worker: its telemetry stops at its last heartbeat.
+
+        A worker can die before its first frame lands; the entry is
+        created so the truncation is still visible in the status plane.
+        """
+        with self._lock:
+            wt = self._workers.get(name)
+            if wt is None:
+                wt = _WorkerTelemetry(name)
+                self._workers[name] = wt
+            if wt.truncated:
+                return
+            wt.truncated = True
+        self.obs.counters.increment("cluster.telemetry.truncated")
+        self.obs.events.emit(
+            "cluster.telemetry.truncated", worker=name,
+        )
+
+    # -- merged views ------------------------------------------------------
+
+    def _offset_s(self, wt: _WorkerTelemetry) -> float:
+        """Worker-wall → coordinator-job-relative time shift."""
+        return wt.skew_s - self.obs.epoch
+
+    def truncated_workers(self) -> list[str]:
+        """Names of workers whose telemetry is flagged truncated."""
+        with self._lock:
+            return sorted(
+                name for name, wt in self._workers.items() if wt.truncated
+            )
+
+    def chrome_trace(self, process_name: str = "repro-cluster") -> dict:
+        """Multi-process Chrome trace: coordinator pid 0, one pid/worker."""
+        with self._lock:
+            workers = [
+                (wt.pid, wt.name, wt.truncated, list(wt.spans),
+                 self._offset_s(wt))
+                for wt in self._workers.values()
+                # pid 0 = no frame ever landed (died pre-heartbeat);
+                # there is nothing to draw and pid 0 is the coordinator.
+                if wt.pid != 0
+            ]
+        processes: list[tuple[int, str, list[Span]]] = [
+            (0, f"{process_name} coordinator", self.obs.tracer.spans())
+        ]
+        for pid, name, truncated, spans, offset in sorted(workers):
+            adjusted = [
+                Span(
+                    span_id=span.span_id,
+                    parent_id=span.parent_id,
+                    name=span.name,
+                    kind=span.kind,
+                    start=span.start + offset,
+                    end=span.end + offset,
+                    tid=span.tid,
+                    attrs=span.attrs,
+                )
+                for span in spans
+            ]
+            label = f"worker {name}" + (" (truncated)" if truncated else "")
+            processes.append((pid, label, adjusted))
+        return to_chrome_trace_multi(processes, counters=self.obs.counters)
+
+    def merged_events(self) -> list[ObsEvent]:
+        """Every event, coordinator's first, under ``(t, worker, seq)``.
+
+        Worker event times are shifted onto the coordinator timeline;
+        the worker name rides in ``attrs["worker"]`` (empty string for
+        the coordinator's own events, which therefore sort first among
+        exact timestamp ties).
+        """
+        merged: list[tuple[float, str, int, str, dict]] = [
+            (event.t, "", event.seq, event.kind, dict(event.attrs))
+            for event in self.obs.events.events()
+        ]
+        with self._lock:
+            for wt in self._workers.values():
+                offset = self._offset_s(wt)
+                merged.extend(
+                    (t + offset, wt.name, seq, kind, dict(attrs))
+                    for t, seq, kind, attrs in wt.events
+                )
+        merged.sort(key=lambda item: (item[0], item[1], item[2]))
+        return [
+            ObsEvent(t=t, kind=kind, seq=seq,
+                     attrs={**attrs, "worker": worker})
+            for t, worker, seq, kind, attrs in merged
+        ]
+
+    def metrics_snapshot(self) -> dict:
+        """Coordinator + worker series in the ``write_metrics`` schema.
+
+        Worker series are namespaced ``<worker>.<series>`` with their
+        timestamps shifted onto the coordinator timeline, so the
+        combined snapshot renders directly via ``repro metrics --file``.
+        """
+        snapshot = self.obs.metrics.as_dict()
+        series = dict(snapshot.get("series", {}))
+        with self._lock:
+            for name, wt in sorted(self._workers.items()):
+                offset = self._offset_s(wt)
+                for series_name, entry in sorted(wt.series.items()):
+                    values = [value for _t, value in entry["points"]]
+                    series[f"{name}.{series_name}"] = {
+                        "unit": entry["unit"],
+                        "points": [
+                            [round(t + offset, 6), value]
+                            for t, value in entry["points"]
+                        ],
+                        "summary": {
+                            "n": len(values),
+                            "min": min(values, default=0.0),
+                            "max": max(values, default=0.0),
+                            "mean": (
+                                sum(values) / len(values) if values else 0.0
+                            ),
+                            "last": values[-1] if values else 0.0,
+                        },
+                    }
+        return {
+            "schema": METRICS_SCHEMA_VERSION,
+            "series": series,
+            "maxima": snapshot.get("maxima", {}),
+        }
+
+    def status_snapshot(self, tail: int = 60) -> dict:
+        """Per-worker live status: gauges, series tails, skew, flags."""
+        workers: dict[str, dict] = {}
+        with self._lock:
+            for name, wt in sorted(self._workers.items()):
+                offset = self._offset_s(wt)
+                series = {}
+                gauges = {}
+                for series_name, entry in sorted(wt.series.items()):
+                    points = entry["points"][-tail:]
+                    series[series_name] = {
+                        "unit": entry["unit"],
+                        "points": [
+                            [round(t + offset, 6), value]
+                            for t, value in points
+                        ],
+                        "dropped": entry["dropped"],
+                    }
+                    if points:
+                        gauges[series_name] = points[-1][1]
+                workers[name] = {
+                    "pid": wt.pid,
+                    "truncated": wt.truncated,
+                    "clock_skew_ms": round(wt.skew_s * 1e3, 3),
+                    "frames": wt.frames,
+                    "bytes": wt.bytes,
+                    "counters": dict(wt.counters),
+                    "gauges": gauges,
+                    "series": series,
+                }
+        return workers
+
+
+def request_status(
+    host: str, port: int, timeout: float = 5.0
+) -> dict:
+    """Fetch one status snapshot over the RPC ``status`` verb.
+
+    Opens a fresh connection, sends ``status`` as the first (and only)
+    message, and returns the ``status-reply`` payload.  Raises
+    :class:`~repro.cluster.rpc.RpcError` on protocol trouble and
+    ``OSError`` when the coordinator is unreachable.
+    """
+    with socket.create_connection((host, port), timeout=timeout) as conn:
+        conn.settimeout(timeout)
+        send_message(conn, "status", {})
+        kind, fields = recv_message(conn)
+    if kind != "status-reply":
+        raise RpcError(f"expected status-reply, got {kind!r}")
+    status = fields.get("status")
+    if not isinstance(status, dict):
+        raise RpcError("status-reply carries no status dict")
+    return status

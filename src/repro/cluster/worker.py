@@ -23,6 +23,20 @@ ClusterRuntime`) hosting:
   jobs — they are the lease-keeping signal that distinguishes an idle
   worker from a wedged one.
 
+Telemetry: unlike the throwaway per-attempt bundles of earlier
+revisions, each job gets one long-lived :class:`JobObservability` for
+this worker's lifetime of the job.  Task executors record spans, events
+and counters into it, tagged with the coordinator-stamped
+:class:`~repro.cluster.telemetry.TraceContext` plus ``(worker, pid)``;
+gauges (store bytes, in-flight fetches, records/s) tick on a background
+sampler.  A :class:`~repro.cluster.telemetry.TelemetryBuffer` ships the
+delta on every heartbeat and flushes with each completion message, so
+the coordinator holds everything up to the last beat even when this
+process is SIGKILLed mid-task.  Completion-message counters stay
+per-attempt (a fresh registry per task) — the coordinator's first-wins
+merge remains the single authoritative counter path, and telemetry
+never feeds it.
+
 The control connection is *resilient*: registration retries with
 :class:`~repro.engine.recovery.BackoffPolicy` (closing the fork-time
 race where a worker starts before the coordinator listens), and a
@@ -66,11 +80,13 @@ from repro.engine.recovery import BackoffPolicy, FetchFaultInjector
 from repro.engine.runtime import (
     ATTEMPT_STRIDE,
     ReduceTaskRecovery,
+    RunInstruments,
     run_barrier_reduce_attempt,
     run_pipelined_reduce_attempt,
 )
-from repro.obs import JobObservability
+from repro.obs import JobObservability, MetricsTicker
 from repro.cluster.rpc import RpcError, recv_message, send_message
+from repro.cluster.telemetry import TelemetryBuffer, TraceContext
 from repro.cluster.shuffle import (
     LocationTable,
     RemoteMapOutputSource,
@@ -110,7 +126,7 @@ class _SigkillReduceInjector(FetchFaultInjector):
 class _JobContext:
     """Everything a worker holds for one active job."""
 
-    def __init__(self, job_id: str, fields: dict) -> None:
+    def __init__(self, job_id: str, fields: dict, worker: "_Worker") -> None:
         self.job_id = job_id
         self.job = pickle.loads(fields["job"])
         self.wire = pickle.loads(fields["wire"])
@@ -122,11 +138,91 @@ class _JobContext:
         #: fold progress from it, re-registration advertises the attempt.
         self.active: dict[int, tuple[int, ReduceTaskRecovery]] = {}
         self.map_dones = 0
+        # One long-lived observability bundle per (worker, job): task
+        # executors record into it, the telemetry buffer ships deltas on
+        # heartbeats.  With shipping off the bundle is fully disabled and
+        # every recording call no-ops, which is the overhead baseline.
+        self.instruments = RunInstruments()
+        self.ticker: MetricsTicker | None = None
+        self.telemetry: TelemetryBuffer | None = None
+        if worker.ship_telemetry:
+            obs = JobObservability()
+            self.instruments.register(obs)
+            obs.metrics.register_gauge(
+                "worker.store.bytes", worker.store.bytes_held, unit="bytes"
+            )
+            obs.metrics.register_gauge(
+                "worker.fetch.inflight",
+                self.instruments.inflight.value,
+                unit="streams",
+            )
+            obs.metrics.register_rate(
+                "worker.records_per_s",
+                lambda: obs.counters.get("shuffle.records.consumed"),
+                unit="records/s",
+            )
+            self.obs = obs
+            self.telemetry = TelemetryBuffer(
+                obs, job_id=job_id, worker=worker.name, pid=os.getpid()
+            )
+            self.ticker = MetricsTicker(obs.metrics, interval_s=0.02)
+            self.ticker.start()
+        else:
+            self.obs = JobObservability.disabled()
+
+    def attempt_observability(self) -> JobObservability:
+        """Per-attempt bundle: fresh counters, shared everything else.
+
+        Completion messages must carry *this attempt's* counters only —
+        the coordinator merges them first-wins, and a shared per-job
+        registry would double-count re-executions.  Spans, events,
+        metrics and the clock stay the job-wide instances so the
+        attempt's activity lands in the long-lived telemetry state.
+        """
+        attempt_obs = JobObservability()
+        attempt_obs.tracer = self.obs.tracer
+        attempt_obs.metrics = self.obs.metrics
+        attempt_obs.events = self.obs.events
+        attempt_obs.epoch = self.obs.epoch
+        return attempt_obs
+
+    def flush_telemetry(self) -> bytes | None:
+        """Final-flush frame for a completion message (None when off).
+
+        Samples the registered gauges first: a task can finish inside
+        one ticker interval, and the flush must still carry at least one
+        point per gauge series.
+        """
+        if self.telemetry is None:
+            return None
+        self.obs.metrics.sample_gauges()
+        return self.telemetry.collect()
+
+    def close(self) -> bytes | None:
+        """Stop the sampler; returns one last delta frame to ship.
+
+        The ticker's stop() takes a final gauge sample, which lands
+        *after* the last task flush — collect once more so it reaches
+        the coordinator instead of dying with the context.
+        """
+        if self.ticker is not None:
+            self.ticker.stop()
+        if self.telemetry is None:
+            return None
+        return self.telemetry.collect()
 
 
 class _Worker:
-    def __init__(self, name: str, coord_host: str, coord_port: int) -> None:
+    def __init__(
+        self,
+        name: str,
+        coord_host: str,
+        coord_port: int,
+        *,
+        ship_telemetry: bool = True,
+    ) -> None:
         self.name = name
+        self.ship_telemetry = ship_telemetry
         self._coord = (coord_host, coord_port)
         self._store = ShuffleStore()
         self._server = ShuffleServer(self._store, on_serve=self._on_serve)
@@ -140,6 +236,10 @@ class _Worker:
         #: right after the next successful re-register (socket FIFO
         #: guarantees the coordinator sees register first).
         self._pending: deque[tuple[str, dict]] = deque()
+
+    @property
+    def store(self) -> ShuffleStore:
+        return self._store
 
     # -- outbound ----------------------------------------------------------
 
@@ -242,7 +342,29 @@ class _Worker:
 
     # -- tasks -------------------------------------------------------------
 
-    def _run_map(self, ctx: _JobContext, mapper: int, epoch: int, split) -> None:
+    def _trace_context(
+        self, ctx: _JobContext, fields: dict, task_id: str,
+        attempt: int, epoch: int,
+    ) -> TraceContext:
+        """The grant's stamped context (synthesised if an old coordinator
+        sent a grant without one, so spans are never untagged)."""
+        stamped = TraceContext.from_fields(fields.get("ctx"))
+        if stamped is not None:
+            return stamped
+        return TraceContext(
+            job_id=ctx.job_id, task_id=task_id, attempt=attempt, epoch=epoch
+        )
+
+    def _run_map(
+        self, ctx: _JobContext, mapper: int, epoch: int, split,
+        tc: TraceContext,
+    ) -> None:
+        obs = ctx.obs
+        task_span = obs.tracer.open(
+            f"map-{mapper}", "task",
+            worker=self.name, pid=os.getpid(), **tc.as_fields(),
+        )
+        obs.events.emit("task.start", worker=self.name, **tc.as_fields())
         try:
             counters = Counters()
             partitions = run_map_task_partitioned(
@@ -258,22 +380,38 @@ class _Worker:
                 counters, [b for bs in batches.values() for b in bs]
             )
             self._store.publish(ctx.job_id, mapper, epoch, batches)
-            self._send(
-                "map-done",
-                {
-                    "job_id": ctx.job_id,
-                    "mapper": mapper,
-                    "epoch": epoch,
-                    "worker": self.name,
-                    "counters": counters.as_dict(),
-                },
+            # Telemetry view only; the map-done counters below remain the
+            # authoritative (first-wins merged) copy.
+            obs.counters.merge_counters(counters)
+            obs.events.emit(
+                "task.finish", worker=self.name, status="ok",
+                **tc.as_fields(),
             )
+            if task_span is not None:
+                obs.tracer.close(task_span)
+            done = {
+                "job_id": ctx.job_id,
+                "mapper": mapper,
+                "epoch": epoch,
+                "worker": self.name,
+                "counters": counters.as_dict(),
+            }
+            flush = ctx.flush_telemetry()
+            if flush is not None:
+                done["telemetry"] = flush
+            self._send("map-done", done)
             kill = ctx.kill
             if kill and kill.get("trigger") == "map-done":
                 ctx.map_dones += 1
                 if ctx.map_dones >= int(kill.get("count", 1)):
                     os.kill(os.getpid(), signal.SIGKILL)
         except BaseException as exc:  # noqa: BLE001 - reported upstream
+            obs.events.emit(
+                "task.finish", worker=self.name, status="failed",
+                error=f"{type(exc).__name__}: {exc}", **tc.as_fields(),
+            )
+            if task_span is not None:
+                obs.tracer.close(task_span)
             self._task_failed(ctx, "map", mapper, 0, exc)
 
     def _run_reduce(
@@ -283,9 +421,15 @@ class _Worker:
         attempt: int,
         num_maps: int,
         prior: dict,
+        tc: TraceContext,
     ) -> None:
         job = ctx.job
-        obs = JobObservability()
+        obs = ctx.attempt_observability()
+        task_span = obs.tracer.open(
+            f"reduce-{reducer}", "task",
+            worker=self.name, pid=os.getpid(), **tc.as_fields(),
+        )
+        obs.events.emit("task.start", worker=self.name, **tc.as_fields())
         source = RemoteMapOutputSource(
             ctx.job_id, ctx.locations, ctx.recovery.fetch_timeout_s
         )
@@ -312,34 +456,63 @@ class _Worker:
         }
         ctx.active[reducer] = (attempt, rec)
         attempt_base = attempt * ATTEMPT_STRIDE
+        # The stopwatch starts at `span_base` on the job-relative clock;
+        # timeline entries come back stopwatch-relative and are re-anchored
+        # below when retained as task.phase events.
+        span_base = obs.tracer.now()
         watch = Stopwatch()
         injector = self._reduce_injector(ctx)
         try:
             if job.mode is ExecutionMode.BARRIER:
-                produced, local_counters, _timeline = run_barrier_reduce_attempt(
-                    job, source, reducer, num_maps, watch, None, attempt_base,
+                produced, local_counters, timeline = run_barrier_reduce_attempt(
+                    job, source, reducer, num_maps, watch, task_span,
+                    attempt_base,
                     obs=obs, config=ctx.recovery, injector=injector,
-                    wire=ctx.wire,
+                    wire=ctx.wire, inst=ctx.instruments,
                 )
             else:
-                produced, local_counters, _timeline = run_pipelined_reduce_attempt(
-                    job, source, reducer, num_maps, watch, None, attempt_base,
+                produced, local_counters, timeline = run_pipelined_reduce_attempt(
+                    job, source, reducer, num_maps, watch, task_span,
+                    attempt_base,
                     obs=obs, config=ctx.recovery, injector=injector,
-                    wire=ctx.wire, recovery=rec,
+                    wire=ctx.wire, recovery=rec, inst=ctx.instruments,
                 )
             obs.counters.merge_counters(local_counters)
-            self._send(
-                "reduce-done",
-                {
-                    "job_id": ctx.job_id,
-                    "reducer": reducer,
-                    "attempt": attempt,
-                    "worker": self.name,
-                    "output": pickle.dumps(produced),
-                    "counters": obs.counters.as_dict(),
-                },
+            # Retain the attempt timeline (previously dropped on the
+            # floor) as structured phase events on the job timeline.
+            for phase_kind, label, start, end in timeline:
+                obs.events.record(
+                    "task.phase", span_base + end,
+                    phase=phase_kind, label=label,
+                    start=round(span_base + start, 6),
+                    duration=round(end - start, 6),
+                    worker=self.name, **tc.as_fields(),
+                )
+            obs.events.emit(
+                "task.finish", worker=self.name, status="ok",
+                **tc.as_fields(),
             )
+            if task_span is not None:
+                obs.tracer.close(task_span)
+            done = {
+                "job_id": ctx.job_id,
+                "reducer": reducer,
+                "attempt": attempt,
+                "worker": self.name,
+                "output": pickle.dumps(produced),
+                "counters": obs.counters.as_dict(),
+            }
+            flush = ctx.flush_telemetry()
+            if flush is not None:
+                done["telemetry"] = flush
+            self._send("reduce-done", done)
         except BaseException as exc:  # noqa: BLE001 - reported upstream
+            obs.events.emit(
+                "task.finish", worker=self.name, status="failed",
+                error=f"{type(exc).__name__}: {exc}", **tc.as_fields(),
+            )
+            if task_span is not None:
+                obs.tracer.close(task_span)
             self._task_failed(ctx, "reduce", reducer, attempt, exc)
         finally:
             source.close()
@@ -385,15 +558,20 @@ class _Worker:
                     reducer: dict(rec.prior_records)
                     for reducer, (_attempt, rec) in list(ctx.active.items())
                 }
-                self._send(
-                    "heartbeat",
-                    {
-                        "worker": self.name,
-                        "job_id": ctx.job_id,
-                        "progress": progress,
-                    },
-                    queue_on_failure=False,
-                )
+                beat = {
+                    "worker": self.name,
+                    "job_id": ctx.job_id,
+                    "progress": progress,
+                }
+                telemetry = ctx.telemetry
+                if telemetry is not None:
+                    beat["telemetry"] = telemetry.collect()
+                sent = self._send("heartbeat", beat, queue_on_failure=False)
+                if not sent and telemetry is not None:
+                    # The delta never hit the wire: rewind the cursors so
+                    # it rides the next beat after reconnection instead
+                    # of vanishing.
+                    telemetry.rollback()
 
     # -- control loop ------------------------------------------------------
 
@@ -442,7 +620,7 @@ class _Worker:
             with self._jobs_lock:
                 if job_id in self._jobs:
                     return  # re-sync after reconnect: context survives
-                ctx = _JobContext(job_id, fields)
+                ctx = _JobContext(job_id, fields, self)
                 self._install_kill(ctx)
                 self._jobs[job_id] = ctx
             return
@@ -452,23 +630,34 @@ class _Worker:
             return  # stale message for a finished job
         if kind == "assign-map":
             split = pickle.loads(fields["split"])
+            mapper = int(fields["mapper"])
+            epoch = int(fields["epoch"])
+            tc = self._trace_context(
+                ctx, fields, f"map-{mapper}", 0, epoch
+            )
             threading.Thread(
                 target=self._run_map,
-                args=(ctx, int(fields["mapper"]), int(fields["epoch"]), split),
-                name=f"map-{fields['mapper']}",
+                args=(ctx, mapper, epoch, split, tc),
+                name=f"map-{mapper}",
                 daemon=True,
             ).start()
         elif kind == "assign-reduce":
+            reducer = int(fields["reducer"])
+            attempt = int(fields["attempt"])
+            tc = self._trace_context(
+                ctx, fields, f"reduce-{reducer}", attempt, 0
+            )
             threading.Thread(
                 target=self._run_reduce,
                 args=(
                     ctx,
-                    int(fields["reducer"]),
-                    int(fields["attempt"]),
+                    reducer,
+                    attempt,
                     int(fields["num_maps"]),
                     fields.get("prior") or {},
+                    tc,
                 ),
-                name=f"reduce-{fields['reducer']}",
+                name=f"reduce-{reducer}",
                 daemon=True,
             ).start()
         elif kind == "location":
@@ -480,10 +669,33 @@ class _Worker:
             )
         elif kind == "job-done":
             with self._jobs_lock:
-                self._jobs.pop(job_id, None)
+                done = self._jobs.pop(job_id, None)
+            if done is not None:
+                frame = done.close()
+                if frame is not None:
+                    self._send(
+                        "heartbeat",
+                        {
+                            "worker": self.name,
+                            "job_id": job_id,
+                            "progress": {},
+                            "telemetry": frame,
+                        },
+                        queue_on_failure=False,
+                    )
             self._store.drop_job(job_id)
 
 
-def worker_main(name: str, coord_host: str, coord_port: int) -> None:
-    """Process entry point: connect to the coordinator and serve."""
-    _Worker(name, coord_host, coord_port).run()
+def worker_main(
+    name: str,
+    coord_host: str,
+    coord_port: int,
+    ship_telemetry: bool = True,
+) -> None:
+    """Process entry point: connect to the coordinator and serve.
+
+    ``ship_telemetry=False`` disables the whole per-job observability
+    plane (spans, events, gauges, heartbeat frames) — the baseline arm
+    of the shipping-overhead benchmark.
+    """
+    _Worker(name, coord_host, coord_port, ship_telemetry=ship_telemetry).run()

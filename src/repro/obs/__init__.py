@@ -34,6 +34,7 @@ from repro.obs.export import (
     render_counters,
     render_trace_summary,
     to_chrome_trace,
+    to_chrome_trace_multi,
     validate_span_nesting,
     write_chrome_trace,
 )
@@ -67,6 +68,7 @@ __all__ = [
     "render_counters",
     "render_trace_summary",
     "to_chrome_trace",
+    "to_chrome_trace_multi",
     "validate_span_nesting",
     "write_chrome_trace",
     "write_event_log",

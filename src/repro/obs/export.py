@@ -91,6 +91,74 @@ def write_chrome_trace(
     return path
 
 
+def to_chrome_trace_multi(
+    processes: list[tuple[int, str, list[Span]]],
+    counters: CounterRegistry | None = None,
+) -> dict:
+    """Merge spans from several processes into one trace_event dict.
+
+    ``processes`` is ``[(pid, process_name, spans), ...]`` — in the
+    cluster runtime the coordinator is pid 0 and each worker contributes
+    its OS pid.  Span ids are rebased per process onto one dense global
+    namespace so identity args stay unique across the merged file and
+    :func:`validate_span_nesting` works on the round-tripped whole.  A
+    span whose parent never made it into its process's list (e.g. a task
+    span lost with a SIGKILLed worker before its final flush) is
+    exported as a root and flagged ``"orphaned": True`` rather than left
+    dangling.
+
+    Spans are emitted sorted by ``(start, span_id)`` within each
+    process, so file order is timestamp order per ``(pid, tid)`` lane.
+    """
+    events: list[dict] = []
+    next_id = 0
+    for pid, process_name, spans in processes:
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": process_name},
+            }
+        )
+        ordered = sorted(spans, key=lambda span: (span.start, span.span_id))
+        id_map: dict[int, int] = {}
+        for span in ordered:
+            id_map[span.span_id] = next_id
+            next_id += 1
+        for span in ordered:
+            parent = (
+                id_map.get(span.parent_id)
+                if span.parent_id is not None
+                else None
+            )
+            args = {
+                "span_id": id_map[span.span_id],
+                "parent_id": parent,
+                "kind": span.kind,
+            }
+            if span.parent_id is not None and parent is None:
+                args["orphaned"] = True
+            args.update(span.attrs)
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": span.kind,
+                    "ph": "X",
+                    "ts": round(span.start * 1e6, 3),
+                    "dur": round(span.duration * 1e6, 3),
+                    "pid": pid,
+                    "tid": span.tid,
+                    "args": args,
+                }
+            )
+    trace: dict = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if counters is not None:
+        trace["counters"] = counters.as_dict()
+    return trace
+
+
 # ---------------------------------------------------------------------------
 # Validation
 # ---------------------------------------------------------------------------

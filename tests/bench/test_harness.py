@@ -41,7 +41,17 @@ class TestRunBench:
 
     def test_all_tracked_series_recorded(self, snapshot):
         for run in snapshot["runs"].values():
-            assert set(run["series"]) == set(TRACKED_SERIES)
+            # Cluster-only series (worker.*, cluster.telemetry.*) are
+            # tracked but legitimately absent on the in-process matrix —
+            # skipped, never zero-filled; the core engine set must land.
+            assert set(run["series"]) <= set(TRACKED_SERIES)
+            assert {
+                "shuffle.buffer.depth",
+                "store.bytes",
+                "shuffle.fetch.inflight",
+                "reduce.records_per_s",
+                "shuffle.compress.ratio",
+            } <= set(run["series"])
             for entry in run["series"].values():
                 assert entry["summary"]["n"] >= 1
                 assert entry["points"]
