@@ -1,7 +1,7 @@
 # Convenience targets for the reproduction workflow.
 
 .PHONY: install test bench bench-quick bench-figures chaos cluster \
-	cluster-trace netchaos figures csv scoreboard examples trace-demo \
+	cluster-trace netchaos server figures csv scoreboard examples trace-demo \
 	all clean
 
 install:
@@ -45,6 +45,12 @@ cluster-trace:
 netchaos:
 	python -m repro.cli cluster all --workers 2 --chaos net
 	pytest tests/cluster/test_netchaos.py tests/cluster/test_coordinator_recovery.py -q
+
+server:
+	pytest tests/server/test_kernel.py tests/server/test_props.py -q
+	REPRO_SERVER_SOAK_JOBS=80 pytest tests/server/test_soak.py \
+		tests/server/test_server.py tests/server/test_differential.py \
+		tests/cluster/test_multijob.py -q
 
 figures:
 	python -m repro.cli figure fig4 fig5 fig6 fig7 fig8 fig9 fig10

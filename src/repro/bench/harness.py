@@ -104,6 +104,16 @@ TRACKED_COUNTERS: tuple[str, ...] = (
     "cluster.telemetry.bytes",
     "cluster.telemetry.dropped",
     "cluster.telemetry.truncated",
+    # Job-server counters: zero on the bench matrix (benches drive
+    # engines directly, not through the scheduler), tracked so a future
+    # server bench row diffs admission and grant churn per tenant batch.
+    "server.jobs.submitted",
+    "server.jobs.completed",
+    "server.jobs.failed",
+    "server.jobs.rejected",
+    "server.jobs.cancelled",
+    "server.grants",
+    "server.bytes.admitted",
 )
 
 #: Apps for the ``--wire`` codec comparison (the text-heavy pair the

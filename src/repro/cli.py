@@ -284,6 +284,72 @@ def build_parser() -> argparse.ArgumentParser:
                              help="also print structured event counts")
     metrics_cmd.add_argument("-o", "--output", metavar="FILE",
                              help="also write the metrics snapshot JSON")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the multi-tenant job server in the foreground",
+    )
+    serve.add_argument("--backend", choices=["threaded", "cluster"],
+                       default="threaded",
+                       help="execution backend: per-job threaded engines "
+                            "or one shared worker cluster")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="forked workers (cluster backend only)")
+    serve.add_argument("--slots", type=int, default=4,
+                       help="concurrent job slots in the scheduler pool")
+    serve.add_argument("--policy", choices=["fair", "fifo", "deadline"],
+                       default="fair",
+                       help="scheduling policy (default: fair share)")
+    serve.add_argument("--tenant", action="append", default=[],
+                       metavar="NAME[:WEIGHT]", dest="tenants",
+                       help="declare a tenant and its fair-share weight "
+                            "(repeatable; unknown tenants get weight 1)")
+    serve.add_argument("--port", type=int, default=7077,
+                       help="framed-RPC submission port (default: 7077)")
+    serve.add_argument("--http-port", type=int, default=None,
+                       help="also serve the line-JSON HTTP shim here")
+    serve.add_argument("--max-queued-jobs", type=int, default=0,
+                       help="admission: global queued-job ceiling (0 = off)")
+    serve.add_argument("--max-queued-bytes", type=int, default=0,
+                       help="admission: queued input bytes high-water mark "
+                            "(0 = off)")
+    serve.add_argument("--max-live-bytes", type=int, default=0,
+                       help="admission: live bytes high-water mark (0 = off)")
+    serve.add_argument("--deadline", type=float, default=60.0,
+                       help="per-job completion deadline in seconds")
+
+    submit = sub.add_parser(
+        "submit", help="submit one job to a running job server"
+    )
+    submit.add_argument("app", choices=["grep", "sort", "wc", "knn", "pp",
+                                        "ga", "bs"])
+    submit.add_argument("--server", metavar="HOST:PORT",
+                        default="127.0.0.1:7077",
+                        help="job server RPC address (default: "
+                             "127.0.0.1:7077)")
+    submit.add_argument("--tenant", default="default",
+                        help="submitting tenant (default: 'default')")
+    submit.add_argument("--mode", type=_mode, default=ExecutionMode.BARRIERLESS)
+    submit.add_argument("--records", type=int, default=300)
+    submit.add_argument("--reducers", type=int, default=2)
+    submit.add_argument("--maps", type=int, default=2)
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument("--deadline", type=float, default=None,
+                        help="deadline hint for the 'deadline' policy")
+    submit.add_argument("--wait", action="store_true",
+                        help="poll until the job finishes and print its "
+                             "final record")
+
+    jobs_cmd = sub.add_parser(
+        "jobs", help="list a running job server's jobs"
+    )
+    jobs_cmd.add_argument("--server", metavar="HOST:PORT",
+                          default="127.0.0.1:7077",
+                          help="job server RPC address")
+    jobs_cmd.add_argument("--tenant", default=None,
+                          help="only this tenant's jobs")
+    jobs_cmd.add_argument("--json", action="store_true",
+                          help="print raw JSON records instead of a table")
     return parser
 
 
@@ -1084,22 +1150,63 @@ def _cmd_metrics(args) -> int:
 
 
 def _render_cluster_status(status: dict, width: int = 40) -> str:
-    """ASCII dashboard over one :meth:`Coordinator.status` snapshot."""
+    """ASCII dashboard over one status snapshot.
+
+    Renders both snapshot shapes: a bare coordinator
+    (:meth:`Coordinator.status`) and a job server
+    (:meth:`JobServer.status`), which adds a scheduler header and a
+    per-tenant lane and may embed a coordinator underneath.
+    """
     import time as _time
 
     from repro.analysis.timeline import ascii_sparkline
 
-    coord = status.get("coordinator", {})
     wall = float(status.get("wall", 0.0))
     stamp = _time.strftime("%H:%M:%S", _time.localtime(wall)) if wall else "?"
-    lines = [
-        f"cluster status @ {stamp}  "
-        f"coordinator {coord.get('host', '?')}:{coord.get('port', '?')} "
-        f"pid {coord.get('pid', '?')}  lease {coord.get('lease_s', 0.0)}s"
-    ]
+    lines = []
+    server = status.get("server")
+    if server:
+        lines.append(
+            f"job server @ {stamp}  "
+            f"{server.get('host', '?')}:{server.get('port', '?')} "
+            f"backend {server.get('backend', '?')}  "
+            f"policy {server.get('policy', '?')}  "
+            f"slots {server.get('running', 0)}/{server.get('slots', 0)}  "
+            f"queued {server.get('queued', 0)} "
+            f"({server.get('queued_bytes', 0):,}B)"
+        )
+    coord = status.get("coordinator", {})
+    if coord or not server:
+        lines.append(
+            f"cluster status @ {stamp}  "
+            f"coordinator {coord.get('host', '?')}:{coord.get('port', '?')} "
+            f"pid {coord.get('pid', '?')}  lease {coord.get('lease_s', 0.0)}s"
+        )
+    tenants = status.get("tenants", {})
+    if tenants:
+        lines.append(f"tenants ({len(tenants)}):")
+        name_width = max(len(name) for name in tenants)
+        for name, lane in sorted(tenants.items()):
+            lines.append(
+                f"  {name:<{name_width}} w={lane.get('weight', 1.0):<4g} "
+                f"queued {lane.get('queued', 0):>3}  "
+                f"running {lane.get('running', 0):>2}  "
+                f"granted {lane.get('granted', 0):>4}  "
+                f"done {lane.get('completed', 0):>4}  "
+                f"rejected {lane.get('rejected', 0):>3}"
+            )
     jobs = status.get("jobs", {})
     lines.append(f"jobs ({len(jobs)}):")
     for job_id, job in sorted(jobs.items()):
+        if "state" in job:
+            # Server-shape record: tenant-facing lifecycle, no task map.
+            lines.append(
+                f"  {job_id:<8} {job.get('app', '?'):<6} "
+                f"[{job.get('mode', '?')}] "
+                f"tenant {job.get('tenant', '?'):<10} "
+                f"{job.get('state', '?')}"
+            )
+            continue
         epochs = sum(int(e) for e in job.get("map_epochs", {}).values())
         attempts = sum(
             int(a) for a in job.get("reduce_attempts", {}).values()
@@ -1187,6 +1294,120 @@ def _cmd_top(args) -> int:
         print()
 
 
+def _parse_server_target(target: str) -> tuple[str, int]:
+    host, _, port_text = target.rpartition(":")
+    return host or "127.0.0.1", int(port_text)
+
+
+def _cmd_serve(args) -> int:
+    """Run the multi-tenant job server until interrupted."""
+    import time
+
+    from repro.server import AdmissionConfig, JobServer, TenantConfig
+
+    tenants: dict[str, TenantConfig] = {}
+    for spec in args.tenants:
+        name, _, weight = spec.partition(":")
+        tenants[name] = TenantConfig(weight=float(weight) if weight else 1.0)
+    server = JobServer(
+        args.backend,
+        slots=args.slots,
+        policy=args.policy,
+        tenants=tenants,
+        admission=AdmissionConfig(
+            max_queued_jobs=args.max_queued_jobs,
+            max_queued_bytes=args.max_queued_bytes,
+            max_live_bytes=args.max_live_bytes,
+        ),
+        workers=args.workers,
+        port=args.port,
+        job_deadline_s=args.deadline,
+    )
+    print(
+        f"job server on {server.host}:{server.port} "
+        f"(backend {args.backend}, policy {args.policy}, "
+        f"slots {args.slots}) — submit with "
+        f"'repro submit APP --server {server.host}:{server.port}'"
+    )
+    if args.http_port is not None:
+        host, port = server.start_http(port=args.http_port)
+        print(f"http shim on {host}:{port}")
+    try:
+        while True:
+            time.sleep(1.0)
+    except KeyboardInterrupt:
+        print("shutting down")
+        return 0
+    finally:
+        server.close()
+
+
+def _cmd_submit(args) -> int:
+    """Submit one job over the framed-RPC plane; optionally wait."""
+    import json
+
+    from repro.server import ServerClient, SubmitRejected
+
+    host, port = _parse_server_target(args.server)
+    client = ServerClient(host, port)
+    try:
+        job_id = client.submit(
+            args.tenant,
+            args.app,
+            mode=args.mode.value,
+            records=args.records,
+            num_maps=args.maps,
+            num_reducers=args.reducers,
+            seed=args.seed,
+            deadline_s=args.deadline,
+        )
+    except SubmitRejected as exc:
+        print(
+            f"rejected: {exc.reason} (retry after {exc.retry_after_s}s)",
+            file=sys.stderr,
+        )
+        return 1
+    except OSError as exc:
+        print(f"submit: {host}:{port} unreachable: {exc}", file=sys.stderr)
+        return 1
+    print(job_id)
+    if args.wait:
+        record = client.wait(job_id)
+        print(json.dumps(record, indent=2, sort_keys=True))
+        return 0 if record.get("state") == "done" else 1
+    return 0
+
+
+def _cmd_jobs(args) -> int:
+    """List a running server's jobs."""
+    import json
+
+    from repro.server import ServerClient
+
+    host, port = _parse_server_target(args.server)
+    try:
+        jobs = ServerClient(host, port).jobs(args.tenant)
+    except OSError as exc:
+        print(f"jobs: {host}:{port} unreachable: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(jobs, indent=2, sort_keys=True))
+        return 0
+    if not jobs:
+        print("(no jobs)")
+        return 0
+    print(f"{'JOB':<8} {'TENANT':<12} {'APP':<6} {'MODE':<12} "
+          f"{'STATE':<10} DIGEST")
+    for job in jobs:
+        print(
+            f"{job.get('job_id', '?'):<8} {job.get('tenant', '?'):<12} "
+            f"{job.get('app', '?'):<6} {job.get('mode', '?'):<12} "
+            f"{job.get('state', '?'):<10} "
+            f"{job.get('digest', '')[:16]}"
+        )
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -1228,6 +1449,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_metrics(args)
     if args.command == "top":
         return _cmd_top(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
+    if args.command == "jobs":
+        return _cmd_jobs(args)
     raise AssertionError(args.command)
 
 

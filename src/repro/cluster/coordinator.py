@@ -1,33 +1,42 @@
-"""Cluster coordinator: registration, scheduling, journaling, recovery.
+"""Cluster coordinator: registration, multi-job scheduling, journaling.
 
 The control-plane brain of the cluster runtime.  The coordinator owns a
 listening socket; each worker connects and keeps that connection for as
 long as it lives (a receiver thread per connection feeds an inbox
 queue, so worker death is observed as EOF the moment the OS tears the
 socket down, and a worker that reconnects after a coordinator restart
-re-registers on a fresh connection).  :meth:`Coordinator.submit` runs
-one job end-to-end:
+re-registers on a fresh connection).
 
-1. journal the submission (write-ahead), broadcast the ``job`` message;
-2. assign map tasks (placement policy), then reduce tasks — every grant
-   journaled before the assignment is sent;
-3. consume the inbox: ``map-done`` journals and publishes the mapper's
-   location to every worker, ``reduce-done`` journals and commits
-   first-wins, ``heartbeat`` snapshots fold progress, ``worker-dead``
-   triggers recovery, ``worker-joined`` re-syncs a (re)registered
-   worker with the active job's spec and locations;
-4. on worker death, every map task the dead worker owned is reassigned
-   under a **bumped epoch** (in-flight fetch streams see the new epoch
-   and restart, deduping through their ledgers) and every uncommitted
-   reduce task is reassigned with the dead attempt's last heartbeat
-   progress as ``prior``;
+Since the multi-tenant job server (PR 9), the coordinator runs **many
+jobs concurrently** over one worker pool: a single *dispatcher thread*
+owns every piece of per-job state and drains the inbox, routing each
+message to the job it belongs to.  :meth:`Coordinator.submit` only
+builds and journals the job, hands it to the dispatcher, and blocks on
+a per-job completion event — so any number of threads (the job server's
+slot runners, `ClusterRuntime.run_job` callers) can submit in parallel
+and their jobs interleave on the same workers.  For each job the
+dispatcher:
+
+1. journals the submission (write-ahead), broadcasts the ``job``
+   message;
+2. assigns map tasks (placement policy), then reduce tasks — every
+   grant journaled before the assignment is sent;
+3. consumes that job's messages: ``map-done`` journals and publishes
+   the mapper's location to every worker, ``reduce-done`` journals and
+   commits first-wins, ``heartbeat`` snapshots fold progress;
+4. on worker death, every map task the dead worker owned — in *every*
+   active job — is reassigned under a **bumped epoch** (in-flight fetch
+   streams see the new epoch and restart, deduping through their
+   ledgers) and every uncommitted reduce task is reassigned with the
+   dead attempt's last heartbeat progress as ``prior``;
 5. a **lease sweep** expires workers whose heartbeats stop arriving —
    a SIGSTOP'd or wedged process is indistinguishable from a healthy
    one at the socket layer, so silence past ``lease_s`` is treated as
    death (``cluster.lease.expired``) and its tasks are reassigned
    within the lease interval instead of stalling to the job deadline;
-6. an overall deadline bounds the whole job, so a wedged cluster fails
-   loudly instead of hanging the caller.
+6. a per-job deadline bounds each job, so a wedged cluster fails that
+   job loudly instead of hanging its submitter — without touching the
+   other jobs in flight.
 
 Crash recovery: constructed over a :class:`~repro.cluster.journal.
 Journal` whose file already holds records, the coordinator replays the
@@ -46,8 +55,8 @@ Telemetry plane: every map/reduce grant is stamped with a
 riding on heartbeats and completion messages are ingested into
 :attr:`Coordinator.telemetry` directly on the per-connection receiver
 threads — so spans, events and gauge series keep merging even while no
-job loop is draining the inbox.  Ingested counters never touch the job
-counter path; completion messages remain the only authoritative source.
+job is active.  Ingested counters never touch the job counter path;
+completion messages remain the only authoritative counter source.
 A fresh connection may also open with a ``status`` message instead of
 ``register``: the coordinator answers with one JSON-able snapshot
 (:meth:`Coordinator.status`) and closes — the ``repro top`` wire verb.
@@ -132,8 +141,11 @@ class _WorkerHandle:
 class _JobState:
     """Everything the coordinator must remember to finish one job.
 
-    Built either by :meth:`Coordinator.submit` or by journal replay;
-    :meth:`Coordinator._run_job` drives it to completion either way.
+    Built either by :meth:`Coordinator.submit` or by journal replay; the
+    dispatcher thread drives it to completion either way.  The scheduling
+    fields (owners, epochs, locations, outputs) are journal-replayable;
+    the runtime fields below them exist only for the in-flight run and
+    are owned exclusively by the dispatcher thread once the job starts.
     """
 
     def __init__(
@@ -169,6 +181,18 @@ class _JobState:
         #: reducer -> {mapper: records folded}, from owner heartbeats.
         self.progress: dict[int, dict[int, int]] = {}
         self.done = False
+        # -- runtime (dispatcher-owned) fields -----------------------------
+        self.kill: dict | None = None
+        self.resuming = False
+        self.finished = threading.Event()
+        self.error: ClusterJobError | None = None
+        self.result: JobResult | None = None
+        self.job_fields: dict | None = None
+        self.map_done_times: list[float] = []
+        self.watch: Stopwatch | None = None
+        self.times: StageTimes | None = None
+        self.deadline_mono = 0.0
+        self.span = None
 
     @property
     def num_maps(self) -> int:
@@ -176,7 +200,13 @@ class _JobState:
 
 
 class Coordinator:
-    """Accepts worker registrations and runs jobs over them."""
+    """Accepts worker registrations and runs jobs over them.
+
+    Any number of threads may call :meth:`submit` concurrently; their
+    jobs multiplex over the same workers, each bounded by its own
+    deadline.  All per-job state is mutated only on the dispatcher
+    thread — submitters hand their job over and block on its event.
+    """
 
     def __init__(
         self,
@@ -205,12 +235,19 @@ class Coordinator:
         self._inbox: "queue.Queue[tuple[str, dict]]" = queue.Queue()
         self._closing = threading.Event()
         self._job_seq = 0
+        self._job_seq_lock = threading.Lock()
         #: Merged worker telemetry (spans, events, series, skew) keyed
         #: by worker name; fed by the receiver threads.
         self.telemetry = ClusterTelemetry(self.obs)
         #: job_id -> _JobState for every job this coordinator has seen
         #: (running or finished); the live-status snapshot reads it.
         self._jobs: dict[str, _JobState] = {}
+        #: job_id -> _JobState currently in flight (dispatcher-owned).
+        self._active: dict[str, _JobState] = {}
+        #: Worker generations whose death has already been handled, so a
+        #: receiver-thread EOF and a lease expiry for the same
+        #: connection reassign its tasks once, not twice.
+        self._handled_gens: set[int] = set()
         #: job_id -> _JobState recovered from the journal (incomplete
         #: jobs only become results via :meth:`resume`).
         self._recovered: dict[str, _JobState] = {}
@@ -220,6 +257,11 @@ class Coordinator:
             target=self._accept_loop, name="coordinator-accept", daemon=True
         )
         self._accept_thread.start()
+        self._dispatch_thread = threading.Thread(
+            target=self._dispatch_loop, name="coordinator-dispatch",
+            daemon=True,
+        )
+        self._dispatch_thread.start()
 
     # -- journal -----------------------------------------------------------
 
@@ -380,8 +422,8 @@ class Coordinator:
                 break
             self.obs.counters.increment("cluster.rpc.messages")
             if kind == "heartbeat":
-                # Updated here, not in the job loop: leases must stay
-                # fresh even while no job is draining the inbox.
+                # Updated here, not in the dispatcher: leases must stay
+                # fresh even while the dispatcher chews on a busy inbox.
                 handle.last_heartbeat = time.monotonic()
             frame = fields.get("telemetry")
             if isinstance(frame, (bytes, bytearray)):
@@ -437,7 +479,7 @@ class Coordinator:
         with self._workers_cond:
             return self._workers.get(name)
 
-    # -- job execution -----------------------------------------------------
+    # -- submission --------------------------------------------------------
 
     def submit(
         self,
@@ -452,16 +494,31 @@ class Coordinator:
         placement: str = "spread",
         deadline_s: float = 60.0,
     ) -> JobResult:
+        """Run one job to completion; raises :class:`ClusterJobError`.
+
+        Safe to call from many threads at once — each call blocks until
+        *its* job finishes while the dispatcher multiplexes all of them
+        over the shared workers.  ``checkpoint_root`` is a *base*
+        directory: the job's snapshots land in a ``<job_id>/`` subtree,
+        so concurrent jobs can never read each other's checkpoints.
+        """
         if placement not in PLACEMENTS:
             raise ValueError(f"unknown placement {placement!r}")
         job.validate()
-        self._job_seq += 1
-        job_id = f"job-{self._job_seq}"
+        if not self._alive_workers():
+            raise ClusterJobError("no live workers")
+        with self._job_seq_lock:
+            self._job_seq += 1
+            job_id = f"job-{self._job_seq}"
+        if checkpoint_root is not None:
+            checkpoint_root = os.path.join(checkpoint_root, job_id)
+            os.makedirs(checkpoint_root, exist_ok=True)
         splits = [list(split) for split in split_input(pairs, num_maps)]
         state = _JobState(
             job_id, job, splits, wire, recovery, checkpoint_root,
             placement, deadline_s,
         )
+        state.kill = kill
         self._log(
             "job-submit",
             {
@@ -475,7 +532,8 @@ class Coordinator:
                 "deadline_s": float(deadline_s),
             },
         )
-        return self._run_job(state, kill=kill, resuming=False)
+        self._inbox.put(("job-start", {"state": state}))
+        return self._await(state)
 
     def resume(self) -> dict[str, JobResult]:
         """Finish every journal-recovered job that never committed.
@@ -483,160 +541,323 @@ class Coordinator:
         Callers should :meth:`wait_for_workers` first so the surviving
         workers' re-registrations (with their held outputs and active
         attempts) are on the books before placement decisions are made.
+        Incomplete jobs are started together and finish concurrently.
         """
-        results: dict[str, JobResult] = {}
-        for job_id, state in list(self._recovered.items()):
-            if state.done:
-                continue
+        pending = [
+            state for state in self._recovered.values() if not state.done
+        ]
+        for state in pending:
             self.obs.counters.increment("cluster.resume.jobs")
-            results[job_id] = self._run_job(state, kill=None, resuming=True)
+            state.resuming = True
+            self._inbox.put(("job-start", {"state": state}))
+        results: dict[str, JobResult] = {}
+        for state in pending:
+            results[state.job_id] = self._await(state)
         return results
 
-    def _run_job(
-        self, state: _JobState, *, kill: dict | None, resuming: bool
-    ) -> JobResult:
+    def _await(self, state: _JobState) -> JobResult:
+        """Block the submitting thread until the dispatcher finishes."""
+        while not state.finished.wait(timeout=0.2):
+            if self._closing.is_set():
+                raise ClusterJobError(
+                    f"coordinator shut down while {state.job_id} ran"
+                )
+        if state.error is not None:
+            raise state.error
+        assert state.result is not None
+        return state.result
+
+    # -- dispatcher --------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        """The single thread that owns all per-job scheduling state."""
+        while not self._closing.is_set():
+            self._sweep_leases()
+            self._sweep_deadlines()
+            try:
+                kind, fields = self._inbox.get(timeout=0.05)
+            except queue.Empty:
+                continue
+            self._handle_message(kind, fields)
+
+    def _handle_message(self, kind: str, fields: dict) -> None:
+        if kind == "job-start":
+            self._begin_job(fields["state"])
+            return
+        if kind == "worker-dead":
+            self._handle_worker_dead(
+                str(fields["worker"]), int(fields.get("gen", 0))
+            )
+            return
+        if kind == "worker-joined":
+            self._handle_worker_joined(str(fields["worker"]))
+            return
+        if kind == "heartbeat":
+            self.obs.counters.increment("cluster.heartbeats")
+            state = self._active.get(str(fields.get("job_id", "")))
+            if state is not None:
+                for reducer, folded in dict(
+                    fields.get("progress", {})
+                ).items():
+                    snapshot = state.progress.setdefault(int(reducer), {})
+                    for mapper, count in dict(folded).items():
+                        mapper = int(mapper)
+                        if int(count) > snapshot.get(mapper, 0):
+                            snapshot[mapper] = int(count)
+            return
+        state = self._active.get(str(fields.get("job_id", "")))
+        if state is None:
+            return  # stale message for a finished or unknown job
+        if kind == "map-done":
+            self._handle_map_done(state, fields)
+        elif kind == "reduce-done":
+            reducer = int(fields["reducer"])
+            if int(fields["attempt"]) != state.reduce_attempt[reducer]:
+                return  # superseded attempt
+            self._commit_reduce(state, reducer, fields)
+            self._maybe_finish(state)
+        elif kind == "task-failed":
+            if (
+                fields.get("kind") == "reduce"
+                and int(fields.get("attempt", 0))
+                != state.reduce_attempt[int(fields["index"])]
+            ):
+                return  # a superseded attempt failing late
+            self._fail_job(
+                state,
+                ClusterJobError(
+                    f"{state.job_id} "
+                    f"{fields.get('kind')}-{fields.get('index')} "
+                    f"failed on {fields.get('worker')}: "
+                    f"{fields.get('error')}"
+                ),
+            )
+
+    # -- job lifecycle (dispatcher thread only) ----------------------------
+
+    def _begin_job(self, state: _JobState) -> None:
         workers = self._alive_workers()
         if not workers:
-            raise ClusterJobError("no live workers")
+            self._fail_job(state, ClusterJobError("no live workers"))
+            return
         job = state.job
-        job_id = state.job_id
-        obs = self.obs
-        watch = Stopwatch()
-        times = StageTimes()
-        obs.counters.increment("cluster.jobs")
-        self._jobs[job_id] = state
-        job_span = obs.tracer.open(
+        self.obs.counters.increment("cluster.jobs")
+        self._jobs[state.job_id] = state
+        self._active[state.job_id] = state
+        state.watch = Stopwatch()
+        state.times = StageTimes()
+        state.deadline_mono = time.monotonic() + state.deadline_s
+        state.span = self.obs.tracer.open(
             job.name, "job", mode=job.mode.value, engine="cluster"
         )
-
-        job_fields = {
-            "job_id": job_id,
+        state.job_fields = {
+            "job_id": state.job_id,
             "job": pickle.dumps(job),
             "wire": pickle.dumps(state.wire),
             "recovery": pickle.dumps(state.recovery),
             "checkpoint_root": state.checkpoint_root or "",
-            "kill": kill or {},
+            "kill": state.kill or {},
         }
-        self._broadcast("job", job_fields)
-
-        def grant_map(mapper: int, handle: _WorkerHandle) -> None:
-            state.map_owner[mapper] = handle.name
-            self._log(
-                "map-grant",
-                {
-                    "job_id": job_id, "mapper": mapper,
-                    "epoch": state.map_epoch[mapper], "worker": handle.name,
-                },
-            )
-            self._send_to(
-                handle,
-                "assign-map",
-                {
-                    "job_id": job_id,
-                    "mapper": mapper,
-                    "epoch": state.map_epoch[mapper],
-                    "split": pickle.dumps(state.splits[mapper]),
-                    "ctx": TraceContext(
-                        job_id=job_id,
-                        task_id=f"map-{mapper}",
-                        attempt=0,
-                        epoch=state.map_epoch[mapper],
-                    ).as_fields(),
-                },
-            )
-
-        def grant_reduce(
-            reducer: int, handle: _WorkerHandle, prior: dict
-        ) -> None:
-            state.reduce_owner[reducer] = handle.name
-            self._log(
-                "reduce-grant",
-                {
-                    "job_id": job_id, "reducer": reducer,
-                    "attempt": state.reduce_attempt[reducer],
-                    "worker": handle.name,
-                },
-            )
-            self._send_to(
-                handle,
-                "assign-reduce",
-                {
-                    "job_id": job_id,
-                    "reducer": reducer,
-                    "attempt": state.reduce_attempt[reducer],
-                    "num_maps": state.num_maps,
-                    "prior": {int(m): int(c) for m, c in prior.items()},
-                    "ctx": TraceContext(
-                        job_id=job_id,
-                        task_id=f"reduce-{reducer}",
-                        attempt=state.reduce_attempt[reducer],
-                        epoch=0,
-                    ).as_fields(),
-                },
-            )
-
-        def location_fields(mapper: int) -> dict | None:
-            held = state.map_locations.get(mapper)
-            if held is None:
-                return None
-            owner = self._handle_of(held[0])
-            if owner is None:
-                return None
-            return {
-                "job_id": job_id,
-                "mapper": mapper,
-                "epoch": held[1],
-                "host": owner.shuffle_host,
-                "port": owner.shuffle_port,
-            }
-
-        times.map_start = watch.elapsed()
-        if resuming:
-            self._place_resumed(state, grant_map, grant_reduce)
+        self._broadcast("job", state.job_fields)
+        state.times.map_start = state.watch.elapsed()
+        if state.resuming:
+            self._place_resumed(state)
         else:
-            self._place_fresh(state, workers, grant_map, grant_reduce)
+            self._place_fresh(state, workers)
+        # A resumed job whose every reduce-commit survived in the journal
+        # (only the job-done record was torn) is already complete.
+        self._maybe_finish(state)
 
-        # -- event loop ----------------------------------------------------
-        output = state.output
-        map_done_times: list[float] = []
-        handled_gens: set[int] = set()
-        deadline = time.monotonic() + state.deadline_s
+    def _grant_map(
+        self, state: _JobState, mapper: int, handle: _WorkerHandle
+    ) -> None:
+        state.map_owner[mapper] = handle.name
+        self._log(
+            "map-grant",
+            {
+                "job_id": state.job_id, "mapper": mapper,
+                "epoch": state.map_epoch[mapper], "worker": handle.name,
+            },
+        )
+        self._send_to(
+            handle,
+            "assign-map",
+            {
+                "job_id": state.job_id,
+                "mapper": mapper,
+                "epoch": state.map_epoch[mapper],
+                "split": pickle.dumps(state.splits[mapper]),
+                "ctx": TraceContext(
+                    job_id=state.job_id,
+                    task_id=f"map-{mapper}",
+                    attempt=0,
+                    epoch=state.map_epoch[mapper],
+                ).as_fields(),
+            },
+        )
 
-        def commit_reduce(reducer: int, fields: dict) -> None:
-            if reducer in output:
-                return  # a stale attempt lost the race
-            self._log(
-                "reduce-commit",
-                {
-                    "job_id": job_id,
-                    "reducer": reducer,
-                    "attempt": int(fields["attempt"]),
-                    "output": bytes(fields["output"]),
-                    "counters": dict(fields.get("counters", {})),
-                },
-            )
-            output[reducer] = pickle.loads(fields["output"])
+    def _grant_reduce(
+        self, state: _JobState, reducer: int, handle: _WorkerHandle,
+        prior: dict,
+    ) -> None:
+        state.reduce_owner[reducer] = handle.name
+        self._log(
+            "reduce-grant",
+            {
+                "job_id": state.job_id, "reducer": reducer,
+                "attempt": state.reduce_attempt[reducer],
+                "worker": handle.name,
+            },
+        )
+        self._send_to(
+            handle,
+            "assign-reduce",
+            {
+                "job_id": state.job_id,
+                "reducer": reducer,
+                "attempt": state.reduce_attempt[reducer],
+                "num_maps": state.num_maps,
+                "prior": {int(m): int(c) for m, c in prior.items()},
+                "ctx": TraceContext(
+                    job_id=state.job_id,
+                    task_id=f"reduce-{reducer}",
+                    attempt=state.reduce_attempt[reducer],
+                    epoch=0,
+                ).as_fields(),
+            },
+        )
+
+    def _location_fields(self, state: _JobState, mapper: int) -> dict | None:
+        held = state.map_locations.get(mapper)
+        if held is None:
+            return None
+        owner = self._handle_of(held[0])
+        if owner is None:
+            return None
+        return {
+            "job_id": state.job_id,
+            "mapper": mapper,
+            "epoch": held[1],
+            "host": owner.shuffle_host,
+            "port": owner.shuffle_port,
+        }
+
+    def _handle_map_done(self, state: _JobState, fields: dict) -> None:
+        mapper = int(fields["mapper"])
+        epoch = int(fields["epoch"])
+        if epoch != state.map_epoch[mapper]:
+            return  # superseded by a reassignment
+        owner = str(fields["worker"])
+        handle = self._handle_of(owner)
+        if handle is None:
+            return
+        first = mapper not in state.merged_maps
+        self._log(
+            "map-location",
+            {
+                "job_id": state.job_id,
+                "mapper": mapper,
+                "epoch": epoch,
+                "worker": owner,
+                "counters": (
+                    dict(fields.get("counters", {})) if first else {}
+                ),
+                "first": first,
+            },
+        )
+        state.map_locations[mapper] = (owner, epoch)
+        if first:
+            # First completion of this map task: merge its counters once
+            # (re-executions repeat the work but must not double the
+            # record totals).
+            state.merged_maps.add(mapper)
             state.counters.merge(Counters(dict(fields.get("counters", {}))))
-            state.counters.increment("reduce.tasks")
-            obs.counters.merge_dict(fields.get("counters", {}))
-            obs.counters.increment("reduce.tasks")
-            obs.counters.increment("shuffle.records.fetched", 0)
-            obs.counters.increment("shuffle.records.consumed", 0)
+            state.counters.increment("map.tasks")
+            self.obs.counters.merge_dict(fields.get("counters", {}))
+            self.obs.counters.increment("map.tasks")
+            state.map_done_times.append(state.watch.elapsed())
+        else:
+            self.obs.counters.increment("map.reexecutions")
+        self._broadcast("location", self._location_fields(state, mapper))
 
-        def handle_worker_dead(name: str, gen: int) -> None:
-            if gen in handled_gens:
-                return
-            handled_gens.add(gen)
-            obs.counters.increment("cluster.workers.lost")
-            obs.events.emit("cluster.worker.lost", worker=name, job=job_id)
-            # Whatever the dead worker shipped up to its last heartbeat
-            # stays, flagged truncated; nothing beyond it is fabricated.
-            self.telemetry.mark_truncated(name)
-            alive = self._alive_workers()
-            if not alive:
-                raise ClusterJobError(
-                    f"worker {name} died and no workers remain"
-                )
+    def _commit_reduce(
+        self, state: _JobState, reducer: int, fields: dict
+    ) -> None:
+        if reducer in state.output:
+            return  # a stale attempt lost the race
+        self._log(
+            "reduce-commit",
+            {
+                "job_id": state.job_id,
+                "reducer": reducer,
+                "attempt": int(fields["attempt"]),
+                "output": bytes(fields["output"]),
+                "counters": dict(fields.get("counters", {})),
+            },
+        )
+        state.output[reducer] = pickle.loads(fields["output"])
+        state.counters.merge(Counters(dict(fields.get("counters", {}))))
+        state.counters.increment("reduce.tasks")
+        self.obs.counters.merge_dict(fields.get("counters", {}))
+        self.obs.counters.increment("reduce.tasks")
+        self.obs.counters.increment("shuffle.records.fetched", 0)
+        self.obs.counters.increment("shuffle.records.consumed", 0)
+
+    def _maybe_finish(self, state: _JobState) -> None:
+        if state.finished.is_set():
+            return
+        if len(state.output) < state.job.num_reducers:
+            return
+        self._log("job-done", {"job_id": state.job_id})
+        state.done = True
+        times = state.times
+        elapsed = state.watch.elapsed()
+        times.first_map_done = min(state.map_done_times, default=elapsed)
+        times.last_map_done = max(state.map_done_times, default=elapsed)
+        times.shuffle_done = elapsed
+        times.sort_done = times.shuffle_done
+        times.reduce_done = elapsed
+        times.job_done = elapsed
+        state.result = finish_result(
+            state.job, state.output, state.counters, times
+        )
+        self._conclude(state)
+
+    def _fail_job(self, state: _JobState, error: ClusterJobError) -> None:
+        if state.finished.is_set():
+            return
+        state.error = error
+        self._conclude(state)
+
+    def _conclude(self, state: _JobState) -> None:
+        """Common tail of success and failure: release, notify, unblock."""
+        self._active.pop(state.job_id, None)
+        self._broadcast("job-done", {"job_id": state.job_id})
+        if state.span is not None:
+            self.obs.tracer.close(state.span)
+            state.span = None
+        state.finished.set()
+
+    def _handle_worker_dead(self, name: str, gen: int) -> None:
+        if gen in self._handled_gens:
+            return
+        self._handled_gens.add(gen)
+        self.obs.counters.increment("cluster.workers.lost")
+        self.obs.events.emit(
+            "cluster.worker.lost", worker=name, jobs=len(self._active),
+        )
+        # Whatever the dead worker shipped up to its last heartbeat
+        # stays, flagged truncated; nothing beyond it is fabricated.
+        self.telemetry.mark_truncated(name)
+        alive = self._alive_workers()
+        if not alive:
+            error = ClusterJobError(
+                f"worker {name} died and no workers remain"
+            )
+            for state in list(self._active.values()):
+                self._fail_job(state, error)
+            return
+        for state in list(self._active.values()):
             # Re-execute every map task the dead worker owned under a new
             # epoch; its outputs died with its shuffle server.  In-flight
             # fetch streams observe the bumped epoch on the replacement
@@ -650,182 +871,91 @@ class Coordinator:
                 self._log(
                     "epoch-bump",
                     {
-                        "job_id": job_id, "mapper": mapper,
+                        "job_id": state.job_id, "mapper": mapper,
                         "epoch": state.map_epoch[mapper],
                     },
                 )
-                grant_map(mapper, alive[reassigned % len(alive)])
+                self._grant_map(state, mapper, alive[reassigned % len(alive)])
                 reassigned += 1
             # Reassign uncommitted reduce tasks with the dead attempt's
             # last reported fold progress as prior, so the replacement
             # attempt classifies re-done records (replayed after a
             # checkpoint resume, refolded otherwise).
             for reducer, owner in list(state.reduce_owner.items()):
-                if owner != name or reducer in output:
+                if owner != name or reducer in state.output:
                     continue
                 state.reduce_attempt[reducer] += 1
-                grant_reduce(
+                self._grant_reduce(
+                    state,
                     reducer,
                     alive[reassigned % len(alive)],
                     state.progress.get(reducer, {}),
                 )
                 reassigned += 1
             if reassigned:
-                obs.counters.increment("cluster.tasks.reassigned", reassigned)
+                self.obs.counters.increment(
+                    "cluster.tasks.reassigned", reassigned
+                )
 
-        def handle_worker_joined(name: str) -> None:
-            # A worker that (re)connected mid-job: give it everything it
-            # needs to participate — the job spec (ignored if it already
-            # holds the context) and every current output location.
-            handle = self._handle_of(name)
-            if handle is None or not handle.alive:
-                return
-            self._send_to(handle, "job", job_fields)
+    def _handle_worker_joined(self, name: str) -> None:
+        # A worker that (re)connected mid-job: give it everything it
+        # needs to participate in every active job — the job spec
+        # (ignored if it already holds the context) and every current
+        # output location.
+        handle = self._handle_of(name)
+        if handle is None or not handle.alive:
+            return
+        for state in list(self._active.values()):
+            if state.job_fields is not None:
+                self._send_to(handle, "job", state.job_fields)
             for mapper in list(state.map_locations):
-                fields = location_fields(mapper)
+                fields = self._location_fields(state, mapper)
                 if fields is not None:
                     self._send_to(handle, "location", fields)
 
-        def sweep_leases() -> None:
-            if self._lease_s is None:
-                return
-            now = time.monotonic()
-            for handle in self._alive_workers():
-                idle = now - handle.last_heartbeat
-                if idle <= self._lease_s:
-                    continue
-                # Wedged but connected: treat silence as death.  Closing
-                # the socket makes the worker reconnect and re-register
-                # if it ever wakes up (SIGCONT).
-                handle.alive = False
-                obs.counters.increment("cluster.lease.expired")
-                obs.events.emit(
-                    "cluster.lease.expired", worker=handle.name,
-                    job=job_id, idle_s=round(idle, 3),
-                )
-                try:
-                    handle.conn.close()
-                except OSError:
-                    pass
-                self._inbox.put(
-                    ("worker-dead", {"worker": handle.name, "gen": handle.gen})
-                )
+    def _sweep_leases(self) -> None:
+        if self._lease_s is None:
+            return
+        now = time.monotonic()
+        for handle in self._alive_workers():
+            idle = now - handle.last_heartbeat
+            if idle <= self._lease_s:
+                continue
+            # Wedged but connected: treat silence as death.  Closing
+            # the socket makes the worker reconnect and re-register
+            # if it ever wakes up (SIGCONT).
+            handle.alive = False
+            self.obs.counters.increment("cluster.lease.expired")
+            self.obs.events.emit(
+                "cluster.lease.expired", worker=handle.name,
+                idle_s=round(idle, 3),
+            )
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+            self._inbox.put(
+                ("worker-dead", {"worker": handle.name, "gen": handle.gen})
+            )
 
-        try:
-            while len(output) < job.num_reducers:
-                if time.monotonic() >= deadline:
-                    raise ClusterJobError(
-                        f"{job_id} missed its {state.deadline_s}s deadline "
-                        f"({len(output)}/{job.num_reducers} reducers done)"
-                    )
-                sweep_leases()
-                try:
-                    kind, fields = self._inbox.get(timeout=0.05)
-                except queue.Empty:
-                    continue
-                if kind == "worker-dead":
-                    handle_worker_dead(
-                        str(fields["worker"]), int(fields.get("gen", 0))
-                    )
-                    continue
-                if kind == "worker-joined":
-                    handle_worker_joined(str(fields["worker"]))
-                    continue
-                if kind == "heartbeat":
-                    obs.counters.increment("cluster.heartbeats")
-                    if str(fields.get("job_id", "")) == job_id:
-                        for reducer, folded in dict(
-                            fields.get("progress", {})
-                        ).items():
-                            snapshot = state.progress.setdefault(
-                                int(reducer), {}
-                            )
-                            for mapper, count in dict(folded).items():
-                                mapper = int(mapper)
-                                if int(count) > snapshot.get(mapper, 0):
-                                    snapshot[mapper] = int(count)
-                    continue
-                if str(fields.get("job_id", job_id)) != job_id:
-                    continue  # stale message from a previous job
-                if kind == "map-done":
-                    mapper = int(fields["mapper"])
-                    epoch = int(fields["epoch"])
-                    if epoch != state.map_epoch[mapper]:
-                        continue  # superseded by a reassignment
-                    owner = str(fields["worker"])
-                    handle = self._handle_of(owner)
-                    if handle is None:
-                        continue
-                    first = mapper not in state.merged_maps
-                    self._log(
-                        "map-location",
-                        {
-                            "job_id": job_id,
-                            "mapper": mapper,
-                            "epoch": epoch,
-                            "worker": owner,
-                            "counters": (
-                                dict(fields.get("counters", {}))
-                                if first else {}
-                            ),
-                            "first": first,
-                        },
-                    )
-                    state.map_locations[mapper] = (owner, epoch)
-                    if first:
-                        # First completion of this map task: merge its
-                        # counters once (re-executions repeat the work
-                        # but must not double the record totals).
-                        state.merged_maps.add(mapper)
-                        state.counters.merge(
-                            Counters(dict(fields.get("counters", {})))
-                        )
-                        state.counters.increment("map.tasks")
-                        obs.counters.merge_dict(fields.get("counters", {}))
-                        obs.counters.increment("map.tasks")
-                        map_done_times.append(watch.elapsed())
-                    else:
-                        obs.counters.increment("map.reexecutions")
-                    self._broadcast("location", location_fields(mapper))
-                elif kind == "reduce-done":
-                    reducer = int(fields["reducer"])
-                    if int(fields["attempt"]) != state.reduce_attempt[reducer]:
-                        continue  # superseded attempt
-                    commit_reduce(reducer, fields)
-                elif kind == "task-failed":
-                    if (
-                        fields.get("kind") == "reduce"
-                        and int(fields.get("attempt", 0))
-                        != state.reduce_attempt[int(fields["index"])]
-                    ):
-                        continue  # a superseded attempt failing late
-                    raise ClusterJobError(
-                        f"{job_id} {fields.get('kind')}-{fields.get('index')} "
-                        f"failed on {fields.get('worker')}: "
-                        f"{fields.get('error')}"
-                    )
-            self._log("job-done", {"job_id": job_id})
-            state.done = True
-        finally:
-            self._broadcast("job-done", {"job_id": job_id})
-            obs.tracer.close(job_span)
+    def _sweep_deadlines(self) -> None:
+        now = time.monotonic()
+        for state in list(self._active.values()):
+            if now < state.deadline_mono:
+                continue
+            self._fail_job(
+                state,
+                ClusterJobError(
+                    f"{state.job_id} missed its {state.deadline_s}s "
+                    f"deadline ({len(state.output)}"
+                    f"/{state.job.num_reducers} reducers done)"
+                ),
+            )
 
-        times.first_map_done = min(map_done_times, default=watch.elapsed())
-        times.last_map_done = max(map_done_times, default=watch.elapsed())
-        times.shuffle_done = watch.elapsed()
-        times.sort_done = times.shuffle_done
-        times.reduce_done = watch.elapsed()
-        times.job_done = watch.elapsed()
-        return finish_result(job, output, state.counters, times)
-
-    # -- placement ---------------------------------------------------------
+    # -- placement (dispatcher thread only) --------------------------------
 
     def _place_fresh(
-        self,
-        state: _JobState,
-        workers: list[_WorkerHandle],
-        grant_map,
-        grant_reduce,
+        self, state: _JobState, workers: list[_WorkerHandle]
     ) -> None:
         if state.placement == "maps-first" and len(workers) > 1:
             map_pool = workers[:-1]
@@ -834,11 +964,13 @@ class Coordinator:
             map_pool = workers
             reduce_pool = workers
         for mapper in range(state.num_maps):
-            grant_map(mapper, map_pool[mapper % len(map_pool)])
+            self._grant_map(state, mapper, map_pool[mapper % len(map_pool)])
         for reducer in range(state.job.num_reducers):
-            grant_reduce(reducer, reduce_pool[reducer % len(reduce_pool)], {})
+            self._grant_reduce(
+                state, reducer, reduce_pool[reducer % len(reduce_pool)], {}
+            )
 
-    def _place_resumed(self, state: _JobState, grant_map, grant_reduce) -> None:
+    def _place_resumed(self, state: _JobState) -> None:
         """Resume placement: reuse surviving work, re-grant the rest.
 
         A map output counts as surviving when its journaled location's
@@ -884,7 +1016,7 @@ class Coordinator:
                     "epoch": state.map_epoch[mapper],
                 },
             )
-            grant_map(mapper, targets[index % len(targets)])
+            self._grant_map(state, mapper, targets[index % len(targets)])
             index += 1
             maps_reassigned += 1
         kept = reduces_reassigned = 0
@@ -901,7 +1033,8 @@ class Coordinator:
                 kept += 1
                 continue
             state.reduce_attempt[reducer] += 1
-            grant_reduce(
+            self._grant_reduce(
+                state,
                 reducer,
                 targets[index % len(targets)],
                 state.progress.get(reducer, {}),
@@ -973,6 +1106,7 @@ class Coordinator:
                 "port": self.port,
                 "pid": os.getpid(),
                 "lease_s": float(self._lease_s or 0.0),
+                "active_jobs": len(self._active),
                 "counters": self.obs.counters.as_dict(),
             },
             "workers": workers,
@@ -983,6 +1117,14 @@ class Coordinator:
 
     def shutdown(self) -> None:
         self._closing.set()
+        # Unblock every submitter still waiting on an in-flight job.
+        for state in list(self._active.values()):
+            if not state.finished.is_set():
+                state.error = ClusterJobError(
+                    f"coordinator shut down while {state.job_id} ran"
+                )
+                state.finished.set()
+        self._active.clear()
         self._broadcast("shutdown", {})
         try:
             self._listener.close()

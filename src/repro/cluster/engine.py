@@ -22,7 +22,6 @@ tests can swap it in wherever a threaded engine runs today.
 from __future__ import annotations
 
 import multiprocessing
-import os
 import tempfile
 import threading
 from typing import Sequence
@@ -126,7 +125,7 @@ class ClusterRuntime:
             self._proxies[(control_host, control_port)] = rpc_proxy
             control_host, control_port = rpc_proxy.address
         self._checkpoint_tmp: tempfile.TemporaryDirectory | None = None
-        self._job_count = 0
+        self._checkpoint_lock = threading.Lock()
         context = multiprocessing.get_context("fork")
         self._processes = [
             context.Process(
@@ -195,20 +194,25 @@ class ClusterRuntime:
     # -- checkpoint root ---------------------------------------------------
 
     def _checkpoint_root(self) -> str | None:
+        """Base checkpoint directory shared by every job on this runtime.
+
+        The coordinator appends a ``<job_id>/`` subtree per submission,
+        so concurrent jobs through the same runtime can never read each
+        other's snapshots — the runtime only has to provide one stable
+        base.  (Job counting used to happen here, unsynchronised, which
+        collided when two threads called :meth:`run_job` at once.)
+        """
         if not self._recovery.checkpoint_enabled:
             return None
         root = self._recovery.checkpoint_dir
         if root is None:
-            if self._checkpoint_tmp is None:
-                self._checkpoint_tmp = tempfile.TemporaryDirectory(
-                    prefix="repro-cluster-ckpt-"
-                )
-            root = self._checkpoint_tmp.name
-        # One subdirectory per job so back-to-back jobs through the same
-        # runtime never see each other's snapshots.
-        path = os.path.join(root, f"job-{self._job_count}")
-        os.makedirs(path, exist_ok=True)
-        return path
+            with self._checkpoint_lock:
+                if self._checkpoint_tmp is None:
+                    self._checkpoint_tmp = tempfile.TemporaryDirectory(
+                        prefix="repro-cluster-ckpt-"
+                    )
+                root = self._checkpoint_tmp.name
+        return root
 
     # -- job execution -----------------------------------------------------
 
@@ -227,8 +231,11 @@ class ClusterRuntime:
         "map-done", "count": N}`` SIGKILLs the named worker when the
         trigger fires.  The job must still complete correctly via
         reassignment — that is the point.
+
+        Thread-safe: many threads may run jobs concurrently over the
+        same runtime; the coordinator multiplexes them over the shared
+        workers and namespaces checkpoints per job id.
         """
-        self._job_count += 1
         return self._coordinator.submit(
             job,
             pairs,

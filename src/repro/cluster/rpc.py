@@ -85,6 +85,16 @@ MESSAGE_KINDS = (
     "batch",         # epoch, frame(bytes), count, raw
     "end",           # epoch
     "gone",          # (mapper output not held here)
+    # submission plane (client <-> job server — see repro.server)
+    "submit",        # tenant, app, mode, records, num_maps, num_reducers,
+                     # seed [, weight, deadline_s]
+    "submit-reply",  # ok, job_id | error, retry_after_s
+    "job-status",    # job_id
+    "job-status-reply",  # ok, job (nested dict) | error
+    "cancel",        # job_id
+    "cancel-reply",  # ok, state
+    "list-jobs",     # [tenant]
+    "list-jobs-reply",   # jobs (list of nested dicts)
 )
 
 #: Message framing always uses the typed wire codec, uncompressed-when-

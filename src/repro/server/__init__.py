@@ -1,0 +1,44 @@
+"""Multi-tenant job server: scheduling kernel, policies, wire planes.
+
+The live twin of the simulator's JobTracker — see ``docs/server.md``
+for the architecture and ``tests/server/harness.py`` for the
+virtual-clock harness that drives the same kernel deterministically.
+"""
+
+from repro.server.client import ServerClient, SubmitRejected
+from repro.server.kernel import (
+    AdmissionConfig,
+    BackpressureError,
+    SchedulerKernel,
+    TenantConfig,
+)
+from repro.server.policy import (
+    POLICIES,
+    DeadlinePolicy,
+    FairSharePolicy,
+    FifoPolicy,
+    SchedulerPolicy,
+    Ticket,
+    make_policy,
+)
+from repro.server.server import BACKENDS, JobRecord, JobServer, output_digest
+
+__all__ = [
+    "AdmissionConfig",
+    "BACKENDS",
+    "BackpressureError",
+    "DeadlinePolicy",
+    "FairSharePolicy",
+    "FifoPolicy",
+    "JobRecord",
+    "JobServer",
+    "POLICIES",
+    "SchedulerKernel",
+    "SchedulerPolicy",
+    "ServerClient",
+    "SubmitRejected",
+    "TenantConfig",
+    "Ticket",
+    "make_policy",
+    "output_digest",
+]

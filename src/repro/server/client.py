@@ -1,0 +1,124 @@
+"""Framed-RPC client for the job server — one connection per call.
+
+Every server verb is request/reply on a fresh connection (the server
+hangs up after answering), so the client is a handful of thin wrappers
+over :func:`~repro.cluster.rpc.send_message` /
+:func:`~repro.cluster.rpc.recv_message`.  Statelessness is the point:
+``repro submit`` and ``repro jobs`` shell out, fire one verb, and exit;
+a client crash leaks nothing server-side.
+
+:class:`SubmitRejected` is the client-side face of the server's typed
+backpressure reply — it carries the machine-readable reason and the
+``retry_after_s`` hint, so callers back off instead of retrying hot.
+"""
+
+from __future__ import annotations
+
+import socket
+
+from repro.cluster.rpc import recv_message, send_message
+
+__all__ = ["ServerClient", "SubmitRejected"]
+
+
+class SubmitRejected(RuntimeError):
+    """The server shed this submission; retry after the hint."""
+
+    def __init__(self, reason: str, retry_after_s: float) -> None:
+        super().__init__(f"{reason} (retry after {retry_after_s}s)")
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+
+
+class ServerClient:
+    """Talks to one :class:`~repro.server.server.JobServer` address."""
+
+    def __init__(
+        self, host: str, port: int, *, timeout_s: float = 10.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+
+    def _call(self, kind: str, fields: dict) -> tuple[str, dict]:
+        with socket.create_connection(
+            (self.host, self.port), timeout=self.timeout_s
+        ) as conn:
+            send_message(conn, kind, fields)
+            return recv_message(conn)
+
+    def submit(
+        self,
+        tenant: str,
+        app: str,
+        *,
+        mode: str = "barrierless",
+        records: int = 200,
+        num_maps: int = 2,
+        num_reducers: int = 2,
+        seed: int = 0,
+        deadline_s: float | None = None,
+    ) -> str:
+        """Submit one job; returns its id or raises SubmitRejected."""
+        fields: dict = {
+            "tenant": tenant,
+            "app": app,
+            "mode": mode,
+            "records": records,
+            "num_maps": num_maps,
+            "num_reducers": num_reducers,
+            "seed": seed,
+        }
+        if deadline_s is not None:
+            fields["deadline_s"] = float(deadline_s)
+        _kind, reply = self._call("submit", fields)
+        if not reply.get("ok"):
+            if "retry_after_s" in reply:
+                raise SubmitRejected(
+                    str(reply.get("error", "rejected")),
+                    float(reply["retry_after_s"]),
+                )
+            raise RuntimeError(str(reply.get("error", "submit failed")))
+        return str(reply["job_id"])
+
+    def job(self, job_id: str) -> dict:
+        """The server's summary record for one job."""
+        _kind, reply = self._call("job-status", {"job_id": job_id})
+        if not reply.get("ok"):
+            raise KeyError(str(reply.get("error", job_id)))
+        return dict(reply["job"])
+
+    def cancel(self, job_id: str) -> str:
+        """Cancel a queued job; returns its resulting state."""
+        _kind, reply = self._call("cancel", {"job_id": job_id})
+        if not reply.get("ok"):
+            raise KeyError(str(reply.get("error", job_id)))
+        return str(reply["state"])
+
+    def jobs(self, tenant: str | None = None) -> list[dict]:
+        """All job summaries, optionally filtered to one tenant."""
+        fields = {"tenant": tenant} if tenant else {}
+        _kind, reply = self._call("list-jobs", fields)
+        return [dict(entry) for entry in reply.get("jobs", [])]
+
+    def status(self) -> dict:
+        """The server's full status snapshot (``repro top`` shape)."""
+        _kind, reply = self._call("status", {})
+        return dict(reply["status"])
+
+    def wait(
+        self, job_id: str, timeout_s: float = 60.0, poll_s: float = 0.05
+    ) -> dict:
+        """Poll until the job reaches a terminal state."""
+        import time
+
+        deadline = time.monotonic() + timeout_s
+        while True:
+            entry = self.job(job_id)
+            if entry["state"] in ("done", "failed", "cancelled"):
+                return entry
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"{job_id} still {entry['state']} after {timeout_s}s"
+                )
+            time.sleep(poll_s)

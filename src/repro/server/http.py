@@ -1,0 +1,138 @@
+"""Line-JSON HTTP shim over the job server — stdlib only.
+
+A thin adapter for clients that cannot speak the framed typed-codec
+RPC: every response is a single JSON object on one line, every request
+body is likewise one JSON object.  The shim translates verbatim to the
+same :class:`~repro.server.server.JobServer` methods the RPC plane
+calls — it adds no semantics of its own, and the typed backpressure
+reply maps onto HTTP 429 with a ``Retry-After`` header.
+
+Routes::
+
+    POST /submit              {"tenant": ..., "app": ..., ...} -> {"job_id"}
+    GET  /jobs[?tenant=t]     -> {"jobs": [...]}
+    GET  /jobs/<id>           -> job summary
+    POST /jobs/<id>/cancel    -> {"state": ...}
+    GET  /status              -> full status snapshot
+
+Runs on a daemon thread via :func:`make_http_server`; the job server
+owns its lifecycle (:meth:`JobServer.start_http` / :meth:`close`).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro.server.kernel import BackpressureError
+
+__all__ = ["make_http_server"]
+
+
+def make_http_server(server, host: str = "127.0.0.1", port: int = 0):
+    """Start the shim for ``server`` on a daemon thread; returns it."""
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        # Silence per-request stderr logging; the server's own obs
+        # counters are the observability story.
+        def log_message(self, *args) -> None:
+            pass
+
+        def _reply(self, code: int, payload: dict, **headers) -> None:
+            body = (json.dumps(payload) + "\n").encode("utf-8")
+            self.send_response(code)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            for name, value in headers.items():
+                self.send_header(name.replace("_", "-"), str(value))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _body(self) -> dict:
+            length = int(self.headers.get("Content-Length", "0"))
+            if not length:
+                return {}
+            return json.loads(self.rfile.read(length).decode("utf-8"))
+
+        def do_GET(self) -> None:  # noqa: N802 — stdlib handler API
+            url = urlparse(self.path)
+            parts = [p for p in url.path.split("/") if p]
+            if parts == ["status"]:
+                self._reply(200, server.status())
+                return
+            if parts == ["jobs"]:
+                tenant = parse_qs(url.query).get("tenant", [None])[0]
+                self._reply(200, {"jobs": server.jobs(tenant)})
+                return
+            if len(parts) == 2 and parts[0] == "jobs":
+                try:
+                    record = server._record(parts[1])
+                except KeyError:
+                    self._reply(404, {"error": f"unknown job {parts[1]!r}"})
+                    return
+                self._reply(200, record.summary())
+                return
+            self._reply(404, {"error": f"no route for {url.path}"})
+
+        def do_POST(self) -> None:  # noqa: N802 — stdlib handler API
+            url = urlparse(self.path)
+            parts = [p for p in url.path.split("/") if p]
+            if parts == ["submit"]:
+                try:
+                    body = self._body()
+                except (ValueError, UnicodeDecodeError) as exc:
+                    self._reply(400, {"error": f"bad JSON body: {exc}"})
+                    return
+                try:
+                    job_id = server.submit(
+                        str(body["tenant"]),
+                        str(body["app"]),
+                        mode=str(body.get("mode", "barrierless")),
+                        records=int(body.get("records", 200)),
+                        num_maps=int(body.get("num_maps", 2)),
+                        num_reducers=int(body.get("num_reducers", 2)),
+                        seed=int(body.get("seed", 0)),
+                        deadline_s=(
+                            float(body["deadline_s"])
+                            if "deadline_s" in body
+                            else None
+                        ),
+                    )
+                except BackpressureError as exc:
+                    self._reply(
+                        429,
+                        {
+                            "error": exc.reason,
+                            "retry_after_s": exc.retry_after_s,
+                        },
+                        Retry_After=max(1, round(exc.retry_after_s)),
+                    )
+                    return
+                except (KeyError, ValueError) as exc:
+                    self._reply(400, {"error": str(exc)})
+                    return
+                self._reply(200, {"job_id": job_id})
+                return
+            if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "cancel":
+                try:
+                    state = server.cancel(parts[1])
+                except KeyError:
+                    self._reply(404, {"error": f"unknown job {parts[1]!r}"})
+                    return
+                self._reply(200, {"state": state})
+                return
+            self._reply(404, {"error": f"no route for {url.path}"})
+
+    httpd = ThreadingHTTPServer((host, port), Handler)
+    httpd.daemon_threads = True
+    threading.Thread(
+        target=httpd.serve_forever,
+        kwargs={"poll_interval": 0.1},
+        name="server-http",
+        daemon=True,
+    ).start()
+    return httpd

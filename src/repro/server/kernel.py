@@ -1,0 +1,315 @@
+"""The clock-free scheduling kernel shared by server and test harness.
+
+:class:`SchedulerKernel` owns everything the job server must decide
+*about* scheduling and nothing about *running* jobs: per-tenant FIFO
+queues, the slot pool, admission control, cancellation, and the grant
+loop that consults a :class:`~repro.server.policy.SchedulerPolicy`.
+It never reads a clock, sleeps, or touches a socket — time only enters
+as opaque deadline values it orders by — so the virtual-clock harness
+in ``tests/server/harness.py`` drives the *identical* object the live
+:class:`~repro.server.server.JobServer` runs, and every invariant the
+harness proves holds verbatim in production.
+
+Slots are job slots: one granted ticket occupies one slot until
+released.  (Task-level map/reduce slot multiplexing lives a layer
+down, in the coordinator's placement path — the kernel bounds how many
+jobs may hold backend capacity at once, which is the knob the paper's
+JobTracker shares across tenants.)
+
+Admission control sheds load *before* it queues: a submission is
+rejected with a typed :class:`BackpressureError` — carrying a machine-
+readable reason and a ``retry_after_s`` hint that the RPC and HTTP
+planes forward verbatim — when any high-water mark would be crossed:
+
+- per-tenant queued-job quota (``TenantConfig.max_queued_jobs``),
+- global queued-job ceiling (``AdmissionConfig.max_queued_jobs``),
+- **queued input bytes** (``max_queued_bytes``) — the paper-motivated
+  gate: barrier-less reduce slots hold partial state for long
+  stretches, so bytes waiting to enter the shuffle, not job count, is
+  the scarce resource,
+- live bytes held by running jobs (``max_live_bytes``).
+
+All methods are kernel-internal-lock thread-safe; the kernel is shared
+between submitter threads and the server's dispatch loop.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.server.policy import SchedulerPolicy, Ticket, make_policy
+
+__all__ = [
+    "AdmissionConfig",
+    "BackpressureError",
+    "SchedulerKernel",
+    "TenantConfig",
+]
+
+
+@dataclass
+class TenantConfig:
+    """Per-tenant scheduling knobs.
+
+    ``weight`` scales the tenant's fair share; ``max_queued_jobs`` is
+    its admission quota (0 disables the quota).
+    """
+
+    weight: float = 1.0
+    max_queued_jobs: int = 0
+
+
+@dataclass
+class AdmissionConfig:
+    """Global high-water marks; 0 disables a gate."""
+
+    max_queued_jobs: int = 0
+    max_queued_bytes: int = 0
+    max_live_bytes: int = 0
+    #: Hint forwarded to shed clients; crude but honest — the kernel
+    #: has no clock, so it cannot promise when capacity returns.
+    retry_after_s: float = 0.5
+
+
+class BackpressureError(RuntimeError):
+    """Submission shed by admission control; retry after the hint."""
+
+    def __init__(self, reason: str, retry_after_s: float) -> None:
+        super().__init__(
+            f"admission control: {reason} (retry after {retry_after_s}s)"
+        )
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+
+
+class SchedulerKernel:
+    """Queues, quotas, slot pool and grant loop — no clock, no I/O."""
+
+    def __init__(
+        self,
+        *,
+        slots: int = 4,
+        policy: "SchedulerPolicy | str" = "fair",
+        tenants: dict[str, TenantConfig] | None = None,
+        admission: AdmissionConfig | None = None,
+        on_grant: Callable[[Ticket], None] | None = None,
+    ) -> None:
+        if slots <= 0:
+            raise ValueError("slots must be positive")
+        self.slots = slots
+        self.policy = (
+            make_policy(policy) if isinstance(policy, str) else policy
+        )
+        self.admission = admission if admission is not None else AdmissionConfig()
+        self._tenants: dict[str, TenantConfig] = dict(tenants or {})
+        self._queues: dict[str, list[Ticket]] = {}
+        self._running: dict[str, Ticket] = {}
+        self._cancelled: set[str] = set()
+        self._queued_bytes = 0
+        self._live_bytes = 0
+        self._seq = 0
+        self._grants = 0
+        self._on_grant = on_grant
+        self._lock = threading.Lock()
+
+    # -- configuration -----------------------------------------------------
+
+    def tenant_config(self, tenant: str) -> TenantConfig:
+        return self._tenants.setdefault(tenant, TenantConfig())
+
+    def weights(self) -> dict[str, float]:
+        with self._lock:
+            return {t: c.weight for t, c in self._tenants.items()}
+
+    # -- admission ---------------------------------------------------------
+
+    def submit(
+        self,
+        tenant: str,
+        job_id: str,
+        *,
+        input_bytes: int = 0,
+        deadline: float | None = None,
+        meta: dict | None = None,
+    ) -> Ticket:
+        """Admit one job into the tenant's queue or shed it.
+
+        Raises :class:`BackpressureError` when any configured high-water
+        mark would be crossed by accepting this submission — the gates
+        check *after-admission* totals, so a single oversized submission
+        is shed rather than sneaking under a nearly-full mark.
+        """
+        with self._lock:
+            config = self.tenant_config(tenant)
+            admission = self.admission
+            retry = admission.retry_after_s
+            queue = self._queues.setdefault(tenant, [])
+            if config.max_queued_jobs and len(queue) >= config.max_queued_jobs:
+                raise BackpressureError(
+                    f"tenant {tenant} queue full "
+                    f"({len(queue)}/{config.max_queued_jobs} jobs)",
+                    retry,
+                )
+            total_queued = sum(len(q) for q in self._queues.values())
+            if (
+                admission.max_queued_jobs
+                and total_queued >= admission.max_queued_jobs
+            ):
+                raise BackpressureError(
+                    f"server queue full ({total_queued}"
+                    f"/{admission.max_queued_jobs} jobs)",
+                    retry,
+                )
+            if (
+                admission.max_queued_bytes
+                and self._queued_bytes + input_bytes
+                > admission.max_queued_bytes
+            ):
+                raise BackpressureError(
+                    f"queued bytes high-water mark "
+                    f"({self._queued_bytes} + {input_bytes} > "
+                    f"{admission.max_queued_bytes})",
+                    retry,
+                )
+            if (
+                admission.max_live_bytes
+                and self._live_bytes > admission.max_live_bytes
+            ):
+                raise BackpressureError(
+                    f"live bytes high-water mark ({self._live_bytes} > "
+                    f"{admission.max_live_bytes})",
+                    retry,
+                )
+            self._seq += 1
+            ticket = Ticket(
+                job_id=job_id,
+                tenant=tenant,
+                seq=self._seq,
+                input_bytes=input_bytes,
+                weight=config.weight,
+                deadline=deadline,
+                meta=dict(meta or {}),
+            )
+            queue.append(ticket)
+            self._queued_bytes += input_bytes
+            return ticket
+
+    # -- scheduling --------------------------------------------------------
+
+    def next_grants(self) -> list[Ticket]:
+        """Grant free slots to queued tickets; returns what was granted.
+
+        Consults the policy once per free slot while any backlog
+        remains.  Granted tickets move to the running set and count
+        their input bytes as live until :meth:`release`.
+        """
+        granted: list[Ticket] = []
+        with self._lock:
+            while len(self._running) < self.slots:
+                backlog = {
+                    tenant: queue
+                    for tenant, queue in self._queues.items()
+                    if queue
+                }
+                if not backlog:
+                    break
+                weights = {t: c.weight for t, c in self._tenants.items()}
+                ticket = self.policy.select(backlog, weights)
+                self._queues[ticket.tenant].remove(ticket)
+                self._queued_bytes -= ticket.input_bytes
+                self._live_bytes += ticket.input_bytes
+                self._running[ticket.job_id] = ticket
+                self._grants += 1
+                granted.append(ticket)
+        if self._on_grant is not None:
+            for ticket in granted:
+                self._on_grant(ticket)
+        return granted
+
+    def release(self, job_id: str) -> bool:
+        """Free the slot held by a finished job; idempotent."""
+        with self._lock:
+            ticket = self._running.pop(job_id, None)
+            if ticket is None:
+                return False
+            self._live_bytes -= ticket.input_bytes
+            return True
+
+    def cancel(self, job_id: str) -> str:
+        """Cancel a queued job; idempotent.
+
+        Returns ``"cancelled"`` when this call removed it from a queue,
+        ``"already-cancelled"`` on repeats, ``"running"`` when the job
+        already holds a slot (the server layer decides whether running
+        jobs are interruptible — the kernel's answer is just *too
+        late*), and ``"unknown"`` otherwise.
+        """
+        with self._lock:
+            if job_id in self._cancelled:
+                return "already-cancelled"
+            for tenant, queue in self._queues.items():
+                for ticket in queue:
+                    if ticket.job_id == job_id:
+                        queue.remove(ticket)
+                        self._queued_bytes -= ticket.input_bytes
+                        self._cancelled.add(job_id)
+                        return "cancelled"
+            if job_id in self._running:
+                return "running"
+            return "unknown"
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def queued_bytes(self) -> int:
+        with self._lock:
+            return self._queued_bytes
+
+    @property
+    def live_bytes(self) -> int:
+        with self._lock:
+            return self._live_bytes
+
+    @property
+    def grants(self) -> int:
+        with self._lock:
+            return self._grants
+
+    def backlog_sizes(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                tenant: len(queue)
+                for tenant, queue in self._queues.items()
+                if queue
+            }
+
+    def running_ids(self) -> list[str]:
+        with self._lock:
+            return sorted(self._running)
+
+    def snapshot(self) -> dict:
+        """JSON-able state for the status plane."""
+        with self._lock:
+            return {
+                "policy": self.policy.name,
+                "slots": self.slots,
+                "running": len(self._running),
+                "queued": sum(len(q) for q in self._queues.values()),
+                "queued_bytes": self._queued_bytes,
+                "live_bytes": self._live_bytes,
+                "grants": self._grants,
+                "tenants": {
+                    tenant: {
+                        "weight": config.weight,
+                        "queued": len(self._queues.get(tenant, [])),
+                        "running": sum(
+                            1
+                            for t in self._running.values()
+                            if t.tenant == tenant
+                        ),
+                    }
+                    for tenant, config in sorted(self._tenants.items())
+                },
+            }

@@ -1,0 +1,206 @@
+"""Scheduling policies for the multi-tenant job server.
+
+A :class:`SchedulerPolicy` answers exactly one question: *given the
+current per-tenant backlogs, which queued ticket gets the next free
+slot?*  Policies are deliberately clock-free and I/O-free — they see
+only the backlog the kernel hands them — so the same policy object runs
+unchanged under the live :class:`~repro.server.server.JobServer` and
+under the virtual-clock test harness in ``tests/server/harness.py``.
+
+Three policies ship:
+
+``fifo``
+    Global arrival order, tenant-blind.  The baseline every fairness
+    claim is measured against.
+
+``fair``
+    Deficit-weighted fair share, the live twin of the simulator
+    JobTracker's slot sharing.  Every grant accrues one slot of
+    *entitlement*, split across the currently backlogged tenants in
+    proportion to their weights; the grant goes to the backlogged
+    tenant with the largest **deficit** (entitlement − granted), ties
+    broken by tenant name for determinism.  Two invariants fall out of
+    the bookkeeping (and are pinned by ``tests/server/test_props.py``):
+    deficits sum to zero across all tenants after every grant (each
+    grant adds exactly one slot of entitlement and one granted slot),
+    and any tenant that stays backlogged is granted within ±1 slot of
+    its weighted entitlement — so no nonempty queue can starve.
+
+``deadline``
+    Earliest deadline first over every queued ticket; tickets without a
+    deadline sort last, then by arrival.  No fairness guarantee — a
+    tenant that always submits tight deadlines wins — which is why it
+    is a policy choice, not the default.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+__all__ = [
+    "POLICIES",
+    "DeadlinePolicy",
+    "FairSharePolicy",
+    "FifoPolicy",
+    "SchedulerPolicy",
+    "Ticket",
+    "make_policy",
+]
+
+
+@dataclass
+class Ticket:
+    """One queued job as policies see it.
+
+    ``seq`` is the kernel's global admission sequence number — total
+    arrival order, which FIFO uses directly and the others use as the
+    final tie-break.  ``deadline`` is in virtual time (harness ticks or
+    seconds-from-submit; the kernel never compares it to a wall clock,
+    only orders by it).
+    """
+
+    job_id: str
+    tenant: str
+    seq: int
+    input_bytes: int = 0
+    weight: float = 1.0
+    deadline: float | None = None
+    meta: dict = field(default_factory=dict)
+
+
+class SchedulerPolicy(ABC):
+    """Chooses which backlogged ticket receives the next free slot."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def select(
+        self,
+        backlog: Mapping[str, Sequence[Ticket]],
+        weights: Mapping[str, float],
+    ) -> Ticket:
+        """Pick one ticket from a nonempty backlog.
+
+        ``backlog`` maps tenant → that tenant's queued tickets in
+        arrival order (every listed tenant has at least one).
+        ``weights`` carries the configured weight for every known
+        tenant (default 1.0).  The kernel removes the returned ticket
+        from its queue and marks the grant.
+        """
+
+    def forget(self, tenant: str) -> None:
+        """Drop per-tenant accounting (tenant deleted); optional."""
+
+
+class FifoPolicy(SchedulerPolicy):
+    """Strict global arrival order, tenant-blind."""
+
+    name = "fifo"
+
+    def select(
+        self,
+        backlog: Mapping[str, Sequence[Ticket]],
+        weights: Mapping[str, float],
+    ) -> Ticket:
+        return min(
+            (queue[0] for queue in backlog.values() if queue),
+            key=lambda ticket: ticket.seq,
+        )
+
+
+class FairSharePolicy(SchedulerPolicy):
+    """Deficit-weighted fair share over backlogged tenants.
+
+    Accounting happens *per grant*, not per tick, so the policy needs
+    no clock: each call distributes exactly one slot of entitlement
+    over the tenants that are backlogged right now (idle tenants accrue
+    nothing — there is no banking of unused share), then grants to the
+    largest deficit.  ``deficits`` exposes the ledger for the invariant
+    suites.
+    """
+
+    name = "fair"
+
+    def __init__(self) -> None:
+        self._entitlement: dict[str, float] = {}
+        self._granted: dict[str, int] = {}
+
+    @property
+    def deficits(self) -> dict[str, float]:
+        """tenant → entitlement − granted; sums to ~0 at all times."""
+        tenants = set(self._entitlement) | set(self._granted)
+        return {
+            tenant: self._entitlement.get(tenant, 0.0)
+            - self._granted.get(tenant, 0)
+            for tenant in tenants
+        }
+
+    def select(
+        self,
+        backlog: Mapping[str, Sequence[Ticket]],
+        weights: Mapping[str, float],
+    ) -> Ticket:
+        backlogged = sorted(t for t, queue in backlog.items() if queue)
+        total = sum(max(0.0, weights.get(t, 1.0)) for t in backlogged)
+        if total <= 0.0:
+            # All-zero weights degenerate to equal shares.
+            shares = {t: 1.0 / len(backlogged) for t in backlogged}
+        else:
+            shares = {
+                t: max(0.0, weights.get(t, 1.0)) / total for t in backlogged
+            }
+        for tenant, share in shares.items():
+            self._entitlement[tenant] = (
+                self._entitlement.get(tenant, 0.0) + share
+            )
+        def deficit(tenant: str) -> float:
+            return self._entitlement.get(tenant, 0.0) - self._granted.get(
+                tenant, 0
+            )
+
+        best = max(deficit(t) for t in backlogged)
+        # Ties go to the lexicographically smallest name — an explicit
+        # rule, so harness replays and the live server agree exactly.
+        chosen = min(t for t in backlogged if deficit(t) == best)
+        self._granted[chosen] = self._granted.get(chosen, 0) + 1
+        return backlog[chosen][0]
+
+    def forget(self, tenant: str) -> None:
+        self._entitlement.pop(tenant, None)
+        self._granted.pop(tenant, None)
+
+
+class DeadlinePolicy(SchedulerPolicy):
+    """Earliest deadline first; deadline-less tickets run last, FIFO."""
+
+    name = "deadline"
+
+    def select(
+        self,
+        backlog: Mapping[str, Sequence[Ticket]],
+        weights: Mapping[str, float],
+    ) -> Ticket:
+        return min(
+            (queue[0] for queue in backlog.values() if queue),
+            key=lambda ticket: (
+                ticket.deadline is None,
+                ticket.deadline if ticket.deadline is not None else 0.0,
+                ticket.seq,
+            ),
+        )
+
+
+POLICIES = ("fair", "fifo", "deadline")
+
+
+def make_policy(name: str) -> SchedulerPolicy:
+    """Construct a fresh policy by name (one instance per kernel)."""
+    if name == "fair":
+        return FairSharePolicy()
+    if name == "fifo":
+        return FifoPolicy()
+    if name == "deadline":
+        return DeadlinePolicy()
+    raise ValueError(f"unknown policy {name!r} (choose from {POLICIES})")

@@ -1,0 +1,237 @@
+"""Virtual-clock scheduler test bed — drives the real kernel, no sleeps.
+
+The production :class:`~repro.server.kernel.SchedulerKernel` is
+clock-free by design: it never reads time, only orders by opaque
+deadline values.  That makes it drivable by a *virtual* clock — a bare
+tick counter — so scheduling behaviour over minutes of simulated
+arrivals is asserted in milliseconds of wall time, deterministically.
+This module is that driver plus the invariant calculators the kernel
+suites and the hypothesis properties share.
+
+One tick of :func:`run_trace`:
+
+1. jobs whose virtual duration has elapsed release their slots;
+2. this tick's scripted :class:`Arrival`\\ s are submitted (admission
+   rejections are recorded, not raised);
+3. the kernel grants free slots; each grant is logged together with
+   the set of tenants that were backlogged at that instant.
+
+Per-grant backlog snapshots are what make the fairness math exact: the
+harness accrues each tenant's *entitlement* independently of the
+policy — on every grant, each then-backlogged tenant earns
+``weight/total_backlogged_weight`` of a slot — and
+:func:`assert_fair_entitlement` then demands every tenant's granted
+count stays within ±1 of that entitlement at every point in the trace.
+A policy that starves a nonempty queue, or over-serves a heavy tenant,
+fails the bound; FIFO demonstrably does, fair share must not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.server.kernel import BackpressureError, SchedulerKernel
+
+__all__ = [
+    "Arrival",
+    "GrantEvent",
+    "TraceResult",
+    "accrue_entitlements",
+    "assert_fair_entitlement",
+    "assert_no_starvation",
+    "run_trace",
+]
+
+
+@dataclass
+class Arrival:
+    """Scripted submissions: ``jobs`` jobs from ``tenant`` at ``tick``."""
+
+    tick: int
+    tenant: str
+    jobs: int = 1
+    input_bytes: int = 0
+    duration: int = 1
+    deadline: float | None = None
+
+
+@dataclass
+class GrantEvent:
+    """One slot grant and the scheduling context it was decided in."""
+
+    tick: int
+    job_id: str
+    tenant: str
+    #: Tenants with at least one queued ticket when this grant was
+    #: decided (the granted ticket still queued, so its tenant is in).
+    backlogged: tuple[str, ...]
+    weights: dict[str, float]
+
+
+@dataclass
+class TraceResult:
+    grants: list[GrantEvent] = field(default_factory=list)
+    rejections: list[tuple[int, str, BackpressureError]] = field(
+        default_factory=list
+    )
+    submitted: list[str] = field(default_factory=list)
+    #: max observed concurrent running jobs (must never exceed slots).
+    peak_running: int = 0
+
+    def grants_by_tenant(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for grant in self.grants:
+            counts[grant.tenant] = counts.get(grant.tenant, 0) + 1
+        return counts
+
+
+def run_trace(
+    kernel: SchedulerKernel,
+    arrivals: list[Arrival],
+    *,
+    ticks: int | None = None,
+    drain: bool = True,
+) -> TraceResult:
+    """Drive the kernel through a scripted trace on a virtual clock.
+
+    With ``drain`` the clock keeps ticking past the last scripted
+    arrival until every admitted job has run (bounded, since nothing
+    new arrives).  Job ids are synthesised as ``t<tick>-<tenant>-<n>``
+    so failures read naturally.
+    """
+    by_tick: dict[int, list[Arrival]] = {}
+    for arrival in arrivals:
+        by_tick.setdefault(arrival.tick, []).append(arrival)
+    last_tick = max(by_tick, default=0) if ticks is None else ticks
+    result = TraceResult()
+    finish_at: dict[int, list[str]] = {}
+    durations: dict[str, int] = {}
+    seq = 0
+    tick = 0
+    while True:
+        for job_id in finish_at.pop(tick, []):
+            kernel.release(job_id)
+        for arrival in by_tick.get(tick, []):
+            for _ in range(arrival.jobs):
+                seq += 1
+                job_id = f"t{tick}-{arrival.tenant}-{seq}"
+                try:
+                    kernel.submit(
+                        arrival.tenant,
+                        job_id,
+                        input_bytes=arrival.input_bytes,
+                        deadline=arrival.deadline,
+                    )
+                except BackpressureError as exc:
+                    result.rejections.append((tick, arrival.tenant, exc))
+                    continue
+                result.submitted.append(job_id)
+                durations[job_id] = max(1, arrival.duration)
+        # Reconstruct the per-grant backlog: next_grants() only removes
+        # tickets, and nothing arrives mid-call, so the backlog before
+        # grant k is this snapshot minus the k tickets granted first.
+        backlog = kernel.backlog_sizes()
+        granted = kernel.next_grants()
+        for ticket in granted:
+            backlogged = tuple(sorted(t for t, n in backlog.items() if n > 0))
+            result.grants.append(
+                GrantEvent(
+                    tick=tick,
+                    job_id=ticket.job_id,
+                    tenant=ticket.tenant,
+                    backlogged=backlogged,
+                    weights=kernel.weights(),
+                )
+            )
+            backlog[ticket.tenant] = backlog.get(ticket.tenant, 0) - 1
+            finish_at.setdefault(
+                tick + durations.get(ticket.job_id, 1), []
+            ).append(ticket.job_id)
+        running = len(kernel.running_ids())
+        assert running <= kernel.slots, (
+            f"pool overrun at tick {tick}: {running} > {kernel.slots}"
+        )
+        result.peak_running = max(result.peak_running, running)
+        tick += 1
+        if tick > last_tick and (not drain or not finish_at and not kernel.backlog_sizes()):
+            break
+        if tick > last_tick + 100_000:
+            raise AssertionError("virtual trace failed to drain")
+    return result
+
+
+def accrue_entitlements(
+    grants: list[GrantEvent],
+) -> list[tuple[GrantEvent, dict[str, float], dict[str, int]]]:
+    """Fold the grant log into (event, entitlement, granted) steps.
+
+    Entitlement is computed here, independently of any policy's
+    internal ledger: each grant distributes exactly one slot of
+    entitlement across the tenants backlogged at that grant, weighted.
+    """
+    entitlement: dict[str, float] = {}
+    granted: dict[str, int] = {}
+    steps = []
+    for event in grants:
+        weights = {
+            t: max(0.0, event.weights.get(t, 1.0)) for t in event.backlogged
+        }
+        total = sum(weights.values())
+        for tenant in event.backlogged:
+            share = (
+                weights[tenant] / total
+                if total > 0
+                else 1.0 / len(event.backlogged)
+            )
+            entitlement[tenant] = entitlement.get(tenant, 0.0) + share
+        granted[event.tenant] = granted.get(event.tenant, 0) + 1
+        steps.append((event, dict(entitlement), dict(granted)))
+    return steps
+
+
+def assert_fair_entitlement(
+    result: TraceResult, *, tolerance: float = 1.0 + 1e-9
+) -> None:
+    """Every tenant stays within ±tolerance grants of its entitlement.
+
+    Checked after *every* grant, not just at trace end — a scheduler
+    that oscillates (starve, then binge) fails even if the totals
+    balance out.
+    """
+    for event, entitlement, granted in accrue_entitlements(result.grants):
+        for tenant in set(entitlement) | set(granted):
+            gap = granted.get(tenant, 0) - entitlement.get(tenant, 0.0)
+            assert abs(gap) <= tolerance, (
+                f"tenant {tenant} is {gap:+.3f} grants from its "
+                f"entitlement after grant of {event.job_id} "
+                f"(tick {event.tick})"
+            )
+
+
+def assert_no_starvation(result: TraceResult) -> None:
+    """No tenant accrues ≥2 slots of entitlement without a grant.
+
+    The direct starvation reading of the ±1 bound: while a tenant
+    stays backlogged its entitlement keeps growing, so a scheduler
+    can leave at most two slots' worth of accrual between consecutive
+    grants to it before the deficit arithmetic forces service.
+    """
+    owed: dict[str, float] = {}
+    for event, _entitlement, _granted in accrue_entitlements(result.grants):
+        weights = {
+            t: max(0.0, event.weights.get(t, 1.0)) for t in event.backlogged
+        }
+        total = sum(weights.values())
+        for tenant in event.backlogged:
+            share = (
+                weights[tenant] / total
+                if total > 0
+                else 1.0 / len(event.backlogged)
+            )
+            owed[tenant] = owed.get(tenant, 0.0) + share
+        owed[event.tenant] = 0.0
+        for tenant, debt in owed.items():
+            assert debt < 2.0 + 1e-9, (
+                f"tenant {tenant} accrued {debt:.3f} slots of entitlement "
+                f"without a grant (starved at tick {event.tick})"
+            )

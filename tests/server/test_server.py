@@ -1,0 +1,209 @@
+"""Live :class:`JobServer` behaviour: concurrency, planes, backpressure.
+
+Where ``test_kernel.py`` proves scheduling decisions on a virtual
+clock, this suite proves the wiring around them: real threads, real
+sockets, real engines — kept small so the whole file stays in the
+tier-1 budget.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.apps.demo import demo_job_and_input, normalized_output
+from repro.core.types import ExecutionMode
+from repro.engine.threaded import ThreadedEngine
+from repro.obs import JobObservability
+from repro.server import (
+    AdmissionConfig,
+    JobServer,
+    ServerClient,
+    SubmitRejected,
+    TenantConfig,
+    output_digest,
+)
+
+
+def serial_digest(app: str, *, records: int, seed: int = 0) -> str:
+    """What a lone ThreadedEngine produces for the same submission."""
+    job, pairs = demo_job_and_input(
+        app,
+        ExecutionMode.BARRIERLESS,
+        records=records,
+        num_reducers=2,
+        num_maps=2,
+        seed=seed,
+    )
+    result = ThreadedEngine(obs=JobObservability()).run(job, pairs, 2)
+    return output_digest(app, result)
+
+
+class TestConcurrentJobs:
+    def test_three_concurrent_jobs_from_two_tenants_match_serial(self):
+        # The headline acceptance criterion: one server process, >=3
+        # concurrent jobs from >=2 tenants, byte-identical outputs
+        # (compared through the normalised-output digest) vs serial runs.
+        with JobServer(
+            slots=3, tenants={"acme": 2.0, "beta": 1.0}
+        ) as server:
+            submissions = [
+                ("acme", "wc", 150, 1),
+                ("acme", "grep", 150, 2),
+                ("beta", "sort", 120, 3),
+            ]
+            ids = [
+                server.submit(tenant, app, records=records, seed=seed)
+                for tenant, app, records, seed in submissions
+            ]
+            for job_id, (tenant, app, records, seed) in zip(
+                ids, submissions
+            ):
+                record = server.wait(job_id, timeout=60.0)
+                assert record.state == "done", record.error
+                assert record.tenant == tenant
+                assert record.digest == serial_digest(
+                    app, records=records, seed=seed
+                )
+            status = server.status()
+            assert status["server"]["counters"]["server.jobs.completed"] == 3
+            assert status["tenants"]["acme"]["completed"] == 2
+            assert status["tenants"]["beta"]["completed"] == 1
+
+    def test_failed_job_is_recorded_not_fatal(self):
+        with JobServer(slots=1) as server:
+            with pytest.raises(ValueError, match="unknown app"):
+                server.submit("t", "nosuchapp")
+            # The server stays serviceable afterwards.
+            job_id = server.submit("t", "wc", records=60)
+            assert server.wait(job_id).state == "done"
+
+
+class TestRpcPlane:
+    def test_submit_status_cancel_list_round_trip(self):
+        with JobServer(slots=2, tenants={"acme": 1.0}) as server:
+            client = ServerClient(*server.address)
+            job_id = client.submit("acme", "wc", records=100)
+            entry = client.wait(job_id, timeout_s=60.0)
+            assert entry["state"] == "done"
+            assert entry["digest"] == serial_digest("wc", records=100)
+            assert client.cancel(job_id) == "done"  # too late, unchanged
+            listed = client.jobs("acme")
+            assert [job["job_id"] for job in listed] == [job_id]
+            assert client.jobs("ghost") == []
+            status = client.status()
+            assert status["server"]["backend"] == "threaded"
+            assert "acme" in status["tenants"]
+
+    def test_backpressure_reply_is_typed_and_recovers(self):
+        # Admission trips once the queued-bytes mark is crossed; the
+        # client sees reason + retry_after, and after the backlog
+        # drains the same submission is accepted.
+        with JobServer(
+            slots=1,
+            admission=AdmissionConfig(
+                max_queued_bytes=1, retry_after_s=0.2
+            ),
+        ) as server:
+            client = ServerClient(*server.address)
+            with pytest.raises(SubmitRejected) as info:
+                client.submit("t", "wc", records=400)
+            assert info.value.retry_after_s == 0.2
+            assert "high-water mark" in info.value.reason
+            rejected = server.status()["server"]["counters"][
+                "server.jobs.rejected"
+            ]
+            assert rejected == 1
+
+    def test_unknown_job_errors(self):
+        with JobServer() as server:
+            client = ServerClient(*server.address)
+            with pytest.raises(KeyError):
+                client.job("s-404")
+            with pytest.raises(KeyError):
+                client.cancel("s-404")
+
+
+class TestCancel:
+    def test_cancel_queued_job_is_idempotent(self):
+        # slots=1 and a long-running first job keep the victim queued.
+        with JobServer(slots=1) as server:
+            blocker = server.submit("t", "sort", records=4000)
+            victim = server.submit("t", "wc", records=60)
+            assert server.cancel(victim) in ("cancelled", "queued")
+            state = server.cancel(victim)
+            assert state == "cancelled"
+            assert server.cancel(victim) == "cancelled"  # idempotent
+            record = server.wait(victim, timeout=10.0)
+            assert record.state == "cancelled"
+            assert server.wait(blocker, timeout=60.0).state == "done"
+
+
+class TestHttpShim:
+    def test_submit_status_cancel_over_http(self):
+        with JobServer(
+            slots=1,
+            admission=AdmissionConfig(max_queued_bytes=1, retry_after_s=1.0),
+        ) as server:
+            host, port = server.start_http()
+            base = f"http://{host}:{port}"
+
+            def post(path: str, body: dict | None = None):
+                request = urllib.request.Request(
+                    f"{base}{path}",
+                    data=json.dumps(body or {}).encode("utf-8"),
+                    method="POST",
+                    headers={"Content-Type": "application/json"},
+                )
+                with urllib.request.urlopen(request) as response:
+                    return json.loads(response.read())
+
+            # Admission control speaks HTTP 429 + Retry-After.
+            with pytest.raises(urllib.error.HTTPError) as info:
+                post("/submit", {"tenant": "t", "app": "wc", "records": 300})
+            assert info.value.code == 429
+            assert info.value.headers["Retry-After"] == "1"
+            body = json.loads(info.value.read())
+            assert "high-water mark" in body["error"]
+            assert body["retry_after_s"] == 1.0
+
+            # Unknown app is a 400, not a 500.
+            with pytest.raises(urllib.error.HTTPError) as info:
+                post("/submit", {"tenant": "t", "app": "zzz"})
+            assert info.value.code == 400
+
+            # Happy path: submit, poll, list, status.
+            server._kernel.admission = AdmissionConfig()
+            job_id = post("/submit", {
+                "tenant": "t", "app": "wc", "records": 80,
+            })["job_id"]
+            server.wait(job_id, timeout=60.0)
+            with urllib.request.urlopen(f"{base}/jobs/{job_id}") as response:
+                entry = json.loads(response.read())
+            assert entry["state"] == "done"
+            with urllib.request.urlopen(f"{base}/jobs?tenant=t") as response:
+                assert len(json.loads(response.read())["jobs"]) == 1
+            with urllib.request.urlopen(f"{base}/status") as response:
+                status = json.loads(response.read())
+            assert status["server"]["backend"] == "threaded"
+            assert post(f"/jobs/{job_id}/cancel")["state"] == "done"
+            with pytest.raises(urllib.error.HTTPError) as info:
+                urllib.request.urlopen(f"{base}/jobs/s-404")
+            assert info.value.code == 404
+
+
+class TestTenantConfigForms:
+    def test_weights_dict_and_tenantconfig_both_accepted(self):
+        with JobServer(
+            tenants={"plain": 2.0, "rich": TenantConfig(weight=3.0)}
+        ) as server:
+            status = server.status()
+            assert status["tenants"]["plain"]["weight"] == 2.0
+            assert status["tenants"]["rich"]["weight"] == 3.0
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            JobServer("quantum")

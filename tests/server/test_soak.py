@@ -1,0 +1,153 @@
+"""Server soak (satellite): 300 jobs, 4 tenants, cluster backend.
+
+The ROADMAP item this PR closes asks for exactly this: a long-running
+scheduler process draining hundreds of queued jobs over a real worker
+cluster with *flat* resource usage.  Descriptor counts are taken with
+:func:`tests.fdutil.open_fd_count` on the server/coordinator process
+and every forked worker; resident memory is read from
+``/proc/self/status`` (no psutil in the image) and must stay bounded.
+
+``REPRO_SERVER_SOAK_JOBS`` scales the job count down for the CI
+mini-soak (the ``server-smoke`` job runs 80 under a hard timeout);
+the default is the full 300.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.server import AdmissionConfig, BackpressureError, JobServer
+from tests.fdutil import open_fd_count
+
+JOBS = int(os.environ.get("REPRO_SERVER_SOAK_JOBS", "300"))
+TENANTS = {"t0": 4.0, "t1": 2.0, "t2": 1.0, "t3": 1.0}
+WARMUP = 8
+
+#: Tiny jobs: the soak measures hygiene under churn, not throughput.
+RECORDS = 40
+
+#: Generous RSS ceiling — the point is "bounded", i.e. not O(jobs):
+#: 300 drained jobs retaining input or output would blow through this.
+MAX_RSS_GROWTH_KB = 200_000
+
+
+def _rss_kb() -> int:
+    with open("/proc/self/status", encoding="ascii") as fh:
+        for line in fh:
+            if line.startswith("VmRSS:"):
+                return int(line.split()[1])
+    raise AssertionError("no VmRSS in /proc/self/status")
+
+
+def _settled_counts(pids, limits, deadline_s: float):
+    deadline = time.monotonic() + deadline_s
+    while True:
+        counts = {pid: open_fd_count(pid) for pid in pids}
+        if all(counts[pid] <= limits[pid] for pid in pids):
+            return counts
+        if time.monotonic() >= deadline:
+            return counts
+        time.sleep(0.05)
+
+
+def test_soak_300_jobs_four_tenants_zero_fd_growth():
+    tenants = list(TENANTS)
+    with JobServer(
+        "cluster",
+        workers=2,
+        slots=3,
+        tenants=TENANTS,
+        job_deadline_s=120.0,
+    ) as server:
+        # Warm up every code path (engine pools, telemetry buffers,
+        # lazily-created sockets) before taking baselines.
+        warmup_ids = [
+            server.submit(tenants[i % 4], "wc", records=RECORDS, seed=i)
+            for i in range(WARMUP)
+        ]
+        digests = set()
+        for job_id in warmup_ids:
+            record = server.wait(job_id, timeout=120.0)
+            assert record.state == "done", record.error
+            digests.add(record.digest)
+        assert len(digests) <= WARMUP  # same seeds later must re-digest
+        pids = [None, *server._runtime.worker_pids]
+        fd_baseline = {pid: open_fd_count(pid) for pid in pids}
+        limits = {pid: count + 4 for pid, count in fd_baseline.items()}
+        rss_baseline = _rss_kb()
+
+        # Queue everything up front — the scheduler, not the submitter,
+        # paces execution — then drain.
+        ids = {}
+        for index in range(JOBS - WARMUP):
+            tenant = tenants[index % 4]
+            ids[server.submit(
+                tenant, "wc", records=RECORDS, seed=index % 5
+            )] = index % 5
+        for job_id, seed in ids.items():
+            record = server.wait(job_id, timeout=300.0)
+            assert record.state == "done", (job_id, record.error)
+
+        # Determinism under churn: equal seeds ⇒ equal digests.
+        by_seed: dict[int, set] = {}
+        for job_id, seed in ids.items():
+            by_seed.setdefault(seed, set()).add(
+                server._record(job_id).digest
+            )
+        for seed, seed_digests in by_seed.items():
+            assert len(seed_digests) == 1, f"seed {seed}: {seed_digests}"
+
+        status = server.status()
+        assert status["server"]["queued"] == 0
+        assert status["server"]["running"] == 0
+        completed = status["server"]["counters"]["server.jobs.completed"]
+        assert completed == JOBS
+        for tenant in tenants:
+            assert status["tenants"][tenant]["completed"] > 0
+
+        counts = _settled_counts(pids, limits, deadline_s=10.0)
+        for pid in pids:
+            who = "server/coordinator" if pid is None else f"worker {pid}"
+            assert counts[pid] <= limits[pid], (
+                f"{who} climbed from {fd_baseline[pid]} to {counts[pid]} "
+                f"descriptors over {JOBS - WARMUP} jobs"
+            )
+        rss_growth = _rss_kb() - rss_baseline
+        assert rss_growth < MAX_RSS_GROWTH_KB, (
+            f"RSS grew {rss_growth}kB over {JOBS - WARMUP} jobs"
+        )
+
+
+def test_admission_backpressure_trips_then_recovers():
+    # The soak's second acceptance clause: once queued bytes cross the
+    # high-water mark a submission is shed with the typed reply, and
+    # after the backlog drains the same submission is admitted.
+    with JobServer(
+        "threaded",
+        slots=1,
+        admission=AdmissionConfig(max_queued_bytes=4096, retry_after_s=0.1),
+    ) as server:
+        admitted = []
+        rejected = None
+        for index in range(64):
+            try:
+                admitted.append(
+                    server.submit("t", "wc", records=100, seed=index)
+                )
+            except BackpressureError as exc:
+                rejected = exc
+                break
+        assert rejected is not None, "64 queued jobs never crossed the HWM"
+        assert rejected.retry_after_s == 0.1
+        assert "high-water mark" in rejected.reason
+        assert len(admitted) >= 1
+        for job_id in admitted:
+            server.wait(job_id, timeout=120.0)
+        # Recovered: queued bytes are back under the mark.
+        retry = server.submit("t", "wc", records=100, seed=0)
+        record = server.wait(retry, timeout=120.0)
+        assert record.state == "done"
+        counters = server.status()["server"]["counters"]
+        assert counters["server.jobs.rejected"] == 1
+        assert counters["server.jobs.completed"] == len(admitted) + 1
