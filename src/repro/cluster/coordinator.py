@@ -578,7 +578,26 @@ class Coordinator:
                 kind, fields = self._inbox.get(timeout=0.05)
             except queue.Empty:
                 continue
-            self._handle_message(kind, fields)
+            try:
+                self._handle_message(kind, fields)
+            except Exception as exc:  # noqa: BLE001
+                # One malformed frame (bad pickle, out-of-range index)
+                # must not kill the lone dispatcher — that would hang
+                # every active and future job.  Fail the affected job
+                # if the frame names one; otherwise drop the frame.
+                self.obs.counters.increment("cluster.dispatch.errors")
+                try:
+                    state = self._active.get(str(fields.get("job_id", "")))
+                    if state is not None:
+                        self._fail_job(
+                            state,
+                            ClusterJobError(
+                                f"{state.job_id}: dispatcher error on "
+                                f"{kind!r}: {type(exc).__name__}: {exc}"
+                            ),
+                        )
+                except Exception:  # noqa: BLE001 — keep dispatching
+                    pass
 
     def _handle_message(self, kind: str, fields: dict) -> None:
         if kind == "job-start":

@@ -27,7 +27,10 @@ planes forward verbatim — when any high-water mark would be crossed:
   gate: barrier-less reduce slots hold partial state for long
   stretches, so bytes waiting to enter the shuffle, not job count, is
   the scarce resource,
-- live bytes held by running jobs (``max_live_bytes``).
+- live bytes held by running jobs (``max_live_bytes``) — a submission
+  arriving while live bytes already sit above the mark is shed, and
+  :meth:`SchedulerKernel.next_grants` defers further grants at or
+  above the mark until releases drain below it.
 
 All methods are kernel-internal-lock thread-safe; the kernel is shared
 between submitter threads and the server's dispatch loop.
@@ -137,9 +140,13 @@ class SchedulerKernel:
         """Admit one job into the tenant's queue or shed it.
 
         Raises :class:`BackpressureError` when any configured high-water
-        mark would be crossed by accepting this submission — the gates
-        check *after-admission* totals, so a single oversized submission
-        is shed rather than sneaking under a nearly-full mark.
+        mark would be crossed by accepting this submission.  The queue
+        gates check *after-admission* totals, so a single oversized
+        submission is shed rather than sneaking under a nearly-full
+        mark.  The live-bytes gate is different: a submission never adds
+        live bytes directly (only a grant does), so it sheds while
+        *current* live bytes exceed the mark — the grant-side deferral
+        in :meth:`next_grants` is what bounds live bytes themselves.
         """
         with self._lock:
             config = self.tenant_config(tenant)
@@ -203,11 +210,22 @@ class SchedulerKernel:
 
         Consults the policy once per free slot while any backlog
         remains.  Granted tickets move to the running set and count
-        their input bytes as live until :meth:`release`.
+        their input bytes as live until :meth:`release`.  While live
+        bytes stand at or above ``max_live_bytes`` further grants are
+        deferred until :meth:`release` drains below the mark — so live
+        bytes are bounded by the mark plus one ticket's overshoot.
+        (When nothing is running a grant always goes through: a single
+        oversized ticket must not wedge the pool.)
         """
         granted: list[Ticket] = []
         with self._lock:
             while len(self._running) < self.slots:
+                if (
+                    self.admission.max_live_bytes
+                    and self._running
+                    and self._live_bytes >= self.admission.max_live_bytes
+                ):
+                    break
                 backlog = {
                     tenant: queue
                     for tenant, queue in self._queues.items()

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
+from itertools import chain
 from typing import Mapping, Sequence
 
 __all__ = [
@@ -173,7 +174,13 @@ class FairSharePolicy(SchedulerPolicy):
 
 
 class DeadlinePolicy(SchedulerPolicy):
-    """Earliest deadline first; deadline-less tickets run last, FIFO."""
+    """Earliest deadline first; deadline-less tickets run last, FIFO.
+
+    Scans *every* queued ticket, not just each tenant's queue head — a
+    tight-deadline ticket queued behind a deadline-less one from the
+    same tenant must still win the next slot (the kernel removes
+    granted tickets from mid-queue just fine).
+    """
 
     name = "deadline"
 
@@ -183,7 +190,7 @@ class DeadlinePolicy(SchedulerPolicy):
         weights: Mapping[str, float],
     ) -> Ticket:
         return min(
-            (queue[0] for queue in backlog.values() if queue),
+            chain.from_iterable(backlog.values()),
             key=lambda ticket: (
                 ticket.deadline is None,
                 ticket.deadline if ticket.deadline is not None else 0.0,

@@ -229,6 +229,11 @@ class JobServer:
         record = JobRecord(job_id, tenant, spec)
         record.job = job
         record.pairs = pairs
+        # Register the record *before* the kernel can queue (and the
+        # dispatcher grant) the ticket — _run_ticket must never race a
+        # grant against an unregistered job_id and drop it.
+        with self._jobs_lock:
+            self._records[job_id] = record
         try:
             self._kernel.submit(
                 tenant,
@@ -241,11 +246,11 @@ class JobServer:
                 ),
             )
         except BackpressureError:
+            with self._jobs_lock:
+                self._records.pop(job_id, None)
             self.obs.counters.increment("server.jobs.rejected")
             self.obs.counters.increment(f"server.tenant.{tenant}.rejected")
             raise
-        with self._jobs_lock:
-            self._records[job_id] = record
         self.obs.counters.increment("server.jobs.submitted")
         self.obs.counters.increment("server.bytes.admitted", input_bytes)
         self.obs.counters.increment(f"server.tenant.{tenant}.submitted")
@@ -462,7 +467,10 @@ class JobServer:
             lane = per_tenant.setdefault(
                 record.tenant, {"weight": 1.0, "queued": 0, "running": 0}
             )
-            lane[record.state] = lane.get(record.state, 0) + 1
+            # The kernel snapshot already carries queued/running depths;
+            # records only add the terminal states the kernel forgets.
+            if record.state in _TERMINAL:
+                lane[record.state] = lane.get(record.state, 0) + 1
         for tenant, lane in per_tenant.items():
             for name in ("submitted", "granted", "completed", "rejected"):
                 lane[name] = counters.get(f"server.tenant.{tenant}.{name}", 0)

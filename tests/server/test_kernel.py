@@ -169,6 +169,19 @@ class TestFifoAndDeadline:
             "soon", "soon", "late", "late", "never",
         ]
 
+    def test_deadline_policy_scans_past_queue_heads(self):
+        # EDF over *every* queued ticket: a tight deadline queued
+        # behind a deadline-less head of the same tenant still wins.
+        kernel = make_kernel(policy="deadline", slots=1)
+        kernel.submit("t", "headless")
+        kernel.submit("t", "tight", deadline=1.0)
+        kernel.submit("u", "loose", deadline=50.0)
+        assert [t.job_id for t in kernel.next_grants()] == ["tight"]
+        kernel.release("tight")
+        assert [t.job_id for t in kernel.next_grants()] == ["loose"]
+        kernel.release("loose")
+        assert [t.job_id for t in kernel.next_grants()] == ["headless"]
+
 
 class TestSlotPool:
     def test_pool_never_overruns(self):
@@ -243,6 +256,20 @@ class TestAdmission:
             kernel.submit("a", "next", input_bytes=10)
         kernel.release("big")
         kernel.submit("a", "next", input_bytes=10)
+
+    def test_live_bytes_mark_defers_grants(self):
+        kernel = make_kernel(
+            slots=2, admission=AdmissionConfig(max_live_bytes=500)
+        )
+        kernel.submit("a", "j1", input_bytes=600)
+        kernel.submit("a", "j2", input_bytes=10)
+        # j1 is granted alone (an oversized first ticket never wedges
+        # the pool); the free second slot stays empty while live bytes
+        # sit above the mark.
+        assert [t.job_id for t in kernel.next_grants()] == ["j1"]
+        assert kernel.next_grants() == []
+        kernel.release("j1")
+        assert [t.job_id for t in kernel.next_grants()] == ["j2"]
 
 
 class TestCancel:

@@ -9,6 +9,7 @@ tier-1 budget.
 from __future__ import annotations
 
 import json
+import time
 import urllib.error
 import urllib.request
 
@@ -117,6 +118,11 @@ class TestRpcPlane:
                 "server.jobs.rejected"
             ]
             assert rejected == 1
+            # A shed submission leaves no record behind — the record is
+            # registered before the kernel queues the ticket (so a
+            # grant can never race an unregistered job) and unwound on
+            # rejection.
+            assert server.jobs() == []
 
     def test_unknown_job_errors(self):
         with JobServer() as server:
@@ -125,6 +131,31 @@ class TestRpcPlane:
                 client.job("s-404")
             with pytest.raises(KeyError):
                 client.cancel("s-404")
+
+
+class TestStatusLanes:
+    def test_tenant_lane_counts_in_flight_jobs_once(self):
+        # The kernel snapshot already reports queued/running depths;
+        # the record fold must not add them again (2 queued jobs must
+        # read queued=2, not 4).
+        with JobServer(slots=1) as server:
+            blocker = server.submit("t", "sort", records=4000)
+            victim = server.submit("t", "wc", records=60)
+            deadline = time.monotonic() + 10.0
+            lane = server.status()["tenants"]["t"]
+            while time.monotonic() < deadline:
+                if lane["running"] == 1 and lane["queued"] == 1:
+                    break
+                time.sleep(0.02)
+                lane = server.status()["tenants"]["t"]
+            assert lane["running"] == 1
+            assert lane["queued"] == 1
+            server.wait(blocker, timeout=60.0)
+            server.wait(victim, timeout=60.0)
+            lane = server.status()["tenants"]["t"]
+            assert lane["queued"] == 0
+            assert lane["running"] == 0
+            assert lane["done"] == 2
 
 
 class TestCancel:
