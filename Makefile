@@ -1,8 +1,8 @@
 # Convenience targets for the reproduction workflow.
 
 .PHONY: install test bench bench-quick bench-figures chaos cluster \
-	cluster-trace netchaos server figures csv scoreboard examples trace-demo \
-	all clean
+	cluster-trace netchaos server preempt figures csv scoreboard examples \
+	trace-demo all clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -51,6 +51,11 @@ server:
 	REPRO_SERVER_SOAK_JOBS=80 pytest tests/server/test_soak.py \
 		tests/server/test_server.py tests/server/test_differential.py \
 		tests/cluster/test_multijob.py -q
+
+preempt:
+	pytest tests/server/test_preempt_kernel.py -q
+	REPRO_SERVER_SOAK_JOBS=8 pytest tests/cluster/test_preempt.py \
+		tests/cluster/test_quarantine.py -q
 
 figures:
 	python -m repro.cli figure fig4 fig5 fig6 fig7 fig8 fig9 fig10

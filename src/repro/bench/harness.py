@@ -114,6 +114,18 @@ TRACKED_COUNTERS: tuple[str, ...] = (
     "server.jobs.cancelled",
     "server.grants",
     "server.bytes.admitted",
+    # Preemption / quarantine counters: zero on the bench matrix (no
+    # scheduler, no chaos), tracked so checkpoint-park churn or sick-
+    # worker drains diff loudly once preemption bench rows exist.
+    "server.preempt.requested",
+    "server.preempt.completed",
+    "server.preempt.resumed",
+    "cluster.preempt.jobs",
+    "cluster.preempt.parked",
+    "cluster.preempt.resumed",
+    "cluster.quarantine.workers",
+    "cluster.quarantine.rejoined",
+    "cluster.tasks.retried",
 )
 
 #: Apps for the ``--wire`` codec comparison (the text-heavy pair the

@@ -317,6 +317,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="admission: live bytes high-water mark (0 = off)")
     serve.add_argument("--deadline", type=float, default=60.0,
                        help="per-job completion deadline in seconds")
+    serve.add_argument("--drain-timeout", type=float, default=10.0,
+                       help="graceful-drain budget on SIGTERM/SIGINT: "
+                            "checkpoint-park running jobs, reject queued "
+                            "ones, exit within this many seconds")
 
     submit = sub.add_parser(
         "submit", help="submit one job to a running job server"
@@ -1174,6 +1178,7 @@ def _render_cluster_status(status: dict, width: int = 40) -> str:
             f"slots {server.get('running', 0)}/{server.get('slots', 0)}  "
             f"queued {server.get('queued', 0)} "
             f"({server.get('queued_bytes', 0):,}B)"
+            + ("  DRAINING" if server.get("draining") else "")
         )
     coord = status.get("coordinator", {})
     if coord or not server:
@@ -1193,7 +1198,8 @@ def _render_cluster_status(status: dict, width: int = 40) -> str:
                 f"running {lane.get('running', 0):>2}  "
                 f"granted {lane.get('granted', 0):>4}  "
                 f"done {lane.get('completed', 0):>4}  "
-                f"rejected {lane.get('rejected', 0):>3}"
+                f"rejected {lane.get('rejected', 0):>3}  "
+                f"preempted {lane.get('preempted', 0):>3}"
             )
     jobs = status.get("jobs", {})
     lines.append(f"jobs ({len(jobs)}):")
@@ -1218,7 +1224,7 @@ def _render_cluster_status(status: dict, width: int = 40) -> str:
             f"reduces {job.get('reduces_done', 0)}"
             f"/{job.get('num_reducers', 0)}  "
             f"epoch-bumps {epochs}  re-attempts {attempts}  "
-            f"{'done' if job.get('done') else 'running'}"
+            f"{'done' if job.get('done') else ('parked' if job.get('parked') else 'running')}"
         )
     if not jobs:
         lines.append("  (none)")
@@ -1229,6 +1235,8 @@ def _render_cluster_status(status: dict, width: int = 40) -> str:
         flags = []
         if not worker.get("alive", False):
             flags.append("DEAD")
+        if worker.get("quarantined"):
+            flags.append("QUARANTINED")
         if worker.get("truncated"):
             flags.append("truncated")
         lines.append(
@@ -1300,7 +1308,15 @@ def _parse_server_target(target: str) -> tuple[str, int]:
 
 
 def _cmd_serve(args) -> int:
-    """Run the multi-tenant job server until interrupted."""
+    """Run the multi-tenant job server until interrupted.
+
+    SIGTERM and SIGINT trigger a graceful drain: queued jobs are
+    cancelled, running jobs checkpoint-park on the cluster backend, new
+    submissions bounce with the typed ``server draining`` backpressure
+    reply, and the process exits within ``--drain-timeout`` seconds.
+    """
+    import signal
+    import threading
     import time
 
     from repro.server import AdmissionConfig, JobServer, TenantConfig
@@ -1332,10 +1348,28 @@ def _cmd_serve(args) -> int:
     if args.http_port is not None:
         host, port = server.start_http(port=args.http_port)
         print(f"http shim on {host}:{port}")
+    stop = threading.Event()
+
+    def _on_signal(signum, _frame):
+        print(f"received {signal.Signals(signum).name}, draining "
+              f"(budget {args.drain_timeout}s)")
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
     try:
-        while True:
-            time.sleep(1.0)
+        while not stop.wait(timeout=1.0):
+            pass
+        summary = server.drain(timeout_s=args.drain_timeout)
+        print(
+            f"drained: {summary['parked']} parked, "
+            f"{summary['cancelled']} cancelled, "
+            f"{summary['still_running']} still running"
+        )
+        print("shutting down")
+        return 0 if summary["still_running"] == 0 else 1
     except KeyboardInterrupt:
+        # A second Ctrl-C during the drain: exit hard.
         print("shutting down")
         return 0
     finally:

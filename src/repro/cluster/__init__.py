@@ -27,12 +27,28 @@ their heartbeats, and the coordinator merges everything — clock-aligned
 — into one multi-process Chrome trace, a totally-ordered event stream,
 and the live status snapshot served over the RPC ``status`` verb
 (rendered by ``repro top``).
+
+Preemptible jobs (PR 10): the coordinator can checkpoint-park a running
+job (``preempt``/``resume_job``) — uncommitted reduce attempts stop at
+their next wire-batch boundary, cutting a checkpoint when enabled, and
+the parked job's map outputs stay held on workers until a resume
+re-grants the stopped reduces with replay-only-the-tail restores.  A
+failure-aware quarantine (:mod:`repro.cluster.quarantine`) drains
+workers that fail too many tasks inside a sliding window, and per-job
+retry budgets (``retry_mode="degrade"``) retry poisoned tasks on other
+workers before failing typed with :class:`ClusterTaskError`.
 """
 
 from repro.cluster.engine import ClusterEngine, ClusterRuntime, cluster_recovery
-from repro.cluster.coordinator import ClusterJobError, Coordinator
+from repro.cluster.coordinator import (
+    ClusterJobError,
+    ClusterTaskError,
+    Coordinator,
+    JobPreemptedError,
+)
 from repro.cluster.journal import Journal, JournalError, replay_journal
 from repro.cluster.netchaos import ChaosPolicy, NetChaosConfig, NetChaosProxy
+from repro.cluster.quarantine import QuarantineConfig, QuarantineTracker
 from repro.cluster.rpc import RpcError
 from repro.cluster.telemetry import (
     ClusterTelemetry,
@@ -47,12 +63,16 @@ __all__ = [
     "ClusterEngine",
     "ClusterJobError",
     "ClusterRuntime",
+    "ClusterTaskError",
     "ClusterTelemetry",
     "Coordinator",
+    "JobPreemptedError",
     "Journal",
     "JournalError",
     "NetChaosConfig",
     "NetChaosProxy",
+    "QuarantineConfig",
+    "QuarantineTracker",
     "RpcError",
     "TelemetryBuffer",
     "TraceContext",

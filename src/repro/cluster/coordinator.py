@@ -79,10 +79,18 @@ from repro.engine.base import Stopwatch, finish_result
 from repro.engine.recovery import RecoveryConfig
 from repro.obs import JobObservability
 from repro.cluster.journal import Journal, replay_journal
+from repro.cluster.quarantine import QuarantineConfig, QuarantineTracker
 from repro.cluster.rpc import RpcError, recv_message, send_message
 from repro.cluster.telemetry import ClusterTelemetry, TraceContext
 
-__all__ = ["ClusterJobError", "Coordinator", "DEFAULT_LEASE_S"]
+__all__ = [
+    "ClusterJobError",
+    "ClusterTaskError",
+    "Coordinator",
+    "DEFAULT_LEASE_S",
+    "JobPreemptedError",
+    "RETRY_MODES",
+]
 
 #: Placement policies for :meth:`Coordinator.submit`.  ``spread`` round-
 #: robins maps and reduces over every worker.  ``maps-first`` keeps map
@@ -97,9 +105,49 @@ PLACEMENTS = ("spread", "maps-first")
 #: cannot expire a healthy worker.
 DEFAULT_LEASE_S = 2.0
 
+#: Per-job task-failure handling for :meth:`Coordinator.submit`.
+#: ``fail_fast`` fails the whole job on the first task failure (the
+#: pre-PR-10 behaviour); ``degrade`` retries the failed task on a
+#: different eligible worker up to the job's ``task_retries`` budget,
+#: then fails the job with a typed :class:`ClusterTaskError`.
+RETRY_MODES = ("fail_fast", "degrade")
+
 
 class ClusterJobError(RuntimeError):
     """A cluster job failed: task error, no workers, or deadline."""
+
+
+class ClusterTaskError(ClusterJobError):
+    """One task exhausted its retry budget; the job fails typed.
+
+    Distinguishes a *poisoned task* (deterministic failure that no
+    retry budget can fix) from infrastructure failures, so callers can
+    tell "your reducer crashes on this input" apart from "the cluster
+    misbehaved".
+    """
+
+    def __init__(self, message: str, *, kind: str, index: int, worker: str) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.index = index
+        self.worker = worker
+
+
+class JobPreemptedError(ClusterJobError):
+    """Raised to the submitter when its job checkpoint-parks.
+
+    Not a failure: the job's map outputs stay held on workers, its
+    reduce checkpoints are on disk, and
+    :meth:`Coordinator.resume_job` continues it from exactly where it
+    stopped.  Derives from :class:`ClusterJobError` so callers that do
+    not speak preemption still see a typed cluster error.
+    """
+
+    def __init__(self, job_id: str) -> None:
+        super().__init__(
+            f"{job_id} preempted (checkpoint-parked; resume to continue)"
+        )
+        self.job_id = job_id
 
 
 class _WorkerHandle:
@@ -183,6 +231,18 @@ class _JobState:
         self.done = False
         # -- runtime (dispatcher-owned) fields -----------------------------
         self.kill: dict | None = None
+        #: ``fail_fast`` (True) fails the job on any task failure;
+        #: ``degrade`` (False) retries up to ``task_retries`` per task.
+        self.fail_fast = True
+        self.task_retries = 0
+        #: (kind, index) -> retries already spent.
+        self.retry_used: dict[tuple[str, int], int] = {}
+        #: Preemption lifecycle: ``preempting`` while stop requests are
+        #: out, ``parked`` once every attempt acked and the slot is free.
+        self.preempting = False
+        self.preempt_pending: set[int] = set()
+        self.parked = False
+        self.preempt_count = 0
         self.resuming = False
         self.finished = threading.Event()
         self.error: ClusterJobError | None = None
@@ -217,6 +277,7 @@ class Coordinator:
         journal: "Journal | str | None" = None,
         lease_s: float | None = DEFAULT_LEASE_S,
         shuffle_proxy: Callable[[str, int], tuple[str, int]] | None = None,
+        quarantine: QuarantineConfig | None = None,
     ) -> None:
         self.obs = obs if obs is not None else JobObservability()
         if isinstance(journal, str):
@@ -244,6 +305,12 @@ class Coordinator:
         self._jobs: dict[str, _JobState] = {}
         #: job_id -> _JobState currently in flight (dispatcher-owned).
         self._active: dict[str, _JobState] = {}
+        #: job_id -> _JobState checkpoint-parked by preemption.  Parked
+        #: jobs still receive map-done / reduce-done (late completions
+        #: keep accruing) but no new grants until resumed.
+        self._parked: dict[str, _JobState] = {}
+        #: Per-worker task-failure budget and the quarantined set.
+        self._quarantine = QuarantineTracker(quarantine)
         #: Worker generations whose death has already been handled, so a
         #: receiver-thread EOF and a lease expiry for the same
         #: connection reassign its tasks once, not twice.
@@ -313,6 +380,10 @@ class Coordinator:
                 str(fields.get("placement", "spread")),
                 float(fields.get("deadline_s", 60.0)),
             )
+            state.task_retries = int(fields.get("task_retries", 0))
+            state.fail_fast = (
+                str(fields.get("retry_mode", "fail_fast")) != "degrade"
+            )
             self._recovered[state.job_id] = state
             return
         state = self._recovered.get(str(fields.get("job_id", "")))
@@ -353,6 +424,12 @@ class Coordinator:
                 state.counters.increment("reduce.tasks")
                 self.obs.counters.merge_dict(task_counters)
                 self.obs.counters.increment("reduce.tasks")
+        elif kind in ("job-preempt", "job-resume"):
+            # Informational for replay: a job parked (or re-activated)
+            # before the crash is still a non-done job, and
+            # :meth:`resume` restarts every non-done job on surviving
+            # worker state — held outputs and checkpoints do the rest.
+            state.preempt_count += 1 if kind == "job-preempt" else 0
         elif kind == "job-done":
             state.done = True
 
@@ -475,6 +552,15 @@ class Coordinator:
         with self._workers_cond:
             return [h for h in self._workers.values() if h.alive]
 
+    def _eligible_workers(self) -> list[_WorkerHandle]:
+        """Alive workers that may receive grants (not quarantined)."""
+        now = time.monotonic()
+        return [
+            h
+            for h in self._alive_workers()
+            if not self._quarantine.is_quarantined(h.name, now)
+        ]
+
     def _handle_of(self, name: str) -> _WorkerHandle | None:
         with self._workers_cond:
             return self._workers.get(name)
@@ -493,6 +579,9 @@ class Coordinator:
         kill: dict | None = None,
         placement: str = "spread",
         deadline_s: float = 60.0,
+        job_id: str | None = None,
+        task_retries: int = 0,
+        retry_mode: str = "fail_fast",
     ) -> JobResult:
         """Run one job to completion; raises :class:`ClusterJobError`.
 
@@ -501,15 +590,27 @@ class Coordinator:
         over the shared workers.  ``checkpoint_root`` is a *base*
         directory: the job's snapshots land in a ``<job_id>/`` subtree,
         so concurrent jobs can never read each other's checkpoints.
+        ``job_id`` lets a caller (the job server) pin its own stable
+        identifier so it can later :meth:`preempt` / :meth:`resume_job`
+        the job; ``retry_mode``/``task_retries`` pick the task-failure
+        policy (see :data:`RETRY_MODES`).  A preempted submission
+        raises :class:`JobPreemptedError` — park, not failure.
         """
         if placement not in PLACEMENTS:
             raise ValueError(f"unknown placement {placement!r}")
+        if retry_mode not in RETRY_MODES:
+            raise ValueError(
+                f"unknown retry mode {retry_mode!r} (choose from {RETRY_MODES})"
+            )
         job.validate()
         if not self._alive_workers():
             raise ClusterJobError("no live workers")
         with self._job_seq_lock:
             self._job_seq += 1
-            job_id = f"job-{self._job_seq}"
+            if job_id is None:
+                job_id = f"job-{self._job_seq}"
+        if job_id in self._jobs or job_id in self._recovered:
+            raise ClusterJobError(f"duplicate job id {job_id!r}")
         if checkpoint_root is not None:
             checkpoint_root = os.path.join(checkpoint_root, job_id)
             os.makedirs(checkpoint_root, exist_ok=True)
@@ -519,6 +620,8 @@ class Coordinator:
             placement, deadline_s,
         )
         state.kill = kill
+        state.task_retries = int(task_retries)
+        state.fail_fast = retry_mode != "degrade"
         self._log(
             "job-submit",
             {
@@ -530,9 +633,44 @@ class Coordinator:
                 "checkpoint_root": checkpoint_root or "",
                 "placement": placement,
                 "deadline_s": float(deadline_s),
+                "task_retries": int(task_retries),
+                "retry_mode": retry_mode,
             },
         )
         self._inbox.put(("job-start", {"state": state}))
+        return self._await(state)
+
+    def preempt(self, job_id: str) -> None:
+        """Ask the dispatcher to checkpoint-park one running job.
+
+        Asynchronous and idempotent: the request is journaled
+        write-ahead, every uncommitted reduce attempt is asked to stop
+        at its next wire-batch boundary, and once all of them ack the
+        job parks — its submitter's blocked :meth:`submit` call raises
+        :class:`JobPreemptedError`.  Unknown, finished or
+        already-parking jobs are a no-op.
+        """
+        self._inbox.put(("preempt-job", {"job_id": job_id}))
+
+    def resume_job(self, job_id: str) -> JobResult:
+        """Continue a checkpoint-parked job to completion; blocks.
+
+        Held map outputs are reused via fresh location broadcasts;
+        uncommitted reduces are re-granted at the next attempt number
+        and restore from the checkpoints their preempted predecessors
+        cut, replaying only the un-consumed tail of each stream.
+        """
+        state = self._jobs.get(job_id)
+        if state is None:
+            raise ClusterJobError(f"unknown job {job_id!r}")
+        if state.done and state.result is not None:
+            return state.result
+        if not state.parked:
+            raise ClusterJobError(f"{job_id} is not parked")
+        state.parked = False
+        state.error = None
+        state.finished = threading.Event()
+        self._inbox.put(("job-resume", {"state": state}))
         return self._await(state)
 
     def resume(self) -> dict[str, JobResult]:
@@ -574,6 +712,7 @@ class Coordinator:
         while not self._closing.is_set():
             self._sweep_leases()
             self._sweep_deadlines()
+            self._sweep_quarantine()
             try:
                 kind, fields = self._inbox.get(timeout=0.05)
             except queue.Empty:
@@ -603,6 +742,12 @@ class Coordinator:
         if kind == "job-start":
             self._begin_job(fields["state"])
             return
+        if kind == "preempt-job":
+            self._handle_preempt(str(fields.get("job_id", "")))
+            return
+        if kind == "job-resume":
+            self._resume_parked(fields["state"])
+            return
         if kind == "worker-dead":
             self._handle_worker_dead(
                 str(fields["worker"]), int(fields.get("gen", 0))
@@ -624,7 +769,13 @@ class Coordinator:
                         if int(count) > snapshot.get(mapper, 0):
                             snapshot[mapper] = int(count)
             return
-        state = self._active.get(str(fields.get("job_id", "")))
+        job_id = str(fields.get("job_id", ""))
+        state = self._active.get(job_id)
+        if state is None and kind in ("map-done", "reduce-done", "reduce-preempted"):
+            # Parked jobs keep accepting late completions: a map or
+            # reduce that finishes during the park shrinks the work the
+            # resume must re-grant.
+            state = self._parked.get(job_id)
         if state is None:
             return  # stale message for a finished or unknown job
         if kind == "map-done":
@@ -634,7 +785,20 @@ class Coordinator:
             if int(fields["attempt"]) != state.reduce_attempt[reducer]:
                 return  # superseded attempt
             self._commit_reduce(state, reducer, fields)
+            state.preempt_pending.discard(reducer)
             self._maybe_finish(state)
+            if not state.finished.is_set():
+                self._maybe_park(state)
+        elif kind == "reduce-preempted":
+            reducer = int(fields["reducer"])
+            if int(fields["attempt"]) != state.reduce_attempt[reducer]:
+                return  # stale ack from a superseded attempt
+            self.obs.counters.increment("cluster.preempt.acks")
+            state.preempt_pending.discard(reducer)
+            # The stopped attempt no longer runs anywhere; resume
+            # re-grants this reducer at the next attempt number.
+            state.reduce_owner.pop(reducer, None)
+            self._maybe_park(state)
         elif kind == "task-failed":
             if (
                 fields.get("kind") == "reduce"
@@ -642,32 +806,45 @@ class Coordinator:
                 != state.reduce_attempt[int(fields["index"])]
             ):
                 return  # a superseded attempt failing late
-            self._fail_job(
+            self._handle_task_failed(
                 state,
-                ClusterJobError(
-                    f"{state.job_id} "
-                    f"{fields.get('kind')}-{fields.get('index')} "
-                    f"failed on {fields.get('worker')}: "
-                    f"{fields.get('error')}"
-                ),
+                str(fields.get("kind", "")),
+                int(fields.get("index", 0)),
+                int(fields.get("attempt", 0)),
+                str(fields.get("worker", "")),
+                str(fields.get("error", "")),
             )
 
     # -- job lifecycle (dispatcher thread only) ----------------------------
 
     def _begin_job(self, state: _JobState) -> None:
-        workers = self._alive_workers()
+        workers = self._eligible_workers()
         if not workers:
-            self._fail_job(state, ClusterJobError("no live workers"))
+            quarantined = self._quarantine.quarantined(time.monotonic())
+            self._fail_job(
+                state,
+                ClusterJobError(
+                    "no eligible workers"
+                    + (
+                        f" ({len(quarantined)} quarantined)"
+                        if quarantined
+                        else ""
+                    )
+                ),
+            )
             return
         job = state.job
-        self.obs.counters.increment("cluster.jobs")
+        if state.job_id not in self._jobs:
+            self.obs.counters.increment("cluster.jobs")
         self._jobs[state.job_id] = state
         self._active[state.job_id] = state
         state.watch = Stopwatch()
         state.times = StageTimes()
+        state.map_done_times = []
         state.deadline_mono = time.monotonic() + state.deadline_s
         state.span = self.obs.tracer.open(
-            job.name, "job", mode=job.mode.value, engine="cluster"
+            job.name, "job", mode=job.mode.value, engine="cluster",
+            resumed=state.resuming,
         )
         state.job_fields = {
             "job_id": state.job_id,
@@ -785,6 +962,10 @@ class Coordinator:
             },
         )
         state.map_locations[mapper] = (owner, epoch)
+        # Track the held output on the live handle too: registration
+        # snapshots go stale the moment new maps finish, and park/resume
+        # validates held outputs against this set.
+        handle.held.add((state.job_id, mapper, epoch))
         if first:
             # First completion of this map task: merge its counters once
             # (re-executions repeat the work but must not double the
@@ -851,11 +1032,115 @@ class Coordinator:
     def _conclude(self, state: _JobState) -> None:
         """Common tail of success and failure: release, notify, unblock."""
         self._active.pop(state.job_id, None)
+        self._parked.pop(state.job_id, None)
         self._broadcast("job-done", {"job_id": state.job_id})
+        # The job-done broadcast makes workers drop the job's held map
+        # outputs; mirror that in the coordinator's book-keeping so a
+        # later resume of some *other* job cannot trust a stale entry.
+        for handle in self._alive_workers():
+            handle.held = {
+                key for key in handle.held if key[0] != state.job_id
+            }
         if state.span is not None:
             self.obs.tracer.close(state.span)
             state.span = None
         state.finished.set()
+
+    # -- preemption (dispatcher thread only) -------------------------------
+
+    def _handle_preempt(self, job_id: str) -> None:
+        state = self._active.get(job_id)
+        if state is None or state.finished.is_set() or state.preempting:
+            return  # unknown, finished, parked or already parking: no-op
+        # Write-ahead: journal the intent before any stop request goes
+        # out.  A coordinator crash between this record and the acks
+        # replays into a non-done job, and :meth:`resume` finishes it
+        # from held outputs and whatever checkpoints the stop requests
+        # managed to cut.
+        self._log("job-preempt", {"job_id": job_id})
+        state.preempting = True
+        state.preempt_count += 1
+        self.obs.counters.increment("cluster.preempt.jobs")
+        self.obs.events.emit(
+            "cluster.preempt.job",
+            job=job_id,
+            reduces_done=len(state.output),
+            reduces_running=sum(
+                1 for r in state.reduce_owner if r not in state.output
+            ),
+        )
+        self._push_preempts(state)
+        self._maybe_park(state)
+
+    def _push_preempts(self, state: _JobState) -> None:
+        """Ask every uncommitted reduce attempt to stop at its next
+        wire-batch boundary; attempts whose owner is gone have nothing
+        running and need no ack."""
+        for reducer, owner in sorted(state.reduce_owner.items()):
+            if reducer in state.output:
+                continue
+            state.preempt_pending.add(reducer)
+            handle = self._handle_of(owner)
+            sent = (
+                handle is not None
+                and handle.alive
+                and self._send_to(
+                    handle,
+                    "preempt-reduce",
+                    {
+                        "job_id": state.job_id,
+                        "reducer": reducer,
+                        "attempt": state.reduce_attempt[reducer],
+                    },
+                )
+            )
+            if sent:
+                self.obs.counters.increment("cluster.preempt.reduces")
+            else:
+                state.preempt_pending.discard(reducer)
+                state.reduce_owner.pop(reducer, None)
+
+    def _maybe_park(self, state: _JobState) -> None:
+        """Park once every stop request is acked (or raced a commit)."""
+        if (
+            not state.preempting
+            or state.finished.is_set()
+            or state.preempt_pending
+        ):
+            return
+        state.preempting = False
+        state.parked = True
+        self._active.pop(state.job_id, None)
+        self._parked[state.job_id] = state
+        state.error = JobPreemptedError(state.job_id)
+        self.obs.counters.increment("cluster.preempt.parked")
+        self.obs.events.emit(
+            "cluster.job.parked",
+            job=state.job_id,
+            maps_held=len(state.map_locations),
+            reduces_done=len(state.output),
+        )
+        # Deliberately NOT :meth:`_conclude`: no job-done broadcast, so
+        # workers keep the job context, their held map outputs and the
+        # location table — exactly the state the resume reuses.
+        if state.span is not None:
+            self.obs.tracer.close(state.span)
+            state.span = None
+        state.finished.set()
+
+    def _resume_parked(self, state: _JobState) -> None:
+        if (
+            state.done
+            or state.finished.is_set()
+            or state.job_id in self._active
+        ):
+            return  # a late reduce-done completed the job before resume
+        self._parked.pop(state.job_id, None)
+        self._log("job-resume", {"job_id": state.job_id})
+        self.obs.counters.increment("cluster.preempt.resumed")
+        self.obs.events.emit("cluster.job.resumed", job=state.job_id)
+        state.resuming = True
+        self._begin_job(state)
 
     def _handle_worker_dead(self, name: str, gen: int) -> None:
         if gen in self._handled_gens:
@@ -868,15 +1153,24 @@ class Coordinator:
         # Whatever the dead worker shipped up to its last heartbeat
         # stays, flagged truncated; nothing beyond it is fabricated.
         self.telemetry.mark_truncated(name)
-        alive = self._alive_workers()
-        if not alive:
+        if not self._alive_workers():
             error = ClusterJobError(
                 f"worker {name} died and no workers remain"
             )
             for state in list(self._active.values()):
                 self._fail_job(state, error)
             return
+        targets = self._eligible_workers()
         for state in list(self._active.values()):
+            if not targets:
+                self._fail_job(
+                    state,
+                    ClusterJobError(
+                        f"worker {name} died and no eligible workers "
+                        f"remain (rest quarantined)"
+                    ),
+                )
+                continue
             # Re-execute every map task the dead worker owned under a new
             # epoch; its outputs died with its shuffle server.  In-flight
             # fetch streams observe the bumped epoch on the replacement
@@ -894,23 +1188,34 @@ class Coordinator:
                         "epoch": state.map_epoch[mapper],
                     },
                 )
-                self._grant_map(state, mapper, alive[reassigned % len(alive)])
+                self._grant_map(
+                    state, mapper, targets[reassigned % len(targets)]
+                )
                 reassigned += 1
             # Reassign uncommitted reduce tasks with the dead attempt's
             # last reported fold progress as prior, so the replacement
             # attempt classifies re-done records (replayed after a
-            # checkpoint resume, refolded otherwise).
+            # checkpoint resume, refolded otherwise).  For a job that is
+            # mid-preemption there is nothing to reassign: the attempt
+            # died with the worker, so its stop request needs no ack and
+            # the resume re-grants the reducer from its checkpoint.
             for reducer, owner in list(state.reduce_owner.items()):
                 if owner != name or reducer in state.output:
+                    continue
+                if state.preempting:
+                    state.reduce_owner.pop(reducer, None)
+                    state.preempt_pending.discard(reducer)
                     continue
                 state.reduce_attempt[reducer] += 1
                 self._grant_reduce(
                     state,
                     reducer,
-                    alive[reassigned % len(alive)],
+                    targets[reassigned % len(targets)],
                     state.progress.get(reducer, {}),
                 )
                 reassigned += 1
+            if state.preempting:
+                self._maybe_park(state)
             if reassigned:
                 self.obs.counters.increment(
                     "cluster.tasks.reassigned", reassigned
@@ -931,6 +1236,182 @@ class Coordinator:
                 fields = self._location_fields(state, mapper)
                 if fields is not None:
                     self._send_to(handle, "location", fields)
+
+    # -- task failures & quarantine (dispatcher thread only) ---------------
+
+    def _handle_task_failed(
+        self,
+        state: _JobState,
+        kind: str,
+        index: int,
+        attempt: int,
+        worker: str,
+        error: str,
+    ) -> None:
+        handle = self._handle_of(worker)
+        gen = handle.gen if handle is not None else -1
+        self.obs.counters.increment("cluster.tasks.failed")
+        # Dedup key spans the worker generation so a failure re-reported
+        # across a reconnect counts once; recording may newly quarantine
+        # the worker, which immediately drops it from the eligible set
+        # (the retry below already avoids it).
+        newly = self._quarantine.record_failure(
+            worker, (gen, state.job_id, kind, index, attempt),
+            time.monotonic(),
+        )
+        try:
+            if state.finished.is_set():
+                return
+            if state.fail_fast:
+                self._fail_job(
+                    state,
+                    ClusterJobError(
+                        f"{kind} task {index} failed on {worker}: {error}"
+                    ),
+                )
+                return
+            used = state.retry_used.get((kind, index), 0)
+            if used >= state.task_retries:
+                self._fail_job(
+                    state,
+                    ClusterTaskError(
+                        f"{kind} task {index} failed on {worker} after "
+                        f"{used} retr{'y' if used == 1 else 'ies'}: "
+                        f"{error}",
+                        kind=kind,
+                        index=index,
+                        worker=worker,
+                    ),
+                )
+                return
+            eligible = self._eligible_workers()
+            # Prefer any worker other than the one that just failed the
+            # task; with a one-worker pool the same worker is retried.
+            targets = [h for h in eligible if h.name != worker] or eligible
+            if not targets:
+                self._fail_job(
+                    state,
+                    ClusterJobError(
+                        f"{kind} task {index} failed on {worker} and no "
+                        f"eligible workers remain to retry it"
+                    ),
+                )
+                return
+            state.retry_used[(kind, index)] = used + 1
+            self.obs.counters.increment("cluster.tasks.retried")
+            self.obs.events.emit(
+                "cluster.task.retry",
+                job=state.job_id,
+                task=kind,
+                index=index,
+                attempt=attempt,
+                worker=worker,
+                retries_used=used + 1,
+            )
+            target = targets[(index + used) % len(targets)]
+            if kind == "map":
+                state.map_epoch[index] += 1
+                state.map_locations.pop(index, None)
+                self._log(
+                    "epoch-bump",
+                    {
+                        "job_id": state.job_id, "mapper": index,
+                        "epoch": state.map_epoch[index],
+                    },
+                )
+                self._grant_map(state, index, target)
+            else:
+                state.reduce_attempt[index] += 1
+                self._grant_reduce(
+                    state, index, target, state.progress.get(index, {})
+                )
+        finally:
+            # Drain the newly quarantined worker *after* the failing
+            # task was handled: by now that task is owned elsewhere (or
+            # its job failed), so the drain reassigns only the worker's
+            # other in-flight work.
+            if newly:
+                self._enter_quarantine(worker)
+
+    def _enter_quarantine(self, name: str) -> None:
+        """Drain a newly quarantined worker: reassign its in-flight
+        tasks; completed map outputs stay — quarantine stops grants,
+        not serving."""
+        self.obs.counters.increment("cluster.quarantine.workers")
+        self.obs.events.emit(
+            "cluster.quarantine.enter",
+            worker=name,
+            window_failures=self._quarantine.failure_counts().get(name, 0),
+            probation_s=self._quarantine.config.probation_s,
+        )
+        eligible = self._eligible_workers()
+        reassigned = 0
+        for state in list(self._active.values()):
+            for mapper, owner in list(state.map_owner.items()):
+                if owner != name:
+                    continue
+                held = state.map_locations.get(mapper)
+                if held is not None and held[1] == state.map_epoch[mapper]:
+                    continue  # completed output, still served
+                if not eligible:
+                    self._fail_job(
+                        state,
+                        ClusterJobError(
+                            f"worker {name} quarantined and no eligible "
+                            f"workers remain"
+                        ),
+                    )
+                    break
+                state.map_epoch[mapper] += 1
+                state.map_locations.pop(mapper, None)
+                self._log(
+                    "epoch-bump",
+                    {
+                        "job_id": state.job_id, "mapper": mapper,
+                        "epoch": state.map_epoch[mapper],
+                    },
+                )
+                self._grant_map(
+                    state, mapper, eligible[reassigned % len(eligible)]
+                )
+                reassigned += 1
+            if state.finished.is_set():
+                continue
+            for reducer, owner in list(state.reduce_owner.items()):
+                if owner != name or reducer in state.output:
+                    continue
+                if state.preempting:
+                    state.reduce_owner.pop(reducer, None)
+                    state.preempt_pending.discard(reducer)
+                    continue
+                if not eligible:
+                    self._fail_job(
+                        state,
+                        ClusterJobError(
+                            f"worker {name} quarantined and no eligible "
+                            f"workers remain"
+                        ),
+                    )
+                    break
+                state.reduce_attempt[reducer] += 1
+                self._grant_reduce(
+                    state,
+                    reducer,
+                    eligible[reassigned % len(eligible)],
+                    state.progress.get(reducer, {}),
+                )
+                reassigned += 1
+            if state.preempting:
+                self._maybe_park(state)
+        if reassigned:
+            self.obs.counters.increment(
+                "cluster.quarantine.reassigned", reassigned
+            )
+
+    def _sweep_quarantine(self) -> None:
+        for name in self._quarantine.sweep(time.monotonic()):
+            self.obs.counters.increment("cluster.quarantine.rejoined")
+            self.obs.events.emit("cluster.quarantine.exit", worker=name)
 
     def _sweep_leases(self) -> None:
         if self._lease_s is None:
@@ -1002,7 +1483,10 @@ class Coordinator:
         fresh attempt number, superseding the orphan.
         """
         job_id = state.job_id
-        targets = self._alive_workers()
+        targets = self._eligible_workers()
+        if not targets:
+            self._fail_job(state, ClusterJobError("no eligible workers"))
+            return
         index = 0
         reused = maps_reassigned = 0
         for mapper in range(state.num_maps):
@@ -1094,6 +1578,7 @@ class Coordinator:
                 "heartbeat_age_s": round(now - handle.last_heartbeat, 3),
                 "held_outputs": len(handle.held),
                 "active_reduces": len(handle.active_reduces),
+                "quarantined": self._quarantine.is_quarantined(name, now),
             }
             entry.update(telemetry.get(name, {"pid": handle.pid}))
             workers[name] = entry
@@ -1117,6 +1602,8 @@ class Coordinator:
                     for r, a in sorted(state.reduce_attempt.items())
                 },
                 "done": state.done,
+                "parked": state.parked,
+                "preempt_count": state.preempt_count,
             }
         return {
             "wall": time.time(),
@@ -1126,6 +1613,8 @@ class Coordinator:
                 "pid": os.getpid(),
                 "lease_s": float(self._lease_s or 0.0),
                 "active_jobs": len(self._active),
+                "parked_jobs": len(self._parked),
+                "quarantined_workers": self._quarantine.quarantined(now),
                 "counters": self.obs.counters.as_dict(),
             },
             "workers": workers,

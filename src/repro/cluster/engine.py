@@ -37,6 +37,7 @@ from repro.cluster.coordinator import (
     ClusterJobError,
     Coordinator,
 )
+from repro.cluster.quarantine import QuarantineConfig
 from repro.cluster.journal import Journal
 from repro.cluster.netchaos import NetChaosConfig, NetChaosProxy
 from repro.cluster.worker import worker_main
@@ -86,6 +87,9 @@ class ClusterRuntime:
         netchaos: NetChaosConfig | None = None,
         coordinator_port: int = 0,
         ship_telemetry: bool = True,
+        task_retries: int = 0,
+        retry_mode: str = "fail_fast",
+        quarantine: QuarantineConfig | None = None,
     ) -> None:
         if workers <= 0:
             raise ValueError("workers must be positive")
@@ -99,6 +103,8 @@ class ClusterRuntime:
         self._recovery = recovery if recovery is not None else cluster_recovery()
         self._placement = placement
         self._deadline_s = deadline_s
+        self._task_retries = int(task_retries)
+        self._retry_mode = retry_mode
         self._netchaos = netchaos
         self._proxies: dict[tuple[str, int], NetChaosProxy] = {}
         self._proxies_lock = threading.Lock()
@@ -107,6 +113,7 @@ class ClusterRuntime:
             port=coordinator_port,
             journal=journal,
             lease_s=lease_s,
+            quarantine=quarantine,
             shuffle_proxy=(
                 self._shuffle_proxy
                 if netchaos is not None and netchaos.shuffle is not None
@@ -223,6 +230,7 @@ class ClusterRuntime:
         num_maps: int = 4,
         *,
         kill: dict | None = None,
+        job_id: str | None = None,
     ) -> JobResult:
         """Run one job on the cluster; raises :class:`ClusterJobError`.
 
@@ -231,6 +239,11 @@ class ClusterRuntime:
         "map-done", "count": N}`` SIGKILLs the named worker when the
         trigger fires.  The job must still complete correctly via
         reassignment — that is the point.
+
+        ``job_id`` pins a caller-chosen identifier so the submission
+        can later be targeted by :meth:`preempt_job` /
+        :meth:`resume_job`; a preempted submission raises
+        :class:`~repro.cluster.coordinator.JobPreemptedError`.
 
         Thread-safe: many threads may run jobs concurrently over the
         same runtime; the coordinator multiplexes them over the shared
@@ -246,7 +259,23 @@ class ClusterRuntime:
             kill=kill,
             placement=self._placement,
             deadline_s=self._deadline_s,
+            job_id=job_id,
+            task_retries=self._task_retries,
+            retry_mode=self._retry_mode,
         )
+
+    def preempt_job(self, job_id: str) -> None:
+        """Checkpoint-park a running job (async; see Coordinator)."""
+        self._coordinator.preempt(job_id)
+
+    def resume_job(self, job_id: str) -> JobResult:
+        """Continue a checkpoint-parked job to completion; blocks."""
+        return self._coordinator.resume_job(job_id)
+
+    @property
+    def coordinator(self) -> Coordinator:
+        """The underlying coordinator (status plane, tests)."""
+        return self._coordinator
 
     # -- lifecycle ---------------------------------------------------------
 

@@ -34,6 +34,10 @@ Record kinds (fields documented in docs/cluster.md):
 - ``map-location`` — a completed map's output location broadcast
   (first completion carries the task counters).
 - ``reduce-commit`` — a reducer's first-wins committed output.
+- ``job-preempt`` — the job was asked to checkpoint-park (write-ahead:
+  logged before any ``preempt-reduce`` request reaches a worker, so a
+  coordinator killed mid-preemption resumes the job on restart).
+- ``job-resume`` — a parked job was re-activated and re-granted.
 - ``job-done`` — the job finished; replay skips it entirely.
 """
 
@@ -67,6 +71,8 @@ RECORD_KINDS = (
     "reduce-grant",   # job_id, reducer, attempt, worker
     "map-location",   # job_id, mapper, epoch, worker, counters, first
     "reduce-commit",  # job_id, reducer, attempt, output(bytes), counters
+    "job-preempt",    # job_id  (checkpoint-park requested)
+    "job-resume",     # job_id  (parked job re-activated)
     "job-done",       # job_id
 )
 

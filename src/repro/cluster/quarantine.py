@@ -1,0 +1,137 @@
+"""Failure-aware worker quarantine: stop feeding work to a sick worker.
+
+Epoch bumps and attempt retries make the cluster survive *transient*
+failures, but they retry forever: a worker that deterministically fails
+every task it touches (bad disk, poisoned environment, corrupt install)
+would be re-fed work each time its tasks are reassigned elsewhere and
+back.  :class:`QuarantineTracker` closes that loop on the coordinator:
+it counts per-worker task failures over a sliding window — deduplicated
+by ``(generation, job, kind, index, attempt)`` so one failure reported
+twice (e.g. across a reconnect) is one failure — and once a worker
+exceeds :attr:`QuarantineConfig.max_failures` inside
+:attr:`QuarantineConfig.window_s` it is quarantined: the coordinator
+drains it (no new grants; in-flight work reassigned under epoch bump)
+until :attr:`QuarantineConfig.probation_s` elapses, at which point the
+worker rejoins the eligible set with a clean slate.  A worker that
+fails again after probation re-earns quarantine from scratch.
+
+The tracker is pure bookkeeping: no clock reads (callers pass ``now``,
+so the hypothesis suites drive it with a virtual clock), no I/O, no
+locks (it is only touched from the coordinator's single dispatcher
+thread).  Workers are keyed by *name*, not connection handle — a name
+survives reconnects, and quarantine must too.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Hashable
+
+__all__ = ["QuarantineConfig", "QuarantineTracker"]
+
+
+@dataclass(frozen=True)
+class QuarantineConfig:
+    """Failure budget and probation knobs.
+
+    ``max_failures`` distinct task failures within ``window_s`` seconds
+    quarantine the worker for ``probation_s`` seconds.  Setting
+    ``max_failures`` to 0 disables quarantine entirely.
+    """
+
+    max_failures: int = 3
+    window_s: float = 30.0
+    probation_s: float = 60.0
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_failures > 0
+
+
+class QuarantineTracker:
+    """Sliding-window failure counts and the quarantined-worker set."""
+
+    def __init__(self, config: QuarantineConfig | None = None) -> None:
+        self.config = config if config is not None else QuarantineConfig()
+        #: worker → (timestamp, dedup key) deque in arrival order.
+        self._failures: dict[str, deque[tuple[float, Hashable]]] = {}
+        #: worker → dedup keys currently inside the window.
+        self._seen: dict[str, set[Hashable]] = {}
+        #: worker → monotonic time quarantine was entered.
+        self._quarantined: dict[str, float] = {}
+        #: Cumulative count of quarantine entries (for counters).
+        self.entered = 0
+
+    def record_failure(
+        self, worker: str, key: Hashable, now: float
+    ) -> bool:
+        """Count one task failure; ``True`` when it *newly* quarantines.
+
+        ``key`` deduplicates: the same ``(gen, job, kind, index,
+        attempt)`` reported twice counts once.  Failures reported while
+        already quarantined accrue (they slide the window) but never
+        re-trigger.
+        """
+        if not self.config.enabled:
+            return False
+        seen = self._seen.setdefault(worker, set())
+        if key in seen:
+            return False
+        seen.add(key)
+        failures = self._failures.setdefault(worker, deque())
+        failures.append((now, key))
+        self._prune(worker, now)
+        if worker in self._quarantined:
+            return False
+        if len(failures) >= self.config.max_failures:
+            self._quarantined[worker] = now
+            self.entered += 1
+            return True
+        return False
+
+    def _prune(self, worker: str, now: float) -> None:
+        failures = self._failures.get(worker)
+        seen = self._seen.get(worker)
+        if not failures:
+            return
+        while failures and now - failures[0][0] > self.config.window_s:
+            _stamp, key = failures.popleft()
+            if seen is not None:
+                seen.discard(key)
+
+    def is_quarantined(self, worker: str, now: float) -> bool:
+        """Whether ``worker`` must not receive grants right now."""
+        entered = self._quarantined.get(worker)
+        return entered is not None and now - entered < self.config.probation_s
+
+    def sweep(self, now: float) -> list[str]:
+        """Release workers whose probation elapsed; returns who rejoined.
+
+        Rejoining wipes the worker's failure history — probation is a
+        clean slate, so re-quarantine requires a fresh over-budget run.
+        """
+        rejoined: list[str] = []
+        for worker, entered in list(self._quarantined.items()):
+            if now - entered >= self.config.probation_s:
+                del self._quarantined[worker]
+                self._failures.pop(worker, None)
+                self._seen.pop(worker, None)
+                rejoined.append(worker)
+        return sorted(rejoined)
+
+    def quarantined(self, now: float) -> list[str]:
+        """Names currently quarantined (probation not yet elapsed)."""
+        return sorted(
+            worker
+            for worker in self._quarantined
+            if self.is_quarantined(worker, now)
+        )
+
+    def failure_counts(self) -> dict[str, int]:
+        """worker → failures currently inside its window (status plane)."""
+        return {
+            worker: len(failures)
+            for worker, failures in self._failures.items()
+            if failures
+        }

@@ -65,6 +65,9 @@ MESSAGE_KINDS = (
     "reduce-done",   # job_id, reducer, attempt, worker, output(bytes),
                      # counters [, telemetry(bytes)]
     "task-failed",   # job_id, kind, index, attempt, worker, error
+    "reduce-preempted",  # job_id, reducer, attempt, worker, records
+                     # [, telemetry(bytes)] — attempt stopped at a batch
+                     # boundary (checkpoint cut when enabled)
     "heartbeat",     # worker, job_id, progress [, telemetry(bytes) — one
                      # repro.cluster.telemetry delta frame]
     # status client -> coordinator (first and only message on a fresh
@@ -78,6 +81,8 @@ MESSAGE_KINDS = (
     "assign-map",    # job_id, mapper, epoch, split(bytes), ctx
     "assign-reduce", # job_id, reducer, attempt, num_maps, prior, ctx
     "location",      # job_id, mapper, epoch, host, port  (broadcast)
+    "preempt-reduce",  # job_id, reducer, attempt — stop at the next
+                     # wire-batch boundary and ack with reduce-preempted
     "job-done",      # job_id
     "shutdown",      # (no fields)
     # data plane (reducer <-> shuffle server)

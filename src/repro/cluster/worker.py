@@ -49,13 +49,30 @@ on surviving work.  Task-completion messages that cannot be delivered
 are queued and flushed after the next successful re-register, so a
 reduce that finishes during a coordinator outage still commits.
 
-Chaos hooks: a job may carry a *kill spec* naming this worker as the
-victim.  ``serves`` SIGKILLs the process after N shuffle batches served
-(death mid-shuffle, sockets mid-stream); ``reduce-records`` SIGKILLs
-after N records folded (death mid-reduce, checkpoint files left on
-disk); ``map-done`` SIGKILLs after N completed map tasks.  SIGKILL is
+Preemption (PR 10): a ``preempt-reduce`` control message sets the stop
+event of the named reduce attempt; at its next wire-batch boundary the
+attempt cuts a final checkpoint and unwinds with
+:class:`~repro.engine.runtime.ReducePreemptedError`, which this worker
+answers with a ``reduce-preempted`` ack instead of ``task-failed``.  A
+parked job's context is *kept* — the coordinator deliberately does not
+broadcast ``job-done`` — so held map outputs, the location table and
+the job spec are all still here when the job resumes.
+
+Chaos hooks: a job may carry a *kill spec* naming this worker (or
+``"*"`` for any worker) as the victim.  ``serves`` SIGKILLs the process
+after N shuffle batches served (death mid-shuffle, sockets mid-stream);
+``reduce-records`` SIGKILLs after N records folded (death mid-reduce,
+checkpoint files left on disk); ``map-done`` SIGKILLs after N completed
+map tasks; ``preempt-kill`` SIGKILLs on receipt of a ``preempt-reduce``
+request (death mid-preemption, before the cut can ack; an optional
+``delay_ms`` also throttles folds so the preempt lands mid-reduce
+deterministically).  SIGKILL is
 deliberate — no atexit, no socket shutdown, no flush — because that is
-the failure the recovery machinery claims to survive.
+the failure the recovery machinery claims to survive.  Two
+non-lethal triggers drive the quarantine and preemption suites
+deterministically: ``fail-tasks`` makes the next N tasks raise (a
+deterministically sick worker), ``reduce-delay`` sleeps per record
+folded (slows reduces so a preempt directive lands mid-flight).
 """
 
 from __future__ import annotations
@@ -79,6 +96,7 @@ from repro.engine.base import (
 from repro.engine.recovery import BackoffPolicy, FetchFaultInjector
 from repro.engine.runtime import (
     ATTEMPT_STRIDE,
+    ReducePreemptedError,
     ReduceTaskRecovery,
     RunInstruments,
     run_barrier_reduce_attempt,
@@ -123,6 +141,22 @@ class _SigkillReduceInjector(FetchFaultInjector):
             os.kill(os.getpid(), signal.SIGKILL)
 
 
+class _ThrottleReduceInjector(FetchFaultInjector):
+    """Non-lethal injector: sleep per record folded.
+
+    Stretches a reduce out in wall-clock time so the preemption suites
+    can deterministically land a preempt directive while the attempt is
+    mid-flight, without inflating record counts.
+    """
+
+    def __init__(self, delay_s: float) -> None:
+        super().__init__()
+        self._delay_s = delay_s
+
+    def check_reduce(self, reducer: int, consumed: int) -> None:
+        time.sleep(self._delay_s)
+
+
 class _JobContext:
     """Everything a worker holds for one active job."""
 
@@ -137,6 +171,12 @@ class _JobContext:
         #: reducer -> (attempt, live ReduceTaskRecovery); heartbeats read
         #: fold progress from it, re-registration advertises the attempt.
         self.active: dict[int, tuple[int, ReduceTaskRecovery]] = {}
+        #: reducer -> (attempt, stop event) for preemptible attempts;
+        #: ``preempt-reduce`` sets the event, the attempt acks at its
+        #: next batch boundary.
+        self.preempt: dict[int, tuple[int, threading.Event]] = {}
+        #: Remaining injected task failures (``fail-tasks`` chaos).
+        self.fail_tasks_left = 0
         self.map_dones = 0
         # One long-lived observability bundle per (worker, job): task
         # executors record into it, the telemetry buffer ships deltas on
@@ -328,17 +368,38 @@ class _Worker:
 
     def _install_kill(self, ctx: _JobContext) -> None:
         kill = ctx.kill
-        if not kill or kill.get("worker") != self.name:
+        if not kill or kill.get("worker") not in (self.name, "*"):
             ctx.kill = None
             return
         if kill.get("trigger") == "serves":
             self._kill_serves = int(kill.get("count", 1))
+        elif kill.get("trigger") == "fail-tasks":
+            # Deterministically sick worker: the next N tasks raise.
+            ctx.fail_tasks_left = int(kill.get("count", 1_000_000))
 
     def _reduce_injector(self, ctx: _JobContext) -> FetchFaultInjector | None:
         kill = ctx.kill
         if kill and kill.get("trigger") == "reduce-records":
             return _SigkillReduceInjector(int(kill.get("count", 1)))
+        if kill and kill.get("trigger") == "reduce-delay":
+            return _ThrottleReduceInjector(
+                float(kill.get("delay_ms", 1.0)) / 1000.0
+            )
+        if (
+            kill
+            and kill.get("trigger") == "preempt-kill"
+            and kill.get("delay_ms")
+        ):
+            # Optional fold throttle so the job is reliably mid-reduce
+            # when the preempt directive (and the SIGKILL) arrives.
+            return _ThrottleReduceInjector(float(kill["delay_ms"]) / 1000.0)
         return None
+
+    def _injected_task_failure(self, ctx: _JobContext) -> bool:
+        if ctx.fail_tasks_left > 0:
+            ctx.fail_tasks_left -= 1
+            return True
+        return False
 
     # -- tasks -------------------------------------------------------------
 
@@ -366,6 +427,10 @@ class _Worker:
         )
         obs.events.emit("task.start", worker=self.name, **tc.as_fields())
         try:
+            if self._injected_task_failure(ctx):
+                raise RuntimeError(
+                    f"injected task failure on {self.name} (fail-tasks)"
+                )
             counters = Counters()
             partitions = run_map_task_partitioned(
                 ctx.job, split, counters, wire=ctx.wire
@@ -422,6 +487,7 @@ class _Worker:
         num_maps: int,
         prior: dict,
         tc: TraceContext,
+        stop: threading.Event,
     ) -> None:
         job = ctx.job
         obs = ctx.attempt_observability()
@@ -463,12 +529,16 @@ class _Worker:
         watch = Stopwatch()
         injector = self._reduce_injector(ctx)
         try:
+            if self._injected_task_failure(ctx):
+                raise RuntimeError(
+                    f"injected task failure on {self.name} (fail-tasks)"
+                )
             if job.mode is ExecutionMode.BARRIER:
                 produced, local_counters, timeline = run_barrier_reduce_attempt(
                     job, source, reducer, num_maps, watch, task_span,
                     attempt_base,
                     obs=obs, config=ctx.recovery, injector=injector,
-                    wire=ctx.wire, inst=ctx.instruments,
+                    wire=ctx.wire, inst=ctx.instruments, stop=stop,
                 )
             else:
                 produced, local_counters, timeline = run_pipelined_reduce_attempt(
@@ -476,6 +546,7 @@ class _Worker:
                     attempt_base,
                     obs=obs, config=ctx.recovery, injector=injector,
                     wire=ctx.wire, recovery=rec, inst=ctx.instruments,
+                    stop=stop,
                 )
             obs.counters.merge_counters(local_counters)
             # Retain the attempt timeline (previously dropped on the
@@ -506,6 +577,27 @@ class _Worker:
             if flush is not None:
                 done["telemetry"] = flush
             self._send("reduce-done", done)
+        except ReducePreemptedError as exc:
+            # Cooperative stop, not a failure: the final checkpoint (if
+            # checkpointing is active) is on disk, the coordinator gets
+            # an ack so it can park the job once every attempt stopped.
+            obs.events.emit(
+                "task.finish", worker=self.name, status="preempted",
+                records=exc.records, **tc.as_fields(),
+            )
+            if task_span is not None:
+                obs.tracer.close(task_span)
+            ack = {
+                "job_id": ctx.job_id,
+                "reducer": reducer,
+                "attempt": attempt,
+                "worker": self.name,
+                "records": exc.records,
+            }
+            flush = ctx.flush_telemetry()
+            if flush is not None:
+                ack["telemetry"] = flush
+            self._send("reduce-preempted", ack)
         except BaseException as exc:  # noqa: BLE001 - reported upstream
             obs.events.emit(
                 "task.finish", worker=self.name, status="failed",
@@ -519,6 +611,9 @@ class _Worker:
             held = ctx.active.get(reducer)
             if held is not None and held[0] == attempt:
                 ctx.active.pop(reducer, None)
+            pending = ctx.preempt.get(reducer)
+            if pending is not None and pending[0] == attempt:
+                ctx.preempt.pop(reducer, None)
 
     def _task_failed(
         self, ctx: _JobContext, kind: str, index: int, attempt: int,
@@ -647,6 +742,8 @@ class _Worker:
             tc = self._trace_context(
                 ctx, fields, f"reduce-{reducer}", attempt, 0
             )
+            stop = threading.Event()
+            ctx.preempt[reducer] = (attempt, stop)
             threading.Thread(
                 target=self._run_reduce,
                 args=(
@@ -656,10 +753,34 @@ class _Worker:
                     int(fields["num_maps"]),
                     fields.get("prior") or {},
                     tc,
+                    stop,
                 ),
                 name=f"reduce-{reducer}",
                 daemon=True,
             ).start()
+        elif kind == "preempt-reduce":
+            reducer = int(fields["reducer"])
+            attempt = int(fields["attempt"])
+            kill = ctx.kill
+            if kill and kill.get("trigger") == "preempt-kill":
+                os.kill(os.getpid(), signal.SIGKILL)
+            pending = ctx.preempt.get(reducer)
+            if pending is not None and pending[0] == attempt:
+                pending[1].set()
+            elif reducer not in ctx.active:
+                # Nothing to stop (attempt already finished or never
+                # started here): ack immediately so the coordinator's
+                # park never waits on a ghost attempt.
+                self._send(
+                    "reduce-preempted",
+                    {
+                        "job_id": ctx.job_id,
+                        "reducer": reducer,
+                        "attempt": attempt,
+                        "worker": self.name,
+                        "records": 0,
+                    },
+                )
         elif kind == "location":
             ctx.locations.update(
                 int(fields["mapper"]),

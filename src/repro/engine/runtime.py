@@ -51,6 +51,7 @@ from repro.engine.recovery import (
     run_fetch_stream,
 )
 from repro.memory.checkpoint import (
+    PREEMPT_META_KEY,
     CheckpointError,
     checkpoint_exists,
     discard_checkpoint,
@@ -64,6 +65,7 @@ __all__ = [
     "FlowController",
     "GaugeSet",
     "RecordStream",
+    "ReducePreemptedError",
     "ReduceTaskRecovery",
     "RunInstruments",
     "crash_checked",
@@ -79,6 +81,27 @@ SENTINEL = None
 #: decisions from the injector's stable hash.  Must exceed any plausible
 #: ``max_fetch_attempts`` budget.
 ATTEMPT_STRIDE = 100
+
+
+class ReducePreemptedError(BaseException):
+    """A reduce attempt stopped cooperatively at a wire-batch boundary.
+
+    Raised from inside the attempt when its ``stop`` event is set: the
+    attempt cuts a final checkpoint (when checkpointing is active),
+    winds down its fetch threads, and unwinds with this — *not* a task
+    failure, which is why it derives from :class:`BaseException` like
+    the injected crash errors: a reducer app catching ``Exception``
+    must not swallow a preemption.  The cluster worker answers it with
+    a ``reduce-preempted`` ack instead of ``task-failed``.
+    """
+
+    def __init__(self, reducer_index: int, records: int) -> None:
+        super().__init__(
+            f"reduce-{reducer_index} preempted at batch boundary "
+            f"({records} records folded)"
+        )
+        self.reducer_index = reducer_index
+        self.records = records
 
 
 class GaugeSet:
@@ -313,6 +336,7 @@ def run_barrier_reduce_attempt(
     injector: FetchFaultInjector | None = None,
     wire: WireConfig | None = None,
     inst: RunInstruments | None = None,
+    stop: "threading.Event | None" = None,
 ) -> tuple[list[Record], Counters, list[tuple[str, str, float, float]]]:
     """One fetch thread per mapper into per-mapper buffers; barrier.
 
@@ -321,6 +345,11 @@ def run_barrier_reduce_attempt(
     mapper epoch change (re-execution) simply clears that mapper's
     buffer and re-fetches it — nothing was consumed yet, which is the
     cheap half of the recovery asymmetry the barrier buys.
+
+    ``stop`` (preemption) is honoured at the barrier: a barrier
+    reducer holds no partial store worth snapshotting, so a preempted
+    attempt just drops its buffers — the held map outputs make the
+    eventual re-fetch cheap, which is all the barrier mode can offer.
     """
     tracer = obs.tracer if task_span is not None else None
     buffers: list[list[Record]] = [[] for _ in range(num_maps)]
@@ -400,6 +429,8 @@ def run_barrier_reduce_attempt(
         )
         if fetch_errors:
             raise fetch_errors[0]
+        if stop is not None and stop.is_set():
+            raise ReducePreemptedError(reducer_index, 0)
 
         records: list[Record] = []
         for buffer in buffers:
@@ -463,6 +494,7 @@ def run_pipelined_reduce_attempt(
     wire: WireConfig | None = None,
     inst: RunInstruments | None = None,
     recovery: ReduceTaskRecovery | None = None,
+    stop: "threading.Event | None" = None,
 ) -> tuple[list[Record], Counters, list[tuple[str, str, float, float]]]:
     """Fetch threads into one shared buffer + FIFO reduce, pipelined.
 
@@ -479,6 +511,14 @@ def run_pipelined_reduce_attempt(
     stream is replayed.  A snapshot that is torn/corrupt, or whose
     source mapper re-executed after it was cut, is discarded (fail
     closed) and the attempt refolds from zero.
+
+    ``stop`` makes the attempt *preemptible*: when the event is set,
+    the next wire-batch boundary cuts a forced checkpoint (stamped
+    :data:`~repro.memory.checkpoint.PREEMPT_META_KEY`) and the attempt
+    unwinds with :class:`ReducePreemptedError` — everything folded so
+    far is on disk, so a later attempt restores it and replays only
+    the tail.  Batch boundaries are the only stop points: the store is
+    consistent there, exactly as for a periodic snapshot.
     """
     tracer = obs.tracer if task_span is not None else None
     task_id = f"reduce-{reducer_index}"
@@ -588,7 +628,7 @@ def run_pipelined_reduce_attempt(
                 span.attrs["resumed"] = resumed
                 tracer.close(span)
 
-    def write_snapshot() -> None:
+    def write_snapshot(preempted: bool = False) -> None:
         # Runs on the reduce thread at a batch boundary, so the store
         # holds exactly the folds `progress` describes.
         meta = {
@@ -596,6 +636,8 @@ def run_pipelined_reduce_attempt(
                 mapper: tuple(state) for mapper, state in progress.items()
             }
         }
+        if preempted:
+            meta[PREEMPT_META_KEY] = True
         span = (
             tracer.open("checkpoint.write", "op", parent=task_span)
             if tracer is not None
@@ -652,6 +694,18 @@ def run_pipelined_reduce_attempt(
             rec.prior_records[mapper] = base + count
         since["records"] += count
         since["bytes"] += nbytes
+        if stop is not None and stop.is_set():
+            # Preempted: the boundary we are standing on is the cut.
+            folded = sum(state[2] for state in progress.values())
+            if ckpt_active:
+                write_snapshot(preempted=True)
+            obs.events.emit(
+                "reduce.preempt",
+                task=task_id,
+                records=folded,
+                checkpointed=ckpt_active,
+            )
+            raise ReducePreemptedError(reducer_index, folded)
         if ckpt_active and rec.policy.due(
             since["records"],
             since["bytes"],

@@ -59,6 +59,12 @@ _META_KEY = "__repro_checkpoint_meta__"
 #: Key of the single record in the trailer frame (see module docstring).
 _END_KEY = "__repro_checkpoint_end__"
 
+#: Meta-dict key stamped (``True``) by a preemption-forced snapshot —
+#: the final cut of a parked reduce attempt rather than a periodic one.
+#: Purely informational on restore: the resume path treats preempt cuts
+#: and periodic cuts identically (same progress map, same CRC story).
+PREEMPT_META_KEY = "preempted"
+
 #: Default framing for store files (checkpoints, spills, kvstore logs).
 STORE_WIRE = WireConfig()
 

@@ -11,7 +11,11 @@ in ``tests/server/harness.py`` drives the *identical* object the live
 harness proves holds verbatim in production.
 
 Slots are job slots: one granted ticket occupies one slot until
-released.  (Task-level map/reduce slot multiplexing lives a layer
+released — or until *preempted*: when the pool is full and a
+backlogged tenant sits under its entitlement, :meth:`next_preemptions`
+asks the policy for running victims, and :meth:`confirm_preempt`
+returns a checkpoint-parked job's slot to the pool with its ticket
+requeued at the head of its tenant's queue.  (Task-level map/reduce slot multiplexing lives a layer
 down, in the coordinator's placement path — the kernel bounds how many
 jobs may hold backend capacity at once, which is the knob the paper's
 JobTracker shares across tenants.)
@@ -110,10 +114,14 @@ class SchedulerKernel:
         self._queues: dict[str, list[Ticket]] = {}
         self._running: dict[str, Ticket] = {}
         self._cancelled: set[str] = set()
+        #: Running job ids with a preempt directive issued but not yet
+        #: confirmed (the job is checkpointing its way out of the slot).
+        self._preempting: set[str] = set()
         self._queued_bytes = 0
         self._live_bytes = 0
         self._seq = 0
         self._grants = 0
+        self._preempted = 0
         self._on_grant = on_grant
         self._lock = threading.Lock()
 
@@ -246,9 +254,84 @@ class SchedulerKernel:
                 self._on_grant(ticket)
         return granted
 
-    def release(self, job_id: str) -> bool:
-        """Free the slot held by a finished job; idempotent."""
+    def next_preemptions(self) -> list[Ticket]:
+        """Ask the policy which running jobs should vacate their slots.
+
+        Only meaningful while the pool is full and a backlog exists —
+        otherwise grants, not preemptions, fix the imbalance.  Returned
+        tickets stay in the running set, marked *preempting*, until the
+        caller either confirms the park with
+        :meth:`confirm_preempt` (checkpoint cut, slot returns, ticket
+        requeues at its queue's head) or the job finishes on its own
+        and :meth:`release` clears the mark.  Jobs already marked are
+        never returned twice, and at most one preemption is pending per
+        backlogged ticket — the policy cannot drain the pool below
+        what the backlog could refill.
+        """
+        picked: list[Ticket] = []
         with self._lock:
+            while len(self._running) >= self.slots:
+                backlog = {
+                    tenant: queue
+                    for tenant, queue in self._queues.items()
+                    if queue
+                }
+                if not backlog:
+                    break
+                pending = len(self._preempting) + len(picked)
+                if pending >= sum(len(q) for q in backlog.values()):
+                    break
+                running: dict[str, list[Ticket]] = {}
+                for ticket in self._running.values():
+                    if ticket.job_id in self._preempting:
+                        continue
+                    if any(t.job_id == ticket.job_id for t in picked):
+                        continue
+                    running.setdefault(ticket.tenant, []).append(ticket)
+                if not running:
+                    break
+                weights = {t: c.weight for t, c in self._tenants.items()}
+                victim = self.policy.preempt(
+                    backlog, running, weights, self.slots
+                )
+                if victim is None:
+                    break
+                picked.append(victim)
+            for ticket in picked:
+                self._preempting.add(ticket.job_id)
+        return picked
+
+    def confirm_preempt(self, job_id: str) -> bool:
+        """Park a preempted job: free its slot, requeue it at the head.
+
+        Called once the job has checkpointed and stopped.  The ticket
+        keeps its original ``seq`` and moves to the *front* of its
+        tenant's queue, so when that tenant is next selected the
+        preempted job resumes before the tenant's newer submissions.
+        Slot and byte accounting are conserved: the ticket's input
+        bytes move live → queued, and exactly one slot frees.  Returns
+        ``False`` (no-op) when the job is not running.
+        """
+        with self._lock:
+            ticket = self._running.pop(job_id, None)
+            if ticket is None:
+                self._preempting.discard(job_id)
+                return False
+            self._preempting.discard(job_id)
+            self._live_bytes -= ticket.input_bytes
+            self._queued_bytes += ticket.input_bytes
+            self._queues.setdefault(ticket.tenant, []).insert(0, ticket)
+            self._preempted += 1
+            return True
+
+    def release(self, job_id: str) -> bool:
+        """Free the slot held by a finished job; idempotent.
+
+        Also clears any pending preempt mark — a job that finishes
+        while its checkpoint-park is in flight simply wins the race.
+        """
+        with self._lock:
+            self._preempting.discard(job_id)
             ticket = self._running.pop(job_id, None)
             if ticket is None:
                 return False
@@ -318,6 +401,8 @@ class SchedulerKernel:
                 "queued_bytes": self._queued_bytes,
                 "live_bytes": self._live_bytes,
                 "grants": self._grants,
+                "preempting": len(self._preempting),
+                "preempted": self._preempted,
                 "tenants": {
                     tenant: {
                         "weight": config.weight,

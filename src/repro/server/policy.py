@@ -31,6 +31,12 @@ Three policies ship:
     deadline sort last, then by arrival.  No fairness guarantee — a
     tenant that always submits tight deadlines wins — which is why it
     is a policy choice, not the default.
+
+Preemption (PR 10) is a second, optional policy question: *given a
+full pool and a backlogged tenant below its share, which running ticket
+should vacate a slot?*  Only ``fair`` answers it (see
+:meth:`FairSharePolicy.preempt`); ``fifo`` and ``deadline`` never
+preempt — arrival order and deadlines are honoured at grant time only.
 """
 
 from __future__ import annotations
@@ -93,6 +99,23 @@ class SchedulerPolicy(ABC):
 
     def forget(self, tenant: str) -> None:
         """Drop per-tenant accounting (tenant deleted); optional."""
+
+    def preempt(
+        self,
+        backlog: Mapping[str, Sequence[Ticket]],
+        running: Mapping[str, Sequence[Ticket]],
+        weights: Mapping[str, float],
+        slots: int,
+    ) -> "Ticket | None":
+        """Pick one *running* ticket to vacate its slot, or ``None``.
+
+        Called by the kernel only when the pool is full and a backlog
+        exists.  ``running`` maps tenant → that tenant's running
+        tickets (preemptions already pending are excluded by the
+        kernel).  The default — and the FIFO/EDF behaviour — is to
+        never preempt.
+        """
+        return None
 
 
 class FifoPolicy(SchedulerPolicy):
@@ -171,6 +194,67 @@ class FairSharePolicy(SchedulerPolicy):
     def forget(self, tenant: str) -> None:
         self._entitlement.pop(tenant, None)
         self._granted.pop(tenant, None)
+
+    def preempt(
+        self,
+        backlog: Mapping[str, Sequence[Ticket]],
+        running: Mapping[str, Sequence[Ticket]],
+        weights: Mapping[str, float],
+        slots: int,
+    ) -> "Ticket | None":
+        """Preempt the most-over-share tenant's *youngest* running job.
+
+        The grant-time deficit ledger cannot see occupancy unfairness —
+        while the pool is full no grants happen, so no entitlement
+        accrues — so preemption reasons about **instantaneous occupancy
+        shares** instead: over the tenants active right now (backlogged
+        or running), tenant *t* is entitled to
+        ``slots * weight_t / total_active_weight`` slots.  A preemption
+        fires only when some backlogged tenant occupies strictly less
+        than its share (it is starved) *and* some tenant occupies
+        strictly more (it is over share).  The victim is the
+        most-over-share tenant (ties to the lexicographically smallest
+        name, as at grant time) and within it the youngest running
+        ticket — maximum ``seq`` — because the youngest job has folded
+        the least state and is the cheapest checkpoint to cut.  A
+        tenant at or below its entitlement is never preempted: victims
+        must sit strictly above their share by construction.
+
+        The entitlement ledger is deliberately *not* touched: the
+        eventual re-grant of the preempted ticket accrues entitlement
+        and a granted slot exactly like any grant, so the
+        deficits-sum-to-zero invariant survives preemption unchanged.
+        """
+        eps = 1e-9
+        occupants = {t for t, tickets in running.items() if tickets}
+        backlogged = {t for t, queue in backlog.items() if queue}
+        active = sorted(occupants | backlogged)
+        if not active or not backlogged:
+            return None
+        raw = {t: max(0.0, weights.get(t, 1.0)) for t in active}
+        total = sum(raw.values())
+        if total <= 0.0:
+            shares = {t: slots / len(active) for t in active}
+        else:
+            shares = {t: slots * raw[t] / total for t in active}
+        occupancy = {t: len(running.get(t, ())) for t in active}
+        starved = [
+            t for t in backlogged if occupancy[t] < shares[t] - eps
+        ]
+        if not starved:
+            return None
+        over = [
+            t
+            for t in active
+            if occupancy[t] > shares[t] + eps and running.get(t)
+        ]
+        if not over:
+            return None
+        worst = max(occupancy[t] - shares[t] for t in over)
+        victim_tenant = min(
+            t for t in over if occupancy[t] - shares[t] >= worst - eps
+        )
+        return max(running[victim_tenant], key=lambda ticket: ticket.seq)
 
 
 class DeadlinePolicy(SchedulerPolicy):

@@ -30,6 +30,20 @@ global (``server.jobs.submitted`` …) and per-tenant
 (``server.tenant.<name>.granted`` …) — which the status plane folds
 into the same snapshot shape ``repro top`` renders, growing a per-
 tenant lane next to the cluster's worker lane.
+
+Preemption (PR 10, cluster backend only): when the fair-share policy
+finds a backlogged tenant starved of its entitlement while the pool is
+full, the dispatcher asks the coordinator to checkpoint-park the most
+over-share tenant's youngest running job.  The parked record goes to
+state ``preempted`` — not terminal: its slot returns to the kernel (the
+ticket requeues at the *head* of its tenant's backlog, keeping its
+seniority) and the next grant resumes the cluster job from its reduce
+checkpoints, replaying only the un-consumed tail of each fetch stream.
+The threaded backend cannot stop a running engine mid-fold, so it never
+preempts.  :meth:`JobServer.drain` rides the same machinery for
+graceful shutdown: queued jobs are cancelled, running jobs are
+checkpoint-parked, and new submissions bounce with a typed
+:class:`BackpressureError` until :meth:`JobServer.close`.
 """
 
 from __future__ import annotations
@@ -43,6 +57,7 @@ import time
 from repro.apps.demo import APP_CHOICES, demo_job_and_input, normalized_output
 from repro.core.types import ExecutionMode, JobResult
 from repro.obs import JobObservability
+from repro.cluster.coordinator import JobPreemptedError
 from repro.cluster.rpc import RpcError, recv_message, send_message
 from repro.server.kernel import (
     AdmissionConfig,
@@ -56,7 +71,9 @@ __all__ = ["BACKENDS", "JobRecord", "JobServer"]
 
 BACKENDS = ("threaded", "cluster")
 
-#: Terminal job states; everything else is still in flight.
+#: Terminal job states; everything else is still in flight.  A
+#: ``preempted`` record is *not* terminal — it is parked between grants
+#: and re-enters ``running`` when the kernel re-grants its ticket.
 _TERMINAL = ("done", "failed", "cancelled")
 
 
@@ -64,7 +81,9 @@ class JobRecord:
     """One submission's full lifecycle, from admission to output.
 
     ``state`` walks ``queued → running → done|failed`` (or straight to
-    ``cancelled`` from the queue).  ``result`` holds the backend's
+    ``cancelled`` from the queue; through ``preempted`` and back to
+    ``running`` any number of times on the cluster backend).  ``result``
+    holds the backend's
     :class:`JobResult` once done; ``digest`` is the SHA-256 of the
     pickled *normalised* output — the value differential tests and the
     RPC status verb compare, because two byte-identical runs must agree
@@ -77,12 +96,22 @@ class JobRecord:
         self.tenant = tenant
         self.spec = spec
         #: Materialised job + input, held only until the run finishes.
+        #: A *preempted* record keeps both — the resume needs them if
+        #: the cluster ever forgot the job, and the record is still in
+        #: flight.
         self.job = None
         self.pairs = None
         self.state = "queued"
         self.result: JobResult | None = None
         self.error: str | None = None
         self.digest: str | None = None
+        #: Chaos kill-spec forwarded to the cluster backend (tests).
+        self.chaos: dict | None = None
+        #: Stable id the cluster coordinator knows this job by; pinned
+        #: on first execution so preempt/resume target the same job.
+        self.cluster_job_id: str | None = None
+        #: How many times this record was checkpoint-parked.
+        self.preempted = 0
         self.submitted_at = time.monotonic()
         self.finished_at: float | None = None
         self.done = threading.Event()
@@ -97,6 +126,8 @@ class JobRecord:
             "records": self.spec["records"],
             "state": self.state,
         }
+        if self.preempted:
+            entry["preempted"] = self.preempted
         if self.error is not None:
             entry["error"] = self.error
         if self.digest is not None:
@@ -124,6 +155,10 @@ class JobServer:
         host: str = "127.0.0.1",
         port: int = 0,
         job_deadline_s: float = 60.0,
+        recovery=None,
+        task_retries: int = 0,
+        retry_mode: str = "fail_fast",
+        quarantine=None,
     ) -> None:
         if backend not in BACKENDS:
             raise ValueError(
@@ -154,6 +189,9 @@ class JobServer:
         #: waiting) is never lost to a 0.5s timeout.
         self._pending = False
         self._closing = threading.Event()
+        #: Set by :meth:`drain`: submissions bounce, grants stop, and
+        #: running jobs are checkpoint-parked.
+        self._draining = threading.Event()
         self._runtime = None
         if backend == "cluster":
             # One shared cluster: the coordinator multiplexes every
@@ -166,6 +204,10 @@ class JobServer:
                 workers,
                 obs=self.obs,
                 deadline_s=job_deadline_s,
+                recovery=recovery,
+                task_retries=task_retries,
+                retry_mode=retry_mode,
+                quarantine=quarantine,
             )
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -195,6 +237,7 @@ class JobServer:
         num_reducers: int = 2,
         seed: int = 0,
         deadline_s: float | None = None,
+        chaos: dict | None = None,
     ) -> str:
         """Admit one job; returns its id or raises BackpressureError.
 
@@ -202,7 +245,13 @@ class JobServer:
         seed) so admission control can gate on its real pickled size —
         queued bytes, not job count, is the scarce resource once
         barrier-less reduce slots hold partial state for long periods.
+        ``chaos`` is a worker kill-spec forwarded verbatim to the
+        cluster backend (fault-injection tests only).
         """
+        if self._draining.is_set():
+            self.obs.counters.increment("server.jobs.rejected")
+            self.obs.counters.increment(f"server.tenant.{tenant}.rejected")
+            raise BackpressureError("server draining", 1.0)
         if app not in APP_CHOICES:
             raise ValueError(f"unknown app {app!r} (choose from {APP_CHOICES})")
         execution_mode = ExecutionMode(mode)
@@ -229,6 +278,7 @@ class JobServer:
         record = JobRecord(job_id, tenant, spec)
         record.job = job
         record.pairs = pairs
+        record.chaos = chaos
         # Register the record *before* the kernel can queue (and the
         # dispatcher grant) the ticket — _run_ticket must never race a
         # grant against an unregistered job_id and drop it.
@@ -303,7 +353,12 @@ class JobServer:
 
     def _dispatch_loop(self) -> None:
         while not self._closing.is_set():
-            granted = self._kernel.next_grants()
+            # While draining, no new grants: a just-parked ticket sits
+            # at the head of its backlog and must not bounce straight
+            # back onto a slot the drain is trying to empty.
+            granted = (
+                [] if self._draining.is_set() else self._kernel.next_grants()
+            )
             for ticket in granted:
                 threading.Thread(
                     target=self._run_ticket,
@@ -311,6 +366,8 @@ class JobServer:
                     name=f"server-slot-{ticket.job_id}",
                     daemon=True,
                 ).start()
+            if self._runtime is not None and not self._draining.is_set():
+                self._maybe_preempt()
             with self._wake:
                 if (
                     not granted
@@ -320,17 +377,44 @@ class JobServer:
                     self._wake.wait(timeout=0.5)
                 self._pending = False
 
+    def _maybe_preempt(self) -> None:
+        """Fair-share preemption, cluster backend only.
+
+        The kernel decides *who* (policy: most over-share tenant's
+        youngest running job); the coordinator executes *how*
+        (checkpoint at the next wire-batch boundary).  The threaded
+        backend never reaches here — an in-process engine cannot be
+        stopped mid-fold, so the kernel is never asked.
+        """
+        for ticket in self._kernel.next_preemptions():
+            record = self._record(ticket.job_id)
+            self.obs.counters.increment("server.preempt.requested")
+            self.obs.counters.increment(
+                f"server.tenant.{ticket.tenant}.preempted"
+            )
+            self.obs.events.emit(
+                "server.job.preempt", job=ticket.job_id,
+                tenant=ticket.tenant,
+            )
+            self._runtime.preempt_job(
+                record.cluster_job_id or f"srv-{record.job_id}"
+            )
+
     def _run_ticket(self, ticket: Ticket) -> None:
         try:
             record = self._record(ticket.job_id)
         except KeyError:
             self._kernel.release(ticket.job_id)
             return
+        resumed = record.state == "preempted"
         record.state = "running"
         self.obs.counters.increment("server.grants")
         self.obs.counters.increment(f"server.tenant.{ticket.tenant}.granted")
+        if resumed:
+            self.obs.counters.increment("server.preempt.resumed")
+        terminal = True
         try:
-            result = self._execute(record)
+            result = self._execute(record, resumed)
             record.result = result
             record.digest = output_digest(record.spec["app"], result)
             record.state = "done"
@@ -338,6 +422,15 @@ class JobServer:
             self.obs.counters.increment(
                 f"server.tenant.{ticket.tenant}.completed"
             )
+        except JobPreemptedError:
+            # Parked, not failed: the coordinator holds the job's map
+            # outputs and reduce checkpoints; the kernel requeues the
+            # ticket at the head of its tenant's backlog, and the next
+            # grant resumes it.
+            terminal = False
+            record.state = "preempted"
+            record.preempted += 1
+            self.obs.counters.increment("server.preempt.completed")
         except Exception as exc:  # noqa: BLE001 — recorded, not swallowed
             record.error = f"{type(exc).__name__}: {exc}"
             record.state = "failed"
@@ -346,29 +439,40 @@ class JobServer:
                 f"server.tenant.{ticket.tenant}.failed"
             )
         finally:
-            record.finished_at = time.monotonic()
-            # Drop the input: a drained soak must not hold 300 jobs'
-            # pairs alive for the life of the server.
-            record.pairs = None
-            record.job = None
-            record.done.set()
-            self._kernel.release(ticket.job_id)
+            if terminal:
+                record.finished_at = time.monotonic()
+                # Drop the input: a drained soak must not hold 300
+                # jobs' pairs alive for the life of the server.
+                record.pairs = None
+                record.job = None
+                record.done.set()
+                self._kernel.release(ticket.job_id)
+            else:
+                self._kernel.confirm_preempt(ticket.job_id)
             with self._wake:
                 self._pending = True
                 self._wake.notify_all()
 
-    def _execute(self, record: JobRecord) -> JobResult:
-        job, pairs = record.job, record.pairs
-        num_maps = record.spec["num_maps"]
+    def _execute(self, record: JobRecord, resumed: bool = False) -> JobResult:
         if self._runtime is not None:
-            return self._runtime.run_job(job, pairs, num_maps)
+            cluster_id = record.cluster_job_id or f"srv-{record.job_id}"
+            record.cluster_job_id = cluster_id
+            if resumed:
+                return self._runtime.resume_job(cluster_id)
+            return self._runtime.run_job(
+                record.job,
+                record.pairs,
+                record.spec["num_maps"],
+                kill=record.chaos,
+                job_id=cluster_id,
+            )
         # Threaded backend: a fresh engine per job, with its own obs so
         # concurrent jobs never interleave counters — exactly what a
         # serial differential run constructs, hence byte-identical.
         from repro.engine.threaded import ThreadedEngine
 
         engine = ThreadedEngine(obs=JobObservability())
-        return engine.run(job, pairs, num_maps)
+        return engine.run(record.job, record.pairs, record.spec["num_maps"])
 
     # -- RPC plane ---------------------------------------------------------
 
@@ -472,7 +576,9 @@ class JobServer:
             if record.state in _TERMINAL:
                 lane[record.state] = lane.get(record.state, 0) + 1
         for tenant, lane in per_tenant.items():
-            for name in ("submitted", "granted", "completed", "rejected"):
+            for name in (
+                "submitted", "granted", "completed", "rejected", "preempted",
+            ):
                 lane[name] = counters.get(f"server.tenant.{tenant}.{name}", 0)
         status: dict = {
             "wall": time.time(),
@@ -480,6 +586,7 @@ class JobServer:
                 "host": self.host,
                 "port": self.port,
                 "backend": self.backend,
+                "draining": self._draining.is_set(),
                 **snapshot,
                 "jobs_total": len(records),
                 "counters": {
@@ -516,6 +623,59 @@ class JobServer:
             self._http_server = make_http_server(self, host, port)
         return self._http_server.server_address
 
+    def drain(self, timeout_s: float = 10.0) -> dict:
+        """Graceful shutdown, phase one: park the work, keep the state.
+
+        Flips the server into draining mode (new submissions bounce
+        with a typed ``server draining`` :class:`BackpressureError`,
+        the dispatcher stops granting), cancels every queued job, asks
+        the cluster backend to checkpoint-park every running job, and
+        waits up to ``timeout_s`` for the running set to empty.
+        Returns a summary dict; idempotent.  :meth:`close` finishes the
+        job — drain leaves the sockets up so in-flight status queries
+        keep answering.
+        """
+        self._draining.set()
+        with self._wake:
+            self._pending = True
+            self._wake.notify_all()
+        with self._jobs_lock:
+            records = list(self._records.values())
+        cancelled = 0
+        for record in records:
+            if record.state == "queued":
+                if self.cancel(record.job_id) == "cancelled":
+                    cancelled += 1
+        preempted = 0
+        if self._runtime is not None:
+            for record in records:
+                if record.state == "running":
+                    self.obs.counters.increment("server.preempt.requested")
+                    self.obs.counters.increment(
+                        f"server.tenant.{record.tenant}.preempted"
+                    )
+                    self._runtime.preempt_job(
+                        record.cluster_job_id or f"srv-{record.job_id}"
+                    )
+                    preempted += 1
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            if not any(r.state == "running" for r in records):
+                break
+            time.sleep(0.02)
+        running = sum(1 for r in records if r.state == "running")
+        parked = sum(1 for r in records if r.state == "preempted")
+        self.obs.events.emit(
+            "server.drain", cancelled=cancelled, preempt_requested=preempted,
+            parked=parked, still_running=running,
+        )
+        return {
+            "cancelled": cancelled,
+            "preempt_requested": preempted,
+            "parked": parked,
+            "still_running": running,
+        }
+
     def close(self) -> None:
         """Stop accepting, fail queued jobs, tear down the backend."""
         self._closing.set()
@@ -529,13 +689,22 @@ class JobServer:
             self._http_server.shutdown()
             self._http_server.server_close()
             self._http_server = None
-        # Unblock waiters on jobs that never ran.
+        # Unblock every waiter, not just the queued ones: a caller
+        # blocked in wait() on a *running* or *preempted* job would
+        # otherwise hang until its timeout after the backend (and the
+        # job with it) is torn down.
         with self._jobs_lock:
             records = list(self._records.values())
         for record in records:
-            if not record.done.is_set() and record.state == "queued":
+            if record.done.is_set():
+                continue
+            if record.state == "queued":
                 record.state = "cancelled"
-                record.done.set()
+            else:
+                record.state = "failed"
+                record.error = "server closed while job was running"
+            record.finished_at = time.monotonic()
+            record.done.set()
         if self._runtime is not None:
             self._runtime.shutdown()
             self._runtime = None

@@ -9,6 +9,7 @@ tier-1 budget.
 from __future__ import annotations
 
 import json
+import threading
 import time
 import urllib.error
 import urllib.request
@@ -21,6 +22,7 @@ from repro.engine.threaded import ThreadedEngine
 from repro.obs import JobObservability
 from repro.server import (
     AdmissionConfig,
+    BackpressureError,
     JobServer,
     ServerClient,
     SubmitRejected,
@@ -238,3 +240,72 @@ class TestTenantConfigForms:
     def test_unknown_backend_rejected(self):
         with pytest.raises(ValueError, match="unknown backend"):
             JobServer("quantum")
+
+
+def _blocking_execute(server, monkeypatch):
+    """Swap _execute for a gate so a 'running' job blocks until released."""
+    started = threading.Event()
+    release = threading.Event()
+
+    def fake_execute(record, resumed=False):
+        started.set()
+        if not release.wait(timeout=30.0):
+            raise TimeoutError("test gate never released")
+        raise RuntimeError("released by test")
+
+    monkeypatch.setattr(server, "_execute", fake_execute)
+    return started, release
+
+
+class TestCloseAndDrain:
+    def test_close_unblocks_waiters_on_running_jobs(self, monkeypatch):
+        # Regression: close() used to fail only *queued* jobs, leaving a
+        # caller blocked in wait() on a *running* job hanging until its
+        # own timeout even though the backend was already torn down.
+        server = JobServer(slots=1)
+        started, release = _blocking_execute(server, monkeypatch)
+        try:
+            job_id = server.submit("t", "wc", records=60)
+            assert started.wait(timeout=10.0)
+            outcome: dict = {}
+
+            def waiter():
+                outcome["record"] = server.wait(job_id, timeout=30.0)
+
+            thread = threading.Thread(target=waiter, daemon=True)
+            thread.start()
+            time.sleep(0.05)  # let the waiter block on done
+            begun = time.monotonic()
+            server.close()
+            thread.join(timeout=5.0)
+            assert not thread.is_alive(), "waiter still blocked after close"
+            # Unblocked by close itself, not by the 30s wait timeout.
+            assert time.monotonic() - begun < 5.0
+            record = outcome["record"]
+            assert record.state == "failed"
+            assert "server closed" in (record.error or "")
+        finally:
+            release.set()
+            server.close()
+
+    def test_drain_cancels_queued_and_rejects_new(self, monkeypatch):
+        server = JobServer(slots=1)
+        started, release = _blocking_execute(server, monkeypatch)
+        try:
+            running_id = server.submit("t", "wc", records=60)
+            assert started.wait(timeout=10.0)
+            queued_id = server.submit("t", "wc", records=60)
+            summary = server.drain(timeout_s=0.2)
+            # The queued job was cancelled; the threaded backend cannot
+            # checkpoint-park, so the running job simply keeps running.
+            assert summary["cancelled"] == 1
+            assert summary["preempt_requested"] == 0
+            assert summary["still_running"] == 1
+            assert server.wait(queued_id, timeout=5.0).state == "cancelled"
+            assert server._record(running_id).state == "running"
+            with pytest.raises(BackpressureError, match="draining"):
+                server.submit("t", "wc", records=60)
+            assert server.status()["server"]["draining"] is True
+        finally:
+            release.set()
+            server.close()
